@@ -1,0 +1,310 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// XMark paper (VLDB 2002). One benchmark per artifact:
+//
+//	BenchmarkFigure3Scaling    - generator scaling (Figure 3)
+//	BenchmarkParserScan        - expat tokenization baseline (§7)
+//	BenchmarkTable1Bulkload    - bulkload time per system (Table 1)
+//	BenchmarkTable2Breakdown   - compile vs execute of Q1/Q2 on A-C (Table 2)
+//	BenchmarkTable3Queries     - the reported queries on Systems A-F (Table 3)
+//	BenchmarkFigure4Embedded   - all 20 queries on System G at small scales (Figure 4)
+//	BenchmarkQ15Q16Ratio       - the §7 observation that Q16 costs ~8x Q15 on
+//	                             relational systems
+//
+// plus ablation benchmarks for the design choices DESIGN.md calls out.
+// The sweep factor defaults to 0.02 (about 2 MB); override with
+// XMARK_FACTOR for paper-scale runs.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+	"repro/internal/xmark"
+	"repro/internal/xmlgen"
+)
+
+func benchFactor() float64 {
+	if s := os.Getenv("XMARK_FACTOR"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.02
+}
+
+var (
+	setupOnce sync.Once
+	bmBench   *xmark.Benchmark
+	bmInst    map[xmark.SystemID]*xmark.Instance
+)
+
+func setup(b *testing.B) (*xmark.Benchmark, map[xmark.SystemID]*xmark.Instance) {
+	b.Helper()
+	setupOnce.Do(func() {
+		bmBench = xmark.NewBenchmark(benchFactor())
+		bmInst = make(map[xmark.SystemID]*xmark.Instance, 7)
+		for _, s := range xmark.Systems() {
+			inst, err := s.Load(bmBench.DocText)
+			if err != nil {
+				panic(err)
+			}
+			bmInst[s.ID] = inst
+		}
+	})
+	return bmBench, bmInst
+}
+
+// BenchmarkFigure3Scaling measures document generation per factor; the
+// ns/op across sub-benchmarks shows the paper's linear scaling, and
+// bytes/op reports document size.
+func BenchmarkFigure3Scaling(b *testing.B) {
+	for _, f := range []float64{0.001, 0.005, 0.01, 0.05} {
+		f := f
+		b.Run(fmt.Sprintf("factor=%g", f), func(b *testing.B) {
+			var size int64
+			for i := 0; i < b.N; i++ {
+				g := xmlgen.New(xmlgen.Options{Factor: f})
+				var cw countWriter
+				if _, err := g.WriteTo(&cw); err != nil {
+					b.Fatal(err)
+				}
+				size = cw.n
+			}
+			b.SetBytes(size)
+			b.ReportMetric(float64(size), "docbytes")
+		})
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkParserScan is the expat baseline: tokenization only.
+func BenchmarkParserScan(b *testing.B) {
+	bench, _ := setup(b)
+	b.SetBytes(int64(len(bench.DocText)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ScanTime(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Bulkload measures parse+build per system (Table 1) and
+// reports the resulting database size.
+func BenchmarkTable1Bulkload(b *testing.B) {
+	bench, _ := setup(b)
+	for _, s := range xmark.MassStorageSystems() {
+		s := s
+		b.Run("System"+string(s.ID), func(b *testing.B) {
+			var size int64
+			for i := 0; i < b.N; i++ {
+				inst, err := s.Load(bench.DocText)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = inst.Stats.SizeBytes
+			}
+			b.ReportMetric(float64(size), "dbbytes")
+		})
+	}
+}
+
+// BenchmarkTable2Breakdown times Q1 and Q2 on the relational systems and
+// reports the compile-time share (Table 2).
+func BenchmarkTable2Breakdown(b *testing.B) {
+	bench, inst := setup(b)
+	for _, qid := range []int{1, 2} {
+		for _, sid := range []xmark.SystemID{xmark.SystemA, xmark.SystemB, xmark.SystemC} {
+			qid, sid := qid, sid
+			b.Run(fmt.Sprintf("Q%d/System%s", qid, sid), func(b *testing.B) {
+				var compileShare float64
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunQuery(inst[sid], qid)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if t := res.Total(); t > 0 {
+						compileShare = 100 * float64(res.Compile) / float64(t)
+					}
+				}
+				b.ReportMetric(compileShare, "compile%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Queries runs the Table 3 query set on Systems A-F.
+func BenchmarkTable3Queries(b *testing.B) {
+	bench, inst := setup(b)
+	for _, qid := range xmark.Table3QueryIDs {
+		for _, s := range xmark.MassStorageSystems() {
+			qid, sid := qid, s.ID
+			b.Run(fmt.Sprintf("Q%d/System%s", qid, sid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunQuery(inst[sid], qid); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4Embedded runs all twenty queries on the embedded System
+// G at the paper's Figure 4 scales (factors 0.001 and 0.01).
+func BenchmarkFigure4Embedded(b *testing.B) {
+	sysG, err := xmark.SystemByID(xmark.SystemG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []float64{0.001, 0.01} {
+		bench := xmark.NewBenchmark(f)
+		inst, err := sysG.Load(bench.DocText)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range xmark.Queries() {
+			qid := q.ID
+			b.Run(fmt.Sprintf("factor=%g/Q%d", f, qid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunQuery(inst, qid); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQ15Q16Ratio reproduces the §7 observation that the relational
+// systems need roughly 8x longer for Q16 than for Q15 (the ascent and
+// selection added to the long path).
+func BenchmarkQ15Q16Ratio(b *testing.B) {
+	bench, inst := setup(b)
+	for _, qid := range []int{15, 16} {
+		for _, sid := range []xmark.SystemID{xmark.SystemA, xmark.SystemB, xmark.SystemC} {
+			qid, sid := qid, sid
+			b.Run(fmt.Sprintf("Q%d/System%s", qid, sid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunQuery(inst[sid], qid); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSummary isolates the structural summary: Q6 and Q7 on
+// System D (summary) versus System E (tag indexes only) versus System F
+// (pure traversal) — the Q6/Q7 discussion of §7.
+func BenchmarkAblationSummary(b *testing.B) {
+	bench, inst := setup(b)
+	for _, qid := range []int{6, 7} {
+		for _, sid := range []xmark.SystemID{xmark.SystemD, xmark.SystemE, xmark.SystemF} {
+			qid, sid := qid, sid
+			b.Run(fmt.Sprintf("Q%d/System%s", qid, sid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunQuery(inst[sid], qid); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationInlining isolates DTD inlining: Q2 on System C
+// (inlined) versus System B (same fragments, no inlining).
+func BenchmarkAblationInlining(b *testing.B) {
+	bench, inst := setup(b)
+	for _, sid := range []xmark.SystemID{xmark.SystemB, xmark.SystemC} {
+		sid := sid
+		b.Run("Q2/System"+string(sid), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunQuery(inst[sid], 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAttrIndex isolates the attribute value index: Q1 (the
+// paper's "table scan or index lookup" baseline) over the same store with
+// the index peephole on and off.
+func BenchmarkAblationAttrIndex(b *testing.B) {
+	bench, _ := setup(b)
+	doc, err := tree.Parse(bench.DocText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := nodestore.NewDOM("dom+attridx", doc,
+		nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true})
+	q1 := bench.QueryText(1)
+	for _, mode := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"indexlookup", engine.Options{PathExtents: true, AttrIndexes: true}},
+		{"tablescan", engine.Options{PathExtents: true}},
+	} {
+		mode := mode
+		b.Run("Q1/"+mode.name, func(b *testing.B) {
+			eng := engine.New(store, mode.opts)
+			for i := 0; i < b.N; i++ {
+				seq, err := eng.Query(q1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(seq) != 1 {
+					b.Fatal("Q1 result size wrong")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHashJoin isolates the value-join strategy: Q8 over the
+// same main-memory store with the hash-join rewrite on and off (nested
+// loops).
+func BenchmarkAblationHashJoin(b *testing.B) {
+	bench, _ := setup(b)
+	doc, err := tree.Parse(bench.DocText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true})
+	q8 := bench.QueryText(8)
+	for _, mode := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"hashjoin", engine.Options{HashJoins: true}},
+		{"nestedloop", engine.Options{}},
+	} {
+		mode := mode
+		b.Run("Q8/"+mode.name, func(b *testing.B) {
+			eng := engine.New(store, mode.opts)
+			for i := 0; i < b.N; i++ {
+				seq, err := eng.Query(q8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = engine.SerializeString(store, seq)
+			}
+		})
+	}
+}

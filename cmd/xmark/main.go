@@ -1,0 +1,111 @@
+// Command xmark runs the benchmark evaluation and regenerates the paper's
+// result artifacts: Table 1 (bulkload), Table 2 (compile/execute split),
+// Table 3 (query runtimes on Systems A-F), Figure 3 (generator scaling)
+// and Figure 4 (embedded System G at small scales).
+//
+// Usage:
+//
+//	xmark -all                   # everything at the default factor
+//	xmark -table3 -factor 0.05   # one artifact at a chosen scale
+//	xmark -verify                # run all 20 queries on all 7 systems and
+//	                             # check the results agree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmark"
+)
+
+func main() {
+	factor := flag.Float64("factor", 0.05, "scaling factor for the table experiments")
+	all := flag.Bool("all", false, "run every artifact")
+	t1 := flag.Bool("table1", false, "bulkload times and database sizes (Systems A-F)")
+	t2 := flag.Bool("table2", false, "compile/execute breakdown of Q1, Q2 (Systems A-C)")
+	t3 := flag.Bool("table3", false, "query runtimes (Systems A-F)")
+	f3 := flag.Bool("figure3", false, "generator scaling table")
+	f4 := flag.Bool("figure4", false, "embedded System G at factors 0.001 and 0.01")
+	verify := flag.Bool("verify", false, "cross-check all 20 queries across all 7 systems")
+	scan := flag.Bool("scan", false, "parser-only scan time of the document (expat baseline)")
+	inspect := flag.Bool("inspect", false, "structural profile of the document (§4 characteristics)")
+	flag.Parse()
+
+	if *all {
+		*t1, *t2, *t3, *f3, *f4, *verify, *scan = true, true, true, true, true, true, true
+	}
+	if !(*t1 || *t2 || *t3 || *f3 || *f4 || *verify || *scan || *inspect) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var bench *xmark.Benchmark
+	need := func() *xmark.Benchmark {
+		if bench == nil {
+			fmt.Printf("generating document at factor %g...\n", *factor)
+			bench = xmark.NewBenchmark(*factor)
+			fmt.Printf("document: %.1f MB, generated in %v\n\n", float64(len(bench.DocText))/1e6, bench.GenTime)
+		}
+		return bench
+	}
+
+	if *f3 {
+		rows := xmark.RunFigure3([]float64{0.001, 0.005, 0.01, 0.05, 0.1})
+		xmark.RenderFigure3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *scan {
+		b := need()
+		d, err := b.ScanTime()
+		check(err)
+		mbs := float64(len(b.DocText)) / 1e6 / d.Seconds()
+		fmt.Printf("Parser scan (expat baseline): %v for %.1f MB (%.1f MB/s)\n\n",
+			d, float64(len(b.DocText))/1e6, mbs)
+	}
+	if *t1 {
+		rows, err := need().RunTable1()
+		check(err)
+		xmark.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *t2 {
+		rows, err := need().RunTable2(3)
+		check(err)
+		xmark.RenderTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *t3 {
+		cells, err := need().RunTable3()
+		check(err)
+		xmark.RenderTable3(os.Stdout, cells)
+		fmt.Println()
+	}
+	if *f4 {
+		points, err := xmark.RunFigure4([]float64{0.001, 0.01})
+		check(err)
+		xmark.RenderFigure4(os.Stdout, points)
+		fmt.Println()
+	}
+	if *inspect {
+		p, err := xmark.Profile(need().DocText)
+		check(err)
+		p.Render(os.Stdout, 20)
+		fmt.Println()
+	}
+	if *verify {
+		b := need()
+		fmt.Println("verifying: all 20 queries on all 7 systems...")
+		instances, err := b.LoadAll(xmark.Systems())
+		check(err)
+		check(b.VerifyAll(instances))
+		fmt.Println("OK: every system returned identical results for every query")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmark:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command xmlgen generates the XMark benchmark document, reproducing the
+// paper's generator tool (§4.5).
+//
+// Usage:
+//
+//	xmlgen -factor 0.1 -o auction.xml          # one document (~10 MB)
+//	xmlgen -factor 0.1 -split 1000 -dir parts  # n entities per file (§5)
+//	xmlgen -factor 1 -dtd                      # print the DTD instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/schema"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	factor := flag.Float64("factor", 0.1, "scaling factor (1.0 is roughly 100 MB)")
+	out := flag.String("o", "", "output file (default standard output)")
+	split := flag.Int("split", 0, "entities per file; 0 writes one document")
+	dir := flag.String("dir", ".", "output directory for split mode")
+	seed := flag.Uint64("seed", 0, "generator seed (0 uses the benchmark default)")
+	dtd := flag.Bool("dtd", false, "print the auction DTD and exit")
+	stats := flag.Bool("stats", false, "print entity cardinalities to standard error")
+	flag.Parse()
+
+	if *dtd {
+		fmt.Print(schema.DTD())
+		return
+	}
+
+	g := xmlgen.New(xmlgen.Options{Factor: *factor, Seed: *seed})
+	if *stats {
+		c := g.Cardinalities()
+		fmt.Fprintf(os.Stderr, "factor %g: %d items, %d persons, %d open auctions, %d closed auctions, %d categories\n",
+			*factor, c.Items, c.People, c.Open, c.Closed, c.Categories)
+	}
+
+	if *split > 0 {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		err := g.WriteSplit(*split, func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*dir, name))
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	n, err := g.WriteTo(w)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", n, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command xquery evaluates an ad-hoc query of the supported XQuery subset
+// against an XML document (a file, or a freshly generated benchmark
+// document) on a chosen system architecture.
+//
+// Usage:
+//
+//	xquery -factor 0.01 'count(//item)'
+//	xquery -doc auction.xml -system C 'for $p in /site/people/person return $p/name/text()'
+//	xquery -factor 0.01 -q query.xq -time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmark"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	docPath := flag.String("doc", "", "XML document to query (default: generate one)")
+	factor := flag.Float64("factor", 0.01, "scaling factor when generating")
+	system := flag.String("system", "D", "system architecture A-G")
+	queryFile := flag.String("q", "", "read the query from a file")
+	benchQuery := flag.Int("n", 0, "run benchmark query number 1-20 instead of an inline query")
+	timing := flag.Bool("time", false, "print load, compile and execution times")
+	flag.Parse()
+
+	var docText []byte
+	card := xmlgen.Scale(*factor)
+	if *docPath != "" {
+		var err error
+		docText, err = os.ReadFile(*docPath)
+		check(err)
+	} else {
+		bench := xmark.NewBenchmark(*factor)
+		docText = bench.DocText
+		card = bench.Card
+	}
+
+	var src string
+	switch {
+	case *benchQuery >= 1 && *benchQuery <= 20:
+		src = xmark.Query(*benchQuery).Text(card)
+	case *queryFile != "":
+		b, err := os.ReadFile(*queryFile)
+		check(err)
+		src = string(b)
+	case flag.NArg() == 1:
+		src = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "xquery: provide a query argument, -q file, or -n query-number")
+		os.Exit(2)
+	}
+
+	sys, err := xmark.SystemByID(xmark.SystemID(*system))
+	check(err)
+	inst, err := sys.Load(docText)
+	check(err)
+	res, err := inst.Run(0, src)
+	check(err)
+
+	fmt.Println(res.Output)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "system %s: load %v, compile %v, execute %v, %d result bytes\n",
+			sys.ID, inst.LoadTime, res.Compile, res.Execute, len(res.Output))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xquery:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Auctionsite runs the paper's motivating workload: an electronic-commerce
+// site asking analytical questions over its auction database — who buys,
+// what sells, which auctions are still open — comparing a relational and a
+// native XML architecture on each query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/xmark"
+)
+
+type report struct {
+	label string
+	query string
+}
+
+func main() {
+	bench := xmark.NewBenchmark(0.02)
+	fmt.Printf("auction database: %d items, %d persons, %d open / %d closed auctions\n\n",
+		bench.Card.Items, bench.Card.People, bench.Card.Open, bench.Card.Closed)
+
+	// Load the same data into the paper's System C (relational,
+	// DTD-derived schema) and System D (native, structural summary).
+	var instances []*xmark.Instance
+	for _, id := range []xmark.SystemID{xmark.SystemC, xmark.SystemD} {
+		sys, err := xmark.SystemByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := sys.Load(bench.DocText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		instances = append(instances, inst)
+	}
+
+	reports := []report{
+		{"items per region", `for $r in /site/regions/* return <region name="{name($r)}">{count($r/item)}</region>`},
+		{"active auctions with bids", `count(for $a in /site/open_auctions/open_auction where not(empty($a/bidder)) return $a)`},
+		{"most expensive sales (price >= 150)",
+			`for $t in /site/closed_auctions/closed_auction
+			 where $t/price/text() >= 150
+			 order by $t/price/text() descending
+			 return <sale price="{$t/price/text()}" item="{$t/itemref/@item}"/>`},
+		{"top buyers (bought >= 3 items)",
+			`for $p in /site/people/person
+			 let $bought := for $t in /site/closed_auctions/closed_auction
+			                where $t/buyer/@person = $p/@id return $t
+			 where count($bought) >= 3
+			 return <buyer name="{$p/name/text()}" bought="{count($bought)}"/>`},
+		{"income brackets of active bidders",
+			`<brackets>
+			   <high>{count(for $p in /site/people/person where $p/profile/@income >= 80000 return $p)}</high>
+			   <low>{count(for $p in /site/people/person where $p/profile/@income < 80000 return $p)}</low>
+			 </brackets>`},
+	}
+
+	for _, r := range reports {
+		fmt.Printf("== %s ==\n", r.label)
+		for _, inst := range instances {
+			res, err := inst.Run(0, r.query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out := res.Output
+			if len(out) > 160 {
+				out = out[:160] + "..."
+			}
+			fmt.Printf("  system %s  %8v  %s\n", inst.System.ID, res.Total().Round(1000), out)
+		}
+		fmt.Println()
+	}
+}

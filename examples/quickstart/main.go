@@ -1,0 +1,46 @@
+// Quickstart: generate a small benchmark document, load it into the
+// summary-indexed main-memory system, and run a first query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/xmark"
+)
+
+func main() {
+	// 1. Generate the auction-site document at a small scaling factor
+	//    (factor 1.0 is roughly 100 MB; 0.01 is roughly 1 MB).
+	bench := xmark.NewBenchmark(0.01)
+	fmt.Printf("generated %.1f KB document: %d items, %d persons, %d open auctions\n",
+		float64(len(bench.DocText))/1e3, bench.Card.Items, bench.Card.People, bench.Card.Open)
+
+	// 2. Load it into a system architecture. System D is the main-memory
+	//    store with a structural summary.
+	sysD, err := xmark.SystemByID(xmark.SystemD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sysD.Load(bench.DocText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded into system D in %v (%.1f KB resident)\n",
+		inst.LoadTime, float64(inst.Stats.SizeBytes)/1e3)
+
+	// 3. Run benchmark query Q1 (exact-match lookup).
+	res, err := inst.Run(1, bench.QueryText(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1 (%s): %s  [compile %v, execute %v]\n",
+		xmark.Query(1).Description, res.Output, res.Compile, res.Execute)
+
+	// 4. Ad-hoc queries work too.
+	adhoc, err := inst.Run(0, `count(//keyword)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ad hoc count(//keyword) = %s\n", adhoc.Output)
+}

@@ -1,0 +1,197 @@
+// Package c14n canonicalizes XML fragments and decides output
+// equivalence.
+//
+// The paper (§1) observes that deciding "when to regard the output of XML
+// query processors as equivalent" is an open problem: physical
+// representations introduce degrees of freedom in attribute order,
+// whitespace, character encodings and empty-element notation, and it cites
+// Canonical XML [5] as an attempt to tackle it. This package implements the
+// subset of Canonical XML the benchmark needs — attribute ordering by name,
+// uniform empty-element expansion, normalized character escaping, and
+// optional whitespace normalization — so benchmark harnesses can compare
+// query outputs across systems that serialize differently.
+package c14n
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/saxparse"
+)
+
+// Options control canonicalization.
+type Options struct {
+	// NormalizeSpace collapses runs of whitespace in character data to a
+	// single space and trims whitespace-only runs entirely. Canonical XML
+	// proper preserves whitespace; query-result comparison usually wants
+	// it normalized.
+	NormalizeSpace bool
+	// SortSiblingElements additionally sorts adjacent sibling elements by
+	// their canonical form. This goes beyond Canonical XML: it makes the
+	// comparison order-insensitive for systems that legitimately permute
+	// set-valued results (paper §1: "the order of set-valued attributes").
+	SortSiblingElements bool
+}
+
+// node is the minimal internal tree for canonicalization.
+type node struct {
+	tag      string // "" for text
+	text     string
+	attrs    []saxparse.Attr
+	children []*node
+}
+
+// Canonicalize parses the XML fragment (or forest of fragments mixed with
+// text, as query results are) and returns its canonical form.
+func Canonicalize(fragment string, opts Options) (string, error) {
+	forest, err := parseForest(fragment)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	writeForest(&b, forest, opts)
+	return b.String(), nil
+}
+
+// Equal reports whether two XML fragments are equivalent under the given
+// options.
+func Equal(a, b string, opts Options) (bool, error) {
+	ca, err := Canonicalize(a, opts)
+	if err != nil {
+		return false, fmt.Errorf("c14n: left fragment: %w", err)
+	}
+	cb, err := Canonicalize(b, opts)
+	if err != nil {
+		return false, fmt.Errorf("c14n: right fragment: %w", err)
+	}
+	return ca == cb, nil
+}
+
+// parseForest parses a fragment that may contain several root elements and
+// bare text (query results are forests, not documents).
+func parseForest(fragment string) ([]*node, error) {
+	// Wrap in a synthetic root so the scanner accepts a forest.
+	wrapped := "<c14n-root>" + fragment + "</c14n-root>"
+	root := &node{tag: "c14n-root"}
+	stack := []*node{root}
+	err := saxparse.Parse([]byte(wrapped), saxparse.Callbacks{
+		StartElement: func(name string, attrs []saxparse.Attr) error {
+			n := &node{tag: name, attrs: append([]saxparse.Attr(nil), attrs...)}
+			top := stack[len(stack)-1]
+			top.children = append(top.children, n)
+			stack = append(stack, n)
+			return nil
+		},
+		EndElement: func(string) error {
+			stack = stack[:len(stack)-1]
+			return nil
+		},
+		CharData: func(text string) error {
+			top := stack[len(stack)-1]
+			top.children = append(top.children, &node{text: text})
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// root's single child is the synthetic wrapper; the forest is inside.
+	return root.children[0].children, nil
+}
+
+func writeForest(b *strings.Builder, forest []*node, opts Options) {
+	// Merge adjacent text nodes first so physically split character data
+	// compares equal.
+	forest = mergeText(forest)
+	if opts.SortSiblingElements {
+		forest = sortSiblings(forest, opts)
+	}
+	for _, n := range forest {
+		writeNode(b, n, opts)
+	}
+}
+
+func mergeText(forest []*node) []*node {
+	var out []*node
+	for _, n := range forest {
+		if n.tag == "" && len(out) > 0 && out[len(out)-1].tag == "" {
+			out[len(out)-1] = &node{text: out[len(out)-1].text + n.text}
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// sortSiblings orders adjacent element runs by canonical form, keeping
+// text nodes in place.
+func sortSiblings(forest []*node, opts Options) []*node {
+	out := append([]*node(nil), forest...)
+	i := 0
+	for i < len(out) {
+		if out[i].tag == "" {
+			i++
+			continue
+		}
+		j := i
+		for j < len(out) && out[j].tag != "" {
+			j++
+		}
+		run := out[i:j]
+		sort.SliceStable(run, func(a, b int) bool {
+			var ka, kb strings.Builder
+			writeNode(&ka, run[a], opts)
+			writeNode(&kb, run[b], opts)
+			return ka.String() < kb.String()
+		})
+		i = j
+	}
+	return out
+}
+
+func writeNode(b *strings.Builder, n *node, opts Options) {
+	if n.tag == "" {
+		text := n.text
+		if opts.NormalizeSpace {
+			text = normalizeSpace(text)
+			if text == "" {
+				return
+			}
+		}
+		b.WriteString(escapeText(text))
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.tag)
+	attrs := append([]saxparse.Attr(nil), n.attrs...)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeAttr(a.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('>')
+	// Canonical XML expands empty elements: <a/> and <a></a> are equal.
+	writeForest(b, n.children, opts)
+	b.WriteString("</")
+	b.WriteString(n.tag)
+	b.WriteByte('>')
+}
+
+func normalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "\r", "&#xD;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;",
+		"\t", "&#x9;", "\n", "&#xA;", "\r", "&#xD;")
+	return r.Replace(s)
+}

@@ -1,0 +1,137 @@
+package c14n
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmark"
+)
+
+func mustEqual(t *testing.T, a, b string, opts Options, want bool) {
+	t.Helper()
+	got, err := Equal(a, b, opts)
+	if err != nil {
+		t.Fatalf("Equal(%q, %q): %v", a, b, err)
+	}
+	if got != want {
+		ca, _ := Canonicalize(a, opts)
+		cb, _ := Canonicalize(b, opts)
+		t.Fatalf("Equal(%q, %q) = %v, want %v\ncanon a: %s\ncanon b: %s", a, b, got, want, ca, cb)
+	}
+}
+
+func TestAttributeOrderIrrelevant(t *testing.T) {
+	mustEqual(t, `<a x="1" y="2"/>`, `<a y="2" x="1"/>`, Options{}, true)
+}
+
+func TestEmptyElementNotation(t *testing.T) {
+	mustEqual(t, `<a><b/></a>`, `<a><b></b></a>`, Options{}, true)
+}
+
+func TestEntityEncodingIrrelevant(t *testing.T) {
+	mustEqual(t, `<a>x &amp; y</a>`, `<a>x &#38; y</a>`, Options{}, true)
+	mustEqual(t, `<a t="&quot;q&quot;"/>`, `<a t='"q"'/>`, Options{}, true)
+}
+
+func TestSplitCharacterData(t *testing.T) {
+	// CDATA boundaries must not affect equality.
+	mustEqual(t, `<a>one two</a>`, `<a>one<![CDATA[ two]]></a>`, Options{}, true)
+}
+
+func TestDifferentContentUnequal(t *testing.T) {
+	mustEqual(t, `<a>1</a>`, `<a>2</a>`, Options{}, false)
+	mustEqual(t, `<a x="1"/>`, `<a x="2"/>`, Options{}, false)
+	mustEqual(t, `<a/>`, `<b/>`, Options{}, false)
+	mustEqual(t, `<a><b/><c/></a>`, `<a><c/><b/></a>`, Options{}, false)
+}
+
+func TestWhitespaceNormalization(t *testing.T) {
+	opts := Options{NormalizeSpace: true}
+	mustEqual(t, "<a>  x \n y </a>", "<a>x y</a>", opts, true)
+	mustEqual(t, "<a>\n  <b/>\n</a>", "<a><b/></a>", opts, true)
+	// Without normalization whitespace is significant.
+	mustEqual(t, "<a> x </a>", "<a>x</a>", Options{}, false)
+}
+
+func TestOrderInsensitiveComparison(t *testing.T) {
+	opts := Options{SortSiblingElements: true}
+	mustEqual(t, `<a><b/><c/></a>`, `<a><c/><b/></a>`, opts, true)
+	mustEqual(t, `<r><p n="1"/><p n="2"/></r>`, `<r><p n="2"/><p n="1"/></r>`, opts, true)
+	// Content differences still matter.
+	mustEqual(t, `<a><b/><b/></a>`, `<a><b/></a>`, opts, false)
+}
+
+func TestForestComparison(t *testing.T) {
+	// Query results are forests, possibly with leading atomic text.
+	mustEqual(t, `<a/><b/>`, `<a></a><b/>`, Options{}, true)
+	mustEqual(t, `42 <a/>`, `42 <a/>`, Options{}, true)
+	mustEqual(t, `<a/><b/>`, `<b/><a/>`, Options{}, false)
+}
+
+func TestMalformedFragmentErrors(t *testing.T) {
+	if _, err := Canonicalize(`<a>`, Options{}); err == nil {
+		t.Fatal("unclosed element accepted")
+	}
+	if _, err := Equal(`<a/>`, `<b`, Options{}); err == nil {
+		t.Fatal("malformed right side accepted")
+	}
+}
+
+func TestCanonicalFormIsFixedPoint(t *testing.T) {
+	in := `<a  y="2"
+		x="1"><b></b>text &amp; more</a>`
+	c1, err := Canonicalize(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Canonicalize(c1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("not a fixed point:\n%s\nvs\n%s", c1, c2)
+	}
+	if !strings.Contains(c1, `x="1" y="2"`) {
+		t.Fatalf("attributes not sorted: %s", c1)
+	}
+}
+
+// TestBenchmarkOutputsCanonicallyEqual cross-checks the benchmark's own
+// verification through the canonicalizer: query outputs from different
+// architectures must stay equal after canonicalization too.
+func TestBenchmarkOutputsCanonicallyEqual(t *testing.T) {
+	bench := xmark.NewBenchmark(0.002)
+	sysA, err := xmark.SystemByID(xmark.SystemA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysD, err := xmark.SystemByID(xmark.SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instA, err := sysA.Load(bench.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instD, err := sysD.Load(bench.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range []int{2, 3, 13, 17, 20} {
+		ra, err := bench.RunQuery(instA, qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := bench.RunQuery(instD, qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := Equal(ra.Output, rd.Output, Options{NormalizeSpace: true})
+		if err != nil {
+			t.Fatalf("Q%d: %v", qid, err)
+		}
+		if !eq {
+			t.Fatalf("Q%d: outputs not canonically equal", qid)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+func diagEngine(t *testing.T, opts Options, domOpts nodestore.DOMOptions) *Engine {
+	t.Helper()
+	doc, err := tree.Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(nodestore.NewDOM("diag", doc, domOpts), opts)
+}
+
+func TestDiagnoseTypoInAbsolutePath(t *testing.T) {
+	e := diagEngine(t, Options{PathExtents: true},
+		nodestore.DOMOptions{Summary: true, TagExtents: true})
+	p, err := e.Prepare(`for $b in /site/peeple/person return $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Diagnostics) == 0 {
+		t.Fatal("no diagnostics for misspelled path")
+	}
+	found := false
+	for _, d := range p.Diagnostics {
+		if strings.Contains(d, "peeple") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostics do not name the typo: %v", p.Diagnostics)
+	}
+	// The query still runs and returns empty, matching the paper's "typos
+	// evaluate to empty results".
+	seq, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 0 {
+		t.Fatal("misspelled path returned data")
+	}
+}
+
+func TestDiagnoseUnknownTagInRelativePath(t *testing.T) {
+	e := diagEngine(t, Options{PathExtents: true},
+		nodestore.DOMOptions{Summary: true, TagExtents: true})
+	p, err := e.Prepare(`for $b in /site/people/person return $b/homepaje/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range p.Diagnostics {
+		if strings.Contains(d, "homepaje") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostics = %v", p.Diagnostics)
+	}
+}
+
+func TestDiagnoseCleanQueryHasNoWarnings(t *testing.T) {
+	e := diagEngine(t, Options{PathExtents: true, CountShortcut: true},
+		nodestore.DOMOptions{Summary: true, TagExtents: true})
+	for _, src := range []string{
+		`for $b in /site/people/person[@id="person0"] return $b/name/text()`,
+		`count(//item)`,
+		`for $p in /site/people/person where empty($p/homepage/text()) return $p/name/text()`,
+	} {
+		p, err := e.Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Diagnostics) != 0 {
+			t.Fatalf("unexpected diagnostics for %q: %v", src, p.Diagnostics)
+		}
+	}
+}
+
+func TestDiagnoseRequiresCatalog(t *testing.T) {
+	// A store without tag extents or summary cannot validate paths online;
+	// no diagnostics are produced (the paper's point: this needs catalog
+	// support).
+	e := diagEngine(t, Options{}, nodestore.DOMOptions{})
+	p, err := e.Prepare(`for $b in /site/peeple/person return $b/homepaje`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Diagnostics) != 0 {
+		t.Fatalf("catalog-less store produced diagnostics: %v", p.Diagnostics)
+	}
+}
+
+func TestDiagnoseEachTagOnce(t *testing.T) {
+	e := diagEngine(t, Options{PathExtents: true},
+		nodestore.DOMOptions{Summary: true, TagExtents: true})
+	p, err := e.Prepare(`(//wibble, //wibble, //wibble)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Diagnostics) != 1 {
+		t.Fatalf("want 1 deduplicated diagnostic, got %v", p.Diagnostics)
+	}
+}

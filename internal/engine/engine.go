@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nodestore"
+	"repro/internal/xquery"
+)
+
+// Options select the optimizations of a system architecture. All false is
+// the paper's embedded System G profile (plus NaiveStrings for its
+// materialization overhead); the mass-storage systems enable the subsets
+// their architectures support.
+type Options struct {
+	// PathExtents answers absolute path prefixes from the store's path
+	// catalog (fragmented mappings B/C and the summary of D).
+	PathExtents bool
+	// CountShortcut answers count() over pure paths from the catalog
+	// without data access (System D's structural summary).
+	CountShortcut bool
+	// HashJoins accelerates equality value joins in FLWOR expressions
+	// with a hash table instead of a nested loop.
+	HashJoins bool
+	// Inlining reads single #PCDATA children from inlined columns
+	// (System C's DTD-derived mapping).
+	Inlining bool
+	// AttrIndexes answers [@attr = "literal"] predicates from the store's
+	// attribute value index instead of scanning the candidate set: the
+	// "index lookup" flavor of Q1 the paper contrasts with a table scan.
+	AttrIndexes bool
+	// NaiveStrings copies every string value touched, the embedded
+	// processor's materialization overhead (System G).
+	NaiveStrings bool
+}
+
+// Engine evaluates queries against one store.
+type Engine struct {
+	store nodestore.Store
+	opts  Options
+}
+
+// New returns an Engine over store with the given optimization profile.
+func New(store nodestore.Store, opts Options) *Engine {
+	return &Engine{store: store, opts: opts}
+}
+
+// Store returns the engine's store.
+func (e *Engine) Store() nodestore.Store { return e.store }
+
+// Options returns the engine's optimization profile.
+func (e *Engine) Options() Options { return e.opts }
+
+// Prepared is a compiled query. Compilation covers parsing, static
+// resolution of functions and variables, and metadata access (catalog
+// probes for absolute paths), matching the paper's "compilation" phase of
+// Table 2.
+type Prepared struct {
+	engine *Engine
+	query  *xquery.Query
+	// CompileTime is the wall time spent in Prepare.
+	CompileTime time.Duration
+	// MetaProbes counts catalog consultations during compilation.
+	MetaProbes int
+	// Diagnostics are compile-time warnings about provably empty path
+	// expressions (typos), produced when the store's catalog can check
+	// them; see the paper's §7 proposal for online path validation.
+	Diagnostics []string
+}
+
+// Prepare compiles src.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	start := time.Now()
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{engine: e, query: q}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	p.resolvePaths()
+	p.diagnose()
+	p.CompileTime = time.Since(start)
+	return p, nil
+}
+
+// Run executes the prepared query and returns the result sequence.
+func (p *Prepared) Run() (result Seq, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(*evalError); ok {
+				result, err = nil, ee
+				return
+			}
+			panic(r)
+		}
+	}()
+	ev := &evaluator{
+		store: p.engine.store,
+		opts:  p.engine.opts,
+		funcs: p.query.Functions,
+		cache: make(map[*xquery.ForClause]*joinIndex),
+	}
+	env := &bindings{}
+	return ev.eval(p.query.Body, env), nil
+}
+
+// Query compiles and runs src in one call.
+func (e *Engine) Query(src string) (Seq, error) {
+	p, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// check performs static analysis: every variable reference must be bound
+// and every called function must exist.
+func (p *Prepared) check() error {
+	var walkErr error
+	builtin := builtinNames()
+	var walk func(e xquery.Expr, bound map[string]bool)
+	walkAll := func(es []xquery.Expr, bound map[string]bool) {
+		for _, e := range es {
+			if e != nil {
+				walk(e, bound)
+			}
+		}
+	}
+	walk = func(e xquery.Expr, bound map[string]bool) {
+		if walkErr != nil || e == nil {
+			return
+		}
+		switch v := e.(type) {
+		case *xquery.VarRef:
+			if !bound[v.Name] {
+				walkErr = fmt.Errorf("engine: unbound variable $%s", v.Name)
+			}
+		case *xquery.Path:
+			walk(v.Input, bound)
+			for _, st := range v.Steps {
+				walkAll(st.Preds, bound)
+			}
+		case *xquery.Filter:
+			walk(v.Input, bound)
+			walkAll(v.Preds, bound)
+		case *xquery.FLWOR:
+			inner := copyBound(bound)
+			for _, cl := range v.Clauses {
+				if cl.For != nil {
+					walk(cl.For.Seq, inner)
+					inner[cl.For.Var] = true
+				} else {
+					walk(cl.Let.Seq, inner)
+					inner[cl.Let.Var] = true
+				}
+			}
+			if v.Where != nil {
+				walk(v.Where, inner)
+			}
+			for _, o := range v.Order {
+				walk(o.Key, inner)
+			}
+			walk(v.Return, inner)
+		case *xquery.Quantified:
+			inner := copyBound(bound)
+			for i, name := range v.Vars {
+				walk(v.Seqs[i], inner)
+				inner[name] = true
+			}
+			walk(v.Satisfies, inner)
+		case *xquery.IfExpr:
+			walk(v.Cond, bound)
+			walk(v.Then, bound)
+			walk(v.Else, bound)
+		case *xquery.Binary:
+			walk(v.Left, bound)
+			walk(v.Right, bound)
+		case *xquery.Unary:
+			walk(v.Operand, bound)
+		case *xquery.Call:
+			if _, user := p.query.Functions[v.Name]; !user && !builtin[v.Name] {
+				walkErr = fmt.Errorf("engine: unknown function %s()", v.Name)
+			}
+			if user := p.query.Functions[v.Name]; user != nil && len(user.Params) != len(v.Args) {
+				walkErr = fmt.Errorf("engine: %s() expects %d arguments, got %d", v.Name, len(user.Params), len(v.Args))
+			}
+			walkAll(v.Args, bound)
+		case *xquery.Sequence:
+			walkAll(v.Items, bound)
+		case *xquery.ElementCtor:
+			for _, a := range v.Attrs {
+				walkAll(a.Parts, bound)
+			}
+			walkAll(v.Content, bound)
+		}
+	}
+	for _, fd := range p.query.Functions {
+		bound := map[string]bool{}
+		for _, param := range fd.Params {
+			bound[param] = true
+		}
+		walk(fd.Body, bound)
+	}
+	walk(p.query.Body, map[string]bool{})
+	return walkErr
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// resolvePaths probes the store catalog for every absolute path prefix in
+// the query — the metadata access of the compilation phase. Fragmenting
+// mappings answer from larger catalogs; the heap mapping has nothing to
+// consult (paper Table 2: System A accesses far less metadata).
+func (p *Prepared) resolvePaths() {
+	if !p.engine.opts.PathExtents {
+		return
+	}
+	var walk func(e xquery.Expr)
+	walkAll := func(es []xquery.Expr) {
+		for _, e := range es {
+			if e != nil {
+				walk(e)
+			}
+		}
+	}
+	walk = func(e xquery.Expr) {
+		switch v := e.(type) {
+		case *xquery.Path:
+			if _, isRoot := v.Input.(*xquery.Root); isRoot {
+				prefix := pathPrefix(v)
+				if len(prefix) > 0 {
+					_, _ = p.engine.store.PathExtent(prefix, nil)
+					p.MetaProbes++
+				}
+			} else {
+				walk(v.Input)
+			}
+			for _, st := range v.Steps {
+				walkAll(st.Preds)
+			}
+		case *xquery.Filter:
+			walk(v.Input)
+			walkAll(v.Preds)
+		case *xquery.FLWOR:
+			for _, cl := range v.Clauses {
+				if cl.For != nil {
+					walk(cl.For.Seq)
+				} else {
+					walk(cl.Let.Seq)
+				}
+			}
+			if v.Where != nil {
+				walk(v.Where)
+			}
+			for _, o := range v.Order {
+				walk(o.Key)
+			}
+			walk(v.Return)
+		case *xquery.Quantified:
+			walkAll(v.Seqs)
+			walk(v.Satisfies)
+		case *xquery.IfExpr:
+			walk(v.Cond)
+			walk(v.Then)
+			walk(v.Else)
+		case *xquery.Binary:
+			walk(v.Left)
+			walk(v.Right)
+		case *xquery.Unary:
+			walk(v.Operand)
+		case *xquery.Call:
+			walkAll(v.Args)
+		case *xquery.Sequence:
+			walkAll(v.Items)
+		case *xquery.ElementCtor:
+			for _, a := range v.Attrs {
+				walkAll(a.Parts)
+			}
+			walkAll(v.Content)
+		}
+	}
+	for _, fd := range p.query.Functions {
+		walk(fd.Body)
+	}
+	walk(p.query.Body)
+}
+
+// pathPrefix returns the longest leading run of predicate-free child steps
+// of an absolute path: the part a path catalog can answer directly.
+func pathPrefix(p *xquery.Path) []string {
+	var prefix []string
+	for _, st := range p.Steps {
+		if st.Axis != xquery.AxisChild || st.Name == "*" || st.Name == "" || len(st.Preds) > 0 {
+			break
+		}
+		prefix = append(prefix, st.Name)
+	}
+	return prefix
+}

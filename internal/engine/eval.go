@@ -1,0 +1,947 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+	"repro/internal/xquery"
+)
+
+// bindings is a linked environment of variable bindings.
+type bindings struct {
+	name   string
+	val    Seq
+	parent *bindings
+}
+
+func (b *bindings) bind(name string, val Seq) *bindings {
+	return &bindings{name: name, val: val, parent: b}
+}
+
+func (b *bindings) lookup(name string) Seq {
+	for e := b; e != nil; e = e.parent {
+		if e.name == name {
+			return e.val
+		}
+	}
+	errf("unbound variable $%s", name)
+	return nil
+}
+
+// focus is the dynamic context of predicate evaluation.
+type focus struct {
+	item Item
+	pos  int // 1-based
+	size int
+}
+
+// evaluator executes one query run.
+type evaluator struct {
+	store nodestore.Store
+	opts  Options
+	funcs map[string]*xquery.FuncDecl
+	focus *focus
+	// cache memoizes hash-join indexes for independent for-clauses so
+	// correlated inner FLWORs (Q10) build the index once.
+	cache map[*xquery.ForClause]*joinIndex
+	depth int
+}
+
+const maxRecursion = 2000
+
+func (ev *evaluator) eval(e xquery.Expr, env *bindings) Seq {
+	ev.depth++
+	if ev.depth > maxRecursion {
+		errf("expression nesting too deep")
+	}
+	defer func() { ev.depth-- }()
+
+	switch v := e.(type) {
+	case *xquery.StringLit:
+		return Seq{StrItem(v.Val)}
+	case *xquery.NumberLit:
+		return Seq{NumItem(v.Val)}
+	case *xquery.VarRef:
+		return env.lookup(v.Name)
+	case *xquery.ContextItem:
+		if ev.focus == nil {
+			errf("context item used outside a predicate")
+		}
+		return Seq{ev.focus.item}
+	case *xquery.Root:
+		return Seq{DocItem{}}
+	case *xquery.Path:
+		return ev.evalPath(v, env)
+	case *xquery.Filter:
+		return ev.applyPredicates(ev.eval(v.Input, env), v.Preds, env)
+	case *xquery.FLWOR:
+		return ev.evalFLWOR(v, env)
+	case *xquery.Quantified:
+		return Seq{BoolItem(ev.evalQuantified(v, env, 0))}
+	case *xquery.IfExpr:
+		if ev.effectiveBool(ev.eval(v.Cond, env)) {
+			return ev.eval(v.Then, env)
+		}
+		return ev.eval(v.Else, env)
+	case *xquery.Binary:
+		return ev.evalBinary(v, env)
+	case *xquery.Unary:
+		s := ev.atomizeSeq(ev.eval(v.Operand, env))
+		if len(s) == 0 {
+			return nil
+		}
+		return Seq{NumItem(-toNumber(s[0]))}
+	case *xquery.Call:
+		return ev.evalCall(v, env)
+	case *xquery.Sequence:
+		var out Seq
+		for _, item := range v.Items {
+			out = append(out, ev.eval(item, env)...)
+		}
+		return out
+	case *xquery.ElementCtor:
+		return Seq{ev.construct(v, env)}
+	default:
+		errf("unhandled expression %T", e)
+		return nil
+	}
+}
+
+// ---- paths ----
+
+func (ev *evaluator) evalPath(p *xquery.Path, env *bindings) Seq {
+	steps := p.Steps
+	var ctx Seq
+	// Absolute paths may be answered from the store's path catalog.
+	if _, isRoot := p.Input.(*xquery.Root); isRoot && ev.opts.PathExtents {
+		prefix := pathPrefix(p)
+		if len(prefix) > 0 {
+			if ids, ok := ev.store.PathExtent(prefix, nil); ok {
+				ctx = make(Seq, len(ids))
+				for i, id := range ids {
+					ctx[i] = NodeItem{ID: id}
+				}
+				steps = steps[len(prefix):]
+				return ev.evalSteps(ctx, steps, env)
+			}
+		}
+	}
+	ctx = ev.eval(p.Input, env)
+	return ev.evalSteps(ctx, steps, env)
+}
+
+func (ev *evaluator) evalSteps(ctx Seq, steps []*xquery.Step, env *bindings) Seq {
+	for i := 0; i < len(steps); i++ {
+		st := steps[i]
+		// Inlining peephole (System C): child::tag/text() over a store
+		// that inlines single #PCDATA children is a column read, skipping
+		// one navigation level — the join the DTD-derived mapping of [23]
+		// eliminates.
+		if ev.opts.Inlining && i+1 < len(steps) &&
+			st.Axis == xquery.AxisChild && st.Name != "*" && len(st.Preds) == 0 &&
+			steps[i+1].Axis == xquery.AxisText && len(steps[i+1].Preds) == 0 {
+			if out, ok := ev.inlinedTextStep(ctx, st.Name); ok {
+				ctx = out
+				i++
+				continue
+			}
+		}
+		// Attribute-index peephole: a child step selected by a single
+		// [@attr = "literal"] predicate is answered from the attribute
+		// value index when the store keeps one — the "index lookup"
+		// execution of Q1 (paper §7) instead of a scan of the extent.
+		if ev.opts.AttrIndexes && st.Axis == xquery.AxisChild && st.Name != "*" && len(st.Preds) == 1 {
+			if aname, lit, ok := attrEqPattern(st.Preds[0]); ok {
+				if out, ok2 := ev.attrIndexStep(ctx, st.Name, aname, lit); ok2 {
+					ctx = out
+					continue
+				}
+			}
+		}
+		var out Seq
+		for _, it := range ctx {
+			candidates := ev.stepFrom(it, st)
+			if len(st.Preds) > 0 {
+				candidates = ev.applyPredicates(candidates, st.Preds, env)
+			}
+			out = append(out, candidates...)
+		}
+		if st.Axis == xquery.AxisDescendant {
+			out = dedupNodes(out)
+		}
+		ctx = out
+	}
+	return ctx
+}
+
+// attrEqPattern recognizes the predicate shape [@name = "literal"] (either
+// operand order).
+func attrEqPattern(pred xquery.Expr) (name, lit string, ok bool) {
+	b, isBin := pred.(*xquery.Binary)
+	if !isBin || b.Op != xquery.OpEq {
+		return "", "", false
+	}
+	attrOf := func(e xquery.Expr) (string, bool) {
+		p, isPath := e.(*xquery.Path)
+		if !isPath || len(p.Steps) != 1 {
+			return "", false
+		}
+		if _, isCtx := p.Input.(*xquery.ContextItem); !isCtx {
+			return "", false
+		}
+		st := p.Steps[0]
+		if st.Axis != xquery.AxisAttribute || len(st.Preds) != 0 {
+			return "", false
+		}
+		return st.Name, true
+	}
+	if a, isAttr := attrOf(b.Left); isAttr {
+		if s, isLit := b.Right.(*xquery.StringLit); isLit {
+			return a, s.Val, true
+		}
+	}
+	if a, isAttr := attrOf(b.Right); isAttr {
+		if s, isLit := b.Left.(*xquery.StringLit); isLit {
+			return a, s.Val, true
+		}
+	}
+	return "", "", false
+}
+
+// attrIndexStep answers a child step with an attribute-equality predicate
+// from the value index. ok is false when the store has no index, the
+// context is not a sorted node set, or candidates cannot be validated
+// cheaply — the caller then evaluates normally.
+func (ev *evaluator) attrIndexStep(ctx Seq, tag, aname, value string) (Seq, bool) {
+	candidates, supported := ev.store.AttrLookup(aname, value)
+	if !supported {
+		return nil, false
+	}
+	// The context must be a monotone node set so parent membership can be
+	// answered by binary search.
+	ids := make([]tree.NodeID, len(ctx))
+	for i, it := range ctx {
+		n, isNode := it.(NodeItem)
+		if !isNode {
+			return nil, false
+		}
+		if i > 0 && n.ID <= ids[i-1] {
+			return nil, false
+		}
+		ids[i] = n.ID
+	}
+	var out Seq
+	for _, c := range candidates {
+		if ev.store.Tag(c) != tag {
+			continue
+		}
+		p := ev.store.Parent(c)
+		j := sort.Search(len(ids), func(k int) bool { return ids[k] >= p })
+		if j < len(ids) && ids[j] == p {
+			out = append(out, NodeItem{ID: c})
+		}
+	}
+	return out, true
+}
+
+// inlinedTextStep answers a child/text() step pair from inlined columns;
+// ok is false when any context node's fragment lacks the column, in which
+// case the caller navigates normally.
+func (ev *evaluator) inlinedTextStep(ctx Seq, tag string) (Seq, bool) {
+	var out Seq
+	for _, it := range ctx {
+		n, isNode := it.(NodeItem)
+		if !isNode {
+			return nil, false
+		}
+		v, present, supported := ev.store.InlinedChildText(n.ID, tag)
+		if !supported {
+			return nil, false
+		}
+		if present {
+			out = append(out, StrItem(v))
+		}
+	}
+	return out, true
+}
+
+// stepFrom computes one axis step from a single context item.
+func (ev *evaluator) stepFrom(it Item, st *xquery.Step) Seq {
+	switch n := it.(type) {
+	case NodeItem:
+		return ev.stepFromStored(n, st)
+	case DocItem:
+		return ev.stepFromDocNode(st)
+	case *Constructed:
+		return stepFromConstructed(n, st)
+	case AttrItem:
+		return nil
+	default:
+		errf("path step over atomic value")
+		return nil
+	}
+}
+
+// stepFromDocNode steps from the virtual document node: its only child is
+// the root element.
+func (ev *evaluator) stepFromDocNode(st *xquery.Step) Seq {
+	root := ev.store.Root()
+	rootTag := ev.store.Tag(root)
+	switch st.Axis {
+	case xquery.AxisChild:
+		if st.Name == "*" || st.Name == rootTag {
+			return Seq{NodeItem{ID: root}}
+		}
+		return nil
+	case xquery.AxisDescendant:
+		var out Seq
+		if st.Name == "*" || st.Name == rootTag {
+			out = append(out, NodeItem{ID: root})
+		}
+		out = append(out, ev.stepFromStored(NodeItem{ID: root}, st)...)
+		return out
+	default:
+		return nil
+	}
+}
+
+func (ev *evaluator) stepFromStored(n NodeItem, st *xquery.Step) Seq {
+	s := ev.store
+	switch st.Axis {
+	case xquery.AxisChild:
+		if st.Name == "*" {
+			var out Seq
+			for _, c := range s.Children(n.ID, nil) {
+				if s.Kind(c) == tree.Element {
+					out = append(out, NodeItem{ID: c})
+				}
+			}
+			return out
+		}
+		ids := s.ChildrenByTag(n.ID, st.Name, nil)
+		out := make(Seq, len(ids))
+		for i, c := range ids {
+			out[i] = NodeItem{ID: c}
+		}
+		return out
+	case xquery.AxisDescendant:
+		if st.Name == "*" {
+			var out Seq
+			var walk func(id tree.NodeID)
+			walk = func(id tree.NodeID) {
+				for _, c := range s.Children(id, nil) {
+					if s.Kind(c) == tree.Element {
+						out = append(out, NodeItem{ID: c})
+						walk(c)
+					}
+				}
+			}
+			walk(n.ID)
+			return out
+		}
+		ids := s.Descendants(n.ID, st.Name, nil)
+		out := make(Seq, len(ids))
+		for i, c := range ids {
+			out[i] = NodeItem{ID: c}
+		}
+		return out
+	case xquery.AxisAttribute:
+		if v, ok := s.Attr(n.ID, st.Name); ok {
+			if ev.opts.NaiveStrings {
+				v = string(append([]byte(nil), v...))
+			}
+			return Seq{AttrItem{Owner: n.ID, Name: st.Name, Value: v}}
+		}
+		return nil
+	case xquery.AxisText:
+		var out Seq
+		for _, c := range s.Children(n.ID, nil) {
+			if s.Kind(c) == tree.Text {
+				out = append(out, NodeItem{ID: c})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func stepFromConstructed(c *Constructed, st *xquery.Step) Seq {
+	var out Seq
+	switch st.Axis {
+	case xquery.AxisChild:
+		for _, ch := range c.Children {
+			if el, ok := ch.(*Constructed); ok && (st.Name == "*" || el.Tag == st.Name) {
+				out = append(out, el)
+			}
+		}
+	case xquery.AxisDescendant:
+		var walk func(el *Constructed)
+		walk = func(el *Constructed) {
+			for _, ch := range el.Children {
+				if sub, ok := ch.(*Constructed); ok {
+					if st.Name == "*" || sub.Tag == st.Name {
+						out = append(out, sub)
+					}
+					walk(sub)
+				}
+			}
+		}
+		walk(c)
+	case xquery.AxisAttribute:
+		for _, a := range c.Attrs {
+			if a.Name == st.Name {
+				out = append(out, AttrItem{Owner: tree.Nil, Name: a.Name, Value: a.Value})
+			}
+		}
+	case xquery.AxisText:
+		for _, ch := range c.Children {
+			if s, ok := ch.(StrItem); ok {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// dedupNodes removes duplicate stored nodes and restores document order;
+// descendant steps from nested context nodes can produce both.
+func dedupNodes(s Seq) Seq {
+	nodes := true
+	for _, it := range s {
+		if _, ok := it.(NodeItem); !ok {
+			nodes = false
+			break
+		}
+	}
+	if !nodes {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool {
+		return s[i].(NodeItem).ID < s[j].(NodeItem).ID
+	})
+	out := s[:0]
+	var prev tree.NodeID = tree.Nil
+	for _, it := range s {
+		id := it.(NodeItem).ID
+		if id != prev {
+			out = append(out, it)
+			prev = id
+		}
+	}
+	return out
+}
+
+// applyPredicates filters items by each predicate in turn, with positional
+// semantics: a numeric predicate selects by position, last() is the
+// context size.
+func (ev *evaluator) applyPredicates(items Seq, preds []xquery.Expr, env *bindings) Seq {
+	for _, pred := range preds {
+		var kept Seq
+		size := len(items)
+		saved := ev.focus
+		for i, it := range items {
+			ev.focus = &focus{item: it, pos: i + 1, size: size}
+			val := ev.eval(pred, env)
+			match := false
+			if len(val) == 1 {
+				if num, ok := val[0].(NumItem); ok {
+					match = float64(i+1) == float64(num)
+				} else {
+					match = ev.effectiveBool(val)
+				}
+			} else {
+				match = ev.effectiveBool(val)
+			}
+			if match {
+				kept = append(kept, it)
+			}
+		}
+		ev.focus = saved
+		items = kept
+	}
+	return items
+}
+
+// ---- FLWOR ----
+
+func (ev *evaluator) evalFLWOR(f *xquery.FLWOR, env *bindings) Seq {
+	conjs := splitConjuncts(f.Where)
+	used := make([]bool, len(conjs))
+	tuples := []*bindings{env}
+	bound := map[string]bool{}
+	clauseVars := map[string]bool{}
+	for _, cl := range f.Clauses {
+		if cl.For != nil {
+			clauseVars[cl.For.Var] = true
+		} else {
+			clauseVars[cl.Let.Var] = true
+		}
+	}
+
+	for _, cl := range f.Clauses {
+		if cl.Let != nil {
+			next := make([]*bindings, len(tuples))
+			for i, tp := range tuples {
+				next[i] = tp.bind(cl.Let.Var, ev.eval(cl.Let.Seq, tp))
+			}
+			tuples = next
+			bound[cl.Let.Var] = true
+			continue
+		}
+		fc := cl.For
+		joined := false
+		if ev.opts.HashJoins && exprIndependent(fc.Seq) {
+			if ci := ev.findJoinConjunct(conjs, used, fc, bound, clauseVars); ci >= 0 {
+				tuples = ev.hashJoinExpand(tuples, fc, conjs[ci])
+				used[ci] = true
+				joined = true
+			}
+		}
+		if !joined {
+			var next []*bindings
+			for _, tp := range tuples {
+				for _, it := range ev.eval(fc.Seq, tp) {
+					next = append(next, tp.bind(fc.Var, Seq{it}))
+				}
+			}
+			tuples = next
+		}
+		bound[fc.Var] = true
+	}
+
+	// Remaining where conjuncts.
+	for ci, conj := range conjs {
+		if used[ci] {
+			continue
+		}
+		var kept []*bindings
+		for _, tp := range tuples {
+			if ev.effectiveBool(ev.eval(conj, tp)) {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+	}
+
+	// Order by.
+	if len(f.Order) > 0 {
+		type keyed struct {
+			tp   *bindings
+			keys []Item
+		}
+		ks := make([]keyed, len(tuples))
+		for i, tp := range tuples {
+			keys := make([]Item, len(f.Order))
+			for j, spec := range f.Order {
+				kseq := ev.atomizeSeq(ev.eval(spec.Key, tp))
+				if len(kseq) > 0 {
+					keys[j] = kseq[0]
+				}
+			}
+			ks[i] = keyed{tp, keys}
+		}
+		sort.SliceStable(ks, func(a, b int) bool {
+			for j, spec := range f.Order {
+				ka, kb := ks[a].keys[j], ks[b].keys[j]
+				if spec.Descending {
+					ka, kb = kb, ka
+				}
+				if orderLess(ka, kb) {
+					return true
+				}
+				if orderLess(kb, ka) {
+					return false
+				}
+			}
+			return false
+		})
+		for i := range ks {
+			tuples[i] = ks[i].tp
+		}
+	}
+
+	var out Seq
+	for _, tp := range tuples {
+		out = append(out, ev.eval(f.Return, tp)...)
+	}
+	return out
+}
+
+// orderLess compares order-by keys; empty keys sort first.
+func orderLess(a, b Item) bool {
+	if a == nil {
+		return b != nil
+	}
+	if b == nil {
+		return false
+	}
+	if an, ok := a.(NumItem); ok {
+		if bn, ok2 := b.(NumItem); ok2 {
+			return float64(an) < float64(bn)
+		}
+	}
+	return itemString(a) < itemString(b)
+}
+
+// splitConjuncts flattens a where clause into AND-connected conjuncts.
+func splitConjuncts(e xquery.Expr) []xquery.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*xquery.Binary); ok && b.Op == xquery.OpAnd {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []xquery.Expr{e}
+}
+
+// findJoinConjunct looks for an equality conjunct with one side depending
+// only on the new for-variable and the other side evaluable from the
+// bindings available before this clause: the hash-joinable shape of
+// Q8/Q9/Q10.
+func (ev *evaluator) findJoinConjunct(conjs []xquery.Expr, used []bool, fc *xquery.ForClause, bound, clauseVars map[string]bool) int {
+	// otherOK: the build side must not touch the new variable and must not
+	// reference clause variables that are not bound yet.
+	otherOK := func(vars map[string]bool) bool {
+		for v := range vars {
+			if v == fc.Var {
+				return false
+			}
+			if clauseVars[v] && !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, c := range conjs {
+		if used[i] {
+			continue
+		}
+		b, ok := c.(*xquery.Binary)
+		if !ok || b.Op != xquery.OpEq {
+			continue
+		}
+		lv := freeVars(b.Left)
+		rv := freeVars(b.Right)
+		if len(lv) == 1 && lv[fc.Var] && otherOK(rv) {
+			return i
+		}
+		if len(rv) == 1 && rv[fc.Var] && otherOK(lv) {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinIndex is a memoized hash index over an independent for-sequence.
+type joinIndex struct {
+	items Seq
+	byKey map[string][]int
+	// probe is the key expression evaluated per item.
+	probe xquery.Expr
+}
+
+// hashJoinExpand expands tuples with the for-clause using the equality
+// conjunct as a hash join, building (and memoizing) an index over the
+// clause's independent sequence.
+func (ev *evaluator) hashJoinExpand(tuples []*bindings, fc *xquery.ForClause, conj xquery.Expr) []*bindings {
+	b := conj.(*xquery.Binary)
+	probeSide, buildSide := b.Left, b.Right
+	if vars := freeVars(b.Left); !(len(vars) == 1 && vars[fc.Var]) {
+		probeSide, buildSide = b.Right, b.Left
+	}
+
+	idx := ev.cache[fc]
+	if idx == nil || idx.probe != probeSide {
+		items := ev.eval(fc.Seq, &bindings{})
+		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: probeSide}
+		for i, it := range items {
+			envI := (&bindings{}).bind(fc.Var, Seq{it})
+			// An item whose key expression yields the same value twice
+			// (e.g. two interests in one category) must be indexed once:
+			// general comparison is existential, not multiplicative.
+			seen := map[string]bool{}
+			for _, k := range ev.atomizeSeq(ev.eval(probeSide, envI)) {
+				ks := itemString(k)
+				if seen[ks] {
+					continue
+				}
+				seen[ks] = true
+				idx.byKey[ks] = append(idx.byKey[ks], i)
+			}
+		}
+		ev.cache[fc] = idx
+	}
+
+	var next []*bindings
+	seen := make(map[int]bool)
+	for _, tp := range tuples {
+		keys := ev.atomizeSeq(ev.eval(buildSide, tp))
+		if len(keys) == 1 {
+			for _, i := range idx.byKey[itemString(keys[0])] {
+				next = append(next, tp.bind(fc.Var, Seq{idx.items[i]}))
+			}
+			continue
+		}
+		// Multiple keys: existential semantics with per-tuple dedup.
+		for k := range seen {
+			delete(seen, k)
+		}
+		var matches []int
+		for _, k := range keys {
+			for _, i := range idx.byKey[itemString(k)] {
+				if !seen[i] {
+					seen[i] = true
+					matches = append(matches, i)
+				}
+			}
+		}
+		sort.Ints(matches)
+		for _, i := range matches {
+			next = append(next, tp.bind(fc.Var, Seq{idx.items[i]}))
+		}
+	}
+	return next
+}
+
+// exprIndependent reports whether e references no variables at all (so its
+// value, and a hash index over it, can be computed once and reused).
+func exprIndependent(e xquery.Expr) bool { return len(freeVars(e)) == 0 }
+
+// freeVars returns the free variables of e.
+func freeVars(e xquery.Expr) map[string]bool {
+	out := map[string]bool{}
+	var walk func(e xquery.Expr, bound map[string]bool)
+	walkAll := func(es []xquery.Expr, bound map[string]bool) {
+		for _, x := range es {
+			if x != nil {
+				walk(x, bound)
+			}
+		}
+	}
+	walk = func(e xquery.Expr, bound map[string]bool) {
+		switch v := e.(type) {
+		case *xquery.VarRef:
+			if !bound[v.Name] {
+				out[v.Name] = true
+			}
+		case *xquery.Path:
+			walk(v.Input, bound)
+			for _, st := range v.Steps {
+				walkAll(st.Preds, bound)
+			}
+		case *xquery.Filter:
+			walk(v.Input, bound)
+			walkAll(v.Preds, bound)
+		case *xquery.FLWOR:
+			inner := copyBound(bound)
+			for _, cl := range v.Clauses {
+				if cl.For != nil {
+					walk(cl.For.Seq, inner)
+					inner[cl.For.Var] = true
+				} else {
+					walk(cl.Let.Seq, inner)
+					inner[cl.Let.Var] = true
+				}
+			}
+			if v.Where != nil {
+				walk(v.Where, inner)
+			}
+			for _, o := range v.Order {
+				walk(o.Key, inner)
+			}
+			walk(v.Return, inner)
+		case *xquery.Quantified:
+			inner := copyBound(bound)
+			for i, name := range v.Vars {
+				walk(v.Seqs[i], inner)
+				inner[name] = true
+			}
+			walk(v.Satisfies, inner)
+		case *xquery.IfExpr:
+			walk(v.Cond, bound)
+			walk(v.Then, bound)
+			walk(v.Else, bound)
+		case *xquery.Binary:
+			walk(v.Left, bound)
+			walk(v.Right, bound)
+		case *xquery.Unary:
+			walk(v.Operand, bound)
+		case *xquery.Call:
+			walkAll(v.Args, bound)
+		case *xquery.Sequence:
+			walkAll(v.Items, bound)
+		case *xquery.ElementCtor:
+			for _, a := range v.Attrs {
+				walkAll(a.Parts, bound)
+			}
+			walkAll(v.Content, bound)
+		}
+	}
+	if e != nil {
+		walk(e, map[string]bool{})
+	}
+	return out
+}
+
+// ---- quantifiers ----
+
+func (ev *evaluator) evalQuantified(q *xquery.Quantified, env *bindings, i int) bool {
+	if i == len(q.Vars) {
+		return ev.effectiveBool(ev.eval(q.Satisfies, env))
+	}
+	for _, it := range ev.eval(q.Seqs[i], env) {
+		ok := ev.evalQuantified(q, env.bind(q.Vars[i], Seq{it}), i+1)
+		if q.Every && !ok {
+			return false
+		}
+		if !q.Every && ok {
+			return true
+		}
+	}
+	return q.Every
+}
+
+// ---- binary operators ----
+
+func (ev *evaluator) evalBinary(b *xquery.Binary, env *bindings) Seq {
+	switch b.Op {
+	case xquery.OpOr:
+		return Seq{BoolItem(ev.effectiveBool(ev.eval(b.Left, env)) || ev.effectiveBool(ev.eval(b.Right, env)))}
+	case xquery.OpAnd:
+		return Seq{BoolItem(ev.effectiveBool(ev.eval(b.Left, env)) && ev.effectiveBool(ev.eval(b.Right, env)))}
+	case xquery.OpBefore, xquery.OpAfter:
+		return ev.evalOrderComparison(b, env)
+	case xquery.OpAdd, xquery.OpSub, xquery.OpMul, xquery.OpDiv, xquery.OpMod:
+		return ev.evalArithmetic(b, env)
+	default:
+		return ev.evalGeneralComparison(b, env)
+	}
+}
+
+// evalOrderComparison implements "<<" and ">>": document order between two
+// single nodes, the ordered-access primitive of Q4.
+func (ev *evaluator) evalOrderComparison(b *xquery.Binary, env *bindings) Seq {
+	l := ev.eval(b.Left, env)
+	r := ev.eval(b.Right, env)
+	if len(l) == 0 || len(r) == 0 {
+		return nil
+	}
+	ln, lok := nodeID(l[0])
+	rn, rok := nodeID(r[0])
+	if !lok || !rok {
+		errf("operands of %s must be stored nodes", b.Op)
+	}
+	if b.Op == xquery.OpBefore {
+		return Seq{BoolItem(ln < rn)}
+	}
+	return Seq{BoolItem(ln > rn)}
+}
+
+func nodeID(it Item) (tree.NodeID, bool) {
+	switch v := it.(type) {
+	case NodeItem:
+		return v.ID, true
+	case AttrItem:
+		if v.Owner != tree.Nil {
+			return v.Owner, true
+		}
+	}
+	return tree.Nil, false
+}
+
+func (ev *evaluator) evalArithmetic(b *xquery.Binary, env *bindings) Seq {
+	l := ev.atomizeSeq(ev.eval(b.Left, env))
+	r := ev.atomizeSeq(ev.eval(b.Right, env))
+	if len(l) == 0 || len(r) == 0 {
+		return nil
+	}
+	if len(l) > 1 || len(r) > 1 {
+		errf("arithmetic over a sequence of more than one item")
+	}
+	x, y := toNumber(l[0]), toNumber(r[0])
+	var res float64
+	switch b.Op {
+	case xquery.OpAdd:
+		res = x + y
+	case xquery.OpSub:
+		res = x - y
+	case xquery.OpMul:
+		res = x * y
+	case xquery.OpDiv:
+		res = x / y
+	case xquery.OpMod:
+		res = math.Mod(x, y)
+	}
+	return Seq{NumItem(res)}
+}
+
+var cmpOpOf = map[xquery.BinOp]compareOp{
+	xquery.OpEq: cmpEq, xquery.OpNeq: cmpNeq, xquery.OpLt: cmpLt,
+	xquery.OpLe: cmpLe, xquery.OpGt: cmpGt, xquery.OpGe: cmpGe,
+}
+
+// evalGeneralComparison applies existential general-comparison semantics.
+func (ev *evaluator) evalGeneralComparison(b *xquery.Binary, env *bindings) Seq {
+	op := cmpOpOf[b.Op]
+	l := ev.atomizeSeq(ev.eval(b.Left, env))
+	r := ev.atomizeSeq(ev.eval(b.Right, env))
+	for _, a := range l {
+		for _, c := range r {
+			if compareAtomics(op, a, c) {
+				return Seq{BoolItem(true)}
+			}
+		}
+	}
+	return Seq{BoolItem(false)}
+}
+
+// ---- constructors ----
+
+func (ev *evaluator) construct(c *xquery.ElementCtor, env *bindings) *Constructed {
+	out := &Constructed{Tag: c.Tag}
+	for _, a := range c.Attrs {
+		var val []byte
+		for _, part := range a.Parts {
+			if lit, ok := part.(*xquery.StringLit); ok {
+				val = append(val, lit.Val...)
+				continue
+			}
+			for i, it := range ev.atomizeSeq(ev.eval(part, env)) {
+				if i > 0 {
+					val = append(val, ' ')
+				}
+				val = append(val, itemString(it)...)
+			}
+		}
+		out.Attrs = append(out.Attrs, tree.Attr{Name: a.Name, Value: string(val)})
+	}
+	for _, part := range c.Content {
+		switch v := part.(type) {
+		case *xquery.StringLit:
+			out.Children = append(out.Children, StrItem(v.Val))
+		case *xquery.ElementCtor:
+			out.Children = append(out.Children, ev.construct(v, env))
+		default:
+			for _, it := range ev.eval(part, env) {
+				out.Children = append(out.Children, ev.contentItem(it))
+			}
+		}
+	}
+	return out
+}
+
+// contentItem adapts an evaluated item for inclusion in constructed
+// content: atomics become text, attribute nodes become text (simplified),
+// and nodes are kept by reference (serialization copies them).
+func (ev *evaluator) contentItem(it Item) Item {
+	switch v := it.(type) {
+	case NumItem, BoolItem:
+		return StrItem(itemString(v))
+	case AttrItem:
+		return StrItem(v.Value)
+	default:
+		return it
+	}
+}

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/tree"
+	"repro/internal/xquery"
+)
+
+// builtinNames lists the function library of the subset; static analysis
+// rejects unknown names.
+func builtinNames() map[string]bool {
+	return map[string]bool{
+		"count": true, "empty": true, "not": true, "contains": true,
+		"string": true, "number": true, "sum": true, "zero-or-one": true,
+		"exactly-one": true, "distinct-values": true, "last": true,
+		"position": true, "document": true, "doc": true, "name": true,
+		"starts-with": true, "string-length": true, "concat": true,
+		"string-join": true, "boolean": true,
+	}
+}
+
+func (ev *evaluator) evalCall(c *xquery.Call, env *bindings) Seq {
+	if fd, ok := ev.funcs[c.Name]; ok {
+		inner := &bindings{}
+		for i, param := range fd.Params {
+			inner = inner.bind(param, ev.eval(c.Args[i], env))
+		}
+		return ev.eval(fd.Body, inner)
+	}
+	switch c.Name {
+	case "count":
+		ev.argc(c, 1)
+		if n, ok := ev.countShortcut(c.Args[0], env); ok {
+			return Seq{NumItem(float64(n))}
+		}
+		return Seq{NumItem(float64(len(ev.eval(c.Args[0], env))))}
+	case "empty":
+		ev.argc(c, 1)
+		return Seq{BoolItem(len(ev.eval(c.Args[0], env)) == 0)}
+	case "not":
+		ev.argc(c, 1)
+		return Seq{BoolItem(!ev.effectiveBool(ev.eval(c.Args[0], env)))}
+	case "boolean":
+		ev.argc(c, 1)
+		return Seq{BoolItem(ev.effectiveBool(ev.eval(c.Args[0], env)))}
+	case "contains":
+		ev.argc(c, 2)
+		hay := ev.strArg(c.Args[0], env)
+		needle := ev.strArg(c.Args[1], env)
+		return Seq{BoolItem(strings.Contains(hay, needle))}
+	case "starts-with":
+		ev.argc(c, 2)
+		return Seq{BoolItem(strings.HasPrefix(ev.strArg(c.Args[0], env), ev.strArg(c.Args[1], env)))}
+	case "string":
+		ev.argc(c, 1)
+		return Seq{StrItem(ev.strArg(c.Args[0], env))}
+	case "string-length":
+		ev.argc(c, 1)
+		return Seq{NumItem(float64(len(ev.strArg(c.Args[0], env))))}
+	case "concat":
+		var b strings.Builder
+		for _, a := range c.Args {
+			b.WriteString(ev.strArg(a, env))
+		}
+		return Seq{StrItem(b.String())}
+	case "string-join":
+		ev.argc(c, 2)
+		sep := ev.strArg(c.Args[1], env)
+		parts := []string{}
+		for _, it := range ev.atomizeSeq(ev.eval(c.Args[0], env)) {
+			parts = append(parts, itemString(it))
+		}
+		return Seq{StrItem(strings.Join(parts, sep))}
+	case "number":
+		ev.argc(c, 1)
+		s := ev.atomizeSeq(ev.eval(c.Args[0], env))
+		if len(s) == 0 {
+			return Seq{NumItem(nan())}
+		}
+		return Seq{NumItem(toNumber(s[0]))}
+	case "sum":
+		ev.argc(c, 1)
+		total := 0.0
+		for _, it := range ev.atomizeSeq(ev.eval(c.Args[0], env)) {
+			total += toNumber(it)
+		}
+		return Seq{NumItem(total)}
+	case "zero-or-one":
+		ev.argc(c, 1)
+		s := ev.eval(c.Args[0], env)
+		if len(s) > 1 {
+			errf("zero-or-one() applied to a sequence of %d items", len(s))
+		}
+		return s
+	case "exactly-one":
+		ev.argc(c, 1)
+		s := ev.eval(c.Args[0], env)
+		if len(s) != 1 {
+			errf("exactly-one() applied to a sequence of %d items", len(s))
+		}
+		return s
+	case "distinct-values":
+		ev.argc(c, 1)
+		var out Seq
+		seen := make(map[string]bool)
+		for _, it := range ev.atomizeSeq(ev.eval(c.Args[0], env)) {
+			k := itemString(it)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, it)
+			}
+		}
+		return out
+	case "last":
+		ev.argc(c, 0)
+		if ev.focus == nil {
+			errf("last() used outside a predicate")
+		}
+		return Seq{NumItem(float64(ev.focus.size))}
+	case "position":
+		ev.argc(c, 0)
+		if ev.focus == nil {
+			errf("position() used outside a predicate")
+		}
+		return Seq{NumItem(float64(ev.focus.pos))}
+	case "document", "doc":
+		// The benchmark's single document: document("auction.xml") is the
+		// loaded store's document node (paper §5).
+		return Seq{DocItem{}}
+	case "name":
+		ev.argc(c, 1)
+		s := ev.eval(c.Args[0], env)
+		if len(s) == 0 {
+			return Seq{StrItem("")}
+		}
+		switch v := s[0].(type) {
+		case NodeItem:
+			return Seq{StrItem(ev.store.Tag(v.ID))}
+		case AttrItem:
+			return Seq{StrItem(v.Name)}
+		case *Constructed:
+			return Seq{StrItem(v.Tag)}
+		}
+		return Seq{StrItem("")}
+	default:
+		errf("unknown function %s()", c.Name)
+		return nil
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func (ev *evaluator) argc(c *xquery.Call, want int) {
+	if len(c.Args) != want {
+		errf("%s() expects %d arguments, got %d", c.Name, want, len(c.Args))
+	}
+}
+
+// strArg evaluates an argument to its string value; the empty sequence is
+// the empty string.
+func (ev *evaluator) strArg(e xquery.Expr, env *bindings) string {
+	s := ev.atomizeSeq(ev.eval(e, env))
+	if len(s) == 0 {
+		return ""
+	}
+	return itemString(s[0])
+}
+
+// countShortcut answers count() over a pure path from catalog metadata
+// when the store supports it: the structural-summary optimization the
+// paper credits System D for on Q6 and Q7.
+func (ev *evaluator) countShortcut(arg xquery.Expr, env *bindings) (int, bool) {
+	if !ev.opts.CountShortcut {
+		return 0, false
+	}
+	p, ok := arg.(*xquery.Path)
+	if !ok || len(p.Steps) == 0 {
+		return 0, false
+	}
+	for _, st := range p.Steps {
+		if len(st.Preds) > 0 || st.Name == "*" || st.Axis == xquery.AxisAttribute || st.Axis == xquery.AxisText {
+			return 0, false
+		}
+	}
+	last := p.Steps[len(p.Steps)-1]
+	if _, isRoot := p.Input.(*xquery.Root); isRoot {
+		allChild := true
+		for _, st := range p.Steps {
+			if st.Axis != xquery.AxisChild {
+				allChild = false
+				break
+			}
+		}
+		if allChild {
+			prefix := make([]string, len(p.Steps))
+			for i, st := range p.Steps {
+				prefix[i] = st.Name
+			}
+			if n, ok := ev.store.CountPath(prefix); ok {
+				return n, true
+			}
+			return 0, false
+		}
+	}
+	// Path ending in a single descendant step: count descendants under
+	// each context node from the catalog.
+	if last.Axis != xquery.AxisDescendant {
+		return 0, false
+	}
+	for _, st := range p.Steps[:len(p.Steps)-1] {
+		if st.Axis != xquery.AxisChild {
+			return 0, false
+		}
+	}
+	if _, supported := ev.store.CountDescendants(ev.store.Root(), last.Name); !supported {
+		return 0, false
+	}
+	trunc := &xquery.Path{Input: p.Input, Steps: p.Steps[:len(p.Steps)-1]}
+	var ctx Seq
+	if len(trunc.Steps) == 0 {
+		ctx = ev.eval(trunc.Input, env)
+	} else {
+		ctx = ev.evalPath(trunc, env)
+	}
+	total := 0
+	for _, it := range ctx {
+		var id tree.NodeID
+		switch n := it.(type) {
+		case NodeItem:
+			id = n.ID
+		case DocItem:
+			id = ev.store.Root()
+		default:
+			return 0, false
+		}
+		cnt, supported := ev.store.CountDescendants(id, last.Name)
+		if !supported {
+			return 0, false
+		}
+		total += cnt
+	}
+	return total, true
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// Serialize writes the query result sequence as XML-ish text to w: nodes
+// are serialized as markup, adjacent atomic values are separated by a
+// single space. Stored nodes are walked through the store interface, so
+// result construction pays each architecture's own navigation costs —
+// which is the point of Q10 ("the bulk of the work lies in the
+// construction of the answer set").
+func Serialize(w io.Writer, store nodestore.Store, s Seq) error {
+	sw := &errWriter{w: w}
+	prevAtomic := false
+	for _, it := range s {
+		switch v := it.(type) {
+		case StrItem, NumItem, BoolItem:
+			if prevAtomic {
+				sw.str(" ")
+			}
+			sw.str(escapeText(itemString(it)))
+			prevAtomic = true
+		case AttrItem:
+			if prevAtomic {
+				sw.str(" ")
+			}
+			sw.str(escapeText(v.Value))
+			prevAtomic = true
+		case NodeItem:
+			if store.Kind(v.ID) == tree.Text {
+				// Text nodes in a result sequence read like atomics:
+				// separate adjacent values with a space.
+				if prevAtomic {
+					sw.str(" ")
+				}
+				sw.str(escapeText(store.Text(v.ID)))
+				prevAtomic = true
+				continue
+			}
+			serializeStored(sw, store, v.ID)
+			prevAtomic = false
+		case DocItem:
+			serializeStored(sw, store, store.Root())
+			prevAtomic = false
+		case *Constructed:
+			serializeConstructed(sw, store, v)
+			prevAtomic = false
+		}
+		if sw.err != nil {
+			return sw.err
+		}
+	}
+	return sw.err
+}
+
+// SerializeString renders the result sequence to a string.
+func SerializeString(store nodestore.Store, s Seq) string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = Serialize(&b, store, s)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func serializeStored(w *errWriter, store nodestore.Store, n tree.NodeID) {
+	if store.Kind(n) == tree.Text {
+		w.str(escapeText(store.Text(n)))
+		return
+	}
+	tag := store.Tag(n)
+	w.str("<")
+	w.str(tag)
+	for _, a := range store.Attrs(n) {
+		w.str(" ")
+		w.str(a.Name)
+		w.str(`="`)
+		w.str(escapeAttr(a.Value))
+		w.str(`"`)
+	}
+	kids := store.Children(n, nil)
+	if len(kids) == 0 {
+		w.str("/>")
+		return
+	}
+	w.str(">")
+	for _, c := range kids {
+		serializeStored(w, store, c)
+	}
+	w.str("</")
+	w.str(tag)
+	w.str(">")
+}
+
+func serializeConstructed(w *errWriter, store nodestore.Store, c *Constructed) {
+	w.str("<")
+	w.str(c.Tag)
+	for _, a := range c.Attrs {
+		w.str(" ")
+		w.str(a.Name)
+		w.str(`="`)
+		w.str(escapeAttr(a.Value))
+		w.str(`"`)
+	}
+	if len(c.Children) == 0 {
+		w.str("/>")
+		return
+	}
+	w.str(">")
+	for _, ch := range c.Children {
+		switch v := ch.(type) {
+		case StrItem:
+			w.str(escapeText(string(v)))
+		case NumItem, BoolItem:
+			w.str(escapeText(itemString(v)))
+		case AttrItem:
+			w.str(escapeText(v.Value))
+		case NodeItem:
+			serializeStored(w, store, v.ID)
+		case *Constructed:
+			serializeConstructed(w, store, v)
+		}
+	}
+	w.str("</")
+	w.str(c.Tag)
+	w.str(">")
+}
+
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

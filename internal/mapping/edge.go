@@ -1,0 +1,345 @@
+// Package mapping implements the XML-to-relational storage mappings of the
+// paper's relational systems:
+//
+//   - Edge (System A): the whole document in one big heap relation, the
+//     mapping of [20] ("stores all XML data on one big heap, i.e., only a
+//     single relation"). Little metadata, every navigation is an index
+//     probe into the one table.
+//   - Path (System B): one relation per distinct root-to-node label path, a
+//     "highly fragmenting mapping" in the Monet-XML style. More metadata,
+//     direct access to full paths.
+//   - Inline (System C): the DTD-derived schema of [23]: like Path, but
+//     single-occurrence #PCDATA children and attributes are inlined as
+//     columns of their parent's relation, removing navigation steps.
+//
+// All three implement nodestore.Store over tables of package relational, so
+// the shared query engine runs on each and the cost differences the paper
+// reports emerge from the physical layouts.
+package mapping
+
+import (
+	"sort"
+
+	"repro/internal/nodestore"
+	"repro/internal/relational"
+	"repro/internal/tree"
+)
+
+// Row kinds in the edge table.
+const (
+	rowElement = 0
+	rowText    = 1
+	rowAttr    = 2
+)
+
+// Edge is the System A store: one heap relation
+// edge(id, parent, end, tag, kind, value) plus hash indexes on id, parent
+// and tag. Attributes are rows too, with synthetic ids.
+type Edge struct {
+	table     *relational.Table
+	idIdx     *relational.HashIndex
+	parentIdx *relational.HashIndex
+	tagIdx    *relational.HashIndex
+	valueIdx  *relational.HashIndex
+
+	syms     map[string]int32
+	symNames []string
+	nNodes   int
+	root     tree.NodeID
+}
+
+// Columns of the edge table.
+const (
+	eID = iota
+	eParent
+	eEnd
+	eTag
+	eKind
+	eValue
+)
+
+// NewEdge bulkloads the document into the edge mapping.
+func NewEdge(doc *tree.Doc) *Edge {
+	s := &Edge{
+		table: relational.NewTable("edge", relational.Schema{
+			{Name: "id", T: relational.Node},
+			{Name: "parent", T: relational.Node},
+			{Name: "end", T: relational.Node},
+			{Name: "tag", T: relational.Int},
+			{Name: "kind", T: relational.Int},
+			{Name: "value", T: relational.String},
+		}),
+		syms:   make(map[string]int32),
+		nNodes: doc.Len(),
+		root:   doc.Root(),
+	}
+	nextAttrID := int64(doc.Len())
+	for n := tree.NodeID(0); int(n) < doc.Len(); n++ {
+		parent := int64(doc.Parent(n))
+		if doc.Kind(n) == tree.Element {
+			s.table.Append(
+				relational.NodeVal(int64(n)),
+				relational.NodeVal(parent),
+				relational.NodeVal(int64(doc.SubtreeEnd(n))),
+				relational.IntVal(int64(s.intern(doc.Tag(n)))),
+				relational.IntVal(rowElement),
+				relational.StringVal(""),
+			)
+			for _, a := range doc.Attrs(n) {
+				s.table.Append(
+					relational.NodeVal(nextAttrID),
+					relational.NodeVal(int64(n)),
+					relational.NodeVal(nextAttrID+1),
+					relational.IntVal(int64(s.intern("@"+a.Name))),
+					relational.IntVal(rowAttr),
+					relational.StringVal(a.Value),
+				)
+				nextAttrID++
+			}
+		} else {
+			s.table.Append(
+				relational.NodeVal(int64(n)),
+				relational.NodeVal(parent),
+				relational.NodeVal(int64(n)+1),
+				relational.IntVal(-1),
+				relational.IntVal(rowText),
+				relational.StringVal(doc.Text(n)),
+			)
+		}
+	}
+	s.idIdx = s.table.CreateIndex(eID)
+	s.parentIdx = s.table.CreateIndex(eParent)
+	s.tagIdx = s.table.CreateIndex(eTag)
+	s.valueIdx = s.table.CreateIndex(eValue)
+	return s
+}
+
+func (s *Edge) intern(name string) int32 {
+	if id, ok := s.syms[name]; ok {
+		return id
+	}
+	id := int32(len(s.symNames))
+	s.symNames = append(s.symNames, name)
+	s.syms[name] = id
+	return id
+}
+
+func (s *Edge) sym(name string) int32 {
+	if id, ok := s.syms[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// rowOf locates the heap row of node n via the id index: System A's
+// signature cost, paid on every navigation step.
+func (s *Edge) rowOf(n tree.NodeID) (relational.Row, bool) {
+	rows := s.idIdx.LookupInt(int64(n))
+	if len(rows) == 0 {
+		return nil, false
+	}
+	return s.table.Row(int(rows[0])), true
+}
+
+// Name implements nodestore.Store.
+func (s *Edge) Name() string { return "edge" }
+
+// Root implements nodestore.Store.
+func (s *Edge) Root() tree.NodeID { return s.root }
+
+// Kind implements nodestore.Store.
+func (s *Edge) Kind(n tree.NodeID) tree.Kind {
+	r, ok := s.rowOf(n)
+	if !ok || r[eKind].I == rowElement {
+		return tree.Element
+	}
+	return tree.Text
+}
+
+// Tag implements nodestore.Store.
+func (s *Edge) Tag(n tree.NodeID) string {
+	r, ok := s.rowOf(n)
+	if !ok || r[eTag].I < 0 {
+		return ""
+	}
+	return s.symNames[r[eTag].I]
+}
+
+// Text implements nodestore.Store.
+func (s *Edge) Text(n tree.NodeID) string {
+	r, ok := s.rowOf(n)
+	if !ok || r[eKind].I != rowText {
+		return ""
+	}
+	return r[eValue].S
+}
+
+// Parent implements nodestore.Store.
+func (s *Edge) Parent(n tree.NodeID) tree.NodeID {
+	r, ok := s.rowOf(n)
+	if !ok {
+		return tree.Nil
+	}
+	return tree.NodeID(r[eParent].I)
+}
+
+// Children implements nodestore.Store.
+func (s *Edge) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		r := s.table.Row(int(row))
+		if r[eKind].I != rowAttr {
+			buf = append(buf, tree.NodeID(r[eID].I))
+		}
+	}
+	return buf
+}
+
+// ChildrenByTag implements nodestore.Store.
+func (s *Edge) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return buf
+	}
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		r := s.table.Row(int(row))
+		if r[eKind].I == rowElement && int32(r[eTag].I) == sym {
+			buf = append(buf, tree.NodeID(r[eID].I))
+		}
+	}
+	return buf
+}
+
+// Attr implements nodestore.Store.
+func (s *Edge) Attr(n tree.NodeID, name string) (string, bool) {
+	sym := s.sym("@" + name)
+	if sym < 0 {
+		return "", false
+	}
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		r := s.table.Row(int(row))
+		if r[eKind].I == rowAttr && int32(r[eTag].I) == sym {
+			return r[eValue].S, true
+		}
+	}
+	return "", false
+}
+
+// Attrs implements nodestore.Store.
+func (s *Edge) Attrs(n tree.NodeID) []tree.Attr {
+	var out []tree.Attr
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		r := s.table.Row(int(row))
+		if r[eKind].I == rowAttr {
+			out = append(out, tree.Attr{Name: s.symNames[r[eTag].I][1:], Value: r[eValue].S})
+		}
+	}
+	return out
+}
+
+// StringValue implements nodestore.Store. Subtree rows are contiguous in
+// the heap (bulkload order is document order), so this is a range scan.
+func (s *Edge) StringValue(n tree.NodeID) string {
+	rows := s.idIdx.LookupInt(int64(n))
+	if len(rows) == 0 {
+		return ""
+	}
+	start := int(rows[0])
+	r := s.table.Row(start)
+	if r[eKind].I == rowText {
+		return r[eValue].S
+	}
+	end := tree.NodeID(r[eEnd].I)
+	var out []byte
+	for i := start + 1; i < s.table.Len(); i++ {
+		rr := s.table.Row(i)
+		if rr[eKind].I != rowAttr && tree.NodeID(rr[eID].I) >= end {
+			break
+		}
+		if rr[eKind].I == rowText {
+			out = append(out, rr[eValue].S...)
+		}
+	}
+	return string(out)
+}
+
+// SubtreeEnd implements nodestore.Store.
+func (s *Edge) SubtreeEnd(n tree.NodeID) tree.NodeID {
+	r, ok := s.rowOf(n)
+	if !ok {
+		return n + 1
+	}
+	return tree.NodeID(r[eEnd].I)
+}
+
+// TagExtent implements nodestore.Store: the tag index yields all elements
+// with the tag in document order (bulkload order).
+func (s *Edge) TagExtent(tag string, buf []tree.NodeID) ([]tree.NodeID, bool) {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return buf, true
+	}
+	for _, row := range s.tagIdx.LookupInt(int64(sym)) {
+		r := s.table.Row(int(row))
+		if r[eKind].I == rowElement {
+			buf = append(buf, tree.NodeID(r[eID].I))
+		}
+	}
+	return buf, true
+}
+
+// Descendants implements nodestore.Store: binary search of the tag extent
+// against the subtree range, the containment-join strategy of [26].
+func (s *Edge) Descendants(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	ext, _ := s.TagExtent(tag, nil)
+	lo, hi := n, s.SubtreeEnd(n)
+	i := sort.Search(len(ext), func(k int) bool { return ext[k] > lo })
+	for ; i < len(ext) && ext[i] < hi; i++ {
+		buf = append(buf, ext[i])
+	}
+	return buf
+}
+
+// PathExtent implements nodestore.Store: the heap has no path access path.
+func (s *Edge) PathExtent([]string, []tree.NodeID) ([]tree.NodeID, bool) {
+	return nil, false
+}
+
+// CountPath implements nodestore.Store: unsupported.
+func (s *Edge) CountPath([]string) (int, bool) { return 0, false }
+
+// CountDescendants implements nodestore.Store: the heap has no catalog to
+// count from.
+func (s *Edge) CountDescendants(tree.NodeID, string) (int, bool) { return 0, false }
+
+// AttrLookup implements nodestore.Store via the heap's value index: probe
+// by value, then filter the (shared) posting list down to attribute rows
+// with the right name — the cost profile of an untyped one-relation store.
+func (s *Edge) AttrLookup(name, value string) ([]tree.NodeID, bool) {
+	sym := s.sym("@" + name)
+	if sym < 0 {
+		return nil, true
+	}
+	var out []tree.NodeID
+	for _, row := range s.valueIdx.LookupString(value) {
+		r := s.table.Row(int(row))
+		if r[eKind].I == rowAttr && int32(r[eTag].I) == sym {
+			out = append(out, tree.NodeID(r[eParent].I))
+		}
+	}
+	return out, true
+}
+
+// InlinedChildText implements nodestore.Store: the heap inlines nothing.
+func (s *Edge) InlinedChildText(tree.NodeID, string) (string, bool, bool) {
+	return "", false, false
+}
+
+// Stats implements nodestore.Store.
+func (s *Edge) Stats() nodestore.Stats {
+	return nodestore.Stats{
+		Name:      s.Name(),
+		SizeBytes: s.table.SizeBytes(),
+		Tables:    1,
+		Nodes:     s.nNodes,
+	}
+}

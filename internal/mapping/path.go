@@ -1,0 +1,480 @@
+package mapping
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/nodestore"
+	"repro/internal/relational"
+	"repro/internal/schema"
+	"repro/internal/tree"
+)
+
+// textLabel is the catalog label of text-node tables.
+const textLabel = "#text"
+
+// Columns shared by every path table.
+const (
+	pID = iota
+	pParent
+	pEnd
+	pOrd
+	pValue
+	pFixed // number of fixed columns; inlined columns follow
+)
+
+// pathTable is one fragment of the path mapping: all nodes with the same
+// root label path.
+type pathTable struct {
+	path  string
+	tag   string
+	depth int
+	idx   int // position in Path.entries
+
+	table     *relational.Table
+	idIdx     *relational.HashIndex
+	parentIdx *relational.HashIndex
+	ids       []tree.NodeID // clustered id column, document order
+
+	children  []*pathTable
+	attrs     map[string]*attrTable
+	attrNames []string
+
+	// Inlined columns (System C only): child tag or "@attr" name to the
+	// pair (value column, presence column).
+	inlined map[string][2]int
+}
+
+type attrTable struct {
+	table    *relational.Table
+	ownerIdx *relational.HashIndex
+	valueIdx *relational.HashIndex
+}
+
+// Path is the fragmenting mapping (System B), and with inlining enabled the
+// DTD-derived mapping (System C).
+type Path struct {
+	name        string
+	inline      bool
+	catalog     map[string]*pathTable
+	byTag       map[string][]*pathTable
+	attrsByName map[string][]*attrTable
+	entries     []*pathTable
+	pathOf      []int32 // node id -> entry index
+	root        tree.NodeID
+	nNodes      int
+	// metaOps counts catalog consultations; fragmented mappings pay more
+	// metadata cost (paper Table 2 discussion).
+	metaOps int64
+}
+
+// NewPath bulkloads the document into the fragmenting path mapping
+// (System B).
+func NewPath(doc *tree.Doc) *Path { return load(doc, false, "path") }
+
+// NewInline bulkloads the document into the DTD-derived inlined mapping
+// (System C).
+func NewInline(doc *tree.Doc) *Path { return load(doc, true, "inline") }
+
+func load(doc *tree.Doc, inline bool, name string) *Path {
+	s := &Path{
+		name:        name,
+		inline:      inline,
+		catalog:     make(map[string]*pathTable),
+		byTag:       make(map[string][]*pathTable),
+		attrsByName: make(map[string][]*attrTable),
+		pathOf:      make([]int32, doc.Len()),
+		root:        doc.Root(),
+		nNodes:      doc.Len(),
+	}
+	var insert func(n tree.NodeID, parentPath string, parent *pathTable, ord int)
+	insert = func(n tree.NodeID, parentPath string, parent *pathTable, ord int) {
+		var label string
+		if doc.Kind(n) == tree.Element {
+			label = doc.Tag(n)
+		} else {
+			label = textLabel
+		}
+		var path string
+		if parentPath == "" {
+			path = label
+		} else {
+			path = parentPath + "/" + label
+		}
+		pt := s.catalog[path]
+		if pt == nil {
+			pt = s.newPathTable(path, label)
+			if parent != nil {
+				parent.children = append(parent.children, pt)
+			}
+		}
+		s.pathOf[n] = int32(pt.idx)
+
+		parentID := int64(tree.Nil)
+		if p := doc.Parent(n); p != tree.Nil {
+			parentID = int64(p)
+		}
+		row := make(relational.Row, 0, len(pt.table.Schema))
+		row = append(row,
+			relational.NodeVal(int64(n)),
+			relational.NodeVal(parentID),
+			relational.NodeVal(int64(doc.SubtreeEnd(n))),
+			relational.IntVal(int64(ord)),
+			relational.StringVal(doc.Text(n)),
+		)
+		if pt.inlined != nil {
+			row = s.appendInlined(doc, n, pt, row)
+		}
+		pt.table.Append(row...)
+		pt.ids = append(pt.ids, n)
+
+		for _, a := range doc.Attrs(n) {
+			at := pt.attrs[a.Name]
+			if at == nil {
+				at = &attrTable{table: relational.NewTable(path+"/@"+a.Name, relational.Schema{
+					{Name: "owner", T: relational.Node},
+					{Name: "value", T: relational.String},
+				})}
+				at.ownerIdx = at.table.CreateIndex(0)
+				at.valueIdx = at.table.CreateIndex(1)
+				pt.attrs[a.Name] = at
+				pt.attrNames = append(pt.attrNames, a.Name)
+				s.attrsByName[a.Name] = append(s.attrsByName[a.Name], at)
+			}
+			at.table.Append(relational.NodeVal(int64(n)), relational.StringVal(a.Value))
+		}
+
+		childOrd := 0
+		for c := doc.FirstChild(n); c != tree.Nil; c = doc.NextSibling(c) {
+			insert(c, path, pt, childOrd)
+			childOrd++
+		}
+	}
+	insert(doc.Root(), "", nil, 0)
+	return s
+}
+
+func (s *Path) newPathTable(path, label string) *pathTable {
+	sch := relational.Schema{
+		{Name: "id", T: relational.Node},
+		{Name: "parent", T: relational.Node},
+		{Name: "end", T: relational.Node},
+		{Name: "ord", T: relational.Int},
+		{Name: "value", T: relational.String},
+	}
+	pt := &pathTable{path: path, tag: label, depth: strings.Count(path, "/") + 1,
+		attrs: make(map[string]*attrTable)}
+	if s.inline && label != textLabel {
+		if decl := schema.Lookup(label); decl != nil &&
+			(decl.Kind == schema.Sequence || decl.Kind == schema.Choice) {
+			pt.inlined = make(map[string][2]int)
+			for _, c := range decl.Children {
+				childDecl := schema.Lookup(c.Name)
+				single := c.Occ == schema.One || c.Occ == schema.ZeroOrOne
+				if single && childDecl != nil && childDecl.Kind == schema.PCDATA {
+					vCol := len(sch)
+					sch = append(sch,
+						relational.Column{Name: c.Name, T: relational.String},
+						relational.Column{Name: c.Name + "?", T: relational.Int})
+					pt.inlined[c.Name] = [2]int{vCol, vCol + 1}
+				}
+			}
+		}
+	}
+	pt.table = relational.NewTable(path, sch)
+	pt.idIdx = pt.table.CreateIndex(pID)
+	pt.parentIdx = pt.table.CreateIndex(pParent)
+	pt.idx = len(s.entries)
+	s.catalog[path] = pt
+	s.byTag[label] = append(s.byTag[label], pt)
+	s.entries = append(s.entries, pt)
+	return pt
+}
+
+// appendInlined fills the inlined child-text columns from the document.
+func (s *Path) appendInlined(doc *tree.Doc, n tree.NodeID, pt *pathTable, row relational.Row) relational.Row {
+	// Extend row to the table's full width in schema order.
+	for len(row) < len(pt.table.Schema) {
+		row = append(row, relational.StringVal(""))
+	}
+	for c := doc.FirstChild(n); c != tree.Nil; c = doc.NextSibling(c) {
+		if doc.Kind(c) != tree.Element {
+			continue
+		}
+		if cols, ok := pt.inlined[doc.Tag(c)]; ok {
+			row[cols[0]] = relational.StringVal(doc.StringValue(c))
+			row[cols[1]] = relational.IntVal(1)
+		}
+	}
+	return row
+}
+
+func (s *Path) entryOf(n tree.NodeID) *pathTable { return s.entries[s.pathOf[n]] }
+
+// rowOf finds the row of node n inside its fragment.
+func (s *Path) rowOf(n tree.NodeID) (pt *pathTable, row relational.Row) {
+	pt = s.entryOf(n)
+	ids := pt.idIdx.LookupInt(int64(n))
+	if len(ids) == 0 {
+		return pt, nil
+	}
+	return pt, pt.table.Row(int(ids[0]))
+}
+
+// Name implements nodestore.Store.
+func (s *Path) Name() string { return s.name }
+
+// Root implements nodestore.Store.
+func (s *Path) Root() tree.NodeID { return s.root }
+
+// Kind implements nodestore.Store.
+func (s *Path) Kind(n tree.NodeID) tree.Kind {
+	if s.entryOf(n).tag == textLabel {
+		return tree.Text
+	}
+	return tree.Element
+}
+
+// Tag implements nodestore.Store.
+func (s *Path) Tag(n tree.NodeID) string {
+	if t := s.entryOf(n).tag; t != textLabel {
+		return t
+	}
+	return ""
+}
+
+// Text implements nodestore.Store.
+func (s *Path) Text(n tree.NodeID) string {
+	pt, row := s.rowOf(n)
+	if pt.tag != textLabel || row == nil {
+		return ""
+	}
+	return row[pValue].S
+}
+
+// Parent implements nodestore.Store.
+func (s *Path) Parent(n tree.NodeID) tree.NodeID {
+	_, row := s.rowOf(n)
+	if row == nil {
+		return tree.Nil
+	}
+	return tree.NodeID(row[pParent].I)
+}
+
+// Children implements nodestore.Store: one probe per child fragment, then
+// an ordinal merge — the fragmentation tax on full reconstruction.
+func (s *Path) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	pt := s.entryOf(n)
+	type ordNode struct {
+		ord int64
+		id  tree.NodeID
+	}
+	var kids []ordNode
+	for _, c := range pt.children {
+		s.metaOps++
+		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
+			r := c.table.Row(int(rid))
+			kids = append(kids, ordNode{r[pOrd].I, tree.NodeID(r[pID].I)})
+		}
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].ord < kids[j].ord })
+	for _, k := range kids {
+		buf = append(buf, k.id)
+	}
+	return buf
+}
+
+// ChildrenByTag implements nodestore.Store: a single-fragment probe, the
+// fragmentation win for targeted access.
+func (s *Path) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	pt := s.entryOf(n)
+	for _, c := range pt.children {
+		if c.tag != tag {
+			continue
+		}
+		s.metaOps++
+		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
+			buf = append(buf, tree.NodeID(c.table.Value(int(rid), pID).I))
+		}
+	}
+	return buf
+}
+
+// Attr implements nodestore.Store.
+func (s *Path) Attr(n tree.NodeID, name string) (string, bool) {
+	pt := s.entryOf(n)
+	at := pt.attrs[name]
+	if at == nil {
+		return "", false
+	}
+	rows := at.ownerIdx.LookupInt(int64(n))
+	if len(rows) == 0 {
+		return "", false
+	}
+	return at.table.Value(int(rows[0]), 1).S, true
+}
+
+// Attrs implements nodestore.Store.
+func (s *Path) Attrs(n tree.NodeID) []tree.Attr {
+	pt := s.entryOf(n)
+	var out []tree.Attr
+	for _, name := range pt.attrNames {
+		if v, ok := s.Attr(n, name); ok {
+			out = append(out, tree.Attr{Name: name, Value: v})
+		}
+	}
+	return out
+}
+
+// StringValue implements nodestore.Store: fragment-wise descent gathering
+// text rows, ordered by node id.
+func (s *Path) StringValue(n tree.NodeID) string {
+	pt, row := s.rowOf(n)
+	if pt.tag == textLabel {
+		if row == nil {
+			return ""
+		}
+		return row[pValue].S
+	}
+	if row == nil {
+		return ""
+	}
+	lo, hi := n, tree.NodeID(row[pEnd].I)
+	type idText struct {
+		id  tree.NodeID
+		txt string
+	}
+	var parts []idText
+	var collect func(pt *pathTable)
+	collect = func(p *pathTable) {
+		if p.tag == textLabel {
+			i := sort.Search(len(p.ids), func(k int) bool { return p.ids[k] > lo })
+			for ; i < len(p.ids) && p.ids[i] < hi; i++ {
+				parts = append(parts, idText{p.ids[i], p.table.Value(i, pValue).S})
+			}
+			return
+		}
+		for _, c := range p.children {
+			collect(c)
+		}
+	}
+	collect(pt)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].id < parts[j].id })
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p.txt)
+	}
+	return b.String()
+}
+
+// SubtreeEnd implements nodestore.Store.
+func (s *Path) SubtreeEnd(n tree.NodeID) tree.NodeID {
+	_, row := s.rowOf(n)
+	if row == nil {
+		return n + 1
+	}
+	return tree.NodeID(row[pEnd].I)
+}
+
+// TagExtent implements nodestore.Store: a catalog consultation per path
+// ending in the tag, then an id merge.
+func (s *Path) TagExtent(tag string, buf []tree.NodeID) ([]tree.NodeID, bool) {
+	start := len(buf)
+	for _, pt := range s.byTag[tag] {
+		s.metaOps++
+		buf = append(buf, pt.ids...)
+	}
+	ext := buf[start:]
+	sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+	return buf, true
+}
+
+// Descendants implements nodestore.Store: per-fragment clustered-index
+// range scans.
+func (s *Path) Descendants(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	lo, hi := n, s.SubtreeEnd(n)
+	start := len(buf)
+	for _, pt := range s.byTag[tag] {
+		s.metaOps++
+		i := sort.Search(len(pt.ids), func(k int) bool { return pt.ids[k] > lo })
+		for ; i < len(pt.ids) && pt.ids[i] < hi; i++ {
+			buf = append(buf, pt.ids[i])
+		}
+	}
+	ext := buf[start:]
+	sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+	return buf
+}
+
+// PathExtent implements nodestore.Store: the defining strength of the path
+// mapping — a full path is one fragment scan.
+func (s *Path) PathExtent(path []string, buf []tree.NodeID) ([]tree.NodeID, bool) {
+	s.metaOps++
+	pt := s.catalog[strings.Join(path, "/")]
+	if pt == nil {
+		return buf, true // path provably empty: the catalog is complete
+	}
+	return append(buf, pt.ids...), true
+}
+
+// CountDescendants implements nodestore.Store: like CountPath, the
+// paper's relational systems do not exploit fragment statistics this way.
+func (s *Path) CountDescendants(tree.NodeID, string) (int, bool) { return 0, false }
+
+// AttrLookup implements nodestore.Store: one value-index probe per
+// fragment carrying the attribute, then an owner merge in document order.
+func (s *Path) AttrLookup(name, value string) ([]tree.NodeID, bool) {
+	var out []tree.NodeID
+	for _, at := range s.attrsByName[name] {
+		s.metaOps++
+		for _, row := range at.valueIdx.LookupString(value) {
+			out = append(out, tree.NodeID(at.table.Value(int(row), 0).I))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// CountPath implements nodestore.Store. The fragmented mapping could count
+// from fragment sizes, but the paper's relational systems do not exploit
+// this (System D's summary does); reproducing their behavior, the engine is
+// told counting requires the extent.
+func (s *Path) CountPath([]string) (int, bool) { return 0, false }
+
+// InlinedChildText implements nodestore.Store. supported is true only when
+// this fragment actually has an inlined column for tag; any other child
+// must be answered by navigation (it may be repeated or mixed content).
+func (s *Path) InlinedChildText(n tree.NodeID, tag string) (string, bool, bool) {
+	if !s.inline {
+		return "", false, false
+	}
+	pt, row := s.rowOf(n)
+	cols, ok := pt.inlined[tag]
+	if !ok || row == nil {
+		return "", false, false
+	}
+	if row[cols[1]].I == 0 {
+		return "", false, true
+	}
+	return row[cols[0]].S, true, true
+}
+
+// MetaOps returns the number of catalog consultations so far; tests use it
+// to verify the fragmentation metadata tax.
+func (s *Path) MetaOps() int64 { return s.metaOps }
+
+// Stats implements nodestore.Store.
+func (s *Path) Stats() nodestore.Stats {
+	var size int64
+	tables := 0
+	for _, pt := range s.entries {
+		size += pt.table.SizeBytes() + int64(len(pt.ids))*4
+		tables++
+		for _, at := range pt.attrs {
+			size += at.table.SizeBytes()
+			tables++
+		}
+	}
+	size += int64(len(s.pathOf)) * 4
+	return nodestore.Stats{Name: s.name, SizeBytes: size, Tables: tables, Nodes: s.nNodes}
+}

@@ -1,0 +1,205 @@
+package nodestore
+
+import (
+	"repro/internal/summary"
+	"repro/internal/tree"
+)
+
+// DOMOptions select the optional access structures of a main-memory store.
+// The paper's Systems D–F are all main-memory; they differ in what they
+// keep beside the tree. D holds "a detailed structural summary"; E and F
+// are plain main-memory engines with heuristic optimizers.
+type DOMOptions struct {
+	// Summary builds the strong DataGuide (System D).
+	Summary bool
+	// TagExtents builds per-tag element lists (inverted element index).
+	TagExtents bool
+	// AttrIndexes builds attribute value indexes (name, value) -> nodes.
+	AttrIndexes bool
+}
+
+// DOM is a main-memory store over the parsed document tree.
+type DOM struct {
+	name    string
+	doc     *tree.Doc
+	sum     *summary.Summary
+	extents map[string][]tree.NodeID
+	attrIdx map[string]map[string][]tree.NodeID
+}
+
+// NewDOM wraps a parsed document as a Store with the given access
+// structures.
+func NewDOM(name string, doc *tree.Doc, opts DOMOptions) *DOM {
+	d := &DOM{name: name, doc: doc}
+	if opts.Summary {
+		d.sum = summary.Build(doc)
+	}
+	if opts.TagExtents {
+		d.extents = make(map[string][]tree.NodeID)
+		for n := tree.NodeID(0); int(n) < doc.Len(); n++ {
+			if doc.Kind(n) == tree.Element {
+				tag := doc.Tag(n)
+				d.extents[tag] = append(d.extents[tag], n)
+			}
+		}
+	}
+	if opts.AttrIndexes {
+		d.attrIdx = make(map[string]map[string][]tree.NodeID)
+		for n := tree.NodeID(0); int(n) < doc.Len(); n++ {
+			for _, a := range doc.Attrs(n) {
+				byVal := d.attrIdx[a.Name]
+				if byVal == nil {
+					byVal = make(map[string][]tree.NodeID)
+					d.attrIdx[a.Name] = byVal
+				}
+				byVal[a.Value] = append(byVal[a.Value], n)
+			}
+		}
+	}
+	return d
+}
+
+// Doc exposes the underlying tree for serialization fast paths in tests.
+func (d *DOM) Doc() *tree.Doc { return d.doc }
+
+// Name implements Store.
+func (d *DOM) Name() string { return d.name }
+
+// Root implements Store.
+func (d *DOM) Root() tree.NodeID { return d.doc.Root() }
+
+// Kind implements Store.
+func (d *DOM) Kind(n tree.NodeID) tree.Kind { return d.doc.Kind(n) }
+
+// Tag implements Store.
+func (d *DOM) Tag(n tree.NodeID) string { return d.doc.Tag(n) }
+
+// Text implements Store.
+func (d *DOM) Text(n tree.NodeID) string { return d.doc.Text(n) }
+
+// Parent implements Store.
+func (d *DOM) Parent(n tree.NodeID) tree.NodeID { return d.doc.Parent(n) }
+
+// Children implements Store.
+func (d *DOM) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	return d.doc.Children(n, buf)
+}
+
+// ChildrenByTag implements Store.
+func (d *DOM) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	sym := d.doc.TagSymbol(tag)
+	if sym < 0 {
+		return buf
+	}
+	return d.doc.ChildElements(n, sym, buf)
+}
+
+// Attr implements Store.
+func (d *DOM) Attr(n tree.NodeID, name string) (string, bool) { return d.doc.Attr(n, name) }
+
+// Attrs implements Store.
+func (d *DOM) Attrs(n tree.NodeID) []tree.Attr { return d.doc.Attrs(n) }
+
+// StringValue implements Store.
+func (d *DOM) StringValue(n tree.NodeID) string { return d.doc.StringValue(n) }
+
+// SubtreeEnd implements Store.
+func (d *DOM) SubtreeEnd(n tree.NodeID) tree.NodeID { return d.doc.SubtreeEnd(n) }
+
+// Descendants implements Store. With a structural summary the lookup is
+// extent intersection; with tag extents it is a range scan of the inverted
+// list; otherwise it is a subtree traversal.
+func (d *DOM) Descendants(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	if d.sum != nil {
+		return d.sum.DescendantsOf(d.doc, n, tag, buf)
+	}
+	if d.extents != nil {
+		return summary.ExtentWithin(d.extents[tag], n, d.doc.SubtreeEnd(n), buf)
+	}
+	sym := d.doc.TagSymbol(tag)
+	if sym < 0 {
+		return buf
+	}
+	return d.doc.DescendantElements(n, sym, buf)
+}
+
+// TagExtent implements Store.
+func (d *DOM) TagExtent(tag string, buf []tree.NodeID) ([]tree.NodeID, bool) {
+	if d.extents != nil {
+		return append(buf, d.extents[tag]...), true
+	}
+	if d.sum != nil {
+		return d.sum.DescendantsOf(d.doc, d.doc.Root(), tag, buf), true
+	}
+	return buf, false
+}
+
+// CountDescendants implements Store; only the summary answers it without
+// materialization.
+func (d *DOM) CountDescendants(n tree.NodeID, tag string) (int, bool) {
+	if d.sum == nil {
+		return 0, false
+	}
+	return d.sum.CountDescendantsOf(d.doc, n, tag), true
+}
+
+// PathExtent implements Store; only the summary can answer it.
+func (d *DOM) PathExtent(path []string, buf []tree.NodeID) ([]tree.NodeID, bool) {
+	if d.sum == nil {
+		return buf, false
+	}
+	return append(buf, d.sum.Lookup(path...)...), true
+}
+
+// CountPath implements Store; only the summary can answer it.
+func (d *DOM) CountPath(path []string) (int, bool) {
+	if d.sum == nil {
+		return 0, false
+	}
+	return d.sum.Count(path...), true
+}
+
+// AttrLookup implements Store via the attribute value index.
+func (d *DOM) AttrLookup(name, value string) ([]tree.NodeID, bool) {
+	if d.attrIdx == nil {
+		return nil, false
+	}
+	return d.attrIdx[name][value], true
+}
+
+// InlinedChildText implements Store; native tree stores have no inlining.
+func (d *DOM) InlinedChildText(tree.NodeID, string) (string, bool, bool) {
+	return "", false, false
+}
+
+// Stats implements Store.
+func (d *DOM) Stats() Stats {
+	doc := d.doc
+	var size int64
+	for n := tree.NodeID(0); int(n) < doc.Len(); n++ {
+		size += 28 // kind, tag, parent, next, first, end, attr bookkeeping
+		if doc.Kind(n) == tree.Text {
+			size += int64(len(doc.Text(n))) + 16
+		}
+		for _, a := range doc.Attrs(n) {
+			size += int64(len(a.Name)+len(a.Value)) + 32
+		}
+	}
+	if d.extents != nil {
+		for tag, ext := range d.extents {
+			size += int64(len(tag)) + 16 + int64(len(ext))*4
+		}
+	}
+	if d.sum != nil {
+		for _, pi := range d.sum.Paths() {
+			size += int64(len(pi.Path)) + 32 + int64(len(pi.Nodes))*4
+		}
+	}
+	for name, byVal := range d.attrIdx {
+		size += int64(len(name)) + 16
+		for v, nodes := range byVal {
+			size += int64(len(v)) + 16 + int64(len(nodes))*4
+		}
+	}
+	return Stats{Name: d.name, SizeBytes: size, Tables: 0, Nodes: doc.Len()}
+}

@@ -1,0 +1,149 @@
+package nodestore
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+const sample = `<site><regions><europe><item id="i0"><name>Lamp</name></item><item id="i1"><name>Desk</name></item></europe></regions><people><person id="p0"><name>Ada</name></person></people></site>`
+
+func build(t *testing.T, opts DOMOptions) (*DOM, *tree.Doc) {
+	t.Helper()
+	doc, err := tree.Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDOM("test", doc, opts), doc
+}
+
+func allOptionSets() []DOMOptions {
+	return []DOMOptions{
+		{},
+		{TagExtents: true},
+		{Summary: true},
+		{Summary: true, TagExtents: true},
+	}
+}
+
+func TestDescendantsConsistentAcrossOptions(t *testing.T) {
+	var want []tree.NodeID
+	for i, opts := range allOptionSets() {
+		d, doc := build(t, opts)
+		got := d.Descendants(doc.Root(), "item", nil)
+		if i == 0 {
+			want = got
+			if len(want) != 2 {
+				t.Fatalf("items = %d", len(want))
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("opts %+v: %d items, want %d", opts, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("opts %+v: descendants differ at %d", opts, j)
+			}
+		}
+	}
+}
+
+func TestTagExtentSupport(t *testing.T) {
+	d, _ := build(t, DOMOptions{})
+	if _, ok := d.TagExtent("item", nil); ok {
+		t.Fatal("plain DOM claims tag extents")
+	}
+	d2, _ := build(t, DOMOptions{TagExtents: true})
+	ext, ok := d2.TagExtent("item", nil)
+	if !ok || len(ext) != 2 {
+		t.Fatalf("extent = %v, %v", ext, ok)
+	}
+	if ext2, ok := d2.TagExtent("ghost", nil); !ok || len(ext2) != 0 {
+		t.Fatalf("ghost extent = %v, %v", ext2, ok)
+	}
+}
+
+func TestPathAndCountSupport(t *testing.T) {
+	plain, _ := build(t, DOMOptions{TagExtents: true})
+	if _, ok := plain.PathExtent([]string{"site", "people", "person"}, nil); ok {
+		t.Fatal("extent-only DOM claims path support")
+	}
+	if _, ok := plain.CountPath([]string{"site"}); ok {
+		t.Fatal("extent-only DOM claims count support")
+	}
+	if _, ok := plain.CountDescendants(0, "item"); ok {
+		t.Fatal("extent-only DOM claims descendant counts")
+	}
+
+	sum, doc := build(t, DOMOptions{Summary: true})
+	ext, ok := sum.PathExtent([]string{"site", "people", "person"}, nil)
+	if !ok || len(ext) != 1 {
+		t.Fatalf("path extent = %v, %v", ext, ok)
+	}
+	if n, ok := sum.CountPath([]string{"site", "regions", "europe", "item"}); !ok || n != 2 {
+		t.Fatalf("CountPath = %d, %v", n, ok)
+	}
+	if n, ok := sum.CountDescendants(doc.Root(), "name"); !ok || n != 3 {
+		t.Fatalf("CountDescendants = %d, %v", n, ok)
+	}
+}
+
+func TestNoInlining(t *testing.T) {
+	d, doc := build(t, DOMOptions{Summary: true, TagExtents: true})
+	if _, _, supported := d.InlinedChildText(doc.Root(), "name"); supported {
+		t.Fatal("DOM claims inlining")
+	}
+}
+
+func TestStatsGrowWithStructures(t *testing.T) {
+	plain, _ := build(t, DOMOptions{})
+	indexed, _ := build(t, DOMOptions{Summary: true, TagExtents: true})
+	if indexed.Stats().SizeBytes <= plain.Stats().SizeBytes {
+		t.Fatal("access structures not accounted in size")
+	}
+	if plain.Stats().Nodes != indexed.Stats().Nodes {
+		t.Fatal("node counts differ")
+	}
+	if plain.Stats().Tables != 0 {
+		t.Fatal("DOM reports tables")
+	}
+}
+
+func TestBasicDelegation(t *testing.T) {
+	d, doc := build(t, DOMOptions{})
+	root := d.Root()
+	if d.Tag(root) != "site" || d.Kind(root) != tree.Element {
+		t.Fatal("root accessors broken")
+	}
+	kids := d.Children(root, nil)
+	if len(kids) != 2 || d.Tag(kids[0]) != "regions" {
+		t.Fatalf("children = %v", kids)
+	}
+	people := d.ChildrenByTag(root, "people", nil)
+	if len(people) != 1 {
+		t.Fatal("ChildrenByTag broken")
+	}
+	persons := d.ChildrenByTag(people[0], "person", nil)
+	if v, ok := d.Attr(persons[0], "id"); !ok || v != "p0" {
+		t.Fatalf("Attr = %q, %v", v, ok)
+	}
+	if len(d.Attrs(persons[0])) != 1 {
+		t.Fatal("Attrs broken")
+	}
+	if d.StringValue(persons[0]) != "Ada" {
+		t.Fatal("StringValue broken")
+	}
+	if d.Parent(people[0]) != root {
+		t.Fatal("Parent broken")
+	}
+	if d.SubtreeEnd(root) != tree.NodeID(doc.Len()) {
+		t.Fatal("SubtreeEnd broken")
+	}
+	if d.Name() != "test" {
+		t.Fatal("Name broken")
+	}
+	if d.ChildrenByTag(root, "absent-tag", nil) != nil {
+		t.Fatal("unknown tag returned children")
+	}
+}

@@ -1,0 +1,235 @@
+package relational
+
+import "sort"
+
+// Iterator is the volcano-style tuple stream all operators implement.
+// Next returns the next row and true, or nil and false when exhausted.
+// Returned rows may be invalidated by the following Next call.
+type Iterator interface {
+	Next() (Row, bool)
+}
+
+// Scan returns an iterator over all rows of t.
+func Scan(t *Table) Iterator { return &scanIter{t: t} }
+
+type scanIter struct {
+	t *Table
+	i int
+}
+
+func (s *scanIter) Next() (Row, bool) {
+	if s.i >= s.t.Len() {
+		return nil, false
+	}
+	r := s.t.Row(s.i)
+	s.i++
+	return r, true
+}
+
+// ScanRows returns an iterator over the given row ids of t, in order.
+func ScanRows(t *Table, ids []int32) Iterator { return &rowsIter{t: t, ids: ids} }
+
+type rowsIter struct {
+	t   *Table
+	ids []int32
+	i   int
+}
+
+func (s *rowsIter) Next() (Row, bool) {
+	if s.i >= len(s.ids) {
+		return nil, false
+	}
+	r := s.t.Row(int(s.ids[s.i]))
+	s.i++
+	return r, true
+}
+
+// Select filters in by pred.
+func Select(in Iterator, pred func(Row) bool) Iterator {
+	return &selectIter{in: in, pred: pred}
+}
+
+type selectIter struct {
+	in   Iterator
+	pred func(Row) bool
+}
+
+func (s *selectIter) Next() (Row, bool) {
+	for {
+		r, ok := s.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if s.pred(r) {
+			return r, true
+		}
+	}
+}
+
+// Project maps each input row through fn.
+func Project(in Iterator, fn func(Row) Row) Iterator {
+	return &projectIter{in: in, fn: fn}
+}
+
+type projectIter struct {
+	in Iterator
+	fn func(Row) Row
+}
+
+func (p *projectIter) Next() (Row, bool) {
+	r, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return p.fn(r), true
+}
+
+// HashJoin joins build and probe on equality of buildKey and probeKey
+// columns, emitting concatenated rows (build columns first). The build side
+// is materialized into a hash table; the probe side streams — the standard
+// equi-join strategy the paper's systems execute for the reference-chasing
+// queries Q8/Q9.
+func HashJoin(build Iterator, buildKey int, probe Iterator, probeKey int) Iterator {
+	ht := make(map[Value][]Row)
+	for {
+		r, ok := build.Next()
+		if !ok {
+			break
+		}
+		cp := make(Row, len(r))
+		copy(cp, r)
+		ht[mapKey(cp[buildKey])] = append(ht[mapKey(cp[buildKey])], cp)
+	}
+	return &hashJoinIter{ht: ht, probe: probe, probeKey: probeKey}
+}
+
+// mapKey zeroes payload fields irrelevant to the value's type so Value
+// works as a map key regardless of how it was constructed.
+func mapKey(v Value) Value {
+	switch v.T {
+	case Float:
+		return Value{T: Float, F: v.F}
+	case String:
+		return Value{T: String, S: v.S}
+	default:
+		return Value{T: v.T, I: v.I}
+	}
+}
+
+type hashJoinIter struct {
+	ht       map[Value][]Row
+	probe    Iterator
+	probeKey int
+
+	matches []Row
+	current Row
+	mi      int
+}
+
+func (j *hashJoinIter) Next() (Row, bool) {
+	for {
+		if j.mi < len(j.matches) {
+			b := j.matches[j.mi]
+			j.mi++
+			out := make(Row, 0, len(b)+len(j.current))
+			out = append(out, b...)
+			out = append(out, j.current...)
+			return out, true
+		}
+		r, ok := j.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		j.matches = j.ht[mapKey(r[j.probeKey])]
+		j.mi = 0
+		j.current = r
+	}
+}
+
+// Materialize drains in into a slice of copied rows.
+func Materialize(in Iterator) []Row {
+	var out []Row
+	for {
+		r, ok := in.Next()
+		if !ok {
+			return out
+		}
+		cp := make(Row, len(r))
+		copy(cp, r)
+		out = append(out, cp)
+	}
+}
+
+// SortBy materializes in and sorts it by the given columns ascending.
+func SortBy(in Iterator, cols ...int) Iterator {
+	rows := Materialize(in)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, c := range cols {
+			if rows[a][c].Less(rows[b][c]) {
+				return true
+			}
+			if rows[b][c].Less(rows[a][c]) {
+				return false
+			}
+		}
+		return false
+	})
+	return &sliceIter{rows: rows}
+}
+
+type sliceIter struct {
+	rows []Row
+	i    int
+}
+
+func (s *sliceIter) Next() (Row, bool) {
+	if s.i >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true
+}
+
+// FromRows returns an iterator over pre-built rows.
+func FromRows(rows []Row) Iterator { return &sliceIter{rows: rows} }
+
+// KeyCount is one group of a GroupCount aggregation.
+type KeyCount struct {
+	Key   Value
+	Count int64
+}
+
+// GroupCount groups the input by key column and returns (key, count) pairs
+// in first-seen order.
+func GroupCount(in Iterator, key int) []KeyCount {
+	var order []Value
+	counts := make(map[Value]int64)
+	for {
+		r, ok := in.Next()
+		if !ok {
+			break
+		}
+		k := mapKey(r[key])
+		if _, seen := counts[k]; !seen {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	out := make([]KeyCount, 0, len(order))
+	for _, k := range order {
+		out = append(out, KeyCount{k, counts[k]})
+	}
+	return out
+}
+
+// Count drains in and returns the row count.
+func Count(in Iterator) int64 {
+	var n int64
+	for {
+		if _, ok := in.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,289 @@
+// Package relational is a small in-memory relational engine: typed tables,
+// hash indexes, and iterator-style operators (scan, select, project, hash
+// join, sort, aggregate).
+//
+// It is the substrate under the paper's "mass storage" Systems A–C, which
+// are "based on relational technology": the XML-to-relational mappings in
+// package mapping store the document in tables of this engine and answer
+// navigation requests with index lookups and scans, so the cost structure
+// of the relational architectures (per-step joins, metadata access, wide
+// versus fragmented tables) emerges from real data structures rather than
+// being modeled.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type enumerates column types.
+type Type int
+
+// Column types. Node columns hold node identifiers; they behave like Int
+// but document intent in schemas.
+const (
+	Int Type = iota
+	Float
+	String
+	Node
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "STRING"
+	case Node:
+		return "NODE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is one typed cell. Exactly one of the payload fields is meaningful,
+// per T.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+}
+
+// IntVal returns an Int value.
+func IntVal(v int64) Value { return Value{T: Int, I: v} }
+
+// NodeVal returns a Node value.
+func NodeVal(v int64) Value { return Value{T: Node, I: v} }
+
+// FloatVal returns a Float value.
+func FloatVal(v float64) Value { return Value{T: Float, F: v} }
+
+// StringVal returns a String value.
+func StringVal(v string) Value { return Value{T: String, S: v} }
+
+// Equal reports deep equality of two values, including their type.
+func (v Value) Equal(o Value) bool {
+	if v.T != o.T {
+		return false
+	}
+	switch v.T {
+	case Float:
+		return v.F == o.F
+	case String:
+		return v.S == o.S
+	default:
+		return v.I == o.I
+	}
+}
+
+// Less orders values of the same type; Strings compare lexicographically.
+func (v Value) Less(o Value) bool {
+	switch v.T {
+	case Float:
+		return v.F < o.F
+	case String:
+		return v.S < o.S
+	default:
+		return v.I < o.I
+	}
+}
+
+// Column declares a table column.
+type Column struct {
+	Name string
+	T    Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Col returns the position of the named column, or -1.
+func (s Schema) Col(name string) int {
+	for i := range s {
+		if s[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one tuple. Rows returned by iterators may be reused between calls;
+// callers that retain rows must copy them.
+type Row []Value
+
+// Table is a row-oriented relation with optional hash indexes.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	data    []Value // flat storage, row-major
+	indexes map[int]*HashIndex
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: make(map[int]*HashIndex)}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	if len(t.Schema) == 0 {
+		return 0
+	}
+	return len(t.data) / len(t.Schema)
+}
+
+// Append adds a row. It panics if the row width does not match the schema;
+// that is a programming error, not a data error.
+func (t *Table) Append(row ...Value) int {
+	if len(row) != len(t.Schema) {
+		panic(fmt.Sprintf("relational: row width %d != schema width %d in %s", len(row), len(t.Schema), t.Name))
+	}
+	id := t.Len()
+	t.data = append(t.data, row...)
+	for col, idx := range t.indexes {
+		idx.add(row[col], int32(id))
+	}
+	return id
+}
+
+// Row returns row i. The returned slice aliases table storage; callers must
+// not modify it.
+func (t *Table) Row(i int) Row {
+	w := len(t.Schema)
+	return Row(t.data[i*w : (i+1)*w])
+}
+
+// Value returns the cell at row i, column c.
+func (t *Table) Value(i, c int) Value { return t.data[i*len(t.Schema)+c] }
+
+// SizeBytes estimates the storage footprint of the table including its
+// indexes. The estimate counts value headers plus string payloads, which is
+// what the paper's "database size" column measures at the granularity we
+// can reproduce.
+func (t *Table) SizeBytes() int64 {
+	var n int64
+	for _, v := range t.data {
+		n += 24 // Value header: type tag + widest payload
+		if v.T == String {
+			n += int64(len(v.S))
+		}
+	}
+	for _, idx := range t.indexes {
+		n += idx.sizeBytes()
+	}
+	return n
+}
+
+// CreateIndex builds (or returns an existing) hash index over the column.
+func (t *Table) CreateIndex(col int) *HashIndex {
+	if idx, ok := t.indexes[col]; ok {
+		return idx
+	}
+	idx := newHashIndex(t.Schema[col].T)
+	for i, n := 0, t.Len(); i < n; i++ {
+		idx.add(t.Value(i, col), int32(i))
+	}
+	t.indexes[col] = idx
+	return idx
+}
+
+// Index returns the index on col, or nil.
+func (t *Table) Index(col int) *HashIndex { return t.indexes[col] }
+
+// HashIndex is an equality index from column value to row ids.
+type HashIndex struct {
+	t    Type
+	ints map[int64][]int32
+	strs map[string][]int32
+}
+
+func newHashIndex(t Type) *HashIndex {
+	idx := &HashIndex{t: t}
+	if t == String {
+		idx.strs = make(map[string][]int32)
+	} else {
+		idx.ints = make(map[int64][]int32)
+	}
+	return idx
+}
+
+func (x *HashIndex) add(v Value, row int32) {
+	switch x.t {
+	case String:
+		x.strs[v.S] = append(x.strs[v.S], row)
+	case Float:
+		panic("relational: hash index on float column")
+	default:
+		x.ints[v.I] = append(x.ints[v.I], row)
+	}
+}
+
+// LookupInt returns the row ids whose indexed column equals v.
+func (x *HashIndex) LookupInt(v int64) []int32 { return x.ints[v] }
+
+// LookupString returns the row ids whose indexed column equals v.
+func (x *HashIndex) LookupString(v string) []int32 { return x.strs[v] }
+
+// Lookup returns the row ids whose indexed column equals v.
+func (x *HashIndex) Lookup(v Value) []int32 {
+	if x.t == String {
+		return x.strs[v.S]
+	}
+	return x.ints[v.I]
+}
+
+func (x *HashIndex) sizeBytes() int64 {
+	var n int64
+	if x.strs != nil {
+		for k, rows := range x.strs {
+			n += int64(len(k)) + 16 + int64(len(rows))*4
+		}
+		return n
+	}
+	for _, rows := range x.ints {
+		n += 8 + 16 + int64(len(rows))*4
+	}
+	return n
+}
+
+// String renders the table for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(", t.Name)
+	for i, c := range t.Schema {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.T)
+	}
+	fmt.Fprintf(&b, ") [%d rows]", t.Len())
+	return b.String()
+}
+
+// SortRowsBy sorts row ids of t by the given columns ascending and returns
+// them; the table itself is unchanged.
+func (t *Table) SortRowsBy(cols ...int) []int32 {
+	ids := make([]int32, t.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		ra, rb := t.Row(int(ids[a])), t.Row(int(ids[b]))
+		for _, c := range cols {
+			if ra[c].Less(rb[c]) {
+				return true
+			}
+			if rb[c].Less(ra[c]) {
+				return false
+			}
+		}
+		return false
+	})
+	return ids
+}

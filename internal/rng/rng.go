@@ -1,0 +1,251 @@
+// Package rng provides the deterministic random number generation layer of
+// the XMark reproduction.
+//
+// The XMark paper (§4.5) requires the document generator to be platform
+// independent and deterministic: "the output should only depend on the input
+// parameters". It further requires the ability to "produce several identical
+// streams of random numbers" so that sets such as the item identifiers can be
+// partitioned between open and closed auctions without keeping a log of
+// already-referenced IDs.
+//
+// This package therefore implements its own generator rather than relying on
+// math/rand: a SplitMix64-seeded xoshiro256** core with named, reproducible
+// sub-streams. Two Streams derived from the same parent with the same label
+// produce identical sequences, which is exactly the identical-streams trick
+// the paper describes.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream. The zero value is not
+// usable; obtain Streams with New or Stream.Derive.
+type Stream struct {
+	s [4]uint64
+
+	// Box-Muller spare for Normal.
+	hasSpare bool
+	spare    float64
+}
+
+// splitmix64 advances the given state and returns the next value of the
+// SplitMix64 sequence. It is used for seeding only.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from seed. Equal seeds yield equal streams on
+// every platform.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	// xoshiro256** must not be seeded with the all-zero state; SplitMix64
+	// cannot produce four zero outputs in a row, so the state is valid.
+	return st
+}
+
+// Derive returns a new Stream deterministically derived from s and label
+// without disturbing s. Calling Derive twice with the same label on streams
+// in the same state yields identical sub-streams; this implements the
+// paper's "several identical streams of random numbers".
+func (s *Stream) Derive(label string) *Stream {
+	x := s.s[0] ^ 0x6a09e667f3bcc908
+	for i := 0; i < len(label); i++ {
+		x = (x ^ uint64(label[i])) * 0x100000001b3
+	}
+	// Mix in the remaining parent state words so distinct parents with equal
+	// first words still diverge.
+	x ^= s.s[1] + 0xbb67ae8584caa73b
+	x ^= s.s[2] * 0x3c6ef372fe94f82b
+	x ^= s.s[3]
+	return New(x)
+}
+
+// DeriveN returns a Stream derived from s, label, and an index. It allows a
+// generator to give every entity (person #i, item #i, ...) its own
+// reproducible stream, making entity generation order-independent.
+func (s *Stream) DeriveN(label string, n uint64) *Stream {
+	d := s.Derive(label)
+	x := d.s[0] ^ (n * 0x9e3779b97f4a7c15)
+	x ^= d.s[1] + n<<1 + 1
+	return New(x)
+}
+
+// Clone returns an independent copy of s in its current state. The clone and
+// s produce identical future sequences.
+func (s *Stream) Clone() *Stream {
+	c := *s
+	return &c
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 pseudo-random bits (xoshiro256**).
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift method with rejection of the biased tail.
+	un := uint64(n)
+	for {
+		hi, lo := mul128(s.Uint64(), un)
+		if lo < un && lo < -un%un {
+			continue
+		}
+		return int(hi)
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	c = t >> 32
+	m := t & mask
+	t = aLo*bHi + m
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Exponential returns an exponentially distributed value with the given mean.
+// The paper's generator uses exponential distributions for several reference
+// and fan-out choices (§4.2).
+func (s *Stream) Exponential(mean float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return mean + stddev*s.spare
+	}
+	var u, v, r2 float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r2 = u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r2) / r2)
+	s.spare = v * f
+	s.hasSpare = true
+	return mean + stddev*u*f
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples integers in [0, n) with a Zipf-like rank-frequency law of
+// exponent theta. It is used for word selection so that generated text shows
+// the skewed word frequencies of natural language (paper §4.3).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent theta (> 0).
+// Rank 0 is the most frequent.
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, n) from stream s.
+func (z *Zipf) Sample(s *Stream) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,281 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 times", same)
+	}
+}
+
+func TestDeriveIdenticalStreams(t *testing.T) {
+	// The paper's ID-partitioning trick: two derivations with the same label
+	// from streams in the same state must be identical.
+	parent1 := New(7)
+	parent2 := New(7)
+	d1 := parent1.Derive("items")
+	d2 := parent2.Derive("items")
+	for i := 0; i < 500; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			t.Fatalf("derived streams with equal labels diverged at step %d", i)
+		}
+	}
+}
+
+func TestDeriveLabelsDiffer(t *testing.T) {
+	parent := New(7)
+	d1 := parent.Derive("open")
+	d2 := parent.Derive("closed")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() == d2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams with different labels matched %d/100 times", same)
+	}
+}
+
+func TestDeriveDoesNotDisturbParent(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	_ = a.Derive("x")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Derive disturbed parent state at step %d", i)
+		}
+	}
+}
+
+func TestDeriveN(t *testing.T) {
+	a := New(5).DeriveN("person", 3)
+	b := New(5).DeriveN("person", 3)
+	for i := 0; i < 200; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("DeriveN not reproducible")
+		}
+	}
+	c := New(5).DeriveN("person", 4)
+	d := New(5).DeriveN("item", 3)
+	e := New(5).DeriveN("person", 3)
+	same := 0
+	for i := 0; i < 100; i++ {
+		v := e.Uint64()
+		if v == c.Uint64() || v == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("DeriveN streams collide: %d matches", same)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(3)
+	for i := 0; i < 17; i++ {
+		a.Uint64()
+	}
+	c := a.Clone()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != c.Uint64() {
+			t.Fatalf("clone diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: got %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+	}
+	if got := s.IntRange(4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(19)
+	const mean, n = 5.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("Exponential returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Fatalf("exponential mean = %v, want about %v", got, mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(23)
+	const mean, sd, n = 10.0, 2.0, 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, sd)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want about %v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Fatalf("normal stddev = %v, want about %v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	s := New(31)
+	z := NewZipf(1000, 1.0)
+	if z.N() != 1000 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		r := z.Sample(s)
+		if r < 0 || r >= 1000 {
+			t.Fatalf("Zipf sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// Rank 0 under theta=1 over 1000 ranks should take roughly 1/H(1000) ~ 13%.
+	if counts[0] < 5000 {
+		t.Fatalf("rank 0 frequency too low: %d", counts[0])
+	}
+}
+
+func TestMul128(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul128(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul128(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul128MatchesBigProperty(t *testing.T) {
+	// Property: low 64 bits of the 128-bit product must equal wrapping a*b.
+	f := func(a, b uint64) bool {
+		_, lo := mul128(a, b)
+		return lo == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(37)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+}

@@ -1,0 +1,309 @@
+// Package schema describes the XMark auction document type.
+//
+// The paper (§4.1, Figure 1) models the document after an Internet auction
+// site: the data-centric entities person, open_auction, closed_auction, item
+// and category, connected by typed references (Figure 2), and the
+// document-centric offspring of annotation and description (text with
+// parlist/listitem/emph/keyword/bold markup). This package encodes that DTD
+// as data so the generator, the validating tests, and the DTD-aware storage
+// mapping (the paper's System C) all share one definition.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurrence describes how often a child may appear in a sequence content
+// model, mirroring DTD occurrence indicators.
+type Occurrence int
+
+// Occurrence indicators as in a DTD: exactly one, "?" (zero or one),
+// "*" (zero or more), and "+" (one or more).
+const (
+	One Occurrence = iota
+	ZeroOrOne
+	ZeroOrMore
+	OneOrMore
+)
+
+// String returns the DTD occurrence indicator.
+func (o Occurrence) String() string {
+	switch o {
+	case ZeroOrOne:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// AttType is the DTD type of an attribute.
+type AttType int
+
+// Attribute types used by the XMark DTD.
+const (
+	CDATA AttType = iota
+	ID
+	IDREF
+)
+
+// String returns the DTD spelling of the attribute type.
+func (t AttType) String() string {
+	switch t {
+	case ID:
+		return "ID"
+	case IDREF:
+		return "IDREF"
+	default:
+		return "CDATA"
+	}
+}
+
+// Attribute declares one attribute of an element.
+type Attribute struct {
+	Name     string
+	Type     AttType
+	Required bool
+	// RefTarget names the element kind an IDREF attribute points to. The
+	// paper stresses that all XMark references are typed (§4.2).
+	RefTarget string
+}
+
+// Child is one entry of a sequence content model.
+type Child struct {
+	Name string
+	Occ  Occurrence
+}
+
+// ContentKind classifies an element's content model.
+type ContentKind int
+
+// Content model kinds: a sequence of children, #PCDATA only, mixed
+// (#PCDATA | bold | keyword | emph)*, a choice between children, or EMPTY.
+const (
+	Sequence ContentKind = iota
+	PCDATA
+	Mixed
+	Choice
+	Empty
+)
+
+// Element declares one element type of the document.
+type Element struct {
+	Name     string
+	Kind     ContentKind
+	Children []Child // for Sequence and Choice
+	Attrs    []Attribute
+}
+
+// MixedChildren are the child elements permitted inside mixed content. The
+// paper's document-centric fragments use exactly this markup set.
+var MixedChildren = []string{"bold", "keyword", "emph"}
+
+// Elements declares the complete XMark DTD, in the order the DTD file lists
+// them.
+var Elements = []Element{
+	{Name: "site", Kind: Sequence, Children: []Child{
+		{"regions", One}, {"categories", One}, {"catgraph", One},
+		{"people", One}, {"open_auctions", One}, {"closed_auctions", One}}},
+
+	{Name: "categories", Kind: Sequence, Children: []Child{{"category", OneOrMore}}},
+	{Name: "category", Kind: Sequence, Children: []Child{{"name", One}, {"description", One}},
+		Attrs: []Attribute{{Name: "id", Type: ID, Required: true}}},
+	{Name: "name", Kind: PCDATA},
+	{Name: "description", Kind: Choice, Children: []Child{{"text", One}, {"parlist", One}}},
+	{Name: "text", Kind: Mixed},
+	{Name: "bold", Kind: Mixed},
+	{Name: "keyword", Kind: Mixed},
+	{Name: "emph", Kind: Mixed},
+	{Name: "parlist", Kind: Sequence, Children: []Child{{"listitem", ZeroOrMore}}},
+	{Name: "listitem", Kind: Choice, Children: []Child{{"text", ZeroOrMore}, {"parlist", ZeroOrMore}}},
+
+	{Name: "catgraph", Kind: Sequence, Children: []Child{{"edge", ZeroOrMore}}},
+	{Name: "edge", Kind: Empty, Attrs: []Attribute{
+		{Name: "from", Type: IDREF, Required: true, RefTarget: "category"},
+		{Name: "to", Type: IDREF, Required: true, RefTarget: "category"}}},
+
+	{Name: "regions", Kind: Sequence, Children: []Child{
+		{"africa", One}, {"asia", One}, {"australia", One},
+		{"europe", One}, {"namerica", One}, {"samerica", One}}},
+	{Name: "africa", Kind: Sequence, Children: []Child{{"item", ZeroOrMore}}},
+	{Name: "asia", Kind: Sequence, Children: []Child{{"item", ZeroOrMore}}},
+	{Name: "australia", Kind: Sequence, Children: []Child{{"item", ZeroOrMore}}},
+	{Name: "europe", Kind: Sequence, Children: []Child{{"item", ZeroOrMore}}},
+	{Name: "namerica", Kind: Sequence, Children: []Child{{"item", ZeroOrMore}}},
+	{Name: "samerica", Kind: Sequence, Children: []Child{{"item", ZeroOrMore}}},
+
+	{Name: "item", Kind: Sequence, Children: []Child{
+		{"location", One}, {"quantity", One}, {"name", One}, {"payment", One},
+		{"description", One}, {"shipping", One}, {"incategory", OneOrMore},
+		{"mailbox", One}},
+		Attrs: []Attribute{
+			{Name: "id", Type: ID, Required: true},
+			{Name: "featured", Type: CDATA}}},
+	{Name: "location", Kind: PCDATA},
+	{Name: "quantity", Kind: PCDATA},
+	{Name: "payment", Kind: PCDATA},
+	{Name: "shipping", Kind: PCDATA},
+	{Name: "incategory", Kind: Empty, Attrs: []Attribute{
+		{Name: "category", Type: IDREF, Required: true, RefTarget: "category"}}},
+	{Name: "mailbox", Kind: Sequence, Children: []Child{{"mail", ZeroOrMore}}},
+	{Name: "mail", Kind: Sequence, Children: []Child{
+		{"from", One}, {"to", One}, {"date", One}, {"text", One}}},
+	{Name: "from", Kind: PCDATA},
+	{Name: "to", Kind: PCDATA},
+	{Name: "date", Kind: PCDATA},
+
+	{Name: "itemref", Kind: Empty, Attrs: []Attribute{
+		{Name: "item", Type: IDREF, Required: true, RefTarget: "item"}}},
+	{Name: "personref", Kind: Empty, Attrs: []Attribute{
+		{Name: "person", Type: IDREF, Required: true, RefTarget: "person"}}},
+
+	{Name: "people", Kind: Sequence, Children: []Child{{"person", ZeroOrMore}}},
+	{Name: "person", Kind: Sequence, Children: []Child{
+		{"name", One}, {"emailaddress", One}, {"phone", ZeroOrOne},
+		{"address", ZeroOrOne}, {"homepage", ZeroOrOne},
+		{"creditcard", ZeroOrOne}, {"profile", ZeroOrOne}, {"watches", ZeroOrOne}},
+		Attrs: []Attribute{{Name: "id", Type: ID, Required: true}}},
+	{Name: "emailaddress", Kind: PCDATA},
+	{Name: "phone", Kind: PCDATA},
+	{Name: "address", Kind: Sequence, Children: []Child{
+		{"street", One}, {"city", One}, {"country", One},
+		{"province", ZeroOrOne}, {"zipcode", One}}},
+	{Name: "street", Kind: PCDATA},
+	{Name: "city", Kind: PCDATA},
+	{Name: "province", Kind: PCDATA},
+	{Name: "zipcode", Kind: PCDATA},
+	{Name: "country", Kind: PCDATA},
+	{Name: "homepage", Kind: PCDATA},
+	{Name: "creditcard", Kind: PCDATA},
+	{Name: "profile", Kind: Sequence, Children: []Child{
+		{"interest", ZeroOrMore}, {"education", ZeroOrOne},
+		{"gender", ZeroOrOne}, {"business", One}, {"age", ZeroOrOne}},
+		Attrs: []Attribute{{Name: "income", Type: CDATA}}},
+	{Name: "interest", Kind: Empty, Attrs: []Attribute{
+		{Name: "category", Type: IDREF, Required: true, RefTarget: "category"}}},
+	{Name: "education", Kind: PCDATA},
+	{Name: "gender", Kind: PCDATA},
+	{Name: "business", Kind: PCDATA},
+	{Name: "age", Kind: PCDATA},
+	{Name: "watches", Kind: Sequence, Children: []Child{{"watch", ZeroOrMore}}},
+	{Name: "watch", Kind: Empty, Attrs: []Attribute{
+		{Name: "open_auction", Type: IDREF, Required: true, RefTarget: "open_auction"}}},
+
+	{Name: "open_auctions", Kind: Sequence, Children: []Child{{"open_auction", ZeroOrMore}}},
+	{Name: "open_auction", Kind: Sequence, Children: []Child{
+		{"initial", One}, {"reserve", ZeroOrOne}, {"bidder", ZeroOrMore},
+		{"current", One}, {"privacy", ZeroOrOne}, {"itemref", One},
+		{"seller", One}, {"annotation", One}, {"quantity", One},
+		{"type", One}, {"interval", One}},
+		Attrs: []Attribute{{Name: "id", Type: ID, Required: true}}},
+	{Name: "initial", Kind: PCDATA},
+	{Name: "reserve", Kind: PCDATA},
+	{Name: "bidder", Kind: Sequence, Children: []Child{
+		{"date", One}, {"time", One}, {"personref", One}, {"increase", One}}},
+	{Name: "time", Kind: PCDATA},
+	{Name: "increase", Kind: PCDATA},
+	{Name: "current", Kind: PCDATA},
+	{Name: "privacy", Kind: PCDATA},
+	{Name: "seller", Kind: Empty, Attrs: []Attribute{
+		{Name: "person", Type: IDREF, Required: true, RefTarget: "person"}}},
+	{Name: "annotation", Kind: Sequence, Children: []Child{
+		{"author", One}, {"description", ZeroOrOne}, {"happiness", One}}},
+	{Name: "author", Kind: Empty, Attrs: []Attribute{
+		{Name: "person", Type: IDREF, Required: true, RefTarget: "person"}}},
+	{Name: "happiness", Kind: PCDATA},
+	{Name: "interval", Kind: Sequence, Children: []Child{{"start", One}, {"end", One}}},
+	{Name: "start", Kind: PCDATA},
+	{Name: "end", Kind: PCDATA},
+	{Name: "type", Kind: PCDATA},
+
+	{Name: "closed_auctions", Kind: Sequence, Children: []Child{{"closed_auction", ZeroOrMore}}},
+	{Name: "closed_auction", Kind: Sequence, Children: []Child{
+		{"seller", One}, {"buyer", One}, {"itemref", One}, {"price", One},
+		{"date", One}, {"quantity", One}, {"type", One},
+		{"annotation", ZeroOrOne}}},
+	{Name: "buyer", Kind: Empty, Attrs: []Attribute{
+		{Name: "person", Type: IDREF, Required: true, RefTarget: "person"}}},
+	{Name: "price", Kind: PCDATA},
+}
+
+var byName = func() map[string]*Element {
+	m := make(map[string]*Element, len(Elements))
+	for i := range Elements {
+		m[Elements[i].Name] = &Elements[i]
+	}
+	return m
+}()
+
+// Lookup returns the declaration of the named element, or nil if the DTD
+// does not declare it.
+func Lookup(name string) *Element { return byName[name] }
+
+// Names returns all declared element names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Elements))
+	for i := range Elements {
+		out = append(out, Elements[i].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Attr returns the declaration of the named attribute on e, or nil.
+func (e *Element) Attr(name string) *Attribute {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			return &e.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// DTD renders the declarations as a DTD document, the "additional
+// information that may be exploited" the paper supplies alongside the
+// generated document (§4.4).
+func DTD() string {
+	var b strings.Builder
+	b.WriteString("<!-- XMark auction.dtd (Go reproduction) -->\n")
+	for i := range Elements {
+		e := &Elements[i]
+		b.WriteString("<!ELEMENT ")
+		b.WriteString(e.Name)
+		b.WriteByte(' ')
+		switch e.Kind {
+		case Empty:
+			b.WriteString("EMPTY")
+		case PCDATA:
+			b.WriteString("(#PCDATA)")
+		case Mixed:
+			b.WriteString("(#PCDATA | bold | keyword | emph)*")
+		case Choice:
+			parts := make([]string, len(e.Children))
+			for j, c := range e.Children {
+				parts[j] = c.Name + c.Occ.String()
+			}
+			fmt.Fprintf(&b, "(%s)", strings.Join(parts, " | "))
+		case Sequence:
+			parts := make([]string, len(e.Children))
+			for j, c := range e.Children {
+				parts[j] = c.Name + c.Occ.String()
+			}
+			fmt.Fprintf(&b, "(%s)", strings.Join(parts, ", "))
+		}
+		b.WriteString(">\n")
+		for _, a := range e.Attrs {
+			req := "#IMPLIED"
+			if a.Required {
+				req = "#REQUIRED"
+			}
+			fmt.Fprintf(&b, "<!ATTLIST %s %s %s %s>\n", e.Name, a.Name, a.Type, req)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupKnownElements(t *testing.T) {
+	for _, name := range []string{"site", "person", "open_auction", "closed_auction", "item", "category", "annotation", "description", "keyword"} {
+		if Lookup(name) == nil {
+			t.Errorf("Lookup(%q) = nil", name)
+		}
+	}
+	if Lookup("nonsense") != nil {
+		t.Error("Lookup of undeclared element succeeded")
+	}
+}
+
+func TestNoDuplicateDeclarations(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range Elements {
+		if seen[e.Name] {
+			t.Errorf("duplicate declaration of <%s>", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestAllChildrenDeclared(t *testing.T) {
+	for _, e := range Elements {
+		for _, c := range e.Children {
+			if Lookup(c.Name) == nil {
+				t.Errorf("<%s> references undeclared child <%s>", e.Name, c.Name)
+			}
+		}
+	}
+	for _, m := range MixedChildren {
+		if Lookup(m) == nil {
+			t.Errorf("mixed child <%s> undeclared", m)
+		}
+	}
+}
+
+func TestTypedReferences(t *testing.T) {
+	// Paper §4.2: all references are typed. Every IDREF attribute must name
+	// a target element kind, and the target must carry an ID attribute.
+	refs := 0
+	for _, e := range Elements {
+		for _, a := range e.Attrs {
+			if a.Type != IDREF {
+				continue
+			}
+			refs++
+			if a.RefTarget == "" {
+				t.Errorf("IDREF %s/@%s has no target", e.Name, a.Name)
+				continue
+			}
+			target := Lookup(a.RefTarget)
+			if target == nil {
+				t.Errorf("IDREF %s/@%s targets undeclared <%s>", e.Name, a.Name, a.RefTarget)
+				continue
+			}
+			hasID := false
+			for _, ta := range target.Attrs {
+				if ta.Type == ID {
+					hasID = true
+				}
+			}
+			if !hasID {
+				t.Errorf("IDREF target <%s> has no ID attribute", a.RefTarget)
+			}
+		}
+	}
+	// Figure 2 of the paper shows these reference declarations: buyer,
+	// seller, author, watch, bidder personref, itemref, incategory,
+	// interest, edge from, edge to. (seller and itemref are shared between
+	// open and closed auctions, so they count once each.)
+	if refs != 10 {
+		t.Errorf("expected 10 typed reference declarations, found %d", refs)
+	}
+}
+
+func TestReferenceTargetsMatchFigure2(t *testing.T) {
+	cases := []struct{ elem, attr, target string }{
+		{"seller", "person", "person"},
+		{"buyer", "person", "person"},
+		{"author", "person", "person"},
+		{"personref", "person", "person"},
+		{"itemref", "item", "item"},
+		{"incategory", "category", "category"},
+		{"interest", "category", "category"},
+		{"watch", "open_auction", "open_auction"},
+		{"edge", "from", "category"},
+		{"edge", "to", "category"},
+	}
+	for _, c := range cases {
+		e := Lookup(c.elem)
+		if e == nil {
+			t.Fatalf("element <%s> missing", c.elem)
+		}
+		a := e.Attr(c.attr)
+		if a == nil {
+			t.Fatalf("%s/@%s missing", c.elem, c.attr)
+		}
+		if a.RefTarget != c.target {
+			t.Errorf("%s/@%s targets %q, want %q", c.elem, c.attr, a.RefTarget, c.target)
+		}
+	}
+}
+
+func TestDTDRendering(t *testing.T) {
+	dtd := DTD()
+	for _, want := range []string{
+		"<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>",
+		"<!ELEMENT text (#PCDATA | bold | keyword | emph)*>",
+		"<!ELEMENT description (text | parlist)>",
+		"<!ELEMENT incategory EMPTY>",
+		"<!ATTLIST item id ID #REQUIRED>",
+		"<!ATTLIST profile income CDATA #IMPLIED>",
+	} {
+		if !strings.Contains(dtd, want) {
+			t.Errorf("DTD missing %q", want)
+		}
+	}
+}
+
+// fakeNode implements InstanceNode for validator tests.
+type fakeNode struct {
+	name  string
+	kids  []InstanceNode
+	attrs []string
+}
+
+func (f *fakeNode) ElemName() string              { return f.name }
+func (f *fakeNode) ChildElements() []InstanceNode { return f.kids }
+func (f *fakeNode) AttrNames() []string           { return f.attrs }
+
+func el(name string, attrs []string, kids ...InstanceNode) *fakeNode {
+	return &fakeNode{name: name, kids: kids, attrs: attrs}
+}
+
+func TestValidateAcceptsMinimalPerson(t *testing.T) {
+	p := el("person", []string{"id"},
+		el("name", nil), el("emailaddress", nil))
+	if err := Validate(p); err != nil {
+		t.Fatalf("valid person rejected: %v", err)
+	}
+}
+
+func TestValidateFullPerson(t *testing.T) {
+	p := el("person", []string{"id"},
+		el("name", nil), el("emailaddress", nil), el("phone", nil),
+		el("address", nil,
+			el("street", nil), el("city", nil), el("country", nil),
+			el("province", nil), el("zipcode", nil)),
+		el("homepage", nil), el("creditcard", nil),
+		el("profile", []string{"income"},
+			el("interest", []string{"category"}),
+			el("interest", []string{"category"}),
+			el("education", nil), el("gender", nil),
+			el("business", nil), el("age", nil)),
+		el("watches", nil, el("watch", []string{"open_auction"})))
+	if err := Validate(p); err != nil {
+		t.Fatalf("full person rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		label string
+		n     InstanceNode
+	}{
+		{"missing required id", el("person", nil, el("name", nil), el("emailaddress", nil))},
+		{"missing name", el("person", []string{"id"}, el("emailaddress", nil))},
+		{"wrong order", el("person", []string{"id"}, el("emailaddress", nil), el("name", nil))},
+		{"children in EMPTY", el("incategory", []string{"category"}, el("name", nil))},
+		{"undeclared element", el("wibble", nil)},
+		{"undeclared attribute", el("name", []string{"bogus"})},
+		{"two reserves", el("open_auction", []string{"id"},
+			el("initial", nil), el("reserve", nil), el("reserve", nil))},
+		{"bad mixed child", el("text", nil, el("price", nil))},
+		{"choice with two children", el("description", nil, el("text", nil), el("parlist", nil))},
+	}
+	for _, c := range cases {
+		if err := Validate(c.n); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", c.label)
+		}
+	}
+}
+
+func TestValidateMixedContent(t *testing.T) {
+	d := el("description", nil,
+		el("text", nil,
+			el("bold", nil), el("keyword", nil),
+			el("emph", nil, el("keyword", nil))))
+	if err := Validate(d); err != nil {
+		t.Fatalf("mixed content rejected: %v", err)
+	}
+}
+
+func TestValidateListStructures(t *testing.T) {
+	d := el("description", nil,
+		el("parlist", nil,
+			el("listitem", nil, el("text", nil)),
+			el("listitem", nil,
+				el("parlist", nil,
+					el("listitem", nil, el("text", nil, el("emph", nil, el("keyword", nil))))))))
+	if err := Validate(d); err != nil {
+		t.Fatalf("nested parlist rejected: %v", err)
+	}
+}
+
+func TestNamesSortedUnique(t *testing.T) {
+	names := Names()
+	if len(names) != len(Elements) {
+		t.Fatalf("Names() len = %d, want %d", len(names), len(Elements))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted/unique at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}

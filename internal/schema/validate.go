@@ -1,0 +1,139 @@
+package schema
+
+import "fmt"
+
+// InstanceNode is the minimal view of a document element the validator
+// needs. The tree package's nodes satisfy it via a small adapter, keeping
+// schema free of storage dependencies.
+type InstanceNode interface {
+	// ElemName returns the element's tag name.
+	ElemName() string
+	// ChildElements returns the element children in document order.
+	ChildElements() []InstanceNode
+	// AttrNames returns the names of the attributes present.
+	AttrNames() []string
+}
+
+// Validate checks the element rooted at n (and its subtree) against the
+// DTD. It returns the first violation found, or nil.
+func Validate(n InstanceNode) error {
+	decl := Lookup(n.ElemName())
+	if decl == nil {
+		return fmt.Errorf("schema: undeclared element <%s>", n.ElemName())
+	}
+	if err := validateAttrs(decl, n); err != nil {
+		return err
+	}
+	kids := n.ChildElements()
+	switch decl.Kind {
+	case Empty:
+		if len(kids) != 0 {
+			return fmt.Errorf("schema: EMPTY element <%s> has %d children", decl.Name, len(kids))
+		}
+	case PCDATA:
+		if len(kids) != 0 {
+			return fmt.Errorf("schema: #PCDATA element <%s> has element children", decl.Name)
+		}
+	case Mixed:
+		for _, k := range kids {
+			if !isMixedChild(k.ElemName()) {
+				return fmt.Errorf("schema: <%s> not allowed in mixed content of <%s>", k.ElemName(), decl.Name)
+			}
+		}
+	case Choice:
+		if err := validateChoice(decl, kids); err != nil {
+			return err
+		}
+	case Sequence:
+		if err := validateSequence(decl, kids); err != nil {
+			return err
+		}
+	}
+	for _, k := range kids {
+		if err := Validate(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isMixedChild(name string) bool {
+	for _, m := range MixedChildren {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func validateAttrs(decl *Element, n InstanceNode) error {
+	present := make(map[string]bool)
+	for _, a := range n.AttrNames() {
+		if decl.Attr(a) == nil {
+			return fmt.Errorf("schema: undeclared attribute %q on <%s>", a, decl.Name)
+		}
+		present[a] = true
+	}
+	for _, a := range decl.Attrs {
+		if a.Required && !present[a.Name] {
+			return fmt.Errorf("schema: missing required attribute %q on <%s>", a.Name, decl.Name)
+		}
+	}
+	return nil
+}
+
+func validateChoice(decl *Element, kids []InstanceNode) error {
+	allowed := make(map[string]Occurrence, len(decl.Children))
+	exactlyOne := true
+	for _, c := range decl.Children {
+		allowed[c.Name] = c.Occ
+		if c.Occ != One {
+			exactlyOne = false
+		}
+	}
+	for _, k := range kids {
+		if _, ok := allowed[k.ElemName()]; !ok {
+			return fmt.Errorf("schema: <%s> not a choice alternative of <%s>", k.ElemName(), decl.Name)
+		}
+	}
+	if exactlyOne && len(kids) != 1 {
+		return fmt.Errorf("schema: choice element <%s> must have exactly one child, has %d", decl.Name, len(kids))
+	}
+	return nil
+}
+
+// validateSequence matches children against the declared sequence greedily.
+// The XMark content models are deterministic, so greedy matching is exact.
+func validateSequence(decl *Element, kids []InstanceNode) error {
+	i := 0
+	for _, c := range decl.Children {
+		count := 0
+		for i < len(kids) && kids[i].ElemName() == c.Name {
+			// A ZeroOrOne or One slot consumes at most one occurrence even
+			// when the same tag could also start the next slot.
+			if (c.Occ == One || c.Occ == ZeroOrOne) && count == 1 {
+				break
+			}
+			count++
+			i++
+		}
+		switch c.Occ {
+		case One:
+			if count != 1 {
+				return fmt.Errorf("schema: <%s> requires exactly one <%s>, found %d", decl.Name, c.Name, count)
+			}
+		case ZeroOrOne:
+			if count > 1 {
+				return fmt.Errorf("schema: <%s> allows at most one <%s>, found %d", decl.Name, c.Name, count)
+			}
+		case OneOrMore:
+			if count == 0 {
+				return fmt.Errorf("schema: <%s> requires at least one <%s>", decl.Name, c.Name)
+			}
+		}
+	}
+	if i != len(kids) {
+		return fmt.Errorf("schema: unexpected <%s> in <%s>", kids[i].ElemName(), decl.Name)
+	}
+	return nil
+}

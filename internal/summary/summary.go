@@ -1,0 +1,167 @@
+// Package summary implements a structural summary (a strong DataGuide) over
+// a document tree.
+//
+// The paper observes that System D "keeps a detailed structural summary of
+// the database and can exploit it to optimize traversal-intensive queries",
+// making the regular-path-expression queries Q6 and Q7 "surprisingly fast",
+// and that Q7's search for non-existing paths is solved by the summary
+// without touching the data. This package provides exactly that capability:
+// every distinct root-to-element label path is recorded together with its
+// extent (all nodes with that path, in document order), so path existence,
+// counts, and descendant lookups become catalog operations.
+package summary
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// PathInfo describes one distinct label path of the document.
+type PathInfo struct {
+	// Path is the label path from the root, "/"-joined, e.g.
+	// "site/people/person".
+	Path string
+	// Depth is the number of labels in the path.
+	Depth int
+	// Nodes is the path's extent in document order.
+	Nodes []tree.NodeID
+}
+
+// Summary is a strong DataGuide: the set of all distinct label paths with
+// extents.
+type Summary struct {
+	paths  map[string]*PathInfo
+	sorted []*PathInfo // by path string, for deterministic iteration
+	// byTag maps a tag name to the paths ending in that tag.
+	byTag map[string][]*PathInfo
+}
+
+// Build constructs the summary in a single pass over the document.
+func Build(d *tree.Doc) *Summary {
+	s := &Summary{
+		paths: make(map[string]*PathInfo),
+		byTag: make(map[string][]*PathInfo),
+	}
+	var walk func(n tree.NodeID, prefix string, depth int)
+	walk = func(n tree.NodeID, prefix string, depth int) {
+		tag := d.Tag(n)
+		var path string
+		if prefix == "" {
+			path = tag
+		} else {
+			path = prefix + "/" + tag
+		}
+		pi := s.paths[path]
+		if pi == nil {
+			pi = &PathInfo{Path: path, Depth: depth}
+			s.paths[path] = pi
+			s.byTag[tag] = append(s.byTag[tag], pi)
+		}
+		pi.Nodes = append(pi.Nodes, n)
+		for c := d.FirstChild(n); c != tree.Nil; c = d.NextSibling(c) {
+			if d.Kind(c) == tree.Element {
+				walk(c, path, depth+1)
+			}
+		}
+	}
+	walk(d.Root(), "", 1)
+	s.sorted = make([]*PathInfo, 0, len(s.paths))
+	for _, pi := range s.paths {
+		s.sorted = append(s.sorted, pi)
+	}
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].Path < s.sorted[j].Path })
+	return s
+}
+
+// NumPaths returns the number of distinct label paths.
+func (s *Summary) NumPaths() int { return len(s.sorted) }
+
+// Paths returns all paths in lexicographic order. Callers must not modify
+// the result.
+func (s *Summary) Paths() []*PathInfo { return s.sorted }
+
+// Lookup returns the extent of an exact label path from the root, or nil.
+func (s *Summary) Lookup(path ...string) []tree.NodeID {
+	pi := s.paths[strings.Join(path, "/")]
+	if pi == nil {
+		return nil
+	}
+	return pi.Nodes
+}
+
+// Exists reports whether the exact label path occurs in the document. Q7's
+// lesson: deciding this from the summary avoids any data access.
+func (s *Summary) Exists(path ...string) bool {
+	_, ok := s.paths[strings.Join(path, "/")]
+	return ok
+}
+
+// Count returns the number of nodes on the exact label path without
+// touching the document: the summary answers the COUNT aggregations of Q6
+// and Q7 directly, as the paper notes for System D.
+func (s *Summary) Count(path ...string) int {
+	pi := s.paths[strings.Join(path, "/")]
+	if pi == nil {
+		return 0
+	}
+	return len(pi.Nodes)
+}
+
+// PathsEndingIn returns the paths whose last label is tag.
+func (s *Summary) PathsEndingIn(tag string) []*PathInfo { return s.byTag[tag] }
+
+// CountDescendants counts all elements with the given tag anywhere in the
+// document, from the catalog alone.
+func (s *Summary) CountDescendants(tag string) int {
+	n := 0
+	for _, pi := range s.byTag[tag] {
+		n += len(pi.Nodes)
+	}
+	return n
+}
+
+// ExtentWithin appends the members of extent that lie in the subtree
+// (lo, hi) — exclusive of lo itself — to buf. Extents are in document
+// order, so the containment range is found by binary search.
+func ExtentWithin(extent []tree.NodeID, lo, hi tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	i := sort.Search(len(extent), func(k int) bool { return extent[k] > lo })
+	for ; i < len(extent) && extent[i] < hi; i++ {
+		buf = append(buf, extent[i])
+	}
+	return buf
+}
+
+// CountWithin counts the members of extent inside the subtree (lo, hi)
+// with two binary searches and no materialization.
+func CountWithin(extent []tree.NodeID, lo, hi tree.NodeID) int {
+	i := sort.Search(len(extent), func(k int) bool { return extent[k] > lo })
+	j := sort.Search(len(extent), func(k int) bool { return extent[k] >= hi })
+	return j - i
+}
+
+// CountDescendantsOf counts tag-labeled descendants of n from the catalog
+// alone: the Q6/Q7 shortcut of the paper's System D.
+func (s *Summary) CountDescendantsOf(d *tree.Doc, n tree.NodeID, tag string) int {
+	lo, hi := n, d.SubtreeEnd(n)
+	total := 0
+	for _, pi := range s.byTag[tag] {
+		total += CountWithin(pi.Nodes, lo, hi)
+	}
+	return total
+}
+
+// DescendantsOf appends all tag-labeled descendants of n to buf using only
+// summary extents, in document order.
+func (s *Summary) DescendantsOf(d *tree.Doc, n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	lo, hi := n, d.SubtreeEnd(n)
+	start := len(buf)
+	for _, pi := range s.byTag[tag] {
+		buf = ExtentWithin(pi.Nodes, lo, hi, buf)
+	}
+	// Multiple paths can interleave in document order; restore order.
+	ext := buf[start:]
+	sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+	return buf
+}

@@ -1,0 +1,155 @@
+package summary
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/xmlgen"
+)
+
+func buildDoc(t *testing.T, xml string) *tree.Doc {
+	t.Helper()
+	d, err := tree.Parse([]byte(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBasicPaths(t *testing.T) {
+	d := buildDoc(t, `<a><b><c/></b><b><c/><c/></b><d/></a>`)
+	s := Build(d)
+	if s.NumPaths() != 4 { // a, a/b, a/b/c, a/d
+		t.Fatalf("NumPaths = %d", s.NumPaths())
+	}
+	if got := s.Count("a", "b", "c"); got != 3 {
+		t.Fatalf("Count(a/b/c) = %d", got)
+	}
+	if got := s.Count("a", "b"); got != 2 {
+		t.Fatalf("Count(a/b) = %d", got)
+	}
+	if !s.Exists("a", "d") || s.Exists("a", "x") {
+		t.Fatal("Exists wrong")
+	}
+	if s.Count("a", "x", "y") != 0 {
+		t.Fatal("Count of non-existing path not 0")
+	}
+}
+
+func TestExtentsInDocumentOrder(t *testing.T) {
+	d := buildDoc(t, `<a><b><c/></b><b><c/><c/></b></a>`)
+	s := Build(d)
+	ext := s.Lookup("a", "b", "c")
+	for i := 1; i < len(ext); i++ {
+		if ext[i-1] >= ext[i] {
+			t.Fatal("extent not in document order")
+		}
+	}
+}
+
+func TestPathsEndingIn(t *testing.T) {
+	d := buildDoc(t, `<a><b><k/></b><c><k/></c></a>`)
+	s := Build(d)
+	ps := s.PathsEndingIn("k")
+	if len(ps) != 2 {
+		t.Fatalf("PathsEndingIn(k) = %d paths", len(ps))
+	}
+	if s.CountDescendants("k") != 2 {
+		t.Fatalf("CountDescendants(k) = %d", s.CountDescendants("k"))
+	}
+}
+
+func TestDescendantsOf(t *testing.T) {
+	d := buildDoc(t, `<a><b><k/><c><k/></c></b><b><k/></b></a>`)
+	s := Build(d)
+	var bs []tree.NodeID
+	bs = d.ChildElements(d.Root(), d.TagSymbol("b"), bs)
+	var ks []tree.NodeID
+	ks = s.DescendantsOf(d, bs[0], "k", ks)
+	if len(ks) != 2 {
+		t.Fatalf("descendants of first b = %d", len(ks))
+	}
+	ks = ks[:0]
+	ks = s.DescendantsOf(d, bs[1], "k", ks)
+	if len(ks) != 1 {
+		t.Fatalf("descendants of second b = %d", len(ks))
+	}
+	// Root: all three, in document order.
+	ks = ks[:0]
+	ks = s.DescendantsOf(d, d.Root(), "k", ks)
+	if len(ks) != 3 {
+		t.Fatalf("descendants of root = %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatal("DescendantsOf not in document order")
+		}
+	}
+}
+
+func TestSummaryAgreesWithTraversalOnGeneratedDoc(t *testing.T) {
+	doc := xmlgen.New(xmlgen.Options{Factor: 0.003}).String()
+	d, err := tree.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(d)
+	// Q6-style count: items under all continents.
+	var items []tree.NodeID
+	items = d.DescendantElements(d.Root(), d.TagSymbol("item"), items)
+	if got := s.CountDescendants("item"); got != len(items) {
+		t.Fatalf("summary item count %d != traversal %d", got, len(items))
+	}
+	// Q7-style: counts of description, annotation, emailaddress.
+	for _, tag := range []string{"description", "annotation", "emailaddress", "keyword"} {
+		var trav []tree.NodeID
+		trav = d.DescendantElements(d.Root(), d.TagSymbol(tag), trav)
+		if got := s.CountDescendants(tag); got != len(trav) {
+			t.Fatalf("tag %s: summary %d != traversal %d", tag, got, len(trav))
+		}
+	}
+	// Exact-path extent equals navigation.
+	persons := s.Lookup("site", "people", "person")
+	var nav []tree.NodeID
+	people := d.ChildElements(d.Root(), d.TagSymbol("people"), nil)
+	nav = d.ChildElements(people[0], d.TagSymbol("person"), nav)
+	if len(persons) != len(nav) {
+		t.Fatalf("summary persons %d != nav %d", len(persons), len(nav))
+	}
+	for i := range nav {
+		if persons[i] != nav[i] {
+			t.Fatalf("extent mismatch at %d", i)
+		}
+	}
+}
+
+func TestExtentWithin(t *testing.T) {
+	ext := []tree.NodeID{2, 5, 9, 14, 20}
+	got := ExtentWithin(ext, 5, 20, nil)
+	if len(got) != 2 || got[0] != 9 || got[1] != 14 {
+		t.Fatalf("ExtentWithin = %v", got)
+	}
+	if got := ExtentWithin(ext, 20, 25, nil); len(got) != 0 {
+		t.Fatalf("ExtentWithin past end = %v", got)
+	}
+	// lo itself is excluded.
+	if got := ExtentWithin(ext, 2, 6, nil); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("ExtentWithin excl-lo = %v", got)
+	}
+}
+
+func TestQ15PathExistsInGeneratedDoc(t *testing.T) {
+	// The Q15 long path must exist at benchmark factors; the generator is
+	// tuned to produce nested parlists with emphasized keywords.
+	doc := xmlgen.New(xmlgen.Options{Factor: 0.01}).String()
+	d, err := tree.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(d)
+	if !s.Exists("site", "closed_auctions", "closed_auction", "annotation",
+		"description", "parlist", "listitem", "parlist", "listitem", "text",
+		"emph", "keyword") {
+		t.Fatal("Q15 path missing from generated document")
+	}
+}

@@ -1,0 +1,193 @@
+// Package tree provides the in-memory document representation shared by all
+// storage backends of the XMark reproduction.
+//
+// Nodes live in an arena in document order, so a node's identifier is its
+// pre-order rank: comparing identifiers is comparing document order, which
+// is what the paper's ordered-access queries (Q2–Q4) and the XQuery "<<"
+// operator need. Each element also records the end of its subtree extent,
+// giving O(1) ancestor tests and allocation-free descendant scans — the
+// containment-encoding idea the paper attributes to [26].
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/saxparse"
+)
+
+// NodeID identifies a node within its Doc; it equals the node's pre-order
+// rank in document order.
+type NodeID int32
+
+// Nil is the absent node.
+const Nil NodeID = -1
+
+// Kind discriminates element nodes from text nodes.
+type Kind uint8
+
+// Node kinds.
+const (
+	Element Kind = iota
+	Text
+)
+
+// Attr is one attribute instance.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Doc is a parsed XML document. The zero value is empty; build Docs with
+// Parse or Builder.
+type Doc struct {
+	kinds  []Kind
+	tags   []int32 // symbol per element; -1 for text nodes
+	texts  []string
+	parent []NodeID
+	next   []NodeID
+	first  []NodeID
+	end    []NodeID // one past the last descendant
+
+	attrStart []int32
+	attrLen   []uint8
+	attrs     []Attr
+
+	tagNames []string
+	tagIDs   map[string]int32
+}
+
+// Parse builds a Doc from the XML document in data. Whitespace-only
+// character data between elements is dropped; the XMark generator emits
+// such whitespace only for readability and no benchmark query observes it.
+func Parse(data []byte) (*Doc, error) {
+	b := NewBuilder()
+	err := saxparse.Parse(data, saxparse.Callbacks{
+		StartElement: func(name string, attrs []saxparse.Attr) error {
+			b.Start(name)
+			for _, a := range attrs {
+				b.Attr(a.Name, a.Value)
+			}
+			return nil
+		},
+		EndElement: func(string) error { b.End(); return nil },
+		CharData: func(text string) error {
+			if !isAllSpace(text) {
+				b.Text(text)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Doc()
+}
+
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// Builder assembles a Doc from document-order events.
+type Builder struct {
+	d         *Doc
+	stack     []NodeID // open elements
+	lastChild []NodeID // most recent child at each stack depth
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{d: &Doc{tagIDs: make(map[string]int32)}}
+}
+
+func (b *Builder) newNode(kind Kind) NodeID {
+	d := b.d
+	id := NodeID(len(d.kinds))
+	d.kinds = append(d.kinds, kind)
+	d.tags = append(d.tags, -1)
+	d.texts = append(d.texts, "")
+	d.parent = append(d.parent, Nil)
+	d.next = append(d.next, Nil)
+	d.first = append(d.first, Nil)
+	d.end = append(d.end, id+1)
+	d.attrStart = append(d.attrStart, int32(len(d.attrs)))
+	d.attrLen = append(d.attrLen, 0)
+	if top := len(b.stack) - 1; top >= 0 {
+		p := b.stack[top]
+		d.parent[id] = p
+		if lc := b.lastChild[top]; lc == Nil {
+			d.first[p] = id
+		} else {
+			d.next[lc] = id
+		}
+		b.lastChild[top] = id
+	}
+	return id
+}
+
+// Start opens an element with the given tag.
+func (b *Builder) Start(tag string) {
+	id := b.newNode(Element)
+	b.d.tags[id] = b.internTag(tag)
+	b.stack = append(b.stack, id)
+	b.lastChild = append(b.lastChild, Nil)
+}
+
+// Attr adds an attribute to the most recently started element. It must be
+// called before any child is added.
+func (b *Builder) Attr(name, value string) {
+	d := b.d
+	id := b.stack[len(b.stack)-1]
+	if d.first[id] != Nil {
+		panic("tree: Attr after child")
+	}
+	d.attrs = append(d.attrs, Attr{Name: name, Value: value})
+	d.attrLen[id]++
+}
+
+// Text adds a text node under the currently open element.
+func (b *Builder) Text(text string) {
+	if len(b.stack) == 0 {
+		panic("tree: Text outside root element")
+	}
+	id := b.newNode(Text)
+	b.d.texts[id] = text
+}
+
+// End closes the most recently opened element.
+func (b *Builder) End() {
+	id := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.lastChild = b.lastChild[:len(b.lastChild)-1]
+	b.d.end[id] = NodeID(len(b.d.kinds))
+}
+
+// Doc finalizes and returns the document. The builder must have closed all
+// elements and created exactly one root element.
+func (b *Builder) Doc() (*Doc, error) {
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("tree: %d unclosed elements", len(b.stack))
+	}
+	if len(b.d.kinds) == 0 {
+		return nil, fmt.Errorf("tree: empty document")
+	}
+	if b.d.kinds[0] != Element || b.d.end[0] != NodeID(len(b.d.kinds)) {
+		return nil, fmt.Errorf("tree: document must have a single element root")
+	}
+	return b.d, nil
+}
+
+func (b *Builder) internTag(tag string) int32 {
+	if id, ok := b.d.tagIDs[tag]; ok {
+		return id
+	}
+	id := int32(len(b.d.tagNames))
+	b.d.tagNames = append(b.d.tagNames, tag)
+	b.d.tagIDs[tag] = id
+	return id
+}

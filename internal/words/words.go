@@ -1,0 +1,237 @@
+// Package words provides the text substrate of the XMark document generator.
+//
+// The paper (§4.3) generates natural-language-like text from the 17,000 most
+// frequent words of Shakespeare's plays (stopwords excluded) and fills entity
+// fields such as names and email addresses from scrambled Internet
+// directories. Neither source ships with the paper, so this package
+// synthesizes a deterministic equivalent: a 17,000-word pronounceable
+// vocabulary whose selection follows a Zipf-like rank-frequency law, plus
+// deterministic name/location/address tables. Per the paper, the exact words
+// are irrelevant to performance assessment; vocabulary size, skew, and string
+// length distribution are what matter, and those are preserved.
+package words
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// VocabularySize is the number of distinct words in the generated
+// vocabulary, matching the paper's 17,000 most frequent words.
+const VocabularySize = 17000
+
+var (
+	buildOnce sync.Once
+	vocab     []string
+	zipf      *rng.Zipf
+)
+
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "y", "z", "br", "cr", "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl", "pl", "sl", "sh", "ch", "th", "wh", "st", "sp", "sc", "sk", "sm", "sn", "sw", "qu", ""}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ee", "oo", "ou", "io", "ia"}
+	codas   = []string{"", "", "n", "r", "s", "t", "l", "m", "d", "k", "p", "g", "st", "nd", "nt", "rd", "ck", "ng", "th", "sh"}
+	endings = []string{"", "", "", "ly", "ing", "ed", "er", "est", "ness", "tion", "ment", "ous", "ful", "ish"}
+)
+
+func build() {
+	// A fixed, label-derived stream keeps the vocabulary identical across
+	// runs and platforms regardless of where it is first used.
+	s := rng.New(0x584d61726b).Derive("vocabulary") // "XMark"
+	seen := make(map[string]bool, VocabularySize)
+	vocab = make([]string, 0, VocabularySize)
+	for len(vocab) < VocabularySize {
+		var b strings.Builder
+		syllables := 1 + s.Intn(3)
+		for i := 0; i < syllables; i++ {
+			b.WriteString(onsets[s.Intn(len(onsets))])
+			b.WriteString(vowels[s.Intn(len(vowels))])
+			b.WriteString(codas[s.Intn(len(codas))])
+		}
+		if s.Bool(0.3) {
+			b.WriteString(endings[s.Intn(len(endings))])
+		}
+		w := b.String()
+		if len(w) < 2 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		vocab = append(vocab, w)
+	}
+	zipf = rng.NewZipf(VocabularySize, 0.9)
+}
+
+// Word returns a vocabulary word drawn from stream s under the Zipf-like
+// rank-frequency law. Lower ranks (more frequent words) are shorter on
+// average is not guaranteed; only frequency skew is modeled.
+func Word(s *rng.Stream) string {
+	buildOnce.Do(build)
+	return vocab[zipf.Sample(s)]
+}
+
+// WordAt returns the vocabulary word of the given frequency rank, for tests
+// and for deterministic keyword planting.
+func WordAt(rank int) string {
+	buildOnce.Do(build)
+	return vocab[rank]
+}
+
+// Sentence writes a space-separated sequence of n words drawn from stream s
+// to b.
+func Sentence(b *strings.Builder, s *rng.Stream, n int) {
+	buildOnce.Do(build)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(vocab[zipf.Sample(s)])
+	}
+}
+
+// Text returns a space-separated sequence of between min and max words.
+func Text(s *rng.Stream, min, max int) string {
+	var b strings.Builder
+	n := min
+	if max > min {
+		n += s.Intn(max - min + 1)
+	}
+	Sentence(&b, s, n)
+	return b.String()
+}
+
+// firstNames and lastNames are fixed "scrambled directory" tables in the
+// spirit of the paper's use of scrambled phone directories.
+var firstNames = []string{
+	"Adem", "Aiko", "Alarich", "Amira", "Anzo", "Arnau", "Asuka", "Badri",
+	"Beke", "Benat", "Birte", "Bogdan", "Caj", "Carme", "Cheng", "Dafne",
+	"Daiki", "Davor", "Dilara", "Dorte", "Eero", "Eirlys", "Elior", "Emeka",
+	"Enno", "Farid", "Fenna", "Fidel", "Fumiko", "Gaizka", "Ganna", "Gero",
+	"Gilda", "Goran", "Hadiya", "Haruto", "Hedda", "Hesso", "Ilkka", "Imre",
+	"Ines", "Ioan", "Isamu", "Jarno", "Jelena", "Jiro", "Jolana", "Jorn",
+	"Kaida", "Kalle", "Kenji", "Kiri", "Kurt", "Ladislav", "Leja", "Lennart",
+	"Libuse", "Luan", "Maarten", "Madoka", "Malik", "Marei", "Mato", "Mehmet",
+	"Mika", "Milena", "Naoki", "Nedim", "Nerea", "Niilo", "Odalys", "Olaf",
+	"Oriol", "Osamu", "Paivi", "Panos", "Pelle", "Piotr", "Querida", "Quirin",
+	"Radka", "Rauno", "Reiko", "Renzo", "Rioghnach", "Sanna", "Selim", "Shoichi",
+	"Sini", "Sorin", "Svea", "Taavi", "Tamas", "Teruko", "Tjark", "Ulla",
+	"Umberto", "Vasile", "Veiko", "Vesna", "Wanja", "Wendelin", "Xanthe", "Yannic",
+	"Yasuko", "Yrjo", "Zanna", "Zdenek", "Zelda", "Zoltan",
+}
+
+var lastNames = []string{
+	"Aakster", "Abels", "Bakkenes", "Bultena", "Cremers", "Czapla", "Dierckx",
+	"Dudek", "Eelkema", "Ehrlinger", "Feenstra", "Fiala", "Gaastra", "Gutowski",
+	"Haanstra", "Hruska", "Iedema", "Ilves", "Jaworski", "Jellema", "Kaczmarek",
+	"Kooistra", "Lammers", "Lubbers", "Maciejewski", "Meulenbelt", "Nawrocki",
+	"Nijholt", "Okkema", "Ozols", "Pietersma", "Prochazka", "Quaedvlieg",
+	"Quispel", "Riemersma", "Rozental", "Sikkema", "Szczepanski", "Tamminga",
+	"Tichelaar", "Urbanek", "Uyterlinde", "Vasquez", "Veltman", "Wajda",
+	"Westra", "Xirau", "Ypma", "Zaleski", "Zijlstra", "Bonnema", "Castelein",
+	"Drexler", "Engberts", "Fokkema", "Grinwis", "Hoekstra", "Iwanow",
+	"Jongsma", "Kalinowski", "Leeuwenburgh", "Molenaar", "Noorlander",
+	"Oberholzer", "Palsma", "Ruygrok", "Schellekens", "Terpstra", "Uittenbogaard",
+	"Vredeveld", "Wiarda", "Yntema", "Zandstra", "Brandsma", "Cnossen",
+}
+
+var emailProviders = []string{
+	"acm.org", "auctionhub.example", "bitmail.example", "cwi.nl",
+	"fastpost.example", "inria.fr", "ipsi.fhg.de", "mailbox.example",
+	"netview.example", "webwatch.example",
+}
+
+var cities = []string{
+	"Amsterdam", "Auckland", "Bergen", "Brno", "Cordoba", "Darmstadt",
+	"Esbjerg", "Fukuoka", "Gdansk", "Hobart", "Izmir", "Jyvaskyla", "Kigali",
+	"Leuven", "Maribor", "Nantes", "Oulu", "Porto", "Quito", "Rotorua",
+	"Salzburg", "Tampere", "Uppsala", "Valparaiso", "Wellington", "Xalapa",
+	"Yokohama", "Zagreb",
+}
+
+var streets = []string{
+	"Alder Way", "Birch Lane", "Canal Row", "Dike Street", "Elm Avenue",
+	"Ferry Road", "Gable Court", "Harbor Walk", "Iris Close", "Juniper Path",
+	"Keizersgracht", "Linden Square", "Mill Crossing", "North Quay",
+	"Oak Terrace", "Polder Drive", "Quarry Hill", "Reed Bank", "Spire Street",
+	"Tulip Field", "Union Wharf", "Vine Alley", "Willow Bend", "Zuiderdiep",
+}
+
+// Regions lists the six world regions of the XMark document in their
+// document order under <regions>.
+var Regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Countries maps each region to the country names used for items and
+// addresses generated within it.
+var Countries = map[string][]string{
+	"africa":    {"Ghana", "Kenya", "Morocco", "Namibia", "Senegal", "Tunisia"},
+	"asia":      {"Japan", "Malaysia", "Mongolia", "Nepal", "Thailand", "Vietnam"},
+	"australia": {"Australia", "Fiji", "New Zealand", "Papua New Guinea", "Samoa", "Vanuatu"},
+	"europe":    {"Austria", "Czechia", "Denmark", "Finland", "Netherlands", "Portugal"},
+	"namerica":  {"Canada", "Costa Rica", "Guatemala", "Mexico", "Panama", "United States"},
+	"samerica":  {"Argentina", "Bolivia", "Chile", "Ecuador", "Peru", "Uruguay"},
+}
+
+// AllCountries returns every country from every region, in region order.
+func AllCountries() []string {
+	var out []string
+	for _, r := range Regions {
+		out = append(out, Countries[r]...)
+	}
+	return out
+}
+
+// PersonName draws a deterministic "scrambled directory" full name.
+func PersonName(s *rng.Stream) string {
+	return firstNames[s.Intn(len(firstNames))] + " " + lastNames[s.Intn(len(lastNames))]
+}
+
+// Email derives an email address from a person's name, as directory-derived
+// addresses would be.
+func Email(s *rng.Stream, name string) string {
+	parts := strings.Fields(name)
+	user := strings.ToLower(parts[0])
+	if len(parts) > 1 {
+		user += "." + strings.ToLower(parts[len(parts)-1])
+	}
+	return "mailto:" + user + "@" + emailProviders[s.Intn(len(emailProviders))]
+}
+
+// Phone draws a deterministic phone number string.
+func Phone(s *rng.Stream) string {
+	var b strings.Builder
+	b.WriteByte('+')
+	for i := 0; i < 2; i++ {
+		b.WriteByte(byte('1' + s.Intn(9)))
+	}
+	b.WriteString(" (")
+	for i := 0; i < 3; i++ {
+		b.WriteByte(byte('0' + s.Intn(10)))
+	}
+	b.WriteString(") ")
+	for i := 0; i < 8; i++ {
+		b.WriteByte(byte('0' + s.Intn(10)))
+	}
+	return b.String()
+}
+
+// City draws a city name.
+func City(s *rng.Stream) string { return cities[s.Intn(len(cities))] }
+
+// Street draws a street address line.
+func Street(s *rng.Stream) string {
+	return string('0'+byte(1+s.Intn(9))) + string('0'+byte(s.Intn(10))) + " " + streets[s.Intn(len(streets))]
+}
+
+// CreditCard draws a 16-digit credit card number in 4-4-4-4 groups.
+func CreditCard(s *rng.Stream) string {
+	var b strings.Builder
+	for g := 0; g < 4; g++ {
+		if g > 0 {
+			b.WriteByte(' ')
+		}
+		for i := 0; i < 4; i++ {
+			b.WriteByte(byte('0' + s.Intn(10)))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package xmark
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// sectionOrder is the document order of the site's sections; split files
+// are merged back in this order (within a section, file order is
+// preserved, which is generation order).
+var sectionOrder = []string{"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"}
+
+var regionOrder = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// MergeCollection reconstructs the one-document benchmark database from a
+// collection of split files (the n-entities-per-file mode of paper §5).
+// The paper states that "the semantics of the queries ... should not
+// differ no matter whether they are executed against a single document or
+// a collection of documents"; merging restores the normative one-document
+// form so any system can load the collection.
+//
+// Files are processed in ascending name order, matching the part numbering
+// the generator's split mode produces.
+func MergeCollection(files map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Parsed entity subtrees per section (and per region for items).
+	type entity struct {
+		doc *tree.Doc
+		n   tree.NodeID
+	}
+	bySection := map[string][]entity{}
+	byRegion := map[string][]entity{}
+
+	for _, name := range names {
+		doc, err := tree.Parse(files[name])
+		if err != nil {
+			return nil, fmt.Errorf("xmark: collection file %s: %w", name, err)
+		}
+		root := doc.Root()
+		if doc.Tag(root) != "site" {
+			return nil, fmt.Errorf("xmark: collection file %s: root is <%s>, want <site>", name, doc.Tag(root))
+		}
+		for sec := doc.FirstChild(root); sec != tree.Nil; sec = doc.NextSibling(sec) {
+			secTag := doc.Tag(sec)
+			switch secTag {
+			case "regions":
+				for reg := doc.FirstChild(sec); reg != tree.Nil; reg = doc.NextSibling(reg) {
+					regTag := doc.Tag(reg)
+					if !isRegion(regTag) {
+						return nil, fmt.Errorf("xmark: collection file %s: <%s> under regions", name, regTag)
+					}
+					for it := doc.FirstChild(reg); it != tree.Nil; it = doc.NextSibling(it) {
+						byRegion[regTag] = append(byRegion[regTag], entity{doc, it})
+					}
+				}
+			case "categories", "catgraph", "people", "open_auctions", "closed_auctions":
+				for e := doc.FirstChild(sec); e != tree.Nil; e = doc.NextSibling(e) {
+					bySection[secTag] = append(bySection[secTag], entity{doc, e})
+				}
+			default:
+				return nil, fmt.Errorf("xmark: collection file %s: unknown section <%s>", name, secTag)
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" standalone="yes"?>`)
+	b.WriteByte('\n')
+	b.WriteString("<site>")
+	for _, sec := range sectionOrder {
+		b.WriteByte('<')
+		b.WriteString(sec)
+		b.WriteByte('>')
+		if sec == "regions" {
+			for _, reg := range regionOrder {
+				b.WriteByte('<')
+				b.WriteString(reg)
+				b.WriteByte('>')
+				for _, e := range byRegion[reg] {
+					b.WriteString(e.doc.SerializeString(e.n))
+				}
+				b.WriteString("</")
+				b.WriteString(reg)
+				b.WriteByte('>')
+			}
+		} else {
+			for _, e := range bySection[sec] {
+				b.WriteString(e.doc.SerializeString(e.n))
+			}
+		}
+		b.WriteString("</")
+		b.WriteString(sec)
+		b.WriteByte('>')
+	}
+	b.WriteString("</site>")
+	return []byte(b.String()), nil
+}
+
+func isRegion(tag string) bool {
+	for _, r := range regionOrder {
+		if r == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadCollection merges split files and bulkloads the result into the
+// system.
+func (s System) LoadCollection(files map[string][]byte) (*Instance, error) {
+	merged, err := MergeCollection(files)
+	if err != nil {
+		return nil, err
+	}
+	return s.Load(merged)
+}

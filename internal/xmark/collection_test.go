@@ -1,0 +1,98 @@
+package xmark
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/xmlgen"
+)
+
+// splitFiles generates the benchmark in n-entities-per-file mode and
+// returns the files in memory.
+func splitFiles(t *testing.T, factor float64, perFile int) map[string][]byte {
+	t.Helper()
+	g := xmlgen.New(xmlgen.Options{Factor: factor})
+	files := map[string]*bytes.Buffer{}
+	err := g.WriteSplit(perFile, func(name string) (io.WriteCloser, error) {
+		buf := &bytes.Buffer{}
+		files[name] = buf
+		return nopCloser{buf}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(files))
+	for name, buf := range files {
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestMergeCollectionRebuildsDocument(t *testing.T) {
+	files := splitFiles(t, 0.002, 7)
+	merged, err := MergeCollection(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(merged, []byte("<site>")) {
+		t.Fatal("merged document lacks site root")
+	}
+	// Entity counts must match the one-document version exactly.
+	one := NewBenchmark(0.002).DocText
+	for _, probe := range []string{"<person id=", "<item id=", "<open_auction id=", "<closed_auction>", "<category id=", "<edge "} {
+		if got, want := bytes.Count(merged, []byte(probe)), bytes.Count(one, []byte(probe)); got != want {
+			t.Errorf("count(%q): merged %d, one-document %d", probe, got, want)
+		}
+	}
+}
+
+// TestCollectionQuerySemanticsNormative verifies paper §5: query semantics
+// must not differ between the one-document and the collection form.
+func TestCollectionQuerySemanticsNormative(t *testing.T) {
+	bench := NewBenchmark(0.002)
+	sysD, err := SystemByID(SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneDoc, err := sysD.Load(bench.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collection, err := sysD.LoadCollection(splitFiles(t, 0.002, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		a, err := bench.RunQuery(oneDoc, q.ID)
+		if err != nil {
+			t.Fatalf("one-document Q%d: %v", q.ID, err)
+		}
+		b, err := collection.Run(q.ID, bench.QueryText(q.ID))
+		if err != nil {
+			t.Fatalf("collection Q%d: %v", q.ID, err)
+		}
+		if a.Output != b.Output {
+			t.Fatalf("Q%d: collection result differs from one-document result", q.ID)
+		}
+	}
+}
+
+func TestMergeCollectionRejectsGarbage(t *testing.T) {
+	if _, err := MergeCollection(map[string][]byte{"a.xml": []byte("<nonsense/>")}); err == nil {
+		t.Fatal("non-site root accepted")
+	}
+	if _, err := MergeCollection(map[string][]byte{"a.xml": []byte("<site><wibble/></site>")}); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+	if _, err := MergeCollection(map[string][]byte{"a.xml": []byte("<site><regions><item/></regions></site>")}); err == nil {
+		t.Fatal("item outside region accepted")
+	}
+	if _, err := MergeCollection(map[string][]byte{"a.xml": []byte("<site><people><person")}); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}

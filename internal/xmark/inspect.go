@@ -1,0 +1,91 @@
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/summary"
+	"repro/internal/tree"
+)
+
+// DocProfile summarizes the structural characteristics of a benchmark
+// document: the element/attribute volumes and label-path population the
+// paper describes in §4 ("from marked-up data structures to traditional
+// prose").
+type DocProfile struct {
+	Bytes        int
+	Elements     int
+	TextNodes    int
+	Attributes   int
+	TextBytes    int
+	MaxDepth     int
+	DistinctTags int
+	// Paths lists every distinct root-to-element label path with its
+	// population, most frequent first.
+	Paths []PathCount
+}
+
+// PathCount is one label path and its population.
+type PathCount struct {
+	Path  string
+	Count int
+}
+
+// Profile parses docText and computes its structural profile.
+func Profile(docText []byte) (*DocProfile, error) {
+	doc, err := tree.Parse(docText)
+	if err != nil {
+		return nil, err
+	}
+	p := &DocProfile{Bytes: len(docText), DistinctTags: doc.TagCount()}
+	var depth func(n tree.NodeID, d int)
+	depth = func(n tree.NodeID, d int) {
+		if d > p.MaxDepth {
+			p.MaxDepth = d
+		}
+		for c := doc.FirstChild(n); c != tree.Nil; c = doc.NextSibling(c) {
+			depth(c, d+1)
+		}
+	}
+	depth(doc.Root(), 1)
+	for n := tree.NodeID(0); int(n) < doc.Len(); n++ {
+		if doc.Kind(n) == tree.Element {
+			p.Elements++
+			p.Attributes += len(doc.Attrs(n))
+		} else {
+			p.TextNodes++
+			p.TextBytes += len(doc.Text(n))
+		}
+	}
+	sum := summary.Build(doc)
+	for _, pi := range sum.Paths() {
+		p.Paths = append(p.Paths, PathCount{Path: pi.Path, Count: len(pi.Nodes)})
+	}
+	sort.Slice(p.Paths, func(i, j int) bool {
+		if p.Paths[i].Count != p.Paths[j].Count {
+			return p.Paths[i].Count > p.Paths[j].Count
+		}
+		return p.Paths[i].Path < p.Paths[j].Path
+	})
+	return p, nil
+}
+
+// Render writes the profile as a report; topPaths limits the path listing
+// (0 means all).
+func (p *DocProfile) Render(w io.Writer, topPaths int) {
+	fmt.Fprintf(w, "Document profile: %.1f MB\n", float64(p.Bytes)/1e6)
+	fmt.Fprintf(w, "  elements    %8d\n", p.Elements)
+	fmt.Fprintf(w, "  attributes  %8d\n", p.Attributes)
+	fmt.Fprintf(w, "  text nodes  %8d (%.1f MB character data)\n", p.TextNodes, float64(p.TextBytes)/1e6)
+	fmt.Fprintf(w, "  max depth   %8d\n", p.MaxDepth)
+	fmt.Fprintf(w, "  tags        %8d distinct, %d distinct label paths\n", p.DistinctTags, len(p.Paths))
+	n := len(p.Paths)
+	if topPaths > 0 && topPaths < n {
+		n = topPaths
+	}
+	fmt.Fprintf(w, "  top %d paths by population:\n", n)
+	for _, pc := range p.Paths[:n] {
+		fmt.Fprintf(w, "  %8d  %s\n", pc.Count, pc.Path)
+	}
+}

@@ -1,0 +1,72 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfile(t *testing.T) {
+	b := bench(t, 0.002)
+	p, err := Profile(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bytes != len(b.DocText) {
+		t.Fatalf("bytes = %d", p.Bytes)
+	}
+	if p.Elements == 0 || p.TextNodes == 0 || p.Attributes == 0 {
+		t.Fatalf("degenerate profile %+v", p)
+	}
+	// The Q15 path gives the document depth at least 12 levels
+	// (site..keyword plus text node).
+	if p.MaxDepth < 12 {
+		t.Fatalf("max depth = %d, want >= 12", p.MaxDepth)
+	}
+	if p.DistinctTags < 50 {
+		t.Fatalf("distinct tags = %d", p.DistinctTags)
+	}
+	// Paths are sorted by population.
+	for i := 1; i < len(p.Paths); i++ {
+		if p.Paths[i-1].Count < p.Paths[i].Count {
+			t.Fatal("paths not sorted by count")
+		}
+	}
+	// The person path population equals the cardinality.
+	found := false
+	for _, pc := range p.Paths {
+		if pc.Path == "site/people/person" {
+			found = true
+			if pc.Count != b.Card.People {
+				t.Fatalf("person path count = %d, want %d", pc.Count, b.Card.People)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("person path missing from profile")
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	b := bench(t, 0.002)
+	p, err := Profile(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	p.Render(&out, 10)
+	s := out.String()
+	for _, want := range []string{"Document profile", "elements", "max depth", "top 10 paths"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if strings.Count(s, "site/") < 10 {
+		t.Error("paths not listed")
+	}
+}
+
+func TestProfileRejectsBadDocument(t *testing.T) {
+	if _, err := Profile([]byte("<broken")); err == nil {
+		t.Fatal("bad document accepted")
+	}
+}

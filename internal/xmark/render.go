@@ -1,0 +1,107 @@
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ms renders a duration in milliseconds with adaptive precision, matching
+// the paper's "performance in ms" tables.
+func ms(d time.Duration) string {
+	m := float64(d) / float64(time.Millisecond)
+	switch {
+	case m >= 100:
+		return fmt.Sprintf("%.0f", m)
+	case m >= 1:
+		return fmt.Sprintf("%.1f", m)
+	default:
+		return fmt.Sprintf("%.3f", m)
+	}
+}
+
+func mb(n int64) string { return fmt.Sprintf("%.1f MB", float64(n)/1e6) }
+
+// RenderTable1 writes the Table 1 reproduction.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Database sizes and bulkload times (document %s)\n", mb(rows[0].DocBytes))
+	fmt.Fprintf(w, "%-8s %12s %12s %8s %8s\n", "System", "Size", "Size/doc", "Tables", "Load ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12s %11.2fx %8d %8s\n",
+			r.System, mb(r.Size), float64(r.Size)/float64(r.DocBytes), r.Tables, ms(r.Load))
+	}
+}
+
+// RenderTable2 writes the Table 2 reproduction.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: Detailed timings of Q1 and Q2 for Systems A, B, C")
+	fmt.Fprintf(w, "%-6s %-8s %12s %12s %12s %12s %10s\n",
+		"Query", "System", "Compile ms", "Exec ms", "Compile %", "Exec %", "MetaProbes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Q%-5d %-8s %12s %12s %11.0f%% %11.0f%% %10d\n",
+			r.QueryID, r.System, ms(r.Compile), ms(r.Execute),
+			r.CompileShare(), r.ExecuteShare(), r.MetaProbes)
+	}
+}
+
+// RenderTable3 writes the Table 3 reproduction as a query-by-system
+// matrix.
+func RenderTable3(w io.Writer, cells []Table3Cell) {
+	fmt.Fprintln(w, "Table 3: Performance in ms of the queries discussed in Section 7")
+	order := []SystemID{SystemA, SystemB, SystemC, SystemD, SystemE, SystemF}
+	times := map[int]map[SystemID]time.Duration{}
+	for _, c := range cells {
+		if times[c.QueryID] == nil {
+			times[c.QueryID] = map[SystemID]time.Duration{}
+		}
+		times[c.QueryID][c.System] = c.Time
+	}
+	fmt.Fprintf(w, "%-6s", "")
+	for _, s := range order {
+		fmt.Fprintf(w, " %10s", "System "+s)
+	}
+	fmt.Fprintln(w)
+	for _, qid := range Table3QueryIDs {
+		fmt.Fprintf(w, "Q%-5d", qid)
+		for _, s := range order {
+			fmt.Fprintf(w, " %10s", ms(times[qid][s]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure3 writes the generator scaling table (paper Figure 3).
+func RenderFigure3(w io.Writer, rows []Figure3Row) {
+	fmt.Fprintln(w, "Figure 3: Scaling the benchmark document")
+	fmt.Fprintf(w, "%-10s %12s %14s %10s %12s\n", "Factor", "Size", "Size/factor", "Entities", "Gen ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10g %12s %14s %10d %12s\n",
+			r.Factor, mb(r.Bytes), mb(int64(float64(r.Bytes)/r.Factor)), r.Entities, ms(r.GenTime))
+	}
+}
+
+// RenderFigure4 writes the embedded-processor series (paper Figure 4).
+func RenderFigure4(w io.Writer, points []Figure4Point) {
+	fmt.Fprintln(w, "Figure 4: Performance figures for the embedded query processor System G")
+	byFactor := map[float64]map[int]time.Duration{}
+	var factors []float64
+	for _, p := range points {
+		if byFactor[p.Factor] == nil {
+			byFactor[p.Factor] = map[int]time.Duration{}
+			factors = append(factors, p.Factor)
+		}
+		byFactor[p.Factor][p.QueryID] = p.Time
+	}
+	fmt.Fprintf(w, "%-6s", "")
+	for _, f := range factors {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("factor %g", f))
+	}
+	fmt.Fprintln(w)
+	for _, q := range Queries() {
+		fmt.Fprintf(w, "Q%-5d", q.ID)
+		for _, f := range factors {
+			fmt.Fprintf(w, " %14s", ms(byFactor[f][q.ID]))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,168 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderTable3Matrix(t *testing.T) {
+	cells := []Table3Cell{
+		{QueryID: 1, System: SystemA, Time: 2 * time.Millisecond},
+		{QueryID: 1, System: SystemB, Time: 500 * time.Microsecond},
+		{QueryID: 11, System: SystemA, Time: 1500 * time.Millisecond},
+	}
+	var b strings.Builder
+	RenderTable3(&b, cells)
+	out := b.String()
+	for _, want := range []string{"Table 3", "System A", "System B", "Q1", "Q11", "2.0", "0.500", "1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure4Series(t *testing.T) {
+	var points []Figure4Point
+	for _, q := range Queries() {
+		points = append(points,
+			Figure4Point{QueryID: q.ID, Factor: 0.001, Time: time.Millisecond},
+			Figure4Point{QueryID: q.ID, Factor: 0.01, Time: 10 * time.Millisecond})
+	}
+	var b strings.Builder
+	RenderFigure4(&b, points)
+	out := b.String()
+	if !strings.Contains(out, "factor 0.001") || !strings.Contains(out, "factor 0.01") {
+		t.Fatalf("factors missing:\n%s", out)
+	}
+	if strings.Count(out, "Q") < 20 {
+		t.Fatal("not all queries rendered")
+	}
+}
+
+func TestRenderFigure3(t *testing.T) {
+	rows := []Figure3Row{{Factor: 0.01, Bytes: 950_000, GenTime: 10 * time.Millisecond, Entities: 700}}
+	var b strings.Builder
+	RenderFigure3(&b, rows)
+	if !strings.Contains(b.String(), "0.9 MB") || !strings.Contains(b.String(), "95.0 MB") {
+		t.Fatalf("figure 3 render wrong:\n%s", b.String())
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	cases := map[time.Duration]string{
+		250 * time.Millisecond:  "250",
+		1500 * time.Microsecond: "1.5",
+		42 * time.Microsecond:   "0.042",
+	}
+	for d, want := range cases {
+		if got := ms(d); got != want {
+			t.Errorf("ms(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSystemByIDErrors(t *testing.T) {
+	if _, err := SystemByID("Z"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	for _, id := range []SystemID{SystemA, SystemB, SystemC, SystemD, SystemE, SystemF, SystemG} {
+		s, err := SystemByID(id)
+		if err != nil || s.ID != id {
+			t.Fatalf("SystemByID(%s) = %+v, %v", id, s, err)
+		}
+	}
+	if len(MassStorageSystems()) != 6 {
+		t.Fatal("mass storage systems != 6")
+	}
+	for _, s := range MassStorageSystems() {
+		if !s.MassStorage {
+			t.Fatalf("system %s not marked mass storage", s.ID)
+		}
+	}
+}
+
+func TestRunFigure4Smoke(t *testing.T) {
+	points, err := RunFigure4([]float64{0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 20 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Time <= 0 {
+			t.Fatalf("Q%d: no time", p.QueryID)
+		}
+	}
+}
+
+func TestRunTable3Smoke(t *testing.T) {
+	b := bench(t, 0.002)
+	cells, err := b.RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(Table3QueryIDs)*6 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Time <= 0 {
+			t.Fatalf("Q%d/%s: no time", c.QueryID, c.System)
+		}
+	}
+}
+
+func TestSystemGFailsGracefullyNever(t *testing.T) {
+	// System G must still produce correct answers; it is slow, not wrong.
+	b := bench(t, 0.002)
+	sysG, err := SystemByID(SystemG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instG, err := sysG.Load(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysD, err := SystemByID(SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instD, err := sysD.Load(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range []int{1, 5, 17} {
+		g, err := b.RunQuery(instG, qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := b.RunQuery(instD, qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Output != d.Output {
+			t.Fatalf("Q%d: G and D disagree", qid)
+		}
+	}
+}
+
+func TestQueryConceptsCoverPaperSections(t *testing.T) {
+	// §6 groups the queries under eleven concept headings; all must be
+	// represented.
+	want := []string{
+		"Exact Match", "Ordered Access", "Casting", "Regular Path Expressions",
+		"Chasing References", "Construction of Complex Results", "Joins on Values",
+		"Reconstruction", "Full Text", "Path Traversals", "Missing Elements",
+		"Function Application", "Sorting", "Aggregation",
+	}
+	have := map[string]bool{}
+	for _, q := range Queries() {
+		have[q.Concept] = true
+	}
+	for _, c := range want {
+		if !have[c] {
+			t.Errorf("concept %q not covered", c)
+		}
+	}
+}

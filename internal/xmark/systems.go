@@ -1,0 +1,202 @@
+package xmark
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mapping"
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// SystemID names the anonymized systems of the paper's evaluation.
+type SystemID string
+
+// The seven evaluated systems (paper §7).
+const (
+	SystemA SystemID = "A" // relational, one big heap relation
+	SystemB SystemID = "B" // relational, highly fragmenting path mapping
+	SystemC SystemID = "C" // relational, DTD-derived inlined schema
+	SystemD SystemID = "D" // main-memory with structural summary
+	SystemE SystemID = "E" // main-memory with tag indexes
+	SystemF SystemID = "F" // main-memory, plain traversal
+	SystemG SystemID = "G" // embedded query processor
+)
+
+// System describes one architecture under test.
+type System struct {
+	ID SystemID
+	// Architecture is the de-anonymized description the paper gives.
+	Architecture string
+	// MassStorage marks Systems A-F (paper category 1).
+	MassStorage bool
+
+	build func(doc *tree.Doc) nodestore.Store
+	opts  engine.Options
+}
+
+// Systems returns all seven systems in order.
+func Systems() []System { return systems }
+
+// MassStorageSystems returns Systems A through F.
+func MassStorageSystems() []System { return systems[:6] }
+
+// SystemByID returns the system with the given ID.
+func SystemByID(id SystemID) (System, error) {
+	for _, s := range systems {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("xmark: unknown system %q", id)
+}
+
+var systems = []System{
+	{
+		ID:           SystemA,
+		Architecture: "relational, all XML data on one big heap relation (edge mapping [20])",
+		MassStorage:  true,
+		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewEdge(doc) },
+		opts:         engine.Options{HashJoins: true, AttrIndexes: true},
+	},
+	{
+		ID:           SystemB,
+		Architecture: "relational, highly fragmenting mapping (one relation per label path)",
+		MassStorage:  true,
+		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewPath(doc) },
+		opts:         engine.Options{PathExtents: true, HashJoins: true, AttrIndexes: true},
+	},
+	{
+		ID:           SystemC,
+		Architecture: "relational, DTD-derived schema with inlined #PCDATA children [23]",
+		MassStorage:  true,
+		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewInline(doc) },
+		opts:         engine.Options{PathExtents: true, HashJoins: true, Inlining: true, AttrIndexes: true},
+	},
+	{
+		ID:           SystemD,
+		Architecture: "main-memory with detailed structural summary and tag indexes",
+		MassStorage:  true,
+		build: func(doc *tree.Doc) nodestore.Store {
+			return nodestore.NewDOM("dom+summary", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true})
+		},
+		opts: engine.Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true},
+	},
+	{
+		ID:           SystemE,
+		Architecture: "main-memory with tag indexes, heuristic optimizer",
+		MassStorage:  true,
+		build: func(doc *tree.Doc) nodestore.Store {
+			return nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true, AttrIndexes: true})
+		},
+		opts: engine.Options{HashJoins: true, AttrIndexes: true},
+	},
+	{
+		ID:           SystemF,
+		Architecture: "main-memory, plain pointer traversal without auxiliary indexes",
+		MassStorage:  true,
+		build: func(doc *tree.Doc) nodestore.Store {
+			return nodestore.NewDOM("dom", doc, nodestore.DOMOptions{})
+		},
+		opts: engine.Options{HashJoins: true},
+	},
+	{
+		ID:           SystemG,
+		Architecture: "embedded query processor: per-session document parse, no indexes, nested loops, string materialization",
+		MassStorage:  false,
+		build: func(doc *tree.Doc) nodestore.Store {
+			return nodestore.NewDOM("naive", doc, nodestore.DOMOptions{})
+		},
+		opts: engine.Options{NaiveStrings: true},
+	},
+}
+
+// Instance is a loaded system: a store built from a document plus its
+// query engine.
+type Instance struct {
+	System System
+	Engine *engine.Engine
+	// LoadTime is the bulkload wall time (document parse + store build),
+	// the Table 1 measurement.
+	LoadTime time.Duration
+	// Stats is the loaded database's size accounting.
+	Stats nodestore.Stats
+
+	// raw holds the document text for System G, which re-parses it per
+	// query session like the paper's embedded processors re-walk their
+	// input documents.
+	raw []byte
+}
+
+// Load bulkloads the document text into the system, timing parse plus
+// store construction as one completed transaction (paper §7, Table 1).
+func (s System) Load(docText []byte) (*Instance, error) {
+	start := time.Now()
+	doc, err := tree.Parse(docText)
+	if err != nil {
+		return nil, err
+	}
+	store := s.build(doc)
+	inst := &Instance{
+		System:   s,
+		Engine:   engine.New(store, s.opts),
+		LoadTime: time.Since(start),
+		Stats:    store.Stats(),
+	}
+	if s.ID == SystemG {
+		inst.raw = docText
+	}
+	return inst, nil
+}
+
+// QueryResult is one timed query execution.
+type QueryResult struct {
+	System  SystemID
+	QueryID int
+	// Compile is the query compilation time (parse, static checks,
+	// metadata access).
+	Compile time.Duration
+	// Execute is the evaluation plus serialization time.
+	Execute time.Duration
+	// Output is the serialized result.
+	Output string
+}
+
+// Total returns compile plus execute time.
+func (r QueryResult) Total() time.Duration { return r.Compile + r.Execute }
+
+// Run compiles and executes the query text, timing the phases separately
+// as in the paper's Table 2. For System G the execution phase includes the
+// per-session document parse, the constant overhead Figure 4 exhibits.
+func (inst *Instance) Run(queryID int, text string) (QueryResult, error) {
+	res := QueryResult{System: inst.System.ID, QueryID: queryID}
+
+	eng := inst.Engine
+	if inst.raw != nil {
+		// Embedded processor: a fresh private tree per query session.
+		start := time.Now()
+		doc, err := tree.Parse(inst.raw)
+		if err != nil {
+			return res, err
+		}
+		store := nodestore.NewDOM("naive", doc, nodestore.DOMOptions{})
+		eng = engine.New(store, inst.System.opts)
+		res.Execute += time.Since(start)
+	}
+
+	prep, err := eng.Prepare(text)
+	if err != nil {
+		return res, fmt.Errorf("system %s Q%d: %w", inst.System.ID, queryID, err)
+	}
+	res.Compile = prep.CompileTime
+
+	start := time.Now()
+	seq, err := prep.Run()
+	if err != nil {
+		return res, fmt.Errorf("system %s Q%d: %w", inst.System.ID, queryID, err)
+	}
+	res.Output = engine.SerializeString(eng.Store(), seq)
+	res.Execute += time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,332 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xquery"
+)
+
+// benchCache shares one generated benchmark across tests.
+var benchCache = map[float64]*Benchmark{}
+
+func bench(t *testing.T, factor float64) *Benchmark {
+	t.Helper()
+	if b, ok := benchCache[factor]; ok {
+		return b
+	}
+	b := NewBenchmark(factor)
+	benchCache[factor] = b
+	return b
+}
+
+func TestTwentyQueries(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 20 {
+		t.Fatalf("query count = %d", len(qs))
+	}
+	for i, q := range qs {
+		if q.ID != i+1 {
+			t.Fatalf("query %d has ID %d", i, q.ID)
+		}
+		if q.Concept == "" || q.Description == "" || q.text == "" {
+			t.Fatalf("Q%d incomplete", q.ID)
+		}
+	}
+}
+
+func TestQ4Parameterization(t *testing.T) {
+	b := bench(t, 0.002)
+	text := b.QueryText(4)
+	if strings.Contains(text, "%PERSON_A%") {
+		t.Fatal("Q4 placeholder not substituted")
+	}
+	if !strings.Contains(text, "person") {
+		t.Fatal("Q4 lost its person constants")
+	}
+}
+
+func TestAllSystemsLoad(t *testing.T) {
+	b := bench(t, 0.002)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 7 {
+		t.Fatalf("instances = %d", len(instances))
+	}
+	for _, inst := range instances {
+		if inst.LoadTime <= 0 {
+			t.Errorf("system %s: no load time", inst.System.ID)
+		}
+		if inst.Stats.SizeBytes <= 0 {
+			t.Errorf("system %s: no size", inst.System.ID)
+		}
+	}
+}
+
+// TestAllQueriesAllSystemsAgree is the central correctness test of the
+// reproduction: every one of the twenty queries returns the identical
+// serialized result on all seven architectures.
+func TestAllQueriesAllSystemsAgree(t *testing.T) {
+	b := bench(t, 0.004)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyAll(instances); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesReturnPlausibleResults(t *testing.T) {
+	b := bench(t, 0.01)
+	sysD, err := SystemByID(SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sysD.Load(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[int]string{}
+	for _, q := range Queries() {
+		res, err := b.RunQuery(inst, q.ID)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		results[q.ID] = res.Output
+	}
+	// Q1 returns exactly one name.
+	if results[1] == "" || strings.Contains(results[1], "<") {
+		t.Errorf("Q1 = %q", results[1])
+	}
+	// Q2 returns one <increase> element per open auction with bidders;
+	// at this factor some auctions have none, but many do.
+	if strings.Count(results[2], "<increase") == 0 {
+		t.Error("Q2 empty")
+	}
+	// Q5 is a count.
+	if results[5] == "" || results[5] == "0" {
+		t.Errorf("Q5 = %q", results[5])
+	}
+	// Q6 counts all items under the single regions element.
+	var q6 int
+	if _, err := fmtSscan(results[6], &q6); err != nil {
+		t.Fatalf("Q6 = %q", results[6])
+	}
+	if q6 != b.Card.Items {
+		t.Errorf("Q6 = %d, want %d", q6, b.Card.Items)
+	}
+	// Q7 counts prose; must be positive.
+	if results[7] == "" || results[7] == "0" {
+		t.Errorf("Q7 = %q", results[7])
+	}
+	// Q8 lists every person.
+	if got := strings.Count(results[8], "<item person="); got != b.Card.People {
+		t.Errorf("Q8 has %d persons, want %d", got, b.Card.People)
+	}
+	// Q10 output is the big construction result.
+	if len(results[10]) < 10*len(results[1]) {
+		t.Errorf("Q10 suspiciously small: %d bytes", len(results[10]))
+	}
+	// Q13 reconstructs descriptions.
+	if !strings.Contains(results[13], "<description>") {
+		t.Error("Q13 lost descriptions")
+	}
+	// Q14 finds the planted probe word.
+	if results[14] == "" {
+		t.Error("Q14 found nothing")
+	}
+	// Q15/Q16 traverse the long path; the generator plants it.
+	if !strings.Contains(results[15], "<text>") {
+		t.Error("Q15 found nothing")
+	}
+	if !strings.Contains(results[16], "<person id=") {
+		t.Error("Q16 found nothing")
+	}
+	// Q17: some persons lack homepages.
+	if got := strings.Count(results[17], "<person "); got == 0 || got >= b.Card.People {
+		t.Errorf("Q17 = %d of %d persons", got, b.Card.People)
+	}
+	// Q19 output is sorted by location.
+	var locs []string
+	for _, part := range strings.Split(results[19], "</item>") {
+		if i := strings.LastIndex(part, ">"); i >= 0 && i+1 < len(part) {
+			locs = append(locs, part[i+1:])
+		}
+	}
+	for i := 1; i < len(locs); i++ {
+		if locs[i-1] > locs[i] {
+			t.Errorf("Q19 not sorted at %d: %q > %q", i, locs[i-1], locs[i])
+		}
+	}
+	// Q20 partitions all persons into four income groups.
+	var p4 [4]int
+	for i, tag := range []string{"preferred", "standard", "challenge", "na"} {
+		open, close := "<"+tag+">", "</"+tag+">"
+		s := strings.Index(results[20], open)
+		e := strings.Index(results[20], close)
+		if s < 0 || e < 0 {
+			t.Fatalf("Q20 missing group %s: %s", tag, results[20])
+		}
+		if _, err := fmtSscan(results[20][s+len(open):e], &p4[i]); err != nil {
+			t.Fatalf("Q20 group %s not numeric", tag)
+		}
+	}
+	if p4[0]+p4[1]+p4[2]+p4[3] != b.Card.People {
+		t.Errorf("Q20 groups sum to %d, want %d", p4[0]+p4[1]+p4[2]+p4[3], b.Card.People)
+	}
+}
+
+// TestQueriesSurviveUnparseRoundTrip runs every benchmark query both from
+// its original text and from its parse/unparse normal form and requires
+// identical results: the unparser is verified against the full query set.
+func TestQueriesSurviveUnparseRoundTrip(t *testing.T) {
+	b := bench(t, 0.002)
+	sysD, err := SystemByID(SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sysD.Load(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		src := b.QueryText(q.ID)
+		parsed, err := xquery.Parse(src)
+		if err != nil {
+			t.Fatalf("Q%d does not parse: %v", q.ID, err)
+		}
+		normal := xquery.Unparse(parsed)
+		orig, err := inst.Run(q.ID, src)
+		if err != nil {
+			t.Fatalf("Q%d original: %v", q.ID, err)
+		}
+		round, err := inst.Run(q.ID, normal)
+		if err != nil {
+			t.Fatalf("Q%d unparsed form: %v\n%s", q.ID, err, normal)
+		}
+		if orig.Output != round.Output {
+			t.Fatalf("Q%d: unparsed form changed the result\n%s", q.ID, normal)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	b := bench(t, 0.004)
+	rows, err := b.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byID := map[SystemID]Table1Row{}
+	for _, r := range rows {
+		byID[r.System] = r
+		if r.Size <= 0 || r.Load <= 0 {
+			t.Errorf("system %s: degenerate row %+v", r.System, r)
+		}
+	}
+	// Paper shape: the plain main-memory store loads faster than any
+	// relational mapping, and the fragmenting mapping is the slowest
+	// relational load.
+	if byID[SystemF].Load >= byID[SystemB].Load {
+		t.Errorf("F load %v not faster than B load %v", byID[SystemF].Load, byID[SystemB].Load)
+	}
+	var out strings.Builder
+	RenderTable1(&out, rows)
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	b := bench(t, 0.004)
+	rows, err := b.RunTable2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var probesA, probesB int
+	for _, r := range rows {
+		if r.QueryID != 1 {
+			continue
+		}
+		switch r.System {
+		case SystemA:
+			probesA = r.MetaProbes
+		case SystemB:
+			probesB = r.MetaProbes
+		}
+	}
+	// Paper: System A accesses less metadata at compile time than the
+	// fragmenting System B.
+	if probesA >= probesB {
+		t.Errorf("metadata probes A=%d not below B=%d", probesA, probesB)
+	}
+	var out strings.Builder
+	RenderTable2(&out, rows)
+	if !strings.Contains(out.String(), "Q1") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	rows := RunFigure3([]float64{0.002, 0.01})
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	ratio := float64(rows[1].Bytes) / float64(rows[0].Bytes)
+	if ratio < 4 || ratio > 6 {
+		t.Errorf("5x factor gave %gx size", ratio)
+	}
+	var out strings.Builder
+	RenderFigure3(&out, rows)
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestScanTime(t *testing.T) {
+	b := bench(t, 0.004)
+	d, err := b.ScanTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("no scan time")
+	}
+}
+
+// fmtSscan avoids importing fmt twice in tests.
+func fmtSscan(s string, v *int) (int, error) {
+	n, err := sscanInt(s)
+	if err != nil {
+		return 0, err
+	}
+	*v = n
+	return 1, nil
+}
+
+func sscanInt(s string) (int, error) {
+	n := 0
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, strconvError(s)
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, strconvError(s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+type strconvError string
+
+func (e strconvError) Error() string { return "not a number: " + string(e) }

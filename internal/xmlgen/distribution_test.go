@@ -1,0 +1,290 @@
+package xmlgen
+
+import (
+	"encoding/xml"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// docStats extracts reference and value statistics from a generated
+// document for distribution assertions (paper §4.2: references feature
+// diverse distributions, derived from uniformly, normally and
+// exponentially distributed random variables).
+type docStats struct {
+	sellerRefs []int // person index per seller reference
+	buyerRefs  []int
+	incomes    []float64
+	bidderCnt  []int
+	increases  []float64
+	currents   []float64
+	initials   []float64
+}
+
+func collectStats(t *testing.T, factor float64) docStats {
+	t.Helper()
+	doc := New(Options{Factor: factor}).String()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	var st docStats
+	var inOpen bool
+	var bidders int
+	var path []string
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v := tok.(type) {
+		case xml.StartElement:
+			path = append(path, v.Name.Local)
+			switch v.Name.Local {
+			case "open_auction":
+				inOpen = true
+				bidders = 0
+			case "bidder":
+				bidders++
+			case "seller":
+				for _, a := range v.Attr {
+					if a.Name.Local == "person" {
+						st.sellerRefs = append(st.sellerRefs, personIndex(t, a.Value))
+					}
+				}
+			case "buyer":
+				for _, a := range v.Attr {
+					if a.Name.Local == "person" {
+						st.buyerRefs = append(st.buyerRefs, personIndex(t, a.Value))
+					}
+				}
+			case "profile":
+				for _, a := range v.Attr {
+					if a.Name.Local == "income" {
+						f, err := strconv.ParseFloat(a.Value, 64)
+						if err != nil {
+							t.Fatalf("income %q", a.Value)
+						}
+						st.incomes = append(st.incomes, f)
+					}
+				}
+			}
+		case xml.EndElement:
+			path = path[:len(path)-1]
+			if v.Name.Local == "open_auction" && inOpen {
+				st.bidderCnt = append(st.bidderCnt, bidders)
+				inOpen = false
+			}
+		case xml.CharData:
+			if len(path) == 0 {
+				continue
+			}
+			leaf := path[len(path)-1]
+			text := strings.TrimSpace(string(v))
+			if text == "" {
+				continue
+			}
+			switch leaf {
+			case "increase":
+				if f, err := strconv.ParseFloat(text, 64); err == nil {
+					st.increases = append(st.increases, f)
+				}
+			case "current":
+				if f, err := strconv.ParseFloat(text, 64); err == nil && inOpen {
+					st.currents = append(st.currents, f)
+				}
+			case "initial":
+				if f, err := strconv.ParseFloat(text, 64); err == nil && inOpen {
+					st.initials = append(st.initials, f)
+				}
+			}
+		}
+	}
+	return st
+}
+
+func personIndex(t *testing.T, ref string) int {
+	t.Helper()
+	if !strings.HasPrefix(ref, "person") {
+		t.Fatalf("reference %q", ref)
+	}
+	n, err := strconv.Atoi(ref[len("person"):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSellerReferencesExponentiallySkewed(t *testing.T) {
+	st := collectStats(t, 0.02)
+	c := Scale(0.02)
+	// Exponential with mean People/5: the bottom fifth of person indices
+	// must receive far more references than the top half.
+	low, high := 0, 0
+	for _, r := range st.sellerRefs {
+		if r < c.People/5 {
+			low++
+		}
+		if r >= c.People/2 {
+			high++
+		}
+	}
+	if low <= high {
+		t.Fatalf("seller refs not skewed: bottom fifth %d vs top half %d of %d", low, high, len(st.sellerRefs))
+	}
+}
+
+func TestBuyerReferencesNormallyCentered(t *testing.T) {
+	st := collectStats(t, 0.02)
+	c := Scale(0.02)
+	center, tails := 0, 0
+	for _, r := range st.buyerRefs {
+		d := math.Abs(float64(r) - float64(c.People)/2)
+		if d < float64(c.People)/8 {
+			center++
+		}
+		if d > float64(c.People)/4 {
+			tails++
+		}
+	}
+	// Within one sigma of the mean should hold the majority.
+	if center <= tails {
+		t.Fatalf("buyer refs not centered: center %d vs tails %d of %d", center, tails, len(st.buyerRefs))
+	}
+}
+
+func TestIncomeDistributionForQ20(t *testing.T) {
+	st := collectStats(t, 0.02)
+	if len(st.incomes) == 0 {
+		t.Fatal("no incomes")
+	}
+	// Q20's four groups must all be populated: >=100000, 30000..100000,
+	// <30000, plus persons without income (checked elsewhere).
+	var preferred, standard, challenge int
+	for _, v := range st.incomes {
+		switch {
+		case v >= 100000:
+			preferred++
+		case v >= 30000:
+			standard++
+		default:
+			challenge++
+		}
+	}
+	if preferred == 0 || standard == 0 || challenge == 0 {
+		t.Fatalf("degenerate income groups: %d/%d/%d", preferred, standard, challenge)
+	}
+	if standard < preferred || standard < challenge {
+		t.Fatalf("income distribution not centered on standard: %d/%d/%d", preferred, standard, challenge)
+	}
+}
+
+func TestBidderCountsExponential(t *testing.T) {
+	st := collectStats(t, 0.02)
+	zero, many := 0, 0
+	for _, n := range st.bidderCnt {
+		if n == 0 {
+			zero++
+		}
+		if n >= 6 {
+			many++
+		}
+	}
+	// Exponential mean 2: a sizable zero class, a thin tail, some long
+	// histories (Q2/Q3 need both short and long bid lists).
+	if zero == 0 || many == 0 {
+		t.Fatalf("bidder counts degenerate: %d auctions, %d zero, %d >=6", len(st.bidderCnt), zero, many)
+	}
+	if zero <= many {
+		t.Fatalf("bidder counts not decaying: zero=%d many=%d", zero, many)
+	}
+}
+
+func TestCurrentEqualsInitialPlusIncreases(t *testing.T) {
+	// Paper §4.5: consistency among elements — the bid history must be
+	// consistent. Re-walk the document and check per auction.
+	doc := New(Options{Factor: 0.01}).String()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	var path []string
+	var initial, sum, current float64
+	var inOpen bool
+	checked := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v := tok.(type) {
+		case xml.StartElement:
+			path = append(path, v.Name.Local)
+			if v.Name.Local == "open_auction" {
+				inOpen, initial, sum, current = true, 0, 0, 0
+			}
+		case xml.EndElement:
+			path = path[:len(path)-1]
+			if v.Name.Local == "open_auction" && inOpen {
+				if math.Abs(initial+sum-current) > 0.05 {
+					t.Fatalf("auction inconsistent: initial %v + increases %v != current %v", initial, sum, current)
+				}
+				checked++
+				inOpen = false
+			}
+		case xml.CharData:
+			if !inOpen || len(path) < 2 {
+				continue
+			}
+			leaf := path[len(path)-1]
+			parent := path[len(path)-2]
+			text := strings.TrimSpace(string(v))
+			if text == "" {
+				continue
+			}
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				continue
+			}
+			switch {
+			case leaf == "initial" && parent == "open_auction":
+				initial = f
+			case leaf == "increase" && parent == "bidder":
+				sum += f
+			case leaf == "current" && parent == "open_auction":
+				current = f
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no auctions checked")
+	}
+}
+
+func TestQ17HomepageFractionIsHigh(t *testing.T) {
+	// Paper on Q17: "The fraction of people without a homepage is rather
+	// high."
+	doc := New(Options{Factor: 0.02}).String()
+	persons := strings.Count(doc, "<person id=")
+	withHome := strings.Count(doc, "<homepage>")
+	frac := float64(persons-withHome) / float64(persons)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("homepage-less fraction = %.2f, want around half", frac)
+	}
+}
+
+func TestGoldProbeSelectivity(t *testing.T) {
+	// Q14's probe word must be present but rare: a keyword search, not a
+	// stopword.
+	doc := New(Options{Factor: 0.02}).String()
+	items := strings.Count(doc, "<item id=")
+	gold := strings.Count(doc, "gold")
+	if gold == 0 {
+		t.Fatal("no probe word")
+	}
+	if gold > items {
+		t.Fatalf("probe word too common: %d occurrences for %d items", gold, items)
+	}
+}

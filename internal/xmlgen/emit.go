@@ -1,0 +1,137 @@
+package xmlgen
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// emitter is a minimal streaming XML writer. It keeps no per-document state
+// beyond the open-element stack, which is bounded by the (small, fixed)
+// depth of the XMark document, so generation runs in constant memory as the
+// paper requires (§4.5).
+type emitter struct {
+	w     *bufio.Writer
+	n     int64
+	err   error
+	stack []string
+}
+
+func newEmitter(w io.Writer) *emitter {
+	return &emitter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (e *emitter) raw(s string) {
+	if e.err != nil {
+		return
+	}
+	n, err := e.w.WriteString(s)
+	e.n += int64(n)
+	e.err = err
+}
+
+// escaped writes character data with the five standard XML escapes. The
+// generator's vocabulary is ASCII (paper §4.4), but user-visible strings
+// such as street names may contain markup-significant characters.
+func (e *emitter) escaped(s string) {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var repl string
+		switch s[i] {
+		case '&':
+			repl = "&amp;"
+		case '<':
+			repl = "&lt;"
+		case '>':
+			repl = "&gt;"
+		case '"':
+			repl = "&quot;"
+		case '\'':
+			repl = "&apos;"
+		default:
+			continue
+		}
+		e.raw(s[start:i])
+		e.raw(repl)
+		start = i + 1
+	}
+	e.raw(s[start:])
+}
+
+// open writes a start tag with optional attributes given as name, value
+// pairs.
+func (e *emitter) open(tag string, attrs ...string) {
+	e.raw("<")
+	e.raw(tag)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		e.raw(" ")
+		e.raw(attrs[i])
+		e.raw(`="`)
+		e.escaped(attrs[i+1])
+		e.raw(`"`)
+	}
+	e.raw(">")
+	e.stack = append(e.stack, tag)
+}
+
+// close writes the end tag of the innermost open element.
+func (e *emitter) close() {
+	tag := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	e.raw("</")
+	e.raw(tag)
+	e.raw(">")
+}
+
+// empty writes an empty element tag.
+func (e *emitter) empty(tag string, attrs ...string) {
+	e.raw("<")
+	e.raw(tag)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		e.raw(" ")
+		e.raw(attrs[i])
+		e.raw(`="`)
+		e.escaped(attrs[i+1])
+		e.raw(`"`)
+	}
+	e.raw("/>")
+}
+
+// leaf writes <tag>text</tag>.
+func (e *emitter) leaf(tag, text string) {
+	e.open(tag)
+	e.escaped(text)
+	e.close()
+}
+
+func (e *emitter) nl() { e.raw("\n") }
+
+func (e *emitter) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// money formats a currency amount with two decimals, the string form XMark
+// values such as price, increase and reserve use.
+func money(v float64) string {
+	return strconv.FormatFloat(v+0.004, 'f', 2, 64)
+}
+
+// capitalize upper-cases the first letter of each word, for item and
+// category names.
+func capitalize(s string) string {
+	var b strings.Builder
+	up := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if up && c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		up = c == ' '
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,502 @@
+// Package xmlgen is the Go reproduction of the XMark document generator.
+//
+// The paper's xmlgen (§4.5) produces a scalable auction-site document that
+// is (1) platform independent, (2) accurately scalable, (3) time and
+// resource efficient — linear time, constant memory — and (4) deterministic:
+// output depends only on the input parameters. This implementation meets the
+// same contract: a single streaming pass emits the document, per-entity
+// random streams are derived from a fixed seed, and reference integrity is
+// maintained with the constant-memory item bijection instead of a log of
+// referenced IDs.
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// DefaultSeed is the generator seed used when Options.Seed is zero. Fixing
+// it makes every run of the benchmark produce the same document, as the
+// paper requires.
+const DefaultSeed = 0x584d41524b2002 // "XMARK" 2002
+
+// Options configure document generation.
+type Options struct {
+	// Factor is the scaling factor; 1.0 calibrates to roughly 100 MB
+	// (paper Figure 3). Must be positive.
+	Factor float64
+	// Seed overrides the default generator seed. Zero means DefaultSeed.
+	Seed uint64
+}
+
+// Generator produces the XMark benchmark document.
+type Generator struct {
+	card Cardinalities
+	bij  itemBijection
+	root *rng.Stream
+
+	// Probability and shape constants, fixed across factors. Gathered here
+	// so calibration (document size, optional-element fractions the queries
+	// rely on) is in one place.
+	pPhone           float64
+	pAddress         float64
+	pHomepage        float64 // Q17: the fraction without a homepage is rather high
+	pCreditcard      float64
+	pProfile         float64
+	pEducation       float64
+	pGender          float64
+	pAge             float64
+	pIncome          float64 // Q20 groups people with and without income
+	pWatches         float64
+	pReserve         float64
+	pPrivacy         float64
+	pFeatured        float64
+	pAnnotation      float64 // closed_auction annotation?
+	pItemDescParlist float64
+	pAnnoDescParlist float64
+	pGoldWord        float64 // Q14 full-text probe word
+}
+
+// New returns a Generator for the given options.
+func New(opts Options) *Generator {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	c := Scale(opts.Factor)
+	return &Generator{
+		card: c,
+		bij:  newItemBijection(c),
+		root: rng.New(seed),
+
+		pPhone:           0.60,
+		pAddress:         0.70,
+		pHomepage:        0.50,
+		pCreditcard:      0.45,
+		pProfile:         0.75,
+		pEducation:       0.45,
+		pGender:          0.60,
+		pAge:             0.35,
+		pIncome:          0.80,
+		pWatches:         0.55,
+		pReserve:         0.45,
+		pPrivacy:         0.50,
+		pFeatured:        0.10,
+		pAnnotation:      0.90,
+		pItemDescParlist: 0.25,
+		pAnnoDescParlist: 0.55,
+		pGoldWord:        0.0012,
+	}
+}
+
+// Cardinalities returns the entity counts of the document the generator
+// will produce.
+func (g *Generator) Cardinalities() Cardinalities { return g.card }
+
+// WriteTo writes the complete benchmark document to w and returns the
+// number of bytes written. It implements io.WriterTo.
+func (g *Generator) WriteTo(w io.Writer) (int64, error) {
+	e := newEmitter(w)
+	e.raw(`<?xml version="1.0" standalone="yes"?>`)
+	e.nl()
+	e.open("site")
+	e.nl()
+
+	e.open("regions")
+	e.nl()
+	for _, region := range regionOrder {
+		e.open(region)
+		e.nl()
+		start := g.card.RegionStart[region]
+		for i := 0; i < g.card.RegionItems[region]; i++ {
+			g.emitItem(e, region, start+i)
+		}
+		e.close()
+		e.nl()
+	}
+	e.close()
+	e.nl()
+
+	e.open("categories")
+	e.nl()
+	for i := 0; i < g.card.Categories; i++ {
+		g.emitCategory(e, i)
+	}
+	e.close()
+	e.nl()
+
+	e.open("catgraph")
+	e.nl()
+	g.emitCatgraph(e)
+	e.close()
+	e.nl()
+
+	e.open("people")
+	e.nl()
+	for i := 0; i < g.card.People; i++ {
+		g.emitPerson(e, i)
+	}
+	e.close()
+	e.nl()
+
+	e.open("open_auctions")
+	e.nl()
+	for i := 0; i < g.card.Open; i++ {
+		g.emitOpenAuction(e, i)
+	}
+	e.close()
+	e.nl()
+
+	e.open("closed_auctions")
+	e.nl()
+	for i := 0; i < g.card.Closed; i++ {
+		g.emitClosedAuction(e, i)
+	}
+	e.close()
+	e.nl()
+
+	e.close() // site
+	e.nl()
+	if err := e.flush(); err != nil {
+		return e.n, err
+	}
+	return e.n, nil
+}
+
+// String generates the whole document in memory. Intended for tests and
+// small factors; large documents should stream through WriteTo.
+func (g *Generator) String() string {
+	var b strings.Builder
+	if _, err := g.WriteTo(&b); err != nil {
+		// strings.Builder never errors; an error here is a program bug.
+		panic(err)
+	}
+	return b.String()
+}
+
+func (g *Generator) emitCategory(e *emitter, i int) {
+	s := g.root.DeriveN("category", uint64(i))
+	e.open("category", "id", "category"+strconv.Itoa(i))
+	e.leaf("name", capitalize(words.Text(s, 1, 3)))
+	g.emitDescription(e, s, 0.2, 2)
+	e.close()
+	e.nl()
+}
+
+func (g *Generator) emitCatgraph(e *emitter) {
+	s := g.root.Derive("catgraph")
+	n := g.card.Categories
+	// One edge per category on average links the categories into a network
+	// (paper §4.1 (5)).
+	for i := 0; i < n; i++ {
+		from := s.Intn(n)
+		to := s.Intn(n)
+		if to == from {
+			to = (to + 1) % n
+		}
+		e.empty("edge", "from", "category"+strconv.Itoa(from), "to", "category"+strconv.Itoa(to))
+		e.nl()
+	}
+}
+
+func (g *Generator) emitPerson(e *emitter, i int) {
+	s := g.root.DeriveN("person", uint64(i))
+	e.open("person", "id", "person"+strconv.Itoa(i))
+	name := words.PersonName(s)
+	e.leaf("name", name)
+	e.leaf("emailaddress", words.Email(s, name))
+	if s.Bool(g.pPhone) {
+		e.leaf("phone", words.Phone(s))
+	}
+	if s.Bool(g.pAddress) {
+		e.open("address")
+		e.leaf("street", words.Street(s))
+		e.leaf("city", words.City(s))
+		country := words.AllCountries()[s.Intn(36)]
+		e.leaf("country", country)
+		if s.Bool(0.3) {
+			e.leaf("province", capitalize(words.Text(s, 1, 1)))
+		}
+		e.leaf("zipcode", strconv.Itoa(10000+s.Intn(90000)))
+		e.close()
+	}
+	if s.Bool(g.pHomepage) {
+		e.leaf("homepage", "http://www."+strings.ToLower(strings.ReplaceAll(name, " ", ""))+".example/")
+	}
+	if s.Bool(g.pCreditcard) {
+		e.leaf("creditcard", words.CreditCard(s))
+	}
+	if s.Bool(g.pProfile) {
+		g.emitProfile(e, s)
+	}
+	if s.Bool(g.pWatches) {
+		e.open("watches")
+		n := 1 + int(s.Exponential(1.5))
+		for j := 0; j < n; j++ {
+			e.empty("watch", "open_auction", "open_auction"+strconv.Itoa(s.Intn(g.card.Open)))
+		}
+		e.close()
+	}
+	e.close()
+	e.nl()
+}
+
+func (g *Generator) emitProfile(e *emitter, s *rng.Stream) {
+	attrs := []string{}
+	if s.Bool(g.pIncome) {
+		income := s.Normal(58500, 26000)
+		if income < 9876 {
+			income = 9876
+		}
+		attrs = append(attrs, "income", money(income))
+	}
+	e.open("profile", attrs...)
+	nInterest := int(s.Exponential(1.4))
+	for j := 0; j < nInterest; j++ {
+		e.empty("interest", "category", "category"+strconv.Itoa(s.Intn(g.card.Categories)))
+	}
+	if s.Bool(g.pEducation) {
+		e.leaf("education", []string{"High School", "College", "Graduate School", "Other"}[s.Intn(4)])
+	}
+	if s.Bool(g.pGender) {
+		e.leaf("gender", []string{"male", "female"}[s.Intn(2)])
+	}
+	e.leaf("business", []string{"Yes", "No"}[s.Intn(2)])
+	if s.Bool(g.pAge) {
+		e.leaf("age", strconv.Itoa(18+s.Intn(60)))
+	}
+	e.close()
+}
+
+func (g *Generator) emitItem(e *emitter, region string, i int) {
+	s := g.root.DeriveN("item", uint64(i))
+	attrs := []string{"id", "item" + strconv.Itoa(i)}
+	if s.Bool(g.pFeatured) {
+		attrs = append(attrs, "featured", "yes")
+	}
+	e.open("item", attrs...)
+	countries := words.Countries[region]
+	e.leaf("location", countries[s.Intn(len(countries))])
+	e.leaf("quantity", strconv.Itoa(1+s.Intn(10)))
+	e.leaf("name", capitalize(words.Text(s, 1, 4)))
+	e.leaf("payment", []string{
+		"Creditcard", "Money order", "Creditcard, Money order",
+		"Cash, Creditcard", "Personal Check", "Cash, Personal Check, Money order",
+	}[s.Intn(6)])
+	g.emitDescription(e, s, g.pItemDescParlist, 3)
+	e.leaf("shipping", []string{
+		"Will ship only within country", "Will ship internationally",
+		"Buyer pays fixed shipping charges", "See description for charges",
+	}[s.Intn(4)])
+	nCat := 1 + int(s.Exponential(1.0))
+	for j := 0; j < nCat; j++ {
+		e.empty("incategory", "category", "category"+strconv.Itoa(s.Intn(g.card.Categories)))
+	}
+	e.open("mailbox")
+	nMail := int(s.Exponential(1.3))
+	for j := 0; j < nMail; j++ {
+		e.open("mail")
+		from := words.PersonName(s)
+		to := words.PersonName(s)
+		e.leaf("from", from+" "+words.Email(s, from))
+		e.leaf("to", to+" "+words.Email(s, to))
+		e.leaf("date", g.date(s))
+		g.emitText(e, s, 30, 90)
+		e.close()
+	}
+	e.close() // mailbox
+	e.close() // item
+	e.nl()
+}
+
+func (g *Generator) emitOpenAuction(e *emitter, i int) {
+	s := g.root.DeriveN("open_auction", uint64(i))
+	e.open("open_auction", "id", "open_auction"+strconv.Itoa(i))
+	initial := 1 + s.Exponential(50)
+	e.leaf("initial", money(initial))
+	if s.Bool(g.pReserve) {
+		e.leaf("reserve", money(initial*(1.2+s.Float64())))
+	}
+	// Bid history: an ordered list of increases; current must be consistent
+	// with initial plus all increases (paper §4.1 (2)).
+	nBidders := int(s.Exponential(2.0))
+	sum := 0.0
+	for j := 0; j < nBidders; j++ {
+		e.open("bidder")
+		e.leaf("date", g.date(s))
+		e.leaf("time", g.time(s))
+		e.empty("personref", "person", "person"+strconv.Itoa(s.Intn(g.card.People)))
+		inc := 1.5 * float64(1+s.Intn(12))
+		sum += inc
+		e.leaf("increase", money(inc))
+		e.close()
+	}
+	e.leaf("current", money(initial+sum))
+	if s.Bool(g.pPrivacy) {
+		e.leaf("privacy", []string{"Yes", "No"}[s.Intn(2)])
+	}
+	e.empty("itemref", "item", "item"+strconv.Itoa(g.bij.openItem(i)))
+	e.empty("seller", "person", "person"+strconv.Itoa(g.sellerRef(s)))
+	g.emitAnnotation(e, s)
+	e.leaf("quantity", strconv.Itoa(1+s.Intn(10)))
+	e.leaf("type", []string{"Regular", "Featured", "Dutch"}[s.Intn(3)])
+	e.open("interval")
+	e.leaf("start", g.date(s))
+	e.leaf("end", g.date(s))
+	e.close()
+	e.close()
+	e.nl()
+}
+
+func (g *Generator) emitClosedAuction(e *emitter, i int) {
+	s := g.root.DeriveN("closed_auction", uint64(i))
+	e.open("closed_auction")
+	e.empty("seller", "person", "person"+strconv.Itoa(g.sellerRef(s)))
+	e.empty("buyer", "person", "person"+strconv.Itoa(g.buyerRef(s)))
+	e.empty("itemref", "item", "item"+strconv.Itoa(g.bij.closedItem(i)))
+	e.leaf("price", money(1+s.Exponential(55)))
+	e.leaf("date", g.date(s))
+	e.leaf("quantity", strconv.Itoa(1+s.Intn(10)))
+	e.leaf("type", []string{"Regular", "Featured", "Dutch"}[s.Intn(3)])
+	if s.Bool(g.pAnnotation) {
+		g.emitAnnotation(e, s)
+	}
+	e.close()
+	e.nl()
+}
+
+// sellerRef draws a person index from an exponential distribution: a few
+// people sell very often (paper §4.2: references feature diverse
+// distributions).
+func (g *Generator) sellerRef(s *rng.Stream) int {
+	v := int(s.Exponential(float64(g.card.People) / 5))
+	return v % g.card.People
+}
+
+// buyerRef draws a person index from a (clamped) normal distribution.
+func (g *Generator) buyerRef(s *rng.Stream) int {
+	n := g.card.People
+	v := int(s.Normal(float64(n)/2, float64(n)/8))
+	if v < 0 {
+		v = 0
+	}
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+func (g *Generator) emitAnnotation(e *emitter, s *rng.Stream) {
+	e.open("annotation")
+	e.empty("author", "person", "person"+strconv.Itoa(s.Intn(g.card.People)))
+	if s.Bool(0.9) {
+		g.emitDescription(e, s, g.pAnnoDescParlist, 3)
+	}
+	e.leaf("happiness", strconv.Itoa(1+s.Intn(10)))
+	e.close()
+}
+
+// emitDescription emits <description> with either flat mixed text or a
+// parlist, the document-centric structure of the paper (§4.1). pParlist is
+// the probability of the itemized-list form; maxDepth bounds list nesting.
+func (g *Generator) emitDescription(e *emitter, s *rng.Stream, pParlist float64, maxDepth int) {
+	e.open("description")
+	if s.Bool(pParlist) && maxDepth > 0 {
+		g.emitParlist(e, s, maxDepth)
+	} else {
+		g.emitText(e, s, 35, 120)
+	}
+	e.close()
+}
+
+func (g *Generator) emitParlist(e *emitter, s *rng.Stream, depth int) {
+	e.open("parlist")
+	n := 1 + s.Intn(3)
+	for j := 0; j < n; j++ {
+		e.open("listitem")
+		if depth > 1 && s.Bool(0.45) {
+			g.emitParlist(e, s, depth-1)
+		} else {
+			g.emitText(e, s, 15, 55)
+		}
+		e.close()
+	}
+	e.close()
+}
+
+// emitText emits a <text> element with mixed content: character data
+// interspersed with bold, keyword and emph phrases, imitating natural
+// language with markup (paper §4.3). Keywords inside emphasis are what the
+// path-traversal queries Q15/Q16 look for.
+func (g *Generator) emitText(e *emitter, s *rng.Stream, minWords, maxWords int) {
+	e.open("text")
+	n := minWords + s.Intn(maxWords-minWords+1)
+	written := 0
+	for written < n {
+		run := 3 + s.Intn(8)
+		if run > n-written {
+			run = n - written
+		}
+		for k := 0; k < run; k++ {
+			if written > 0 {
+				e.raw(" ")
+			}
+			e.escaped(g.word(s))
+			written++
+		}
+		if written >= n {
+			break
+		}
+		// Inline markup between plain runs.
+		switch s.Intn(5) {
+		case 0:
+			e.raw(" ")
+			e.open("bold")
+			e.escaped(g.word(s))
+			e.close()
+			written++
+		case 1:
+			e.raw(" ")
+			e.open("keyword")
+			e.escaped(g.word(s))
+			e.close()
+			written++
+		case 2:
+			e.raw(" ")
+			e.open("emph")
+			e.escaped(g.word(s))
+			// Keyword within emphasis: the Q15/Q16 target path.
+			if s.Bool(0.5) {
+				e.raw(" ")
+				e.open("keyword")
+				e.escaped(g.word(s))
+				e.close()
+			}
+			e.close()
+			written += 2
+		}
+	}
+	e.close()
+}
+
+// word draws a vocabulary word, occasionally substituting the full-text
+// probe word "gold" that Q14 searches for.
+func (g *Generator) word(s *rng.Stream) string {
+	if s.Bool(g.pGoldWord) {
+		return "gold"
+	}
+	return words.Word(s)
+}
+
+func (g *Generator) date(s *rng.Stream) string {
+	return fmt.Sprintf("%02d/%02d/%04d", 1+s.Intn(12), 1+s.Intn(28), 1998+s.Intn(4))
+}
+
+func (g *Generator) time(s *rng.Stream) string {
+	return fmt.Sprintf("%02d:%02d:%02d", s.Intn(24), s.Intn(60), s.Intn(60))
+}

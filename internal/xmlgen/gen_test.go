@@ -1,0 +1,336 @@
+package xmlgen
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestScaleCardinalities(t *testing.T) {
+	c := Scale(1.0)
+	if c.Categories != 1000 || c.People != 25500 || c.Open != 12000 || c.Closed != 9750 {
+		t.Fatalf("factor 1.0 cardinalities = %+v", c)
+	}
+	if c.Items != c.Open+c.Closed {
+		t.Fatalf("items %d != open %d + closed %d", c.Items, c.Open, c.Closed)
+	}
+}
+
+func TestScaleRegionPartition(t *testing.T) {
+	for _, f := range []float64{0.001, 0.01, 0.1, 1.0, 2.5} {
+		c := Scale(f)
+		sum := 0
+		for _, r := range regionOrder {
+			sum += c.RegionItems[r]
+		}
+		if sum != c.Items {
+			t.Fatalf("factor %v: region items sum %d != %d", f, sum, c.Items)
+		}
+		// Region starts must tile [0, Items).
+		next := 0
+		for _, r := range regionOrder {
+			if c.RegionStart[r] != next {
+				t.Fatalf("factor %v: region %s starts at %d, want %d", f, r, c.RegionStart[r], next)
+			}
+			next += c.RegionItems[r]
+		}
+	}
+}
+
+func TestScaleLinear(t *testing.T) {
+	small := Scale(0.1)
+	big := Scale(1.0)
+	if big.People < 9*small.People || big.People > 11*small.People {
+		t.Fatalf("people do not scale linearly: %d vs %d", small.People, big.People)
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	Scale(0)
+}
+
+func TestItemBijection(t *testing.T) {
+	c := Scale(0.01)
+	b := newItemBijection(c)
+	seen := make(map[int]bool, c.Items)
+	for k := 0; k < c.Open; k++ {
+		seen[b.openItem(k)] = true
+	}
+	for k := 0; k < c.Closed; k++ {
+		it := b.closedItem(k)
+		if seen[it] {
+			t.Fatalf("item %d referenced by both an open and a closed auction", it)
+		}
+		seen[it] = true
+	}
+	if len(seen) != c.Items {
+		t.Fatalf("bijection covered %d of %d items", len(seen), c.Items)
+	}
+	for it := range seen {
+		if it < 0 || it >= c.Items {
+			t.Fatalf("item index %d out of range", it)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := New(Options{Factor: 0.002}).String()
+	b := New(Options{Factor: 0.002}).String()
+	if a != b {
+		t.Fatal("two runs with equal parameters differ")
+	}
+	c := New(Options{Factor: 0.002, Seed: 12345}).String()
+	if a == c {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	doc := New(Options{Factor: 0.005}).String()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("document not well-formed: %v", err)
+		}
+	}
+}
+
+// countOccurrences counts non-overlapping occurrences of sub in s.
+func countOccurrences(s, sub string) int { return strings.Count(s, sub) }
+
+func TestEntityCounts(t *testing.T) {
+	g := New(Options{Factor: 0.005})
+	doc := g.String()
+	c := g.Cardinalities()
+	cases := []struct {
+		tag  string
+		want int
+	}{
+		{"<person id=", c.People},
+		{"<open_auction id=", c.Open},
+		{"<closed_auction>", c.Closed},
+		{"<category id=", c.Categories},
+		{"<item id=", c.Items},
+	}
+	for _, tc := range cases {
+		if got := countOccurrences(doc, tc.tag); got != tc.want {
+			t.Errorf("count(%q) = %d, want %d", tc.tag, got, tc.want)
+		}
+	}
+}
+
+func TestReferenceIntegrity(t *testing.T) {
+	g := New(Options{Factor: 0.004})
+	doc := g.String()
+	c := g.Cardinalities()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	checkRef := func(val, prefix string, n int) {
+		if !strings.HasPrefix(val, prefix) {
+			t.Fatalf("reference %q lacks prefix %q", val, prefix)
+		}
+		var idx int
+		if _, err := fmt.Sscanf(val[len(prefix):], "%d", &idx); err != nil {
+			t.Fatalf("reference %q not numbered: %v", val, err)
+		}
+		if idx < 0 || idx >= n {
+			t.Fatalf("reference %q out of range [0,%d)", val, n)
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		for _, a := range se.Attr {
+			switch {
+			case a.Name.Local == "person":
+				checkRef(a.Value, "person", c.People)
+			case a.Name.Local == "item":
+				checkRef(a.Value, "item", c.Items)
+			case a.Name.Local == "category" && se.Name.Local != "category":
+				checkRef(a.Value, "category", c.Categories)
+			case a.Name.Local == "open_auction":
+				checkRef(a.Value, "open_auction", c.Open)
+			case a.Name.Local == "from", a.Name.Local == "to":
+				if se.Name.Local == "edge" {
+					checkRef(a.Value, "category", c.Categories)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryProbesPresent(t *testing.T) {
+	doc := New(Options{Factor: 0.01}).String()
+	// Q1 target.
+	if !strings.Contains(doc, `<person id="person0">`) {
+		t.Error("person0 missing (Q1 target)")
+	}
+	// Q14 full-text probe.
+	if !strings.Contains(doc, "gold") {
+		t.Error("probe word 'gold' missing (Q14 target)")
+	}
+	// Q15/Q16 long path needs keyword inside emph inside text.
+	if !strings.Contains(doc, "<emph>") || !strings.Contains(doc, "<keyword>") {
+		t.Error("emph/keyword markup missing (Q15/Q16 target)")
+	}
+	// Q17: some persons must lack a homepage, some must have one.
+	persons := countOccurrences(doc, "<person id=")
+	homepages := countOccurrences(doc, "<homepage>")
+	if homepages == 0 || homepages >= persons {
+		t.Errorf("homepage fraction degenerate: %d of %d", homepages, persons)
+	}
+	// Q20: incomes present but not universal.
+	incomes := countOccurrences(doc, "income=")
+	if incomes == 0 || incomes >= persons {
+		t.Errorf("income fraction degenerate: %d of %d", incomes, persons)
+	}
+}
+
+func TestSizeScalesLinearly(t *testing.T) {
+	size := func(f float64) int64 {
+		var cw countWriter
+		if _, err := New(Options{Factor: f}).WriteTo(&cw); err != nil {
+			t.Fatal(err)
+		}
+		return cw.n
+	}
+	s1 := size(0.005)
+	s2 := size(0.05)
+	ratio := float64(s2) / float64(s1)
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("size ratio for 10x factor = %.2f (sizes %d, %d), want about 10", ratio, s1, s2)
+	}
+}
+
+func TestSizeCalibration(t *testing.T) {
+	// Figure 3: factor 1.0 is calibrated to "slightly more than 100 MB".
+	// Check the extrapolation from factor 0.02 is in a tolerant band.
+	var cw countWriter
+	if _, err := New(Options{Factor: 0.02}).WriteTo(&cw); err != nil {
+		t.Fatal(err)
+	}
+	extrapolated := float64(cw.n) * 50 / 1e6
+	if extrapolated < 70 || extrapolated > 140 {
+		t.Fatalf("extrapolated factor-1.0 size = %.1f MB, want about 100 MB", extrapolated)
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// memFile is an in-memory WriteCloser for split-mode tests.
+type memFile struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (m *memFile) Close() error {
+	m.closed = true
+	return nil
+}
+
+func TestWriteSplit(t *testing.T) {
+	g := New(Options{Factor: 0.002})
+	files := map[string]*memFile{}
+	var order []string
+	err := g.WriteSplit(10, func(name string) (io.WriteCloser, error) {
+		f := &memFile{}
+		files[name] = f
+		order = append(order, name)
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("split produced %d files, want several", len(files))
+	}
+	totalPersons := 0
+	for name, f := range files {
+		if !f.closed {
+			t.Errorf("file %s not closed", name)
+		}
+		content := f.String()
+		dec := xml.NewDecoder(strings.NewReader(content))
+		for {
+			_, err := dec.Token()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s not well-formed: %v", name, err)
+			}
+		}
+		if !strings.HasPrefix(content, `<?xml`) || !strings.Contains(content, "<site>") {
+			t.Errorf("%s missing document envelope", name)
+		}
+		totalPersons += strings.Count(content, "<person id=")
+	}
+	if want := g.Cardinalities().People; totalPersons != want {
+		t.Fatalf("split files contain %d persons, want %d", totalPersons, want)
+	}
+	// Entity content must match the one-document version entity for entity:
+	// person0's record must appear verbatim in some split file.
+	full := g.String()
+	i := strings.Index(full, `<person id="person0">`)
+	j := strings.Index(full[i:], "</person>")
+	personRecord := full[i : i+j+len("</person>")]
+	found := false
+	for _, f := range files {
+		if strings.Contains(f.String(), personRecord) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("person0 record differs between split and one-document modes")
+	}
+}
+
+func TestWriteSplitRejectsBadPerFile(t *testing.T) {
+	g := New(Options{Factor: 0.002})
+	if err := g.WriteSplit(0, nil); err == nil {
+		t.Fatal("WriteSplit(0) succeeded")
+	}
+}
+
+func TestMoneyFormat(t *testing.T) {
+	for _, c := range []struct {
+		in   float64
+		want string
+	}{{1, "1.00"}, {39.999, "40.00"}, {0.5, "0.50"}} {
+		if got := money(c.in); got != c.want {
+			t.Errorf("money(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCapitalize(t *testing.T) {
+	if got := capitalize("brass age lamp"); got != "Brass Age Lamp" {
+		t.Errorf("capitalize = %q", got)
+	}
+}

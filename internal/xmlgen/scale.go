@@ -1,0 +1,140 @@
+package xmlgen
+
+import "math"
+
+// Calibration constants at scaling factor 1.0. The paper (§4.5, Figure 3)
+// calibrates factor 1.0 to a document of slightly more than 100 MB; these
+// cardinalities reproduce the published XMark entity counts, and the text
+// generator's length parameters are tuned so the document size scales as in
+// Figure 3 (tiny=0.1→~10 MB, standard=1→~100 MB, ...).
+const (
+	baseCategories = 1000
+	basePeople     = 25500
+	baseOpen       = 12000
+	baseClosed     = 9750
+)
+
+// regionShare distributes items over the six world regions. The shares are
+// fixed across factors so per-region queries (Q13 on australia) scale
+// linearly too.
+var regionShare = map[string]float64{
+	"africa":    0.06,
+	"asia":      0.20,
+	"australia": 0.10,
+	"europe":    0.30,
+	"namerica":  0.26,
+	"samerica":  0.08,
+}
+
+// regionOrder is the document order of the region elements under <regions>.
+var regionOrder = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Cardinalities are the entity counts of a document at some scaling factor.
+type Cardinalities struct {
+	Factor     int64 // factor in millionths, to keep derived counts exact
+	Categories int
+	People     int
+	Open       int
+	Closed     int
+	// RegionItems holds the item count per region, in regionOrder order.
+	RegionItems map[string]int
+	// RegionStart holds the first global item index of each region.
+	RegionStart map[string]int
+	Items       int
+}
+
+// Scale computes the entity cardinalities for a scaling factor. Counts grow
+// linearly with the factor (paper requirement: "accurately scalable") and
+// every count has a floor that keeps the minimal document well-formed and
+// queryable. The item total is exactly Open+Closed, preserving the paper's
+// integrity constraint that "the number of items organized by continents
+// equals the sum of open and closed auctions".
+func Scale(factor float64) Cardinalities {
+	if factor <= 0 {
+		panic("xmlgen: non-positive scaling factor")
+	}
+	scaled := func(base int, min int) int {
+		n := int(math.Round(float64(base) * factor))
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	c := Cardinalities{
+		Factor:     int64(math.Round(factor * 1e6)),
+		Categories: scaled(baseCategories, 5),
+		People:     scaled(basePeople, 12),
+		Open:       scaled(baseOpen, 6),
+		Closed:     scaled(baseClosed, 5),
+	}
+	c.Items = c.Open + c.Closed
+	c.RegionItems = make(map[string]int, len(regionOrder))
+	c.RegionStart = make(map[string]int, len(regionOrder))
+	// Distribute items by share using largest-remainder so the region counts
+	// sum exactly to Items.
+	assigned := 0
+	type rem struct {
+		region string
+		frac   float64
+	}
+	rems := make([]rem, 0, len(regionOrder))
+	for _, r := range regionOrder {
+		exact := regionShare[r] * float64(c.Items)
+		n := int(math.Floor(exact))
+		c.RegionItems[r] = n
+		assigned += n
+		rems = append(rems, rem{r, exact - float64(n)})
+	}
+	for assigned < c.Items {
+		// Give the remaining items to the regions with the largest
+		// fractional parts, scanning in fixed order for determinism.
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		c.RegionItems[rems[best].region]++
+		rems[best].frac = -1
+		assigned++
+	}
+	start := 0
+	for _, r := range regionOrder {
+		c.RegionStart[r] = start
+		start += c.RegionItems[r]
+	}
+	return c
+}
+
+// itemBijection maps auction indices to item indices so that open and
+// closed auctions together reference every item exactly once. The paper
+// implements this partition with identical random-number streams; an affine
+// bijection j -> (a*j+b) mod Items achieves the same integrity constraint in
+// constant memory while still scattering references across regions.
+type itemBijection struct {
+	a, b, n, open int
+}
+
+func newItemBijection(c Cardinalities) itemBijection {
+	n := c.Items
+	// Choose a multiplier coprime with n, deterministically.
+	a := 2*(n/3) + 1
+	for gcd(a, n) != 1 {
+		a += 2
+	}
+	return itemBijection{a: a % n, b: n / 7, n: n, open: c.Open}
+}
+
+// openItem returns the item referenced by open auction k.
+func (p itemBijection) openItem(k int) int { return (p.a*k + p.b) % p.n }
+
+// closedItem returns the item referenced by closed auction k; it draws from
+// the part of the bijection the open auctions do not touch.
+func (p itemBijection) closedItem(k int) int { return p.openItem(p.open + k) }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

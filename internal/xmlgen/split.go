@@ -1,0 +1,150 @@
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+)
+
+// FileOpener opens one output file of a split generation run. It is a
+// function rather than a directory path so callers can write to disk, to
+// memory, or to archives.
+type FileOpener func(name string) (io.WriteCloser, error)
+
+// WriteSplit writes the document as a collection of files with at most
+// perFile top-level entities (item, category, person, open_auction,
+// closed_auction) each, the work-around mode of paper §5 for systems that
+// cannot bulkload one large document. Each file is a well-formed document
+// whose root repeats the site envelope so the entities keep their original
+// paths; the paper notes query semantics are normative on the one-document
+// version, and the split files preserve exactly the same entity content.
+func (g *Generator) WriteSplit(perFile int, open FileOpener) error {
+	if perFile <= 0 {
+		return fmt.Errorf("xmlgen: perFile must be positive, got %d", perFile)
+	}
+	w := &splitWriter{perFile: perFile, open: open}
+	defer w.abort()
+
+	for _, region := range regionOrder {
+		start := g.card.RegionStart[region]
+		for i := 0; i < g.card.RegionItems[region]; i++ {
+			if err := w.entity("regions", region, func(e *emitter) {
+				g.emitItem(e, region, start+i)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < g.card.Categories; i++ {
+		i := i
+		if err := w.entity("categories", "", func(e *emitter) { g.emitCategory(e, i) }); err != nil {
+			return err
+		}
+	}
+	if err := w.entity("catgraph", "", func(e *emitter) { g.emitCatgraph(e) }); err != nil {
+		return err
+	}
+	for i := 0; i < g.card.People; i++ {
+		i := i
+		if err := w.entity("people", "", func(e *emitter) { g.emitPerson(e, i) }); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.card.Open; i++ {
+		i := i
+		if err := w.entity("open_auctions", "", func(e *emitter) { g.emitOpenAuction(e, i) }); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.card.Closed; i++ {
+		i := i
+		if err := w.entity("closed_auctions", "", func(e *emitter) { g.emitClosedAuction(e, i) }); err != nil {
+			return err
+		}
+	}
+	return w.finish()
+}
+
+// splitWriter accumulates entities into numbered files.
+type splitWriter struct {
+	perFile int
+	open    FileOpener
+
+	seq     int
+	count   int
+	cur     io.WriteCloser
+	e       *emitter
+	section string // open envelope: "regions"/"people"/... ("" = none)
+	region  string // open region element inside a regions envelope
+}
+
+// entity writes one top-level entity inside the given envelope section
+// (and, for items, region), rolling to a new file when the per-file entity
+// budget is exhausted or the envelope changes.
+func (w *splitWriter) entity(section, region string, emit func(*emitter)) error {
+	if w.cur != nil && (w.count >= w.perFile || w.section != section || w.region != region) {
+		if err := w.closeFile(); err != nil {
+			return err
+		}
+	}
+	if w.cur == nil {
+		f, err := w.open(fmt.Sprintf("part%05d.xml", w.seq))
+		if err != nil {
+			return err
+		}
+		w.seq++
+		w.cur = f
+		w.e = newEmitter(f)
+		w.e.raw(`<?xml version="1.0" standalone="yes"?>`)
+		w.e.nl()
+		w.e.open("site")
+		w.e.nl()
+		w.e.open(section)
+		w.e.nl()
+		if region != "" {
+			w.e.open(region)
+			w.e.nl()
+		}
+		w.section = section
+		w.region = region
+		w.count = 0
+	}
+	emit(w.e)
+	w.count++
+	return nil
+}
+
+func (w *splitWriter) closeFile() error {
+	if w.region != "" {
+		w.e.close()
+		w.e.nl()
+	}
+	w.e.close() // section
+	w.e.nl()
+	w.e.close() // site
+	w.e.nl()
+	if err := w.e.flush(); err != nil {
+		w.cur.Close()
+		w.cur = nil
+		return err
+	}
+	err := w.cur.Close()
+	w.cur, w.e = nil, nil
+	w.section, w.region = "", ""
+	return err
+}
+
+func (w *splitWriter) finish() error {
+	if w.cur == nil {
+		return nil
+	}
+	return w.closeFile()
+}
+
+// abort closes any half-written file after an error; errors during abort
+// are deliberately dropped as the run already failed.
+func (w *splitWriter) abort() {
+	if w.cur != nil {
+		w.cur.Close()
+		w.cur = nil
+	}
+}

@@ -1,0 +1,214 @@
+// Package xquery provides the lexer, parser and abstract syntax tree for
+// the XQuery subset of the XMark reproduction.
+//
+// The paper expresses its twenty queries in XQuery [11], "an amalgamation
+// of many research languages for semi-structured data". The dialect
+// implemented here is the exact subset those queries exercise: FLWOR
+// expressions, quantified expressions, path expressions with predicates,
+// element and attribute constructors with embedded expressions, user
+// function declarations, arithmetic, comparisons including the document
+// order test "<<", and the small function library the queries call.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF       TokKind = iota
+	TokName              // identifiers and keywords, incl. qualified local:convert
+	TokVar               // $name
+	TokString            // "..." or '...'
+	TokNumber            // 123 or 123.45
+	TokLParen            // (
+	TokRParen            // )
+	TokLBracket          // [
+	TokRBracket          // ]
+	TokLBrace            // {
+	TokRBrace            // }
+	TokComma             // ,
+	TokSemicolon         // ;
+	TokSlash             // /
+	TokDblSlash          // //
+	TokAt                // @
+	TokStar              // *
+	TokPlus              // +
+	TokMinus             // -
+	TokEq                // =
+	TokNeq               // !=
+	TokLt                // <
+	TokLe                // <=
+	TokGt                // >
+	TokGe                // >=
+	TokBefore            // <<
+	TokAfter             // >>
+	TokAssign            // :=
+	TokDot               // .
+	TokTagOpen           // < at a constructor position (resolved by parser)
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the query
+}
+
+// LexError reports a lexing failure.
+type LexError struct {
+	Pos int
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("xquery: lex error at %d: %s", e.Pos, e.Msg) }
+
+// lexer tokenizes query text. Because XQuery grammars are context
+// dependent (a "<" may open a comparison or a constructor), the lexer is
+// re-entrant: the parser drives it token by token and can ask for raw
+// constructor content.
+type lexer struct {
+	src []byte
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []byte(src)} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &LexError{Pos: l.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// XQuery comments: (: ... :), nestable.
+		if c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			depth := 1
+			l.pos += 2
+			for l.pos+1 < len(l.src) && depth > 0 {
+				if l.src[l.pos] == '(' && l.src[l.pos+1] == ':' {
+					depth++
+					l.pos += 2
+				} else if l.src[l.pos] == ':' && l.src[l.pos+1] == ')' {
+					depth--
+					l.pos += 2
+				} else {
+					l.pos++
+				}
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isNameStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+		// Qualified names (local:convert) and axis-free name tests; a ':'
+		// is part of the name when followed by a name start (but "::" is
+		// not consumed — axes are not in the subset).
+		if l.pos+1 < len(l.src) && l.src[l.pos] == ':' && isNameStart(l.src[l.pos+1]) {
+			l.pos++
+			for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		return Token{Kind: TokName, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	case c == '$':
+		l.pos++
+		ns := l.pos
+		if l.pos >= len(l.src) || !isNameStart(l.src[l.pos]) {
+			return Token{}, l.errf("'$' not followed by a name")
+		}
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokVar, Text: string(l.src[ns:l.pos]), Pos: start}, nil
+	case c == '"' || c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != c {
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated string literal")
+		}
+		l.pos++
+		return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+	case isDigit(c):
+		l.pos++
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	}
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = string(l.src[l.pos : l.pos+2])
+	}
+	switch two {
+	case "//":
+		l.pos += 2
+		return Token{Kind: TokDblSlash, Text: two, Pos: start}, nil
+	case "!=":
+		l.pos += 2
+		return Token{Kind: TokNeq, Text: two, Pos: start}, nil
+	case "<=":
+		l.pos += 2
+		return Token{Kind: TokLe, Text: two, Pos: start}, nil
+	case ">=":
+		l.pos += 2
+		return Token{Kind: TokGe, Text: two, Pos: start}, nil
+	case "<<":
+		l.pos += 2
+		return Token{Kind: TokBefore, Text: two, Pos: start}, nil
+	case ">>":
+		l.pos += 2
+		return Token{Kind: TokAfter, Text: two, Pos: start}, nil
+	case ":=":
+		l.pos += 2
+		return Token{Kind: TokAssign, Text: two, Pos: start}, nil
+	}
+	l.pos++
+	single := map[byte]TokKind{
+		'(': TokLParen, ')': TokRParen, '[': TokLBracket, ']': TokRBracket,
+		'{': TokLBrace, '}': TokRBrace, ',': TokComma, ';': TokSemicolon,
+		'/': TokSlash, '@': TokAt, '*': TokStar, '+': TokPlus, '-': TokMinus,
+		'=': TokEq, '<': TokLt, '>': TokGt, '.': TokDot,
+	}
+	if k, ok := single[c]; ok {
+		return Token{Kind: k, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}

@@ -1,0 +1,116 @@
+package xquery
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == TokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexKindsAndTexts(t *testing.T) {
+	toks := lexAll(t, `for $b in /site//item[@id = "x"] return count($b) * 2.5`)
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokName, "for"}, {TokVar, "b"}, {TokName, "in"}, {TokSlash, "/"},
+		{TokName, "site"}, {TokDblSlash, "//"}, {TokName, "item"},
+		{TokLBracket, "["}, {TokAt, "@"}, {TokName, "id"}, {TokEq, "="},
+		{TokString, "x"}, {TokRBracket, "]"}, {TokName, "return"},
+		{TokName, "count"}, {TokLParen, "("}, {TokVar, "b"}, {TokRParen, ")"},
+		{TokStar, "*"}, {TokNumber, "2.5"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Fatalf("token %d = {%d %q}, want {%d %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := lexAll(t, `a << b >> c <= d >= e != f := g`)
+	kinds := []TokKind{}
+	for _, tok := range toks {
+		if tok.Kind != TokName {
+			kinds = append(kinds, tok.Kind)
+		}
+	}
+	want := []TokKind{TokBefore, TokAfter, TokLe, TokGe, TokNeq, TokAssign}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("operator %d = %d, want %d", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexQualifiedNames(t *testing.T) {
+	toks := lexAll(t, `local:convert zero-or-one`)
+	if toks[0].Text != "local:convert" {
+		t.Fatalf("qualified name = %q", toks[0].Text)
+	}
+	if toks[1].Text != "zero-or-one" {
+		t.Fatalf("hyphenated name = %q", toks[1].Text)
+	}
+}
+
+func TestLexStringsBothQuotes(t *testing.T) {
+	toks := lexAll(t, `"dq" 'sq'`)
+	if toks[0].Text != "dq" || toks[1].Text != "sq" {
+		t.Fatalf("strings = %+v", toks)
+	}
+}
+
+func TestLexNestedComments(t *testing.T) {
+	toks := lexAll(t, `1 (: outer (: inner :) still-comment :) 2`)
+	if len(toks) != 2 || toks[0].Text != "1" || toks[1].Text != "2" {
+		t.Fatalf("tokens around comment = %+v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, `ab  cd`)
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Fatalf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `$`, `#`, `$9`} {
+		lx := newLexer(src)
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			var tok Token
+			tok, err = lx.next()
+			if tok.Kind == TokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lexing %q produced no error", src)
+		}
+	}
+}
+
+func TestLexDotAndNumbers(t *testing.T) {
+	toks := lexAll(t, `. 3.14 42`)
+	if toks[0].Kind != TokDot || toks[1].Text != "3.14" || toks[2].Text != "42" {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}

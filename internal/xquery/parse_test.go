@@ -1,0 +1,280 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseQ1Shape(t *testing.T) {
+	q := mustParse(t, `for $b in /site/people/person[@id="person0"] return $b/name/text()`)
+	f, ok := q.Body.(*FLWOR)
+	if !ok {
+		t.Fatalf("body is %T", q.Body)
+	}
+	if len(f.Clauses) != 1 || f.Clauses[0].For == nil {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+	p, ok := f.Clauses[0].For.Seq.(*Path)
+	if !ok {
+		t.Fatalf("for seq is %T", f.Clauses[0].For.Seq)
+	}
+	if _, ok := p.Input.(*Root); !ok {
+		t.Fatal("path not absolute")
+	}
+	if len(p.Steps) != 3 || p.Steps[0].Name != "site" || p.Steps[2].Name != "person" {
+		t.Fatalf("steps = %+v", p.Steps)
+	}
+	if len(p.Steps[2].Preds) != 1 {
+		t.Fatal("predicate missing")
+	}
+	ret, ok := f.Return.(*Path)
+	if !ok || len(ret.Steps) != 2 || ret.Steps[1].Axis != AxisText {
+		t.Fatalf("return = %+v", f.Return)
+	}
+}
+
+func TestParsePositionalAndLast(t *testing.T) {
+	q := mustParse(t, `$b/bidder[1]/increase/text()`)
+	p := q.Body.(*Path)
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if _, ok := p.Steps[0].Preds[0].(*NumberLit); !ok {
+		t.Fatal("positional predicate not numeric")
+	}
+	q2 := mustParse(t, `$b/bidder[last()]/increase`)
+	c, ok := q2.Body.(*Path).Steps[0].Preds[0].(*Call)
+	if !ok || c.Name != "last" {
+		t.Fatal("last() predicate not parsed")
+	}
+}
+
+func TestParseDescendant(t *testing.T) {
+	q := mustParse(t, `count(//site/regions//item)`)
+	c := q.Body.(*Call)
+	if c.Name != "count" {
+		t.Fatal("not a count call")
+	}
+	p := c.Args[0].(*Path)
+	if p.Steps[0].Axis != AxisDescendant || p.Steps[2].Axis != AxisDescendant {
+		t.Fatalf("axes = %+v", p.Steps)
+	}
+}
+
+func TestParseConstructor(t *testing.T) {
+	q := mustParse(t, `for $b in $x return <increase first="{$b/a}" n="2">{$b/text()} trailing</increase>`)
+	f := q.Body.(*FLWOR)
+	ct, ok := f.Return.(*ElementCtor)
+	if !ok {
+		t.Fatalf("return is %T", f.Return)
+	}
+	if ct.Tag != "increase" || len(ct.Attrs) != 2 {
+		t.Fatalf("ctor = %+v", ct)
+	}
+	if len(ct.Attrs[0].Parts) != 1 {
+		t.Fatalf("attr parts = %+v", ct.Attrs[0].Parts)
+	}
+	if len(ct.Content) != 2 {
+		t.Fatalf("content = %+v", ct.Content)
+	}
+}
+
+func TestParseNestedConstructor(t *testing.T) {
+	q := mustParse(t, `<a x="1"><b>{$v}</b><c/></a>`)
+	ct := q.Body.(*ElementCtor)
+	if len(ct.Content) != 2 {
+		t.Fatalf("content = %d", len(ct.Content))
+	}
+	b := ct.Content[0].(*ElementCtor)
+	if b.Tag != "b" || len(b.Content) != 1 {
+		t.Fatalf("b = %+v", b)
+	}
+	if c := ct.Content[1].(*ElementCtor); c.Tag != "c" || len(c.Content) != 0 {
+		t.Fatalf("c = %+v", c)
+	}
+}
+
+func TestParseQuantified(t *testing.T) {
+	q := mustParse(t, `for $b in $x where some $pr1 in $b/bidder/personref, $pr2 in $b/bidder/personref satisfies $pr1 << $pr2 return $b/reserve`)
+	f := q.Body.(*FLWOR)
+	qt, ok := f.Where.(*Quantified)
+	if !ok {
+		t.Fatalf("where is %T", f.Where)
+	}
+	if len(qt.Vars) != 2 || qt.Vars[1] != "pr2" {
+		t.Fatalf("vars = %v", qt.Vars)
+	}
+	bin, ok := qt.Satisfies.(*Binary)
+	if !ok || bin.Op != OpBefore {
+		t.Fatalf("satisfies = %+v", qt.Satisfies)
+	}
+}
+
+func TestParseFunctionDecl(t *testing.T) {
+	q := mustParse(t, `declare function local:convert($v) { 2.20371 * $v };
+		for $i in $x return local:convert($i/reserve)`)
+	fd, ok := q.Functions["local:convert"]
+	if !ok {
+		t.Fatalf("functions = %v", q.Functions)
+	}
+	if len(fd.Params) != 1 || fd.Params[0] != "v" {
+		t.Fatalf("params = %v", fd.Params)
+	}
+	f := q.Body.(*FLWOR)
+	call := f.Return.(*Call)
+	if call.Name != "local:convert" {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	q := mustParse(t, `for $b in $x let $k := $b/name order by zero-or-one($b/location) ascending return $k`)
+	f := q.Body.(*FLWOR)
+	if len(f.Order) != 1 || f.Order[0].Descending {
+		t.Fatalf("order = %+v", f.Order)
+	}
+	if len(f.Clauses) != 2 || f.Clauses[1].Let == nil {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+}
+
+func TestParseIfAndComparisons(t *testing.T) {
+	q := mustParse(t, `if ($p/income > 50000 and $p/income <= 100000) then "standard" else "other"`)
+	ie := q.Body.(*IfExpr)
+	b := ie.Cond.(*Binary)
+	if b.Op != OpAnd {
+		t.Fatalf("cond = %+v", b)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	q := mustParse(t, `1 + 2 * 3`)
+	b := q.Body.(*Binary)
+	if b.Op != OpAdd {
+		t.Fatal("precedence wrong: + not at top")
+	}
+	if r := b.Right.(*Binary); r.Op != OpMul {
+		t.Fatal("precedence wrong: * not nested")
+	}
+}
+
+func TestParseCommaSequenceInParens(t *testing.T) {
+	q := mustParse(t, `($a, $b, "x")`)
+	s := q.Body.(*Sequence)
+	if len(s.Items) != 3 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+}
+
+func TestParseEmptySequence(t *testing.T) {
+	q := mustParse(t, `empty(())`)
+	c := q.Body.(*Call)
+	s := c.Args[0].(*Sequence)
+	if len(s.Items) != 0 {
+		t.Fatal("() not empty")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, `(: outer (: nested :) comment :) count($x)`)
+}
+
+func TestParseWildcardVsMultiplication(t *testing.T) {
+	q := mustParse(t, `$a/* `)
+	p := q.Body.(*Path)
+	if p.Steps[0].Name != "*" {
+		t.Fatal("wildcard step lost")
+	}
+	q2 := mustParse(t, `$a * 2`)
+	if b := q2.Body.(*Binary); b.Op != OpMul {
+		t.Fatal("multiplication lost")
+	}
+}
+
+func TestParseTextElementVsTextTest(t *testing.T) {
+	q := mustParse(t, `$a/text/keyword`)
+	p := q.Body.(*Path)
+	if p.Steps[0].Axis != AxisChild || p.Steps[0].Name != "text" {
+		t.Fatal("element named text mis-parsed")
+	}
+	q2 := mustParse(t, `$a/text()`)
+	if p2 := q2.Body.(*Path); p2.Steps[0].Axis != AxisText {
+		t.Fatal("text() test mis-parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`for $b return $b`,            // missing in
+		`for $b in $x`,                // missing return
+		`$`,                           // bad var
+		`<a>{$x}`,                     // unterminated ctor
+		`<a></b>`,                     // mismatched ctor
+		`count(`,                      // unterminated call
+		`declare function f($a) {$a}`, // missing semicolon and body
+		`1 +`,                         // dangling operator
+		`"unterminated`,               // string
+		`some $a in $x`,               // missing satisfies
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseDocumentFunction(t *testing.T) {
+	q := mustParse(t, `for $b in document("auction.xml")/site/people/person return $b`)
+	f := q.Body.(*FLWOR)
+	p := f.Clauses[0].For.Seq.(*Path)
+	c, ok := p.Input.(*Call)
+	if !ok || c.Name != "document" {
+		t.Fatalf("input = %+v", p.Input)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[BinOp]string{OpBefore: "<<", OpDiv: "div", OpEq: "="} {
+		if op.String() != want {
+			t.Errorf("op %d = %q", op, op.String())
+		}
+	}
+}
+
+func TestParseLargeRealQuery(t *testing.T) {
+	// Q10-like shape: grouping with French markup and nested FLWOR.
+	src := `for $i in distinct-values(/site/people/person/profile/interest/@category)
+	let $p := for $t in /site/people/person
+		where $t/profile/interest/@category = $i
+		return <personne>
+			<statistiques>
+				<sexe>{$t/profile/gender/text()}</sexe>
+				<age>{$t/profile/age/text()}</age>
+				<education>{$t/profile/education/text()}</education>
+				<revenu>{$t/profile/@income}</revenu>
+			</statistiques>
+			<coordonnees>
+				<nom>{$t/name/text()}</nom>
+				<rue>{$t/address/street/text()}</rue>
+			</coordonnees>
+			<cartePaiement>{$t/creditcard/text()}</cartePaiement>
+		</personne>
+	return <categorie>{<id>{$i}</id>, $p}</categorie>`
+	q := mustParse(t, src)
+	if !strings.Contains(src, "categorie") {
+		t.Fatal("test self-check")
+	}
+	f := q.Body.(*FLWOR)
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+}

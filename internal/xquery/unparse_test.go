@@ -1,0 +1,70 @@
+package xquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+// normalize strips token positions that never round-trip; the AST carries
+// none, so plain DeepEqual works.
+func reparse(t *testing.T, q *Query) *Query {
+	t.Helper()
+	src := Unparse(q)
+	q2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("unparsed query does not reparse: %v\n%s", err, src)
+	}
+	return q2
+}
+
+func TestUnparseRoundTripSimple(t *testing.T) {
+	cases := []string{
+		`1 + 2 * 3`,
+		`for $b in /site/people/person[@id="person0"] return $b/name/text()`,
+		`some $a in $x, $b in $y satisfies ($a << $b)`,
+		`if (count($x) > 3) then "big" else "small"`,
+		`for $a in //item order by $a/name/text() descending return $a`,
+		`<out a="x{$v}y"><nested/>{count($v)}</out>`,
+		`declare function local:f($a, $b) { $a + $b }; local:f(1, 2)`,
+		`("a", 1, $v)`,
+		`-(3)`,
+		`.`,
+		`(//item)[2]`,
+	}
+	for _, src := range cases {
+		// Variables must exist for parsing only; no static checks here.
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		q2 := reparse(t, q1)
+		q3 := reparse(t, q2)
+		// The second and third round must be identical (normal form).
+		if !reflect.DeepEqual(q2, q3) {
+			t.Fatalf("unparse not a normal form for %q:\n%s\nvs\n%s", src, Unparse(q2), Unparse(q3))
+		}
+	}
+}
+
+func TestUnparsePreservesStructure(t *testing.T) {
+	q1, err := Parse(`for $b in /site/open_auctions/open_auction
+		where zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+		return <increase first="{$b/bidder[1]/increase/text()}"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := reparse(t, q1)
+	f1 := q1.Body.(*FLWOR)
+	f2 := q2.Body.(*FLWOR)
+	if len(f1.Clauses) != len(f2.Clauses) {
+		t.Fatal("clauses changed")
+	}
+	if (f1.Where == nil) != (f2.Where == nil) {
+		t.Fatal("where changed")
+	}
+	c1 := f1.Return.(*ElementCtor)
+	c2 := f2.Return.(*ElementCtor)
+	if c1.Tag != c2.Tag || len(c1.Attrs) != len(c2.Attrs) {
+		t.Fatal("constructor changed")
+	}
+}
