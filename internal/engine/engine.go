@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/nodestore"
@@ -54,7 +55,10 @@ func (e *Engine) Options() Options { return e.opts }
 // Prepared is a compiled query. Compilation covers parsing, static
 // resolution of functions and variables, and metadata access (catalog
 // probes for absolute paths), matching the paper's "compilation" phase of
-// Table 2.
+// Table 2. Execution builds a pull-based iterator pipeline over the store;
+// Run materializes it, while Stream and Serialize consume it item by item
+// without holding the whole result. A Prepared query can be executed any
+// number of times; every execution builds a fresh pipeline.
 type Prepared struct {
 	engine *Engine
 	query  *xquery.Query
@@ -85,25 +89,64 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 	return p, nil
 }
 
-// Run executes the prepared query and returns the result sequence.
+// Run executes the prepared query and materializes the result sequence.
 func (p *Prepared) Run() (result Seq, err error) {
+	err = p.execute(func(it Iterator) error {
+		result = materialize(it)
+		return nil
+	})
+	if err != nil {
+		result = nil
+	}
+	return result, err
+}
+
+// Stream executes the prepared query, passing result items to fn as the
+// pipeline produces them. When fn returns false the run stops early and
+// the remainder of the result is never computed — the pipeline's
+// early-termination property.
+func (p *Prepared) Stream(fn func(Item) bool) error {
+	return p.execute(func(it Iterator) error {
+		for {
+			v, ok := it.Next()
+			if !ok {
+				return nil
+			}
+			if !fn(v) {
+				return nil
+			}
+		}
+	})
+}
+
+// Serialize executes the prepared query and writes the serialized result
+// to w item by item, interleaving evaluation with output instead of
+// materializing the result sequence first.
+func (p *Prepared) Serialize(w io.Writer) error {
+	return p.execute(func(it Iterator) error {
+		return SerializeIter(w, p.engine.store, it)
+	})
+}
+
+// execute builds a fresh pipeline for the query body and hands it to
+// consume, converting evaluation panics into error returns.
+func (p *Prepared) execute(consume func(Iterator) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(*evalError); ok {
-				result, err = nil, ee
+				err = ee
 				return
 			}
 			panic(r)
 		}
 	}()
+	// The join-index and plan memos are allocated on first use.
 	ev := &evaluator{
 		store: p.engine.store,
 		opts:  p.engine.opts,
 		funcs: p.query.Functions,
-		cache: make(map[*xquery.ForClause]*joinIndex),
 	}
-	env := &bindings{}
-	return ev.eval(p.query.Body, env), nil
+	return consume(ev.iter(p.query.Body, &bindings{}))
 }
 
 // Query compiles and runs src in one call.

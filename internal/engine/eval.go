@@ -9,7 +9,9 @@ import (
 	"repro/internal/xquery"
 )
 
-// bindings is a linked environment of variable bindings.
+// bindings is a linked environment of variable bindings. Bound values are
+// always materialized sequences, so re-referencing a variable is safe and
+// never re-evaluates its defining expression.
 type bindings struct {
 	name   string
 	val    Seq
@@ -30,150 +32,622 @@ func (b *bindings) lookup(name string) Seq {
 	return nil
 }
 
-// focus is the dynamic context of predicate evaluation.
+// focus is the dynamic context of predicate evaluation. It is held by
+// value in the evaluator so entering a predicate allocates nothing.
 type focus struct {
 	item Item
 	pos  int // 1-based
-	size int
+	size int // 0 while streaming a predicate that provably ignores last()
 }
 
 // evaluator executes one query run.
 type evaluator struct {
-	store nodestore.Store
-	opts  Options
-	funcs map[string]*xquery.FuncDecl
-	focus *focus
+	store    nodestore.Store
+	opts     Options
+	funcs    map[string]*xquery.FuncDecl
+	focus    focus
+	hasFocus bool
 	// cache memoizes hash-join indexes for independent for-clauses so
 	// correlated inner FLWORs (Q10) build the index once.
 	cache map[*xquery.ForClause]*joinIndex
-	depth int
+	// plans memoizes FLWOR clause plans: join planning is static per
+	// expression node, and inner FLWORs evaluate once per outer tuple.
+	plans map[*xquery.FLWOR]*flworPlan
+	// lastUse memoizes the usesLast analysis, which is likewise static
+	// per predicate expression but consulted once per context item.
+	lastUse map[xquery.Expr]bool
+	// stepFree, inlineFree and varFree recycle exhausted iterators (with
+	// their grown buffers): per-tuple paths in FLWOR return clauses
+	// re-evaluate constantly, and reuse makes their steady state
+	// allocation-free.
+	stepFree   []*stepIter
+	inlineFree []*inlineTextIter
+	varFree    []*varIter
+	depth      int
 }
 
 const maxRecursion = 2000
 
+// eval fully materializes the value of e: the explicit materialization
+// point used for variable bindings, sort keys and atomized arguments.
 func (ev *evaluator) eval(e xquery.Expr, env *bindings) Seq {
+	return materialize(ev.iter(e, env))
+}
+
+// iter builds the pull-based pipeline for e. Sequence-producing forms
+// (paths, FLWOR, comma sequences) return lazy operators; scalar forms
+// (arithmetic, comparisons, quantifiers, most function calls) do their
+// work here, pulling from their input streams with short-circuits, and
+// return a trivial iterator over the result.
+func (ev *evaluator) iter(e xquery.Expr, env *bindings) Iterator {
 	ev.depth++
 	if ev.depth > maxRecursion {
 		errf("expression nesting too deep")
 	}
-	defer func() { ev.depth-- }()
+	it := ev.dispatch(e, env)
+	// No defer: an evaluation panic abandons the evaluator, so the counter
+	// need not survive unwinding, and this runs per expression node.
+	ev.depth--
+	return it
+}
 
+func (ev *evaluator) dispatch(e xquery.Expr, env *bindings) Iterator {
 	switch v := e.(type) {
 	case *xquery.StringLit:
-		return Seq{StrItem(v.Val)}
+		return one(StrItem(v.Val))
 	case *xquery.NumberLit:
-		return Seq{NumItem(v.Val)}
+		return one(NumItem(v.Val))
 	case *xquery.VarRef:
-		return env.lookup(v.Name)
+		return ev.newVarIter(env.lookup(v.Name))
 	case *xquery.ContextItem:
-		if ev.focus == nil {
+		if !ev.hasFocus {
 			errf("context item used outside a predicate")
 		}
-		return Seq{ev.focus.item}
+		return one(ev.focus.item)
 	case *xquery.Root:
-		return Seq{DocItem{}}
+		return one(DocItem{})
 	case *xquery.Path:
-		return ev.evalPath(v, env)
+		return ev.iterPath(v, env)
 	case *xquery.Filter:
-		return ev.applyPredicates(ev.eval(v.Input, env), v.Preds, env)
+		// Positions span the whole input sequence.
+		return ev.filterCandidates(ev.iter(v.Input, env), v.Preds, env)
 	case *xquery.FLWOR:
-		return ev.evalFLWOR(v, env)
+		return ev.iterFLWOR(v, env)
 	case *xquery.Quantified:
-		return Seq{BoolItem(ev.evalQuantified(v, env, 0))}
+		return one(BoolItem(ev.evalQuantified(v, env, 0)))
 	case *xquery.IfExpr:
-		if ev.effectiveBool(ev.eval(v.Cond, env)) {
-			return ev.eval(v.Then, env)
+		if ev.evalBool(v.Cond, env) {
+			return ev.iter(v.Then, env)
 		}
-		return ev.eval(v.Else, env)
+		return ev.iter(v.Else, env)
 	case *xquery.Binary:
-		return ev.evalBinary(v, env)
+		return ev.iterBinary(v, env)
 	case *xquery.Unary:
-		s := ev.atomizeSeq(ev.eval(v.Operand, env))
-		if len(s) == 0 {
-			return nil
+		s, ok := ev.iter(v.Operand, env).Next()
+		if !ok {
+			return emptyIter{}
 		}
-		return Seq{NumItem(-toNumber(s[0]))}
+		return one(NumItem(-toNumber(ev.atomize(s))))
 	case *xquery.Call:
-		return ev.evalCall(v, env)
+		return ev.iterCall(v, env)
 	case *xquery.Sequence:
-		var out Seq
-		for _, item := range v.Items {
-			out = append(out, ev.eval(item, env)...)
-		}
-		return out
+		return &sequenceIter{ev: ev, items: v.Items, env: env}
 	case *xquery.ElementCtor:
-		return Seq{ev.construct(v, env)}
+		return one(ev.construct(v, env))
 	default:
 		errf("unhandled expression %T", e)
 		return nil
 	}
 }
 
+// varIter streams a bound (materialized) sequence: the recyclable
+// counterpart of seqIter for the hot variable-reference case.
+type varIter struct {
+	ev       *evaluator
+	s        Seq
+	i        int
+	released bool
+}
+
+func (ev *evaluator) newVarIter(s Seq) *varIter {
+	if n := len(ev.varFree); n > 0 {
+		v := ev.varFree[n-1]
+		ev.varFree = ev.varFree[:n-1]
+		v.s, v.released = s, false
+		return v
+	}
+	return &varIter{ev: ev, s: s}
+}
+
+func (v *varIter) Next() (Item, bool) {
+	if v.i >= len(v.s) {
+		v.release()
+		return nil, false
+	}
+	it := v.s[v.i]
+	v.i++
+	return it, true
+}
+
+// release is idempotent: a stray Next after exhaustion must not insert
+// the iterator into the free list twice (two pipelines would then share
+// one object and interleave).
+func (v *varIter) release() {
+	if v.released {
+		return
+	}
+	v.s, v.i, v.released = nil, 0, true
+	v.ev.varFree = append(v.ev.varFree, v)
+}
+
+// sequenceIter streams a comma sequence, building each part's pipeline
+// only when the stream reaches it.
+type sequenceIter struct {
+	ev    *evaluator
+	items []xquery.Expr
+	env   *bindings
+	cur   Iterator
+}
+
+func (s *sequenceIter) Next() (Item, bool) {
+	for {
+		if s.cur != nil {
+			if v, ok := s.cur.Next(); ok {
+				return v, true
+			}
+			s.cur = nil
+		}
+		if len(s.items) == 0 {
+			return nil, false
+		}
+		s.cur = s.ev.iter(s.items[0], s.env)
+		s.items = s.items[1:]
+	}
+}
+
 // ---- paths ----
 
-func (ev *evaluator) evalPath(p *xquery.Path, env *bindings) Seq {
+func (ev *evaluator) iterPath(p *xquery.Path, env *bindings) Iterator {
 	steps := p.Steps
-	var ctx Seq
-	// Absolute paths may be answered from the store's path catalog.
+	// Absolute paths may be answered from the store's path catalog; the
+	// extent streams directly from the catalog structure when the store
+	// supports cursors.
 	if _, isRoot := p.Input.(*xquery.Root); isRoot && ev.opts.PathExtents {
 		prefix := pathPrefix(p)
 		if len(prefix) > 0 {
-			if ids, ok := ev.store.PathExtent(prefix, nil); ok {
-				ctx = make(Seq, len(ids))
-				for i, id := range ids {
-					ctx[i] = NodeItem{ID: id}
-				}
-				steps = steps[len(prefix):]
-				return ev.evalSteps(ctx, steps, env)
+			if cur, ok := nodestore.PathExtent(ev.store, prefix); ok {
+				return ev.iterSteps(&nodeCursorIter{cur: cur}, steps[len(prefix):], env)
 			}
 		}
 	}
-	ctx = ev.eval(p.Input, env)
-	return ev.evalSteps(ctx, steps, env)
+	return ev.iterSteps(ev.iter(p.Input, env), steps, env)
 }
 
-func (ev *evaluator) evalSteps(ctx Seq, steps []*xquery.Step, env *bindings) Seq {
+// iterSteps composes the steps into a chain of streaming operators over
+// the context stream in.
+func (ev *evaluator) iterSteps(in Iterator, steps []*xquery.Step, env *bindings) Iterator {
 	for i := 0; i < len(steps); i++ {
 		st := steps[i]
 		// Inlining peephole (System C): child::tag/text() over a store
 		// that inlines single #PCDATA children is a column read, skipping
 		// one navigation level — the join the DTD-derived mapping of [23]
-		// eliminates.
+		// eliminates. Context nodes whose fragment lacks the column fall
+		// back to navigation individually.
 		if ev.opts.Inlining && i+1 < len(steps) &&
 			st.Axis == xquery.AxisChild && st.Name != "*" && len(st.Preds) == 0 &&
 			steps[i+1].Axis == xquery.AxisText && len(steps[i+1].Preds) == 0 {
-			if out, ok := ev.inlinedTextStep(ctx, st.Name); ok {
-				ctx = out
-				i++
-				continue
-			}
+			in = ev.newInlineTextIter(in, st, steps[i+1])
+			i++
+			continue
 		}
 		// Attribute-index peephole: a child step selected by a single
 		// [@attr = "literal"] predicate is answered from the attribute
 		// value index when the store keeps one — the "index lookup"
-		// execution of Q1 (paper §7) instead of a scan of the extent.
+		// execution of Q1 (paper §7) instead of a scan of the extent. The
+		// index probe validates candidates against the whole context, so
+		// the context materializes here.
 		if ev.opts.AttrIndexes && st.Axis == xquery.AxisChild && st.Name != "*" && len(st.Preds) == 1 {
 			if aname, lit, ok := attrEqPattern(st.Preds[0]); ok {
+				ctx := materialize(in)
 				if out, ok2 := ev.attrIndexStep(ctx, st.Name, aname, lit); ok2 {
-					ctx = out
+					in = out.Iter()
 					continue
 				}
+				in = ctx.Iter()
 			}
-		}
-		var out Seq
-		for _, it := range ctx {
-			candidates := ev.stepFrom(it, st)
-			if len(st.Preds) > 0 {
-				candidates = ev.applyPredicates(candidates, st.Preds, env)
-			}
-			out = append(out, candidates...)
 		}
 		if st.Axis == xquery.AxisDescendant {
-			out = dedupNodes(out)
+			in = ev.descendantStepIter(in, st, env)
+		} else {
+			in = ev.newStepIter(in, st, env)
 		}
-		ctx = out
 	}
-	return ctx
+	return in
+}
+
+// newStepIter takes a recycled stepIter from the free list (keeping its
+// grown candidate buffer) or allocates a fresh one.
+func (ev *evaluator) newStepIter(in Iterator, st *xquery.Step, env *bindings) *stepIter {
+	if n := len(ev.stepFree); n > 0 {
+		d := ev.stepFree[n-1]
+		ev.stepFree = ev.stepFree[:n-1]
+		d.in, d.st, d.env = in, st, env
+		return d
+	}
+	return &stepIter{ev: ev, in: in, st: st, env: env}
+}
+
+// release returns an exhausted stepIter to the evaluator's free list.
+// Iterators are single-use: Next must not be called again after it has
+// returned false, which is what makes self-recycling safe.
+func (d *stepIter) release() {
+	d.in, d.st, d.env = nil, nil, nil
+	d.pending, d.inner = nil, nil
+	d.bi, d.bn = 0, 0
+	d.ev.stepFree = append(d.ev.stepFree, d)
+}
+
+// stepIter streams a child, attribute or text step over the context
+// stream. The candidates of each stored context node are gathered into a
+// scratch buffer reused across context nodes (one relation probe or
+// sibling walk per node) and filtered in place by the step predicates with
+// per-context-node positions — the seed evaluator's semantics, without its
+// per-step intermediate sequences.
+type stepIter struct {
+	ev  *evaluator
+	in  Iterator
+	st  *xquery.Step
+	env *bindings
+
+	buf     []tree.NodeID // scratch candidates of the current stored node
+	bi, bn  int
+	pending Item     // single candidate of an attribute step
+	inner   Iterator // generic fallback for document/constructed contexts
+}
+
+func (d *stepIter) Next() (Item, bool) {
+	for {
+		if d.bi < d.bn {
+			id := d.buf[d.bi]
+			d.bi++
+			return NodeItem{ID: id}, true
+		}
+		if d.pending != nil {
+			v := d.pending
+			d.pending = nil
+			return v, true
+		}
+		if d.inner != nil {
+			if v, ok := d.inner.Next(); ok {
+				return v, true
+			}
+			d.inner = nil
+		}
+		ctx, ok := d.in.Next()
+		if !ok {
+			d.release()
+			return nil, false
+		}
+		d.expand(ctx)
+	}
+}
+
+// expand loads the candidates of one context item into the scratch buffer
+// (stored nodes) or the fallback slots (everything else).
+func (d *stepIter) expand(ctx Item) {
+	ev, st := d.ev, d.st
+	n, isNode := ctx.(NodeItem)
+	if !isNode {
+		cands := materialize(ev.candidates(ctx, st))
+		if len(st.Preds) > 0 {
+			cands = ev.applyPredicates(cands, st.Preds, d.env)
+		}
+		d.inner = cands.Iter()
+		return
+	}
+	s := ev.store
+	d.bi, d.bn = 0, 0
+	switch st.Axis {
+	case xquery.AxisChild:
+		if st.Name == "*" {
+			d.buf = s.Children(n.ID, d.buf[:0])
+			d.filterKind(tree.Element)
+		} else {
+			d.buf = s.ChildrenByTag(n.ID, st.Name, d.buf[:0])
+			d.bn = len(d.buf)
+		}
+	case xquery.AxisText:
+		d.buf = s.Children(n.ID, d.buf[:0])
+		d.filterKind(tree.Text)
+	case xquery.AxisAttribute:
+		if v, ok := s.Attr(n.ID, st.Name); ok {
+			if ev.opts.NaiveStrings {
+				v = string(append([]byte(nil), v...))
+			}
+			item := AttrItem{Owner: n.ID, Name: st.Name, Value: v}
+			if len(st.Preds) == 0 || len(ev.applyPredicates(Seq{item}, st.Preds, d.env)) == 1 {
+				d.pending = item
+			}
+		}
+		return
+	}
+	if len(st.Preds) > 0 {
+		d.bn = ev.filterIDs(d.buf[:d.bn], st.Preds, d.env)
+	}
+}
+
+// filterKind keeps only the buffered candidates of one node kind.
+func (d *stepIter) filterKind(k tree.Kind) {
+	w := 0
+	for _, id := range d.buf {
+		if d.ev.store.Kind(id) == k {
+			d.buf[w] = id
+			w++
+		}
+	}
+	d.bn = w
+}
+
+// filterIDs applies the step predicates to a materialized candidate buffer
+// in place and returns the surviving length. Positions are ranks within
+// the buffer, and the buffer length is the context size, so positional
+// predicates and last() see exactly the per-context-node semantics.
+func (ev *evaluator) filterIDs(ids []tree.NodeID, preds []xquery.Expr, env *bindings) int {
+	n := len(ids)
+	for _, pred := range preds {
+		w := 0
+		for i := 0; i < n; i++ {
+			if ev.predMatch(pred, env, NodeItem{ID: ids[i]}, i+1, n) {
+				ids[w] = ids[i]
+				w++
+			}
+		}
+		n = w
+	}
+	return n
+}
+
+// applyPredicates filters a materialized sequence by each predicate in
+// turn with positional semantics.
+func (ev *evaluator) applyPredicates(items Seq, preds []xquery.Expr, env *bindings) Seq {
+	for _, pred := range preds {
+		var kept Seq
+		size := len(items)
+		for i, it := range items {
+			if ev.predMatch(pred, env, it, i+1, size) {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+	}
+	return items
+}
+
+// descendantStepIter evaluates a descendant step. Descendant steps from
+// nested context nodes can produce duplicates out of document order, which
+// the data model forbids; when the (materialized) context is a document-
+// order run of stored nodes the operator streams, skipping context nodes
+// covered by an earlier subtree, and otherwise it falls back to
+// materializing the output and restoring document order with a sort.
+func (ev *evaluator) descendantStepIter(in Iterator, st *xquery.Step, env *bindings) Iterator {
+	ctx := materialize(in)
+	if len(ctx) == 1 || (len(st.Preds) == 0 && sortedNodeRun(ctx)) {
+		return &descStreamIter{ev: ev, ctx: ctx, st: st, env: env, skip: len(ctx) > 1}
+	}
+	var out Seq
+	for _, it := range ctx {
+		out = append(out, materialize(ev.filterCandidates(ev.candidates(it, st), st.Preds, env))...)
+	}
+	return dedupNodes(out).Iter()
+}
+
+// descStreamIter streams a descendant step over a document-order context.
+// With skip set, context nodes inside an already-expanded subtree are
+// dropped: their descendants are a subset of what the covering node
+// already emitted, so the output is duplicate-free and document-ordered by
+// construction.
+type descStreamIter struct {
+	ev     *evaluator
+	ctx    Seq
+	i      int
+	st     *xquery.Step
+	env    *bindings
+	cur    Iterator
+	maxEnd tree.NodeID
+	skip   bool
+}
+
+func (d *descStreamIter) Next() (Item, bool) {
+	for {
+		if d.cur != nil {
+			if v, ok := d.cur.Next(); ok {
+				return v, true
+			}
+			d.cur = nil
+		}
+		if d.i >= len(d.ctx) {
+			return nil, false
+		}
+		it := d.ctx[d.i]
+		d.i++
+		if d.skip {
+			n := it.(NodeItem) // sortedNodeRun established this
+			if n.ID < d.maxEnd {
+				continue
+			}
+			if end := d.ev.store.SubtreeEnd(n.ID); end > d.maxEnd {
+				d.maxEnd = end
+			}
+		}
+		d.cur = d.ev.filterCandidates(d.ev.candidates(it, d.st), d.st.Preds, d.env)
+	}
+}
+
+// candidates returns the axis candidates of one context item as a stream.
+func (ev *evaluator) candidates(it Item, st *xquery.Step) Iterator {
+	switch n := it.(type) {
+	case NodeItem:
+		return ev.storedCandidates(n, st)
+	case DocItem:
+		return ev.docCandidates(st)
+	case *Constructed:
+		return stepFromConstructed(n, st).Iter()
+	case AttrItem:
+		return emptyIter{}
+	default:
+		errf("path step over atomic value")
+		return nil
+	}
+}
+
+// docCandidates steps from the virtual document node: its only child is
+// the root element.
+func (ev *evaluator) docCandidates(st *xquery.Step) Iterator {
+	root := ev.store.Root()
+	rootTag := ev.store.Tag(root)
+	switch st.Axis {
+	case xquery.AxisChild:
+		if st.Name == "*" || st.Name == rootTag {
+			return one(NodeItem{ID: root})
+		}
+		return emptyIter{}
+	case xquery.AxisDescendant:
+		rest := ev.storedCandidates(NodeItem{ID: root}, st)
+		if st.Name == "*" || st.Name == rootTag {
+			return &concatIter{parts: []Iterator{one(NodeItem{ID: root}), rest}}
+		}
+		return rest
+	default:
+		return emptyIter{}
+	}
+}
+
+// storedCandidates streams one axis step from a stored node, pulling from
+// the store's cursors so no candidate id slice materializes.
+func (ev *evaluator) storedCandidates(n NodeItem, st *xquery.Step) Iterator {
+	s := ev.store
+	switch st.Axis {
+	case xquery.AxisChild:
+		if st.Name == "*" {
+			return &kindFilterIter{store: s, cur: nodestore.Children(s, n.ID), kind: tree.Element}
+		}
+		return &nodeCursorIter{cur: nodestore.ChildrenByTag(s, n.ID, st.Name)}
+	case xquery.AxisDescendant:
+		if st.Name == "*" {
+			return ev.wildcardDescendants(n).Iter()
+		}
+		return &nodeCursorIter{cur: nodestore.Descendants(s, n.ID, st.Name)}
+	case xquery.AxisAttribute:
+		if v, ok := s.Attr(n.ID, st.Name); ok {
+			if ev.opts.NaiveStrings {
+				v = string(append([]byte(nil), v...))
+			}
+			return one(AttrItem{Owner: n.ID, Name: st.Name, Value: v})
+		}
+		return emptyIter{}
+	case xquery.AxisText:
+		return &kindFilterIter{store: s, cur: nodestore.Children(s, n.ID), kind: tree.Text}
+	}
+	return emptyIter{}
+}
+
+// kindFilterIter streams the children of one node keeping a single node
+// kind: element children for child::*, text children for text().
+type kindFilterIter struct {
+	store nodestore.Store
+	cur   nodestore.Cursor
+	kind  tree.Kind
+}
+
+func (k *kindFilterIter) Next() (Item, bool) {
+	for {
+		id, ok := k.cur.Next()
+		if !ok {
+			return nil, false
+		}
+		if k.store.Kind(id) == k.kind {
+			return NodeItem{ID: id}, true
+		}
+	}
+}
+
+// wildcardDescendants collects every element in the subtree of n in
+// document order by recursive child traversal, the generic strategy all
+// stores support.
+func (ev *evaluator) wildcardDescendants(n NodeItem) Seq {
+	s := ev.store
+	var out Seq
+	var walk func(id tree.NodeID)
+	walk = func(id tree.NodeID) {
+		cur := nodestore.Children(s, id)
+		for {
+			c, ok := cur.Next()
+			if !ok {
+				return
+			}
+			if s.Kind(c) == tree.Element {
+				out = append(out, NodeItem{ID: c})
+				walk(c)
+			}
+		}
+	}
+	walk(n.ID)
+	return out
+}
+
+// inlineTextIter answers a child/text() step pair from inlined columns
+// (System C): supported fragments read the column, unsupported context
+// nodes navigate normally. Both produce the text content, so results
+// serialize identically either way.
+type inlineTextIter struct {
+	ev                  *evaluator
+	in                  Iterator
+	childStep, textStep *xquery.Step
+	inner               Iterator // navigation fallback for one context item
+}
+
+func (ev *evaluator) newInlineTextIter(in Iterator, childStep, textStep *xquery.Step) *inlineTextIter {
+	if n := len(ev.inlineFree); n > 0 {
+		d := ev.inlineFree[n-1]
+		ev.inlineFree = ev.inlineFree[:n-1]
+		d.in, d.childStep, d.textStep = in, childStep, textStep
+		return d
+	}
+	return &inlineTextIter{ev: ev, in: in, childStep: childStep, textStep: textStep}
+}
+
+func (d *inlineTextIter) release() {
+	d.in, d.childStep, d.textStep, d.inner = nil, nil, nil, nil
+	d.ev.inlineFree = append(d.ev.inlineFree, d)
+}
+
+func (d *inlineTextIter) Next() (Item, bool) {
+	for {
+		if d.inner != nil {
+			if v, ok := d.inner.Next(); ok {
+				return v, true
+			}
+			d.inner = nil
+		}
+		ctx, ok := d.in.Next()
+		if !ok {
+			d.release()
+			return nil, false
+		}
+		if n, isNode := ctx.(NodeItem); isNode {
+			v, present, supported := d.ev.store.InlinedChildText(n.ID, d.childStep.Name)
+			if supported {
+				if present {
+					return StrItem(v), true
+				}
+				continue
+			}
+		}
+		d.inner = &flatMapIter{
+			outer: d.ev.candidates(ctx, d.childStep),
+			fn:    func(c Item) Iterator { return d.ev.candidates(c, d.textStep) },
+		}
+	}
 }
 
 // attrEqPattern recognizes the predicate shape [@name = "literal"] (either
@@ -246,127 +720,6 @@ func (ev *evaluator) attrIndexStep(ctx Seq, tag, aname, value string) (Seq, bool
 	return out, true
 }
 
-// inlinedTextStep answers a child/text() step pair from inlined columns;
-// ok is false when any context node's fragment lacks the column, in which
-// case the caller navigates normally.
-func (ev *evaluator) inlinedTextStep(ctx Seq, tag string) (Seq, bool) {
-	var out Seq
-	for _, it := range ctx {
-		n, isNode := it.(NodeItem)
-		if !isNode {
-			return nil, false
-		}
-		v, present, supported := ev.store.InlinedChildText(n.ID, tag)
-		if !supported {
-			return nil, false
-		}
-		if present {
-			out = append(out, StrItem(v))
-		}
-	}
-	return out, true
-}
-
-// stepFrom computes one axis step from a single context item.
-func (ev *evaluator) stepFrom(it Item, st *xquery.Step) Seq {
-	switch n := it.(type) {
-	case NodeItem:
-		return ev.stepFromStored(n, st)
-	case DocItem:
-		return ev.stepFromDocNode(st)
-	case *Constructed:
-		return stepFromConstructed(n, st)
-	case AttrItem:
-		return nil
-	default:
-		errf("path step over atomic value")
-		return nil
-	}
-}
-
-// stepFromDocNode steps from the virtual document node: its only child is
-// the root element.
-func (ev *evaluator) stepFromDocNode(st *xquery.Step) Seq {
-	root := ev.store.Root()
-	rootTag := ev.store.Tag(root)
-	switch st.Axis {
-	case xquery.AxisChild:
-		if st.Name == "*" || st.Name == rootTag {
-			return Seq{NodeItem{ID: root}}
-		}
-		return nil
-	case xquery.AxisDescendant:
-		var out Seq
-		if st.Name == "*" || st.Name == rootTag {
-			out = append(out, NodeItem{ID: root})
-		}
-		out = append(out, ev.stepFromStored(NodeItem{ID: root}, st)...)
-		return out
-	default:
-		return nil
-	}
-}
-
-func (ev *evaluator) stepFromStored(n NodeItem, st *xquery.Step) Seq {
-	s := ev.store
-	switch st.Axis {
-	case xquery.AxisChild:
-		if st.Name == "*" {
-			var out Seq
-			for _, c := range s.Children(n.ID, nil) {
-				if s.Kind(c) == tree.Element {
-					out = append(out, NodeItem{ID: c})
-				}
-			}
-			return out
-		}
-		ids := s.ChildrenByTag(n.ID, st.Name, nil)
-		out := make(Seq, len(ids))
-		for i, c := range ids {
-			out[i] = NodeItem{ID: c}
-		}
-		return out
-	case xquery.AxisDescendant:
-		if st.Name == "*" {
-			var out Seq
-			var walk func(id tree.NodeID)
-			walk = func(id tree.NodeID) {
-				for _, c := range s.Children(id, nil) {
-					if s.Kind(c) == tree.Element {
-						out = append(out, NodeItem{ID: c})
-						walk(c)
-					}
-				}
-			}
-			walk(n.ID)
-			return out
-		}
-		ids := s.Descendants(n.ID, st.Name, nil)
-		out := make(Seq, len(ids))
-		for i, c := range ids {
-			out[i] = NodeItem{ID: c}
-		}
-		return out
-	case xquery.AxisAttribute:
-		if v, ok := s.Attr(n.ID, st.Name); ok {
-			if ev.opts.NaiveStrings {
-				v = string(append([]byte(nil), v...))
-			}
-			return Seq{AttrItem{Owner: n.ID, Name: st.Name, Value: v}}
-		}
-		return nil
-	case xquery.AxisText:
-		var out Seq
-		for _, c := range s.Children(n.ID, nil) {
-			if s.Kind(c) == tree.Text {
-				out = append(out, NodeItem{ID: c})
-			}
-		}
-		return out
-	}
-	return nil
-}
-
 func stepFromConstructed(c *Constructed, st *xquery.Step) Seq {
 	var out Seq
 	switch st.Axis {
@@ -406,7 +759,8 @@ func stepFromConstructed(c *Constructed, st *xquery.Step) Seq {
 }
 
 // dedupNodes removes duplicate stored nodes and restores document order;
-// descendant steps from nested context nodes can produce both.
+// descendant steps from nested context nodes can produce both. Sequences
+// containing constructed or atomic items pass through unchanged.
 func dedupNodes(s Seq) Seq {
 	nodes := true
 	for _, it := range s {
@@ -433,140 +787,280 @@ func dedupNodes(s Seq) Seq {
 	return out
 }
 
-// applyPredicates filters items by each predicate in turn, with positional
-// semantics: a numeric predicate selects by position, last() is the
-// context size.
-func (ev *evaluator) applyPredicates(items Seq, preds []xquery.Expr, env *bindings) Seq {
-	for _, pred := range preds {
-		var kept Seq
-		size := len(items)
-		saved := ev.focus
-		for i, it := range items {
-			ev.focus = &focus{item: it, pos: i + 1, size: size}
-			val := ev.eval(pred, env)
-			match := false
-			if len(val) == 1 {
-				if num, ok := val[0].(NumItem); ok {
-					match = float64(i+1) == float64(num)
-				} else {
-					match = ev.effectiveBool(val)
-				}
-			} else {
-				match = ev.effectiveBool(val)
-			}
-			if match {
-				kept = append(kept, it)
-			}
-		}
-		ev.focus = saved
-		items = kept
-	}
-	return items
-}
-
 // ---- FLWOR ----
 
-func (ev *evaluator) evalFLWOR(f *xquery.FLWOR, env *bindings) Seq {
+// tupleIter is the tuple stream between FLWOR clauses: the same pull
+// discipline as Iterator, one environment per binding tuple.
+type tupleIter interface {
+	Next() (*bindings, bool)
+}
+
+type singleTupleIter struct {
+	tp   *bindings
+	done bool
+}
+
+func (s *singleTupleIter) Next() (*bindings, bool) {
+	if s.done {
+		return nil, false
+	}
+	s.done = true
+	return s.tp, true
+}
+
+// letTupleIter extends each tuple with a let binding; the bound value is
+// materialized so later references never re-evaluate it.
+type letTupleIter struct {
+	ev *evaluator
+	in tupleIter
+	cl *xquery.LetClause
+}
+
+func (l *letTupleIter) Next() (*bindings, bool) {
+	tp, ok := l.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return tp.bind(l.cl.Var, l.ev.eval(l.cl.Seq, tp)), true
+}
+
+// forTupleIter expands each tuple by the items of the for sequence: the
+// streaming nested-loop that replaces the materialized tuple lists of the
+// previous evaluator.
+type forTupleIter struct {
+	ev    *evaluator
+	in    tupleIter
+	fc    *xquery.ForClause
+	tp    *bindings
+	items Iterator
+}
+
+func (f *forTupleIter) Next() (*bindings, bool) {
+	for {
+		if f.items != nil {
+			if it, ok := f.items.Next(); ok {
+				return f.tp.bind(f.fc.Var, Seq{it}), true
+			}
+			f.items = nil
+		}
+		tp, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		f.tp = tp
+		f.items = f.ev.iter(f.fc.Seq, tp)
+	}
+}
+
+// whereTupleIter drops tuples whose conjunct is false; the conjunct
+// evaluates through the boolean fast path, which pulls at most two items
+// of any stream it consults.
+type whereTupleIter struct {
+	ev   *evaluator
+	in   tupleIter
+	cond xquery.Expr
+}
+
+func (w *whereTupleIter) Next() (*bindings, bool) {
+	for {
+		tp, ok := w.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if w.ev.evalBool(w.cond, tp) {
+			return tp, true
+		}
+	}
+}
+
+// sliceTupleIter replays a materialized tuple list (after a sort).
+type sliceTupleIter struct {
+	tuples []*bindings
+	i      int
+}
+
+func (s *sliceTupleIter) Next() (*bindings, bool) {
+	if s.i >= len(s.tuples) {
+		return nil, false
+	}
+	tp := s.tuples[s.i]
+	s.i++
+	return tp, true
+}
+
+// flworPlan is the static clause plan of one FLWOR expression: which
+// where conjunct each for-clause consumes as a hash join (with its probe
+// and build operands fixed), and which conjuncts remain as filters. The
+// plan depends only on the expression and the engine options, so it is
+// computed once per run and reused by every evaluation of the node.
+type flworPlan struct {
+	joins []joinPlan    // per clause; conj == nil for plain expansion
+	rest  []xquery.Expr // conjuncts not consumed by joins, in order
+}
+
+// joinPlan fixes one hash join: the equality conjunct, its probe side
+// (depending only on the clause variable) and its build side.
+type joinPlan struct {
+	conj         xquery.Expr
+	probe, build xquery.Expr
+}
+
+func (ev *evaluator) flworPlan(f *xquery.FLWOR) *flworPlan {
+	if p, ok := ev.plans[f]; ok {
+		return p
+	}
 	conjs := splitConjuncts(f.Where)
-	used := make([]bool, len(conjs))
-	tuples := []*bindings{env}
-	bound := map[string]bool{}
-	clauseVars := map[string]bool{}
-	for _, cl := range f.Clauses {
-		if cl.For != nil {
-			clauseVars[cl.For.Var] = true
-		} else {
-			clauseVars[cl.Let.Var] = true
+	plan := &flworPlan{joins: make([]joinPlan, len(f.Clauses))}
+	if len(conjs) == 0 || !ev.opts.HashJoins {
+		// Nothing to join on: every conjunct stays a filter.
+		plan.rest = conjs
+	} else {
+		used := make([]bool, len(conjs))
+		bound := map[string]bool{}
+		clauseVars := map[string]bool{}
+		for _, cl := range f.Clauses {
+			if cl.For != nil {
+				clauseVars[cl.For.Var] = true
+			} else {
+				clauseVars[cl.Let.Var] = true
+			}
+		}
+		for i, cl := range f.Clauses {
+			if cl.Let != nil {
+				bound[cl.Let.Var] = true
+				continue
+			}
+			fc := cl.For
+			if exprIndependent(fc.Seq) {
+				if ci := ev.findJoinConjunct(conjs, used, fc, bound, clauseVars); ci >= 0 {
+					b := conjs[ci].(*xquery.Binary)
+					probe, build := b.Left, b.Right
+					if vars := freeVars(b.Left); !(len(vars) == 1 && vars[fc.Var]) {
+						probe, build = b.Right, b.Left
+					}
+					plan.joins[i] = joinPlan{conj: conjs[ci], probe: probe, build: build}
+					used[ci] = true
+				}
+			}
+			bound[fc.Var] = true
+		}
+		for ci, conj := range conjs {
+			if !used[ci] {
+				plan.rest = append(plan.rest, conj)
+			}
 		}
 	}
+	if ev.plans == nil {
+		ev.plans = make(map[*xquery.FLWOR]*flworPlan)
+	}
+	ev.plans[f] = plan
+	return plan
+}
 
-	for _, cl := range f.Clauses {
+func (ev *evaluator) iterFLWOR(f *xquery.FLWOR, env *bindings) Iterator {
+	// Without a where clause there is nothing to plan: no conjuncts, no
+	// joins, every clause expands plainly.
+	var plan *flworPlan
+	if f.Where != nil {
+		plan = ev.flworPlan(f)
+	}
+	var tuples tupleIter = &singleTupleIter{tp: env}
+	for i, cl := range f.Clauses {
 		if cl.Let != nil {
-			next := make([]*bindings, len(tuples))
-			for i, tp := range tuples {
-				next[i] = tp.bind(cl.Let.Var, ev.eval(cl.Let.Seq, tp))
-			}
-			tuples = next
-			bound[cl.Let.Var] = true
+			tuples = &letTupleIter{ev: ev, in: tuples, cl: cl.Let}
 			continue
 		}
-		fc := cl.For
-		joined := false
-		if ev.opts.HashJoins && exprIndependent(fc.Seq) {
-			if ci := ev.findJoinConjunct(conjs, used, fc, bound, clauseVars); ci >= 0 {
-				tuples = ev.hashJoinExpand(tuples, fc, conjs[ci])
-				used[ci] = true
-				joined = true
-			}
+		if plan != nil && plan.joins[i].conj != nil {
+			tuples = ev.newHashJoinIter(tuples, cl.For, &plan.joins[i])
+		} else {
+			tuples = &forTupleIter{ev: ev, in: tuples, fc: cl.For}
 		}
-		if !joined {
-			var next []*bindings
-			for _, tp := range tuples {
-				for _, it := range ev.eval(fc.Seq, tp) {
-					next = append(next, tp.bind(fc.Var, Seq{it}))
-				}
-			}
-			tuples = next
-		}
-		bound[fc.Var] = true
 	}
 
-	// Remaining where conjuncts.
-	for ci, conj := range conjs {
-		if used[ci] {
-			continue
+	// Remaining where conjuncts filter the tuple stream.
+	if plan != nil {
+		for _, conj := range plan.rest {
+			tuples = &whereTupleIter{ev: ev, in: tuples, cond: conj}
 		}
-		var kept []*bindings
-		for _, tp := range tuples {
-			if ev.effectiveBool(ev.eval(conj, tp)) {
-				kept = append(kept, tp)
-			}
-		}
-		tuples = kept
 	}
 
-	// Order by.
+	// Order by is a pipeline breaker: materialize, sort, replay.
 	if len(f.Order) > 0 {
-		type keyed struct {
-			tp   *bindings
-			keys []Item
-		}
-		ks := make([]keyed, len(tuples))
-		for i, tp := range tuples {
-			keys := make([]Item, len(f.Order))
-			for j, spec := range f.Order {
-				kseq := ev.atomizeSeq(ev.eval(spec.Key, tp))
-				if len(kseq) > 0 {
-					keys[j] = kseq[0]
-				}
-			}
-			ks[i] = keyed{tp, keys}
-		}
-		sort.SliceStable(ks, func(a, b int) bool {
-			for j, spec := range f.Order {
-				ka, kb := ks[a].keys[j], ks[b].keys[j]
-				if spec.Descending {
-					ka, kb = kb, ka
-				}
-				if orderLess(ka, kb) {
-					return true
-				}
-				if orderLess(kb, ka) {
-					return false
-				}
-			}
-			return false
-		})
-		for i := range ks {
-			tuples[i] = ks[i].tp
-		}
+		tuples = ev.sortTuples(tuples, f.Order)
 	}
 
-	var out Seq
-	for _, tp := range tuples {
-		out = append(out, ev.eval(f.Return, tp)...)
+	return &flatMapTupleIter{ev: ev, in: tuples, ret: f.Return}
+}
+
+// flatMapTupleIter streams the return clause across the tuple stream.
+type flatMapTupleIter struct {
+	ev  *evaluator
+	in  tupleIter
+	ret xquery.Expr
+	cur Iterator
+}
+
+func (m *flatMapTupleIter) Next() (Item, bool) {
+	for {
+		if m.cur != nil {
+			if v, ok := m.cur.Next(); ok {
+				return v, true
+			}
+			m.cur = nil
+		}
+		tp, ok := m.in.Next()
+		if !ok {
+			return nil, false
+		}
+		m.cur = m.ev.iter(m.ret, tp)
 	}
-	return out
+}
+
+// sortTuples materializes the tuple stream and stable-sorts it by the
+// order specs; empty keys sort first.
+func (ev *evaluator) sortTuples(in tupleIter, order []xquery.OrderSpec) tupleIter {
+	var tuples []*bindings
+	for {
+		tp, ok := in.Next()
+		if !ok {
+			break
+		}
+		tuples = append(tuples, tp)
+	}
+	type keyed struct {
+		tp   *bindings
+		keys []Item
+	}
+	ks := make([]keyed, len(tuples))
+	for i, tp := range tuples {
+		keys := make([]Item, len(order))
+		for j, spec := range order {
+			kseq := ev.atomizeSeq(ev.eval(spec.Key, tp))
+			if len(kseq) > 0 {
+				keys[j] = kseq[0]
+			}
+		}
+		ks[i] = keyed{tp, keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, spec := range order {
+			ka, kb := ks[a].keys[j], ks[b].keys[j]
+			if spec.Descending {
+				ka, kb = kb, ka
+			}
+			if orderLess(ka, kb) {
+				return true
+			}
+			if orderLess(kb, ka) {
+				return false
+			}
+		}
+		return false
+	})
+	for i := range ks {
+		tuples[i] = ks[i].tp
+	}
+	return &sliceTupleIter{tuples: tuples}
 }
 
 // orderLess compares order-by keys; empty keys sort first.
@@ -642,27 +1136,41 @@ type joinIndex struct {
 	probe xquery.Expr
 }
 
-// hashJoinExpand expands tuples with the for-clause using the equality
-// conjunct as a hash join, building (and memoizing) an index over the
-// clause's independent sequence.
-func (ev *evaluator) hashJoinExpand(tuples []*bindings, fc *xquery.ForClause, conj xquery.Expr) []*bindings {
-	b := conj.(*xquery.Binary)
-	probeSide, buildSide := b.Left, b.Right
-	if vars := freeVars(b.Left); !(len(vars) == 1 && vars[fc.Var]) {
-		probeSide, buildSide = b.Right, b.Left
-	}
+// hashJoinTupleIter expands tuples with a for-clause using an equality
+// conjunct as a hash join: the index over the clause's independent
+// sequence is built (and memoized) once, and each incoming tuple streams
+// its matches.
+type hashJoinTupleIter struct {
+	ev        *evaluator
+	in        tupleIter
+	fc        *xquery.ForClause
+	buildSide xquery.Expr
+	idx       *joinIndex
+	seen      map[int]bool
 
+	tp      *bindings
+	matches []int
+	mi      int
+}
+
+// newHashJoinIter executes the planned hash join for the clause. The
+// index materializes the independent sequence — the hash table is a
+// pipeline breaker by nature — and is memoized across evaluations.
+func (ev *evaluator) newHashJoinIter(in tupleIter, fc *xquery.ForClause, jp *joinPlan) tupleIter {
+	if ev.cache == nil {
+		ev.cache = make(map[*xquery.ForClause]*joinIndex)
+	}
 	idx := ev.cache[fc]
-	if idx == nil || idx.probe != probeSide {
+	if idx == nil || idx.probe != jp.probe {
 		items := ev.eval(fc.Seq, &bindings{})
-		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: probeSide}
+		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: jp.probe}
 		for i, it := range items {
 			envI := (&bindings{}).bind(fc.Var, Seq{it})
 			// An item whose key expression yields the same value twice
 			// (e.g. two interests in one category) must be indexed once:
 			// general comparison is existential, not multiplicative.
 			seen := map[string]bool{}
-			for _, k := range ev.atomizeSeq(ev.eval(probeSide, envI)) {
+			for _, k := range ev.atomizeSeq(ev.eval(jp.probe, envI)) {
 				ks := itemString(k)
 				if seen[ks] {
 					continue
@@ -673,36 +1181,53 @@ func (ev *evaluator) hashJoinExpand(tuples []*bindings, fc *xquery.ForClause, co
 		}
 		ev.cache[fc] = idx
 	}
+	return &hashJoinTupleIter{ev: ev, in: in, fc: fc, buildSide: jp.build, idx: idx}
+}
 
-	var next []*bindings
-	seen := make(map[int]bool)
-	for _, tp := range tuples {
-		keys := ev.atomizeSeq(ev.eval(buildSide, tp))
-		if len(keys) == 1 {
-			for _, i := range idx.byKey[itemString(keys[0])] {
-				next = append(next, tp.bind(fc.Var, Seq{idx.items[i]}))
+func (j *hashJoinTupleIter) Next() (*bindings, bool) {
+	for {
+		if j.mi < len(j.matches) {
+			i := j.matches[j.mi]
+			j.mi++
+			return j.tp.bind(j.fc.Var, Seq{j.idx.items[i]}), true
+		}
+		tp, ok := j.in.Next()
+		if !ok {
+			return nil, false
+		}
+		j.tp = tp
+		j.matches = j.tupleMatches(tp)
+		j.mi = 0
+	}
+}
+
+// tupleMatches probes the index with the tuple's build-side keys and
+// returns matched item positions in index order.
+func (j *hashJoinTupleIter) tupleMatches(tp *bindings) []int {
+	ev := j.ev
+	keys := ev.atomizeSeq(ev.eval(j.buildSide, tp))
+	if len(keys) == 1 {
+		return j.idx.byKey[itemString(keys[0])]
+	}
+	// Multiple keys: existential semantics with per-tuple dedup. The seen
+	// set is allocated on first use — single-key probes never pay for it.
+	if j.seen == nil {
+		j.seen = make(map[int]bool)
+	}
+	for k := range j.seen {
+		delete(j.seen, k)
+	}
+	var matches []int
+	for _, k := range keys {
+		for _, i := range j.idx.byKey[itemString(k)] {
+			if !j.seen[i] {
+				j.seen[i] = true
+				matches = append(matches, i)
 			}
-			continue
-		}
-		// Multiple keys: existential semantics with per-tuple dedup.
-		for k := range seen {
-			delete(seen, k)
-		}
-		var matches []int
-		for _, k := range keys {
-			for _, i := range idx.byKey[itemString(k)] {
-				if !seen[i] {
-					seen[i] = true
-					matches = append(matches, i)
-				}
-			}
-		}
-		sort.Ints(matches)
-		for _, i := range matches {
-			next = append(next, tp.bind(fc.Var, Seq{idx.items[i]}))
 		}
 	}
-	return next
+	sort.Ints(matches)
+	return matches
 }
 
 // exprIndependent reports whether e references no variables at all (so its
@@ -789,14 +1314,21 @@ func freeVars(e xquery.Expr) map[string]bool {
 
 func (ev *evaluator) evalQuantified(q *xquery.Quantified, env *bindings, i int) bool {
 	if i == len(q.Vars) {
-		return ev.effectiveBool(ev.eval(q.Satisfies, env))
+		return ev.evalBool(q.Satisfies, env)
 	}
-	for _, it := range ev.eval(q.Seqs[i], env) {
-		ok := ev.evalQuantified(q, env.bind(q.Vars[i], Seq{it}), i+1)
+	it := ev.iter(q.Seqs[i], env)
+	for {
+		v, more := it.Next()
+		if !more {
+			break
+		}
+		ok := ev.evalQuantified(q, env.bind(q.Vars[i], Seq{v}), i+1)
 		if q.Every && !ok {
 			return false
 		}
 		if !q.Every && ok {
+			// The satisfied witness ends the search; the rest of the
+			// binding stream is never generated.
 			return true
 		}
 	}
@@ -805,38 +1337,86 @@ func (ev *evaluator) evalQuantified(q *xquery.Quantified, env *bindings, i int) 
 
 // ---- binary operators ----
 
-func (ev *evaluator) evalBinary(b *xquery.Binary, env *bindings) Seq {
+// evalBool computes the effective boolean value of e without routing the
+// single boolean through an iterator: the fast path under where clauses,
+// predicates, quantifiers and conditions. For expressions without a
+// boolean shape it falls back to the streaming EBV, which pulls at most
+// two items.
+func (ev *evaluator) evalBool(e xquery.Expr, env *bindings) bool {
+	switch v := e.(type) {
+	case *xquery.Binary:
+		switch v.Op {
+		case xquery.OpOr:
+			return ev.evalBool(v.Left, env) || ev.evalBool(v.Right, env)
+		case xquery.OpAnd:
+			return ev.evalBool(v.Left, env) && ev.evalBool(v.Right, env)
+		case xquery.OpEq, xquery.OpNeq, xquery.OpLt, xquery.OpLe, xquery.OpGt, xquery.OpGe:
+			return ev.generalCompare(v, env)
+		case xquery.OpBefore, xquery.OpAfter:
+			res, nonEmpty := ev.orderCompare(v, env)
+			return nonEmpty && res
+		}
+	case *xquery.Quantified:
+		return ev.evalQuantified(v, env, 0)
+	case *xquery.IfExpr:
+		if ev.evalBool(v.Cond, env) {
+			return ev.evalBool(v.Then, env)
+		}
+		return ev.evalBool(v.Else, env)
+	case *xquery.Call:
+		if _, user := ev.funcs[v.Name]; !user {
+			switch v.Name {
+			case "not":
+				ev.argc(v, 1)
+				return !ev.evalBool(v.Args[0], env)
+			case "boolean":
+				ev.argc(v, 1)
+				return ev.evalBool(v.Args[0], env)
+			case "empty":
+				ev.argc(v, 1)
+				_, ok := ev.iter(v.Args[0], env).Next()
+				return !ok
+			}
+		}
+	}
+	return ev.effectiveBoolIter(ev.iter(e, env))
+}
+
+func (ev *evaluator) iterBinary(b *xquery.Binary, env *bindings) Iterator {
 	switch b.Op {
-	case xquery.OpOr:
-		return Seq{BoolItem(ev.effectiveBool(ev.eval(b.Left, env)) || ev.effectiveBool(ev.eval(b.Right, env)))}
-	case xquery.OpAnd:
-		return Seq{BoolItem(ev.effectiveBool(ev.eval(b.Left, env)) && ev.effectiveBool(ev.eval(b.Right, env)))}
+	case xquery.OpOr, xquery.OpAnd:
+		return one(BoolItem(ev.evalBool(b, env)))
 	case xquery.OpBefore, xquery.OpAfter:
-		return ev.evalOrderComparison(b, env)
+		res, nonEmpty := ev.orderCompare(b, env)
+		if !nonEmpty {
+			return emptyIter{}
+		}
+		return one(BoolItem(res))
 	case xquery.OpAdd, xquery.OpSub, xquery.OpMul, xquery.OpDiv, xquery.OpMod:
-		return ev.evalArithmetic(b, env)
+		return ev.iterArithmetic(b, env)
 	default:
-		return ev.evalGeneralComparison(b, env)
+		return one(BoolItem(ev.generalCompare(b, env)))
 	}
 }
 
-// evalOrderComparison implements "<<" and ">>": document order between two
-// single nodes, the ordered-access primitive of Q4.
-func (ev *evaluator) evalOrderComparison(b *xquery.Binary, env *bindings) Seq {
-	l := ev.eval(b.Left, env)
-	r := ev.eval(b.Right, env)
-	if len(l) == 0 || len(r) == 0 {
-		return nil
-	}
-	ln, lok := nodeID(l[0])
-	rn, rok := nodeID(r[0])
+// orderCompare implements "<<" and ">>": document order between two
+// single nodes, the ordered-access primitive of Q4. nonEmpty is false
+// when either operand is the empty sequence.
+func (ev *evaluator) orderCompare(b *xquery.Binary, env *bindings) (res, nonEmpty bool) {
+	l, lok := ev.iter(b.Left, env).Next()
+	r, rok := ev.iter(b.Right, env).Next()
 	if !lok || !rok {
+		return false, false
+	}
+	ln, lnOK := nodeID(l)
+	rn, rnOK := nodeID(r)
+	if !lnOK || !rnOK {
 		errf("operands of %s must be stored nodes", b.Op)
 	}
 	if b.Op == xquery.OpBefore {
-		return Seq{BoolItem(ln < rn)}
+		return ln < rn, true
 	}
-	return Seq{BoolItem(ln > rn)}
+	return ln > rn, true
 }
 
 func nodeID(it Item) (tree.NodeID, bool) {
@@ -851,16 +1431,30 @@ func nodeID(it Item) (tree.NodeID, bool) {
 	return tree.Nil, false
 }
 
-func (ev *evaluator) evalArithmetic(b *xquery.Binary, env *bindings) Seq {
-	l := ev.atomizeSeq(ev.eval(b.Left, env))
-	r := ev.atomizeSeq(ev.eval(b.Right, env))
-	if len(l) == 0 || len(r) == 0 {
-		return nil
+// firstTwo pulls at most two items from in: enough to distinguish empty,
+// singleton and longer sequences.
+func firstTwo(in Iterator) (first, second Item, n int) {
+	first, ok := in.Next()
+	if !ok {
+		return nil, nil, 0
 	}
-	if len(l) > 1 || len(r) > 1 {
+	second, ok = in.Next()
+	if !ok {
+		return first, nil, 1
+	}
+	return first, second, 2
+}
+
+func (ev *evaluator) iterArithmetic(b *xquery.Binary, env *bindings) Iterator {
+	l, _, ln := firstTwo(ev.iter(b.Left, env))
+	r, _, rn := firstTwo(ev.iter(b.Right, env))
+	if ln == 0 || rn == 0 {
+		return emptyIter{}
+	}
+	if ln > 1 || rn > 1 {
 		errf("arithmetic over a sequence of more than one item")
 	}
-	x, y := toNumber(l[0]), toNumber(r[0])
+	x, y := toNumber(ev.atomize(l)), toNumber(ev.atomize(r))
 	var res float64
 	switch b.Op {
 	case xquery.OpAdd:
@@ -874,7 +1468,7 @@ func (ev *evaluator) evalArithmetic(b *xquery.Binary, env *bindings) Seq {
 	case xquery.OpMod:
 		res = math.Mod(x, y)
 	}
-	return Seq{NumItem(res)}
+	return one(NumItem(res))
 }
 
 var cmpOpOf = map[xquery.BinOp]compareOp{
@@ -882,19 +1476,25 @@ var cmpOpOf = map[xquery.BinOp]compareOp{
 	xquery.OpLe: cmpLe, xquery.OpGt: cmpGt, xquery.OpGe: cmpGe,
 }
 
-// evalGeneralComparison applies existential general-comparison semantics.
-func (ev *evaluator) evalGeneralComparison(b *xquery.Binary, env *bindings) Seq {
+// generalCompare applies existential general-comparison semantics: the
+// right side materializes, the left side streams and stops at the first
+// matching pair.
+func (ev *evaluator) generalCompare(b *xquery.Binary, env *bindings) bool {
 	op := cmpOpOf[b.Op]
-	l := ev.atomizeSeq(ev.eval(b.Left, env))
 	r := ev.atomizeSeq(ev.eval(b.Right, env))
-	for _, a := range l {
+	l := ev.iter(b.Left, env)
+	for {
+		a, ok := l.Next()
+		if !ok {
+			return false
+		}
+		aa := ev.atomize(a)
 		for _, c := range r {
-			if compareAtomics(op, a, c) {
-				return Seq{BoolItem(true)}
+			if compareAtomics(op, aa, c) {
+				return true
 			}
 		}
 	}
-	return Seq{BoolItem(false)}
 }
 
 // ---- constructors ----
@@ -908,11 +1508,16 @@ func (ev *evaluator) construct(c *xquery.ElementCtor, env *bindings) *Constructe
 				val = append(val, lit.Val...)
 				continue
 			}
-			for i, it := range ev.atomizeSeq(ev.eval(part, env)) {
+			it := ev.iter(part, env)
+			for i := 0; ; i++ {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
 				if i > 0 {
 					val = append(val, ' ')
 				}
-				val = append(val, itemString(it)...)
+				val = append(val, itemString(ev.atomize(v))...)
 			}
 		}
 		out.Attrs = append(out.Attrs, tree.Attr{Name: a.Name, Value: string(val)})
@@ -924,8 +1529,13 @@ func (ev *evaluator) construct(c *xquery.ElementCtor, env *bindings) *Constructe
 		case *xquery.ElementCtor:
 			out.Children = append(out.Children, ev.construct(v, env))
 		default:
-			for _, it := range ev.eval(part, env) {
-				out.Children = append(out.Children, ev.contentItem(it))
+			it := ev.iter(part, env)
+			for {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				out.Children = append(out.Children, ev.contentItem(v))
 			}
 		}
 	}

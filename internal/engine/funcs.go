@@ -20,132 +20,173 @@ func builtinNames() map[string]bool {
 	}
 }
 
-func (ev *evaluator) evalCall(c *xquery.Call, env *bindings) Seq {
+// iterCall evaluates a function call. Aggregates (count, sum,
+// distinct-values, string-join) drain their argument stream without
+// materializing it; existential tests (empty, boolean, not, zero-or-one,
+// exactly-one) pull only as many items as their answer needs. User
+// function bodies evaluate eagerly so the recursion guard in iter applies.
+func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
 	if fd, ok := ev.funcs[c.Name]; ok {
 		inner := &bindings{}
 		for i, param := range fd.Params {
 			inner = inner.bind(param, ev.eval(c.Args[i], env))
 		}
-		return ev.eval(fd.Body, inner)
+		return ev.eval(fd.Body, inner).Iter()
 	}
 	switch c.Name {
 	case "count":
 		ev.argc(c, 1)
 		if n, ok := ev.countShortcut(c.Args[0], env); ok {
-			return Seq{NumItem(float64(n))}
+			return one(NumItem(float64(n)))
 		}
-		return Seq{NumItem(float64(len(ev.eval(c.Args[0], env))))}
+		return one(NumItem(float64(drainCount(ev.iter(c.Args[0], env)))))
 	case "empty":
 		ev.argc(c, 1)
-		return Seq{BoolItem(len(ev.eval(c.Args[0], env)) == 0)}
+		_, ok := ev.iter(c.Args[0], env).Next()
+		return one(BoolItem(!ok))
 	case "not":
 		ev.argc(c, 1)
-		return Seq{BoolItem(!ev.effectiveBool(ev.eval(c.Args[0], env)))}
+		return one(BoolItem(!ev.evalBool(c.Args[0], env)))
 	case "boolean":
 		ev.argc(c, 1)
-		return Seq{BoolItem(ev.effectiveBool(ev.eval(c.Args[0], env)))}
+		return one(BoolItem(ev.evalBool(c.Args[0], env)))
 	case "contains":
 		ev.argc(c, 2)
 		hay := ev.strArg(c.Args[0], env)
 		needle := ev.strArg(c.Args[1], env)
-		return Seq{BoolItem(strings.Contains(hay, needle))}
+		return one(BoolItem(strings.Contains(hay, needle)))
 	case "starts-with":
 		ev.argc(c, 2)
-		return Seq{BoolItem(strings.HasPrefix(ev.strArg(c.Args[0], env), ev.strArg(c.Args[1], env)))}
+		return one(BoolItem(strings.HasPrefix(ev.strArg(c.Args[0], env), ev.strArg(c.Args[1], env))))
 	case "string":
 		ev.argc(c, 1)
-		return Seq{StrItem(ev.strArg(c.Args[0], env))}
+		return one(StrItem(ev.strArg(c.Args[0], env)))
 	case "string-length":
 		ev.argc(c, 1)
-		return Seq{NumItem(float64(len(ev.strArg(c.Args[0], env))))}
+		return one(NumItem(float64(len(ev.strArg(c.Args[0], env)))))
 	case "concat":
 		var b strings.Builder
 		for _, a := range c.Args {
 			b.WriteString(ev.strArg(a, env))
 		}
-		return Seq{StrItem(b.String())}
+		return one(StrItem(b.String()))
 	case "string-join":
 		ev.argc(c, 2)
 		sep := ev.strArg(c.Args[1], env)
-		parts := []string{}
-		for _, it := range ev.atomizeSeq(ev.eval(c.Args[0], env)) {
-			parts = append(parts, itemString(it))
+		var b strings.Builder
+		it := ev.iter(c.Args[0], env)
+		for i := 0; ; i++ {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			b.WriteString(itemString(ev.atomize(v)))
 		}
-		return Seq{StrItem(strings.Join(parts, sep))}
+		return one(StrItem(b.String()))
 	case "number":
 		ev.argc(c, 1)
-		s := ev.atomizeSeq(ev.eval(c.Args[0], env))
-		if len(s) == 0 {
-			return Seq{NumItem(nan())}
+		v, ok := ev.iter(c.Args[0], env).Next()
+		if !ok {
+			return one(NumItem(nan()))
 		}
-		return Seq{NumItem(toNumber(s[0]))}
+		return one(NumItem(toNumber(ev.atomize(v))))
 	case "sum":
 		ev.argc(c, 1)
 		total := 0.0
-		for _, it := range ev.atomizeSeq(ev.eval(c.Args[0], env)) {
-			total += toNumber(it)
+		it := ev.iter(c.Args[0], env)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			total += toNumber(ev.atomize(v))
 		}
-		return Seq{NumItem(total)}
+		return one(NumItem(total))
 	case "zero-or-one":
 		ev.argc(c, 1)
-		s := ev.eval(c.Args[0], env)
-		if len(s) > 1 {
-			errf("zero-or-one() applied to a sequence of %d items", len(s))
+		it := ev.iter(c.Args[0], env)
+		first, _, n := firstTwo(it)
+		if n > 1 {
+			errf("zero-or-one() applied to a sequence of %d items", n+drainCount(it))
 		}
-		return s
+		if n == 0 {
+			return emptyIter{}
+		}
+		return one(first)
 	case "exactly-one":
 		ev.argc(c, 1)
-		s := ev.eval(c.Args[0], env)
-		if len(s) != 1 {
-			errf("exactly-one() applied to a sequence of %d items", len(s))
+		it := ev.iter(c.Args[0], env)
+		first, _, n := firstTwo(it)
+		if n != 1 {
+			errf("exactly-one() applied to a sequence of %d items", n+drainCount(it))
 		}
-		return s
+		return one(first)
 	case "distinct-values":
 		ev.argc(c, 1)
 		var out Seq
 		seen := make(map[string]bool)
-		for _, it := range ev.atomizeSeq(ev.eval(c.Args[0], env)) {
-			k := itemString(it)
+		it := ev.iter(c.Args[0], env)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			av := ev.atomize(v)
+			k := itemString(av)
 			if !seen[k] {
 				seen[k] = true
-				out = append(out, it)
+				out = append(out, av)
 			}
 		}
-		return out
+		return out.Iter()
 	case "last":
 		ev.argc(c, 0)
-		if ev.focus == nil {
+		if !ev.hasFocus {
 			errf("last() used outside a predicate")
 		}
-		return Seq{NumItem(float64(ev.focus.size))}
+		return one(NumItem(float64(ev.focus.size)))
 	case "position":
 		ev.argc(c, 0)
-		if ev.focus == nil {
+		if !ev.hasFocus {
 			errf("position() used outside a predicate")
 		}
-		return Seq{NumItem(float64(ev.focus.pos))}
+		return one(NumItem(float64(ev.focus.pos)))
 	case "document", "doc":
 		// The benchmark's single document: document("auction.xml") is the
 		// loaded store's document node (paper §5).
-		return Seq{DocItem{}}
+		return one(DocItem{})
 	case "name":
 		ev.argc(c, 1)
-		s := ev.eval(c.Args[0], env)
-		if len(s) == 0 {
-			return Seq{StrItem("")}
+		s, ok := ev.iter(c.Args[0], env).Next()
+		if !ok {
+			return one(StrItem(""))
 		}
-		switch v := s[0].(type) {
+		switch v := s.(type) {
 		case NodeItem:
-			return Seq{StrItem(ev.store.Tag(v.ID))}
+			return one(StrItem(ev.store.Tag(v.ID)))
 		case AttrItem:
-			return Seq{StrItem(v.Name)}
+			return one(StrItem(v.Name))
 		case *Constructed:
-			return Seq{StrItem(v.Tag)}
+			return one(StrItem(v.Tag))
 		}
-		return Seq{StrItem("")}
+		return one(StrItem(""))
 	default:
 		errf("unknown function %s()", c.Name)
 		return nil
+	}
+}
+
+// drainCount exhausts in and returns the item count.
+func drainCount(in Iterator) int {
+	n := 0
+	for {
+		if _, ok := in.Next(); !ok {
+			return n
+		}
+		n++
 	}
 }
 
@@ -160,14 +201,14 @@ func (ev *evaluator) argc(c *xquery.Call, want int) {
 	}
 }
 
-// strArg evaluates an argument to its string value; the empty sequence is
-// the empty string.
+// strArg evaluates an argument to its string value: the first item of the
+// argument stream, atomized; the empty sequence is the empty string.
 func (ev *evaluator) strArg(e xquery.Expr, env *bindings) string {
-	s := ev.atomizeSeq(ev.eval(e, env))
-	if len(s) == 0 {
+	v, ok := ev.iter(e, env).Next()
+	if !ok {
 		return ""
 	}
-	return itemString(s[0])
+	return itemString(ev.atomize(v))
 }
 
 // countShortcut answers count() over a pure path from catalog metadata
@@ -220,14 +261,18 @@ func (ev *evaluator) countShortcut(arg xquery.Expr, env *bindings) (int, bool) {
 		return 0, false
 	}
 	trunc := &xquery.Path{Input: p.Input, Steps: p.Steps[:len(p.Steps)-1]}
-	var ctx Seq
+	var ctx Iterator
 	if len(trunc.Steps) == 0 {
-		ctx = ev.eval(trunc.Input, env)
+		ctx = ev.iter(trunc.Input, env)
 	} else {
-		ctx = ev.evalPath(trunc, env)
+		ctx = ev.iterPath(trunc, env)
 	}
 	total := 0
-	for _, it := range ctx {
+	for {
+		it, ok := ctx.Next()
+		if !ok {
+			return total, true
+		}
 		var id tree.NodeID
 		switch n := it.(type) {
 		case NodeItem:
@@ -243,5 +288,4 @@ func (ev *evaluator) countShortcut(arg xquery.Expr, env *bindings) (int, bool) {
 		}
 		total += cnt
 	}
-	return total, true
 }

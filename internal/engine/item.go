@@ -7,6 +7,13 @@
 // System G, the embedded processor, runs the same evaluator with every
 // optimization off plus deliberate per-step string materialization,
 // reproducing the constant-factor overheads of Figure 4.
+//
+// Evaluation is a pull-based, Volcano-style pipeline: expressions compile
+// to composed Iterators (and FLWOR clauses to tuple iterators) that pull
+// items on demand from the store's cursors, so intermediate sequences are
+// materialized only where the semantics require a whole sequence — sorts,
+// duplicate elimination after descendant steps, last(), hash-join build
+// sides, and variable bindings. See DESIGN.md for the operator inventory.
 package engine
 
 import (
@@ -63,7 +70,10 @@ func (StrItem) isItem()      {}
 func (NumItem) isItem()      {}
 func (BoolItem) isItem()     {}
 
-// Seq is an item sequence, the universal value of the data model.
+// Seq is a materialized item sequence, the universal value of the data
+// model. Evaluation produces Seqs only at explicit materialization points
+// (variable bindings, sorts, Run); everywhere else values flow through
+// Iterators. Iter adapts a Seq back into the pipeline.
 type Seq []Item
 
 // evalError aborts evaluation; Run recovers it into an error return.

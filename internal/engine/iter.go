@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+	"repro/internal/xquery"
+)
+
+// Iterator is the pull-based cursor over an item sequence: the engine's
+// Volcano-style operator interface. Evaluation composes Iterators, so a
+// consumer that stops pulling (an existential test, a serializer writing a
+// bounded prefix) never pays for the rest of the sequence.
+//
+// Iterators are single-use and not safe for concurrent use; re-evaluating
+// an expression yields a fresh Iterator, and Next must not be called again
+// once it has returned false (exhausted operators may recycle themselves
+// into the evaluator's free lists). Materialization happens only at the
+// operators whose semantics require the whole sequence: sorting (order
+// by, document-order restoration after descendant steps), duplicate
+// elimination, last(), and variable binding.
+type Iterator interface {
+	// Next returns the next item and true, or nil and false when the
+	// sequence is exhausted.
+	Next() (Item, bool)
+}
+
+// Iter returns a fresh single-use iterator over the materialized sequence.
+// A Seq may be iterated any number of times.
+func (s Seq) Iter() Iterator { return &seqIter{s: s} }
+
+type seqIter struct {
+	s Seq
+	i int
+}
+
+func (it *seqIter) Next() (Item, bool) {
+	if it.i >= len(it.s) {
+		return nil, false
+	}
+	v := it.s[it.i]
+	it.i++
+	return v, true
+}
+
+// materialize drains in into a Seq.
+func materialize(in Iterator) Seq {
+	// The common wrappers around already-materialized data unwrap without
+	// copying.
+	if si, ok := in.(*seqIter); ok && si.i == 0 {
+		si.i = len(si.s)
+		return si.s
+	}
+	if vi, ok := in.(*varIter); ok {
+		s := vi.s[vi.i:]
+		vi.release()
+		return s
+	}
+	var out Seq
+	for {
+		v, ok := in.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+type emptyIter struct{}
+
+func (emptyIter) Next() (Item, bool) { return nil, false }
+
+// one returns an iterator over a single item.
+func one(it Item) Iterator { return &singleIter{it: it} }
+
+type singleIter struct {
+	it   Item
+	done bool
+}
+
+func (s *singleIter) Next() (Item, bool) {
+	if s.done {
+		return nil, false
+	}
+	s.done = true
+	return s.it, true
+}
+
+// nodeCursorIter adapts a storage-layer node cursor to the item pipeline,
+// yielding NodeItems.
+type nodeCursorIter struct {
+	cur nodestore.Cursor
+}
+
+func (c *nodeCursorIter) Next() (Item, bool) {
+	id, ok := c.cur.Next()
+	if !ok {
+		return nil, false
+	}
+	return NodeItem{ID: id}, true
+}
+
+// flatMapIter expands every item of outer through fn and streams the
+// concatenation: the workhorse behind path steps and FLWOR return clauses.
+type flatMapIter struct {
+	outer Iterator
+	fn    func(Item) Iterator
+	inner Iterator
+}
+
+func (m *flatMapIter) Next() (Item, bool) {
+	for {
+		if m.inner != nil {
+			if v, ok := m.inner.Next(); ok {
+				return v, true
+			}
+			m.inner = nil
+		}
+		o, ok := m.outer.Next()
+		if !ok {
+			return nil, false
+		}
+		m.inner = m.fn(o)
+	}
+}
+
+// concatIter streams several iterators back to back (comma sequences).
+type concatIter struct {
+	parts []Iterator
+}
+
+func (c *concatIter) Next() (Item, bool) {
+	for len(c.parts) > 0 {
+		if v, ok := c.parts[0].Next(); ok {
+			return v, true
+		}
+		c.parts = c.parts[1:]
+	}
+	return nil, false
+}
+
+// predFilterIter applies one predicate to a streaming candidate sequence
+// with positional semantics: position() is the candidate's 1-based rank in
+// this iterator's input. The caller must have materialized the input
+// instead when the predicate needs last() (see usesLast).
+type predFilterIter struct {
+	ev   *evaluator
+	in   Iterator
+	pred xquery.Expr
+	env  *bindings
+	pos  int
+	size int // context size for last(); 0 when streaming without it
+}
+
+func (f *predFilterIter) Next() (Item, bool) {
+	for {
+		v, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		f.pos++
+		if f.ev.predMatch(f.pred, f.env, v, f.pos, f.size) {
+			return v, true
+		}
+	}
+}
+
+// predMatch evaluates one predicate for one candidate under the focus
+// (item, pos, size). Boolean-shaped predicates (comparisons, logic,
+// quantifiers) take an allocation-free fast path; for the rest, at most
+// two items of the predicate's value are pulled — enough to distinguish a
+// positional (single numeric) predicate from an effective-boolean one.
+func (ev *evaluator) predMatch(pred xquery.Expr, env *bindings, item Item, pos, size int) bool {
+	// Literal positional predicates ([1], [last-ish constants]) need no
+	// evaluation at all.
+	if lit, isNum := pred.(*xquery.NumberLit); isNum {
+		return float64(pos) == lit.Val
+	}
+	saved, savedHas := ev.focus, ev.hasFocus
+	ev.focus = focus{item: item, pos: pos, size: size}
+	ev.hasFocus = true
+	match := ev.predValue(pred, env, pos)
+	// No defer: a panic abandons the evaluator, so restoring only on the
+	// normal path is enough, and this runs per candidate.
+	ev.focus, ev.hasFocus = saved, savedHas
+	return match
+}
+
+// predValue computes one predicate decision under an installed focus.
+func (ev *evaluator) predValue(pred xquery.Expr, env *bindings, pos int) bool {
+	if boolShaped(pred, ev.funcs) {
+		return ev.evalBool(pred, env)
+	}
+	it := ev.iter(pred, env)
+	first, ok := it.Next()
+	if !ok {
+		return false
+	}
+	if _, more := it.Next(); !more {
+		if num, isNum := first.(NumItem); isNum {
+			return float64(pos) == float64(num)
+		}
+		return ev.effectiveBool(Seq{first})
+	}
+	// Two or more items: the sequence is non-empty, and for multi-item
+	// sequences the effective boolean value is true regardless of the
+	// remaining items (nodes are true, and the benchmark's EBV fallback
+	// counts any non-empty sequence as true).
+	return true
+}
+
+// boolShaped reports whether e always evaluates to a single boolean, so a
+// predicate over it can never be positional and evalBool applies.
+func boolShaped(e xquery.Expr, funcs map[string]*xquery.FuncDecl) bool {
+	switch v := e.(type) {
+	case *xquery.Binary:
+		switch v.Op {
+		case xquery.OpOr, xquery.OpAnd, xquery.OpEq, xquery.OpNeq,
+			xquery.OpLt, xquery.OpLe, xquery.OpGt, xquery.OpGe:
+			return true
+		}
+	case *xquery.Quantified:
+		return true
+	case *xquery.Call:
+		if _, user := funcs[v.Name]; user {
+			return false
+		}
+		switch v.Name {
+		case "not", "boolean", "empty", "contains", "starts-with":
+			return true
+		}
+	}
+	return false
+}
+
+// filterCandidates chains the step predicates over a candidate stream for
+// one context item. Predicates that consult last() force the candidate set
+// to materialize first so the context size is known; all others stream.
+func (ev *evaluator) filterCandidates(in Iterator, preds []xquery.Expr, env *bindings) Iterator {
+	for _, pred := range preds {
+		if ev.usesLast(pred) {
+			items := materialize(in)
+			in = &predFilterIter{ev: ev, in: items.Iter(), pred: pred, env: env, size: len(items)}
+		} else {
+			in = &predFilterIter{ev: ev, in: in, pred: pred, env: env}
+		}
+	}
+	return in
+}
+
+// usesLast conservatively reports whether evaluating e may call last() in
+// the current focus: a syntactic walk that does not descend into nested
+// predicates or FLWOR-bound subexpressions (their last() refers to their
+// own focus) but treats user function calls as potentially using it. The
+// answer is static per expression, so it is memoized — the filter
+// operators consult it once per context item.
+func (ev *evaluator) usesLast(e xquery.Expr) bool {
+	if v, ok := ev.lastUse[e]; ok {
+		return v
+	}
+	found := ev.usesLastWalk(e)
+	if ev.lastUse == nil {
+		ev.lastUse = make(map[xquery.Expr]bool)
+	}
+	ev.lastUse[e] = found
+	return found
+}
+
+func (ev *evaluator) usesLastWalk(e xquery.Expr) bool {
+	found := false
+	var walk func(e xquery.Expr)
+	walkAll := func(es []xquery.Expr) {
+		for _, x := range es {
+			if x != nil {
+				walk(x)
+			}
+		}
+	}
+	walk = func(e xquery.Expr) {
+		if found || e == nil {
+			return
+		}
+		switch v := e.(type) {
+		case *xquery.Call:
+			if v.Name == "last" {
+				found = true
+				return
+			}
+			if _, user := ev.funcs[v.Name]; user {
+				// A user function body could call last() against the
+				// caller's focus; stay conservative.
+				found = true
+				return
+			}
+			walkAll(v.Args)
+		case *xquery.Path:
+			walk(v.Input)
+			// Nested step predicates get their own focus; skip them.
+		case *xquery.Filter:
+			walk(v.Input)
+		case *xquery.FLWOR:
+			for _, cl := range v.Clauses {
+				if cl.For != nil {
+					walk(cl.For.Seq)
+				} else {
+					walk(cl.Let.Seq)
+				}
+			}
+			if v.Where != nil {
+				walk(v.Where)
+			}
+			for _, o := range v.Order {
+				walk(o.Key)
+			}
+			walk(v.Return)
+		case *xquery.Quantified:
+			walkAll(v.Seqs)
+			walk(v.Satisfies)
+		case *xquery.IfExpr:
+			walk(v.Cond)
+			walk(v.Then)
+			walk(v.Else)
+		case *xquery.Binary:
+			walk(v.Left)
+			walk(v.Right)
+		case *xquery.Unary:
+			walk(v.Operand)
+		case *xquery.Sequence:
+			walkAll(v.Items)
+		case *xquery.ElementCtor:
+			for _, a := range v.Attrs {
+				walkAll(a.Parts)
+			}
+			walkAll(v.Content)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// effectiveBoolIter computes the effective boolean value of a streaming
+// sequence, pulling at most two items.
+func (ev *evaluator) effectiveBoolIter(in Iterator) bool {
+	first, ok := in.Next()
+	if !ok {
+		return false
+	}
+	if _, more := in.Next(); more {
+		// Multi-item sequence: same fallback as effectiveBool.
+		return true
+	}
+	return ev.effectiveBool(Seq{first})
+}
+
+// sortedNodeRun reports whether ctx is entirely stored nodes in
+// non-decreasing document order: the precondition for streaming a
+// descendant step without a sort-based duplicate elimination.
+func sortedNodeRun(ctx Seq) bool {
+	var prev tree.NodeID = tree.Nil
+	for _, it := range ctx {
+		n, ok := it.(NodeItem)
+		if !ok {
+			return false
+		}
+		if n.ID < prev {
+			return false
+		}
+		prev = n.ID
+	}
+	return true
+}

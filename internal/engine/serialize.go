@@ -15,9 +15,20 @@ import (
 // which is the point of Q10 ("the bulk of the work lies in the
 // construction of the answer set").
 func Serialize(w io.Writer, store nodestore.Store, s Seq) error {
+	return SerializeIter(w, store, s.Iter())
+}
+
+// SerializeIter drains the result iterator into w, serializing each item
+// as it is produced: the sink end of the streaming pipeline. Evaluation
+// stops at the first write error.
+func SerializeIter(w io.Writer, store nodestore.Store, in Iterator) error {
 	sw := &errWriter{w: w}
 	prevAtomic := false
-	for _, it := range s {
+	for {
+		it, ok := in.Next()
+		if !ok {
+			return sw.err
+		}
 		switch v := it.(type) {
 		case StrItem, NumItem, BoolItem:
 			if prevAtomic {
@@ -55,7 +66,6 @@ func Serialize(w io.Writer, store nodestore.Store, s Seq) error {
 			return sw.err
 		}
 	}
-	return sw.err
 }
 
 // SerializeString renders the result sequence to a string.

@@ -334,6 +334,89 @@ func (s *Edge) InlinedChildText(tree.NodeID, string) (string, bool, bool) {
 	return "", false, false
 }
 
+// rowIDCursor adapts a relational row iterator to a node cursor by
+// projecting one Node column: the bridge between the relational operators
+// and the engine's item pipeline.
+type rowIDCursor struct {
+	it  relational.Iterator
+	col int
+}
+
+func (c *rowIDCursor) Next() (tree.NodeID, bool) {
+	r, ok := c.it.Next()
+	if !ok {
+		return tree.Nil, false
+	}
+	return tree.NodeID(r[c.col].I), true
+}
+
+// ChildrenCursor implements nodestore.CursorStore: a streaming
+// select-project over the parent index posting list, skipping attribute
+// rows.
+func (s *Edge) ChildrenCursor(n tree.NodeID) nodestore.Cursor {
+	it := relational.Select(
+		relational.ScanRows(s.table, s.parentIdx.LookupInt(int64(n))),
+		func(r relational.Row) bool { return r[eKind].I != rowAttr })
+	return &rowIDCursor{it: it, col: eID}
+}
+
+// ChildrenByTagCursor implements nodestore.CursorStore.
+func (s *Edge) ChildrenByTagCursor(n tree.NodeID, tag string) nodestore.Cursor {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return nodestore.EmptyCursor{}
+	}
+	it := relational.Select(
+		relational.ScanRows(s.table, s.parentIdx.LookupInt(int64(n))),
+		func(r relational.Row) bool { return r[eKind].I == rowElement && int32(r[eTag].I) == sym })
+	return &rowIDCursor{it: it, col: eID}
+}
+
+// DescendantsCursor implements nodestore.CursorStore: the tag index posting
+// list is in document order, so the containment join of Descendants becomes
+// a binary-searched range scan that streams row by row and stops at the
+// subtree end.
+func (s *Edge) DescendantsCursor(n tree.NodeID, tag string) nodestore.Cursor {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return nodestore.EmptyCursor{}
+	}
+	lo, hi := n, s.SubtreeEnd(n)
+	rows := s.tagIdx.LookupInt(int64(sym))
+	i := sort.Search(len(rows), func(k int) bool {
+		return tree.NodeID(s.table.Value(int(rows[k]), eID).I) > lo
+	})
+	return &edgeRangeCursor{s: s, rows: rows[i:], hi: hi}
+}
+
+// edgeRangeCursor streams a document-order run of the tag index until the
+// subtree end is passed.
+type edgeRangeCursor struct {
+	s    *Edge
+	rows []int32
+	hi   tree.NodeID
+}
+
+func (c *edgeRangeCursor) Next() (tree.NodeID, bool) {
+	for len(c.rows) > 0 {
+		r := c.s.table.Row(int(c.rows[0]))
+		c.rows = c.rows[1:]
+		id := tree.NodeID(r[eID].I)
+		if id >= c.hi {
+			c.rows = nil
+			return tree.Nil, false
+		}
+		if r[eKind].I == rowElement {
+			return id, true
+		}
+	}
+	return tree.Nil, false
+}
+
+// PathExtentCursor implements nodestore.CursorStore: the heap has no path
+// access path.
+func (s *Edge) PathExtentCursor([]string) (nodestore.Cursor, bool) { return nil, false }
+
 // Stats implements nodestore.Store.
 func (s *Edge) Stats() nodestore.Stats {
 	return nodestore.Stats{

@@ -7,6 +7,7 @@ import (
 	"repro/internal/nodestore"
 	"repro/internal/relational"
 	"repro/internal/schema"
+	"repro/internal/summary"
 	"repro/internal/tree"
 )
 
@@ -457,6 +458,52 @@ func (s *Path) InlinedChildText(n tree.NodeID, tag string) (string, bool, bool) 
 		return "", false, true
 	}
 	return row[cols[0]].S, true, true
+}
+
+// ChildrenCursor implements nodestore.CursorStore. Reconstructing the full
+// child list needs the ordinal merge across fragments, so the cursor wraps
+// the materializing method.
+func (s *Path) ChildrenCursor(n tree.NodeID) nodestore.Cursor {
+	return nodestore.NewSliceCursor(s.Children(n, nil))
+}
+
+// ChildrenByTagCursor implements nodestore.CursorStore: the catalog names
+// at most one child fragment per label, so a tagged child step streams the
+// fragment's parent-index posting list directly.
+func (s *Path) ChildrenByTagCursor(n tree.NodeID, tag string) nodestore.Cursor {
+	pt := s.entryOf(n)
+	for _, c := range pt.children {
+		if c.tag != tag {
+			continue
+		}
+		s.metaOps++
+		it := relational.ScanRows(c.table, c.parentIdx.LookupInt(int64(n)))
+		return &rowIDCursor{it: it, col: pID}
+	}
+	return nodestore.EmptyCursor{}
+}
+
+// DescendantsCursor implements nodestore.CursorStore. A single matching
+// fragment streams its clustered-index range in place; several fragments
+// interleave in document order and fall back to the merging slice method.
+func (s *Path) DescendantsCursor(n tree.NodeID, tag string) nodestore.Cursor {
+	pts := s.byTag[tag]
+	if len(pts) == 1 {
+		s.metaOps++
+		return nodestore.NewSliceCursor(summary.Within(pts[0].ids, n, s.SubtreeEnd(n)))
+	}
+	return nodestore.NewSliceCursor(s.Descendants(n, tag, nil))
+}
+
+// PathExtentCursor implements nodestore.CursorStore: a full path is one
+// fragment, so its extent streams from the clustered id column in place.
+func (s *Path) PathExtentCursor(path []string) (nodestore.Cursor, bool) {
+	s.metaOps++
+	pt := s.catalog[strings.Join(path, "/")]
+	if pt == nil {
+		return nodestore.EmptyCursor{}, true // path provably empty
+	}
+	return nodestore.NewSliceCursor(pt.ids), true
 }
 
 // MetaOps returns the number of catalog consultations so far; tests use it

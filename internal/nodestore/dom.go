@@ -172,6 +172,88 @@ func (d *DOM) InlinedChildText(tree.NodeID, string) (string, bool, bool) {
 	return "", false, false
 }
 
+// ChildrenCursor implements CursorStore by walking the sibling links of the
+// tree arena; no id slice is materialized.
+func (d *DOM) ChildrenCursor(n tree.NodeID) Cursor {
+	return &domChildCursor{doc: d.doc, next: d.doc.FirstChild(n), sym: -1, any: true}
+}
+
+// ChildrenByTagCursor implements CursorStore.
+func (d *DOM) ChildrenByTagCursor(n tree.NodeID, tag string) Cursor {
+	sym := d.doc.TagSymbol(tag)
+	if sym < 0 {
+		return EmptyCursor{}
+	}
+	return &domChildCursor{doc: d.doc, next: d.doc.FirstChild(n), sym: sym}
+}
+
+// domChildCursor streams the children of one node. With any set it yields
+// every child; otherwise only element children with the given tag symbol.
+type domChildCursor struct {
+	doc  *tree.Doc
+	next tree.NodeID
+	sym  int32
+	any  bool
+}
+
+func (c *domChildCursor) Next() (tree.NodeID, bool) {
+	for c.next != tree.Nil {
+		id := c.next
+		c.next = c.doc.NextSibling(id)
+		if c.any || (c.doc.Kind(id) == tree.Element && c.doc.TagID(id) == c.sym) {
+			return id, true
+		}
+	}
+	return tree.Nil, false
+}
+
+// DescendantsCursor implements CursorStore. With tag extents the cursor
+// walks a binary-searched subslice of the inverted list in place; without
+// them it is a streaming pre-order scan of the subtree range.
+func (d *DOM) DescendantsCursor(n tree.NodeID, tag string) Cursor {
+	if d.extents != nil && d.sum == nil {
+		return NewSliceCursor(summary.Within(d.extents[tag], n, d.doc.SubtreeEnd(n)))
+	}
+	if d.sum != nil {
+		// Summary extents for several paths may interleave; reuse the
+		// merging slice method.
+		return NewSliceCursor(d.sum.DescendantsOf(d.doc, n, tag, nil))
+	}
+	sym := d.doc.TagSymbol(tag)
+	if sym < 0 {
+		return EmptyCursor{}
+	}
+	return &domScanCursor{doc: d.doc, at: n + 1, end: d.doc.SubtreeEnd(n), sym: sym}
+}
+
+// domScanCursor streams the pre-order subtree range [at, end), yielding
+// elements with the given tag symbol.
+type domScanCursor struct {
+	doc     *tree.Doc
+	at, end tree.NodeID
+	sym     int32
+}
+
+func (c *domScanCursor) Next() (tree.NodeID, bool) {
+	for ; c.at < c.end; c.at++ {
+		if c.doc.Kind(c.at) == tree.Element && c.doc.TagID(c.at) == c.sym {
+			id := c.at
+			c.at++
+			return id, true
+		}
+	}
+	return tree.Nil, false
+}
+
+// PathExtentCursor implements CursorStore; only the summary can answer it.
+// The cursor walks the summary's extent in place without copying it.
+func (d *DOM) PathExtentCursor(path []string) (Cursor, bool) {
+	if d.sum == nil {
+		return nil, false
+	}
+	return NewSliceCursor(d.sum.Lookup(path...)), true
+}
+
 // Stats implements Store.
 func (d *DOM) Stats() Stats {
 	doc := d.doc

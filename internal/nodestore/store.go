@@ -31,7 +31,9 @@ type Stats struct {
 // are document-order identifiers (tree.NodeID); how each operation is
 // answered — pointer chase, hash probe into one big relation, per-path
 // table lookup, structural-summary consultation — is the architecture under
-// test.
+// test. Stores that can stream navigation results without materializing
+// id slices additionally implement CursorStore; the engine's pipeline
+// prefers those cursors and falls back to the slice methods below.
 type Store interface {
 	// Name identifies the architecture, e.g. "edge" or "dom+summary".
 	Name() string

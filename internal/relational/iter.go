@@ -2,9 +2,15 @@ package relational
 
 import "sort"
 
-// Iterator is the volcano-style tuple stream all operators implement.
-// Next returns the next row and true, or nil and false when exhausted.
-// Returned rows may be invalidated by the following Next call.
+// Iterator is the Volcano-style tuple stream all relational operators
+// implement. Next returns the next row and true, or nil and false when
+// exhausted. Returned rows may be invalidated by the following Next call.
+//
+// The same pull discipline continues up the stack: the XML-to-relational
+// mappings project node columns out of these row streams as
+// nodestore.Cursors, which the query engine composes into its item
+// pipeline (engine.Iterator) — so a query on the relational systems
+// streams end to end, from table scan to serializer.
 type Iterator interface {
 	Next() (Row, bool)
 }

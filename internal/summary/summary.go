@@ -126,11 +126,16 @@ func (s *Summary) CountDescendants(tag string) int {
 // (lo, hi) — exclusive of lo itself — to buf. Extents are in document
 // order, so the containment range is found by binary search.
 func ExtentWithin(extent []tree.NodeID, lo, hi tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	return append(buf, Within(extent, lo, hi)...)
+}
+
+// Within returns the members of extent that lie in the subtree (lo, hi) —
+// exclusive of lo itself — as a subslice of extent, without copying. The
+// result aliases extent and must not be modified.
+func Within(extent []tree.NodeID, lo, hi tree.NodeID) []tree.NodeID {
 	i := sort.Search(len(extent), func(k int) bool { return extent[k] > lo })
-	for ; i < len(extent) && extent[i] < hi; i++ {
-		buf = append(buf, extent[i])
-	}
-	return buf
+	j := sort.Search(len(extent), func(k int) bool { return extent[k] >= hi })
+	return extent[i:j]
 }
 
 // CountWithin counts the members of extent inside the subtree (lo, hi)

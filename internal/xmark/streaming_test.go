@@ -1,0 +1,45 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestStreamingMatchesMaterializedAllQueries is the regression net under
+// the streaming pipeline: for every one of the twenty queries on every
+// system architecture, serializing the streamed result item by item
+// (Prepared.Serialize) must yield exactly the bytes of materializing the
+// whole sequence first (Prepared.Run + SerializeString). Factor 0.01 is
+// the paper's smaller Figure 4 scale.
+func TestStreamingMatchesMaterializedAllQueries(t *testing.T) {
+	b := bench(t, 0.01)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		text := b.QueryText(q.ID)
+		for _, inst := range instances {
+			prep, err := inst.Engine.Prepare(text)
+			if err != nil {
+				t.Fatalf("Q%d system %s: %v", q.ID, inst.System.ID, err)
+			}
+			seq, err := prep.Run()
+			if err != nil {
+				t.Fatalf("Q%d system %s: %v", q.ID, inst.System.ID, err)
+			}
+			materialized := engine.SerializeString(inst.Engine.Store(), seq)
+
+			var streamed strings.Builder
+			if err := prep.Serialize(&streamed); err != nil {
+				t.Fatalf("Q%d system %s: %v", q.ID, inst.System.ID, err)
+			}
+			if streamed.String() != materialized {
+				t.Errorf("Q%d system %s: streamed serialization differs from materialized (%d vs %d bytes)",
+					q.ID, inst.System.ID, streamed.Len(), len(materialized))
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package xmark
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -167,8 +168,11 @@ type QueryResult struct {
 func (r QueryResult) Total() time.Duration { return r.Compile + r.Execute }
 
 // Run compiles and executes the query text, timing the phases separately
-// as in the paper's Table 2. For System G the execution phase includes the
-// per-session document parse, the constant overhead Figure 4 exhibits.
+// as in the paper's Table 2. Execution streams: the engine's iterator
+// pipeline feeds the serializer item by item, so the result sequence is
+// never materialized, only its serialized text. For System G the execution
+// phase includes the per-session document parse, the constant overhead
+// Figure 4 exhibits.
 func (inst *Instance) Run(queryID int, text string) (QueryResult, error) {
 	res := QueryResult{System: inst.System.ID, QueryID: queryID}
 
@@ -192,11 +196,11 @@ func (inst *Instance) Run(queryID int, text string) (QueryResult, error) {
 	res.Compile = prep.CompileTime
 
 	start := time.Now()
-	seq, err := prep.Run()
-	if err != nil {
+	var out strings.Builder
+	if err := prep.Serialize(&out); err != nil {
 		return res, fmt.Errorf("system %s Q%d: %w", inst.System.ID, queryID, err)
 	}
-	res.Output = engine.SerializeString(eng.Store(), seq)
+	res.Output = out.String()
 	res.Execute += time.Since(start)
 	return res, nil
 }
