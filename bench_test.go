@@ -16,6 +16,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/nodestore"
+	"repro/internal/service"
 	"repro/internal/tree"
 	"repro/internal/xmark"
 	"repro/internal/xmlgen"
@@ -275,6 +277,79 @@ func BenchmarkAblationAttrIndex(b *testing.B) {
 			}
 		})
 	}
+}
+
+var (
+	svcOnce sync.Once
+	svcCat  *service.Catalog
+	svcErr  error
+)
+
+func serviceCatalog(b *testing.B) *service.Catalog {
+	b.Helper()
+	svcOnce.Do(func() {
+		svcCat, svcErr = service.Load(benchFactor(), nil)
+	})
+	if svcErr != nil {
+		b.Fatal(svcErr)
+	}
+	return svcCat
+}
+
+// BenchmarkServiceThroughput measures the multi-client axis the service
+// layer adds: parallel clients issuing a mixed workload against one
+// shared Catalog through the Executor. ns/op is the per-request latency
+// under full parallelism; compare sub-benchmarks to see each system's
+// aggregate throughput (requests/sec = parallelism / ns/op).
+func BenchmarkServiceThroughput(b *testing.B) {
+	cat := serviceCatalog(b)
+	mix := []int{1, 2, 3, 6, 8, 13, 17, 20}
+	for _, sid := range []xmark.SystemID{xmark.SystemA, xmark.SystemD, xmark.SystemF} {
+		sid := sid
+		b.Run("System"+string(sid), func(b *testing.B) {
+			ex := service.NewExecutor(cat, service.Config{QueueDepth: 1024})
+			defer ex.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					qid := mix[i%len(mix)]
+					i++
+					if _, err := ex.Execute(ctx, service.Request{System: sid, QueryID: qid}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServiceSessionReuse isolates the per-worker Session: the same
+// prepared query executed with a kept Session (warm free lists, memoized
+// join build side) versus a fresh Session per execution.
+func BenchmarkServiceSessionReuse(b *testing.B) {
+	cat := serviceCatalog(b)
+	prep, err := cat.Prepared(xmark.SystemD, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drain := func(engine.Item) bool { return true }
+	b.Run("Q8/keptSession", func(b *testing.B) {
+		sess := engine.NewSession()
+		for i := 0; i < b.N; i++ {
+			if err := prep.StreamSession(sess, drain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Q8/freshSession", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := prep.Stream(drain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationHashJoin isolates the value-join strategy: Q8 over the

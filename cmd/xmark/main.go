@@ -1,7 +1,9 @@
 // Command xmark runs the benchmark evaluation and regenerates the paper's
 // result artifacts: Table 1 (bulkload), Table 2 (compile/execute split),
 // Table 3 (query runtimes on Systems A-F), Figure 3 (generator scaling)
-// and Figure 4 (embedded System G at small scales).
+// and Figure 4 (embedded System G at small scales). Beyond the paper, the
+// -clients mode measures multi-client throughput: closed-loop clients
+// over the shared query service, scaling 1→2→4→… clients per system.
 //
 // Usage:
 //
@@ -9,13 +11,21 @@
 //	xmark -table3 -factor 0.05   # one artifact at a chosen scale
 //	xmark -verify                # run all 20 queries on all 7 systems and
 //	                             # check the results agree
+//	xmark -clients 8 -duration 2s -mix all -factor 0.01
+//	                             # throughput scaling curve, written to
+//	                             # BENCH_throughput.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/service"
 	"repro/internal/xmark"
 )
 
@@ -30,8 +40,17 @@ func main() {
 	verify := flag.Bool("verify", false, "cross-check all 20 queries across all 7 systems")
 	scan := flag.Bool("scan", false, "parser-only scan time of the document (expat baseline)")
 	inspect := flag.Bool("inspect", false, "structural profile of the document (§4 characteristics)")
+	clients := flag.Int("clients", 0, "throughput mode: scale closed-loop clients 1,2,4,... up to N")
+	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
+	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
+	systems := flag.String("systems", "", "throughput mode: systems to drive, e.g. DEF (empty = all seven)")
+	out := flag.String("out", "BENCH_throughput.json", "throughput mode: output artifact path")
 	flag.Parse()
 
+	if *clients > 0 {
+		runThroughput(*factor, *clients, *duration, *mix, *systems, *out)
+		return
+	}
 	if *all {
 		*t1, *t2, *t3, *f3, *f4, *verify, *scan = true, true, true, true, true, true, true
 	}
@@ -101,6 +120,96 @@ func main() {
 		check(b.VerifyAll(instances))
 		fmt.Println("OK: every system returned identical results for every query")
 	}
+}
+
+// runThroughput drives the multi-client scaling experiment and writes
+// the BENCH_throughput.json artifact.
+func runThroughput(factor float64, maxClients int, duration time.Duration, mixSpec, systemsSpec, out string) {
+	queryIDs, err := parseMix(mixSpec)
+	check(err)
+	var sysIDs []xmark.SystemID
+	var load []xmark.System
+	for _, r := range systemsSpec {
+		sys, err := xmark.SystemByID(xmark.SystemID(r))
+		check(err)
+		sysIDs = append(sysIDs, sys.ID)
+		load = append(load, sys)
+	}
+
+	fmt.Printf("loading catalog at factor %g...\n", factor)
+	cat, err := service.Load(factor, load)
+	check(err)
+	fmt.Printf("catalog: %d systems, %.1f MB document, loaded in %v\n",
+		len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
+
+	steps := service.ClientSteps(maxClients)
+	fmt.Printf("throughput: clients %v, %v per cell, %d-query mix\n\n", steps, duration, len(queryIDs))
+	report, err := service.RunThroughput(cat, service.ThroughputOptions{
+		ClientSteps: steps,
+		Duration:    duration,
+		QueryIDs:    queryIDs,
+		Systems:     sysIDs,
+	})
+	check(err)
+
+	fmt.Printf("%-8s %8s %10s %10s %10s %10s\n", "system", "clients", "qps", "p50 ms", "p95 ms", "p99 ms")
+	for _, p := range report.Points {
+		fmt.Printf("%-8s %8d %10.1f %10.3f %10.3f %10.3f\n",
+			p.System, p.Clients, p.QPS, p.P50Ms, p.P95Ms, p.P99Ms)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", out)
+}
+
+// parseMix parses the -mix flag: "all", a comma list of query names
+// ("Q1,Q8,10"), or a range ("Q1..Q20").
+func parseMix(spec string) ([]int, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "all") {
+		ids := make([]int, 20)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+		return ids, nil
+	}
+	parseQ := func(s string) (int, error) {
+		s = strings.TrimPrefix(strings.TrimSpace(strings.ToUpper(s)), "Q")
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 20 {
+			return 0, fmt.Errorf("bad query %q in -mix (want Q1..Q20)", s)
+		}
+		return n, nil
+	}
+	if lo, hi, ok := strings.Cut(spec, ".."); ok {
+		a, err := parseQ(lo)
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseQ(hi)
+		if err != nil {
+			return nil, err
+		}
+		if b < a {
+			a, b = b, a
+		}
+		var ids []int
+		for q := a; q <= b; q++ {
+			ids = append(ids, q)
+		}
+		return ids, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(spec, ",") {
+		q, err := parseQ(part)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, q)
+	}
+	return ids, nil
 }
 
 func check(err error) {

@@ -1,0 +1,150 @@
+// Command xqserve exposes the concurrent query service over HTTP: a
+// load-once catalog (document + all system architectures + compiled
+// benchmark queries) behind a bounded worker-pool executor.
+//
+// Usage:
+//
+//	xqserve -addr :8080 -factor 0.01 -workers 8 -queue 64
+//
+// Endpoints:
+//
+//	GET /query?system=D&q=8          benchmark query 8 on System D
+//	GET /query?system=A&q=count(//item)   ad-hoc query text
+//	GET /stats                       executor metrics as JSON
+//	GET /healthz                     liveness
+//
+// A full admission queue answers 503 (backpressure); closing the client
+// connection cancels the query mid-stream and frees its worker slot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/xmark"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	factor := flag.Float64("factor", 0.01, "scaling factor of the served document")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	systems := flag.String("systems", "", "systems to load, e.g. ABD (empty = all seven)")
+	flag.Parse()
+
+	loaded, err := selectSystems(*systems)
+	check(err)
+	fmt.Printf("xqserve: loading catalog at factor %g...\n", *factor)
+	cat, err := service.Load(*factor, loaded)
+	check(err)
+	fmt.Printf("xqserve: %d systems, %.1f MB document, loaded in %v\n",
+		len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
+
+	ex := service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(ex, w, r)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Workers  int              `json:"workers"`
+			QueueCap int              `json:"queue_cap"`
+			Factor   float64          `json:"factor"`
+			Snapshot service.Snapshot `json:"snapshot"`
+		}{ex.Workers(), ex.QueueCap(), cat.Factor, ex.Metrics().Snapshot()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		fmt.Printf("xqserve: listening on %s\n", *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			check(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nxqserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	ex.Close()
+}
+
+// handleQuery serves one /query request. The request context follows the
+// client connection, so a dropped client cancels the query.
+func handleQuery(ex *service.Executor, w http.ResponseWriter, r *http.Request) {
+	sys := r.URL.Query().Get("system")
+	q := r.URL.Query().Get("q")
+	if sys == "" || q == "" {
+		http.Error(w, "need system= and q= (a query number 1-20 or query text)", http.StatusBadRequest)
+		return
+	}
+	req := service.Request{System: xmark.SystemID(sys)}
+	if qid, err := strconv.Atoi(q); err == nil {
+		if qid < 1 || qid > 20 {
+			http.Error(w, "query number out of range 1-20", http.StatusBadRequest)
+			return
+		}
+		req.QueryID = qid
+	} else {
+		req.Text = q
+	}
+
+	resp, err := ex.Execute(r.Context(), req)
+	switch {
+	case err == nil:
+	case errors.Is(err, service.ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; nothing useful to write.
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Query-Wait", resp.Wait.String())
+	w.Header().Set("X-Query-Exec", resp.Exec.String())
+	fmt.Fprintln(w, resp.Output)
+}
+
+// selectSystems parses a string of system letters into system values.
+func selectSystems(s string) ([]xmark.System, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []xmark.System
+	for _, r := range s {
+		sys, err := xmark.SystemByID(xmark.SystemID(r))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sys)
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqserve:", err)
+		os.Exit(1)
+	}
+}

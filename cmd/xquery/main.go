@@ -6,12 +6,14 @@
 //
 //	xquery -factor 0.01 'count(//item)'
 //	xquery -doc auction.xml -system C 'for $p in /site/people/person return $p/name/text()'
-//	xquery -factor 0.01 -q query.xq -time
+//	xquery -factor 0.01 -f query.xq -time
+//	echo 'count(//item)' | xquery -               # query from stdin
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/xmark"
@@ -22,10 +24,14 @@ func main() {
 	docPath := flag.String("doc", "", "XML document to query (default: generate one)")
 	factor := flag.Float64("factor", 0.01, "scaling factor when generating")
 	system := flag.String("system", "D", "system architecture A-G")
-	queryFile := flag.String("q", "", "read the query from a file")
+	queryFile := flag.String("q", "", "read the query from a file ('-' for stdin)")
+	queryFileF := flag.String("f", "", "read the query from a file ('-' for stdin); alias of -q")
 	benchQuery := flag.Int("n", 0, "run benchmark query number 1-20 instead of an inline query")
 	timing := flag.Bool("time", false, "print load, compile and execution times")
 	flag.Parse()
+	if *queryFile == "" {
+		*queryFile = *queryFileF
+	}
 
 	var docText []byte
 	card := xmlgen.Scale(*factor)
@@ -44,13 +50,15 @@ func main() {
 	case *benchQuery >= 1 && *benchQuery <= 20:
 		src = xmark.Query(*benchQuery).Text(card)
 	case *queryFile != "":
-		b, err := os.ReadFile(*queryFile)
-		check(err)
-		src = string(b)
+		src = readQuery(*queryFile)
 	case flag.NArg() == 1:
-		src = flag.Arg(0)
+		if flag.Arg(0) == "-" {
+			src = readQuery("-")
+		} else {
+			src = flag.Arg(0)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "xquery: provide a query argument, -q file, or -n query-number")
+		fmt.Fprintln(os.Stderr, "xquery: provide a query argument ('-' for stdin), -f/-q file, or -n query-number")
 		os.Exit(2)
 	}
 
@@ -66,6 +74,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "system %s: load %v, compile %v, execute %v, %d result bytes\n",
 			sys.ID, inst.LoadTime, res.Compile, res.Execute, len(res.Output))
 	}
+}
+
+// readQuery loads the query text from a file, or from stdin when path is
+// "-", so service smoke tests can pipe queries in.
+func readQuery(path string) string {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		check(err)
+		return string(b)
+	}
+	b, err := os.ReadFile(path)
+	check(err)
+	return string(b)
 }
 
 func check(err error) {

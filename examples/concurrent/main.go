@@ -1,0 +1,74 @@
+// Concurrent: load one shared Catalog, start a bounded worker-pool
+// Executor over it, and hammer it from N client goroutines at once —
+// the multi-user usage the service layer adds on top of the paper's
+// single-query benchmark.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/xmark"
+)
+
+func main() {
+	// 1. Load once: the Catalog generates the document, bulkloads it into
+	//    every system architecture, and compiles all twenty benchmark
+	//    queries per system. Everything in it is immutable afterwards, so
+	//    any number of goroutines may share it.
+	cat, err := service.Load(0.01, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d systems over a %.1f MB document, loaded in %v\n",
+		len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
+
+	// 2. Start the executor: a bounded worker pool with an admission
+	//    queue. Each worker owns its private evaluation scratch (an
+	//    engine.Session); the stores and compiled plans are shared.
+	ex := service.NewExecutor(cat, service.Config{Workers: 4, QueueDepth: 32})
+	defer ex.Close()
+
+	// 3. N concurrent clients, each running the full query set on its
+	//    own system architecture.
+	const clients = 8
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sys := cat.Systems()[c%len(cat.Systems())].ID
+			for qid := 1; qid <= 20; qid++ {
+				resp, err := ex.Execute(context.Background(), service.Request{System: sys, QueryID: qid})
+				if err != nil {
+					log.Printf("client %d: system %s Q%d: %v", c, sys, qid, err)
+					return
+				}
+				if qid == 1 {
+					fmt.Printf("client %d  system %s  Q1 -> %q (wait %v, exec %v)\n",
+						c, sys, resp.Output, resp.Wait, resp.Exec)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// 4. The metrics the service collected while we ran.
+	snap := ex.Metrics().Snapshot()
+	fmt.Printf("\n%d queries in %v: %.0f QPS, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+		snap.Completed, time.Since(start).Round(time.Millisecond),
+		snap.QPS, snap.P50Ms, snap.P95Ms, snap.P99Ms)
+
+	// 5. One ad-hoc query through the same pool.
+	resp, err := ex.Execute(context.Background(),
+		service.Request{System: xmark.SystemD, Text: `count(/site/open_auctions/open_auction)`})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ad-hoc on D: %s open auctions\n", resp.Output)
+}

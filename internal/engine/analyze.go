@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"repro/internal/xquery"
+)
+
+// analysis is the compile-time query analysis: FLWOR join plans and the
+// usesLast answers for every step and filter predicate. It is computed
+// once in Prepare, published with the Prepared, and never written again —
+// which is what lets any number of goroutines execute the same Prepared
+// concurrently without sharing mutable state (each execution's scratch
+// lives in its Session instead).
+type analysis struct {
+	// plans maps each FLWOR expression with a where clause to its static
+	// clause plan (which conjunct each for-clause consumes as a hash join).
+	plans map[*xquery.FLWOR]*flworPlan
+	// lastUse answers, per predicate expression, whether evaluating it may
+	// consult last() in the current focus.
+	lastUse map[xquery.Expr]bool
+}
+
+// analyze walks the query (body and user function bodies) and precomputes
+// every per-expression static decision the evaluator consults at run time.
+// Both decisions depend only on the expression tree and the engine options,
+// so they belong to compilation; moving them here keeps execution free of
+// writes to shared maps.
+func (p *Prepared) analyze() {
+	a := &analysis{
+		plans:   make(map[*xquery.FLWOR]*flworPlan),
+		lastUse: make(map[xquery.Expr]bool),
+	}
+	record := func(e xquery.Expr) {
+		switch v := e.(type) {
+		case *xquery.FLWOR:
+			if v.Where != nil {
+				a.plans[v] = planFLWOR(v, p.engine.opts.HashJoins)
+			}
+		case *xquery.Path:
+			for _, st := range v.Steps {
+				for _, pred := range st.Preds {
+					a.lastUse[pred] = usesLastExpr(pred, p.query.Functions)
+				}
+			}
+		case *xquery.Filter:
+			for _, pred := range v.Preds {
+				a.lastUse[pred] = usesLastExpr(pred, p.query.Functions)
+			}
+		}
+	}
+	for _, fd := range p.query.Functions {
+		visitExprs(fd.Body, record)
+	}
+	visitExprs(p.query.Body, record)
+	p.analysis = a
+}
+
+// visitExprs calls visit for e and, recursively, every expression nested
+// inside it (step and filter predicates included).
+func visitExprs(e xquery.Expr, visit func(xquery.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	all := func(es []xquery.Expr) {
+		for _, x := range es {
+			visitExprs(x, visit)
+		}
+	}
+	switch v := e.(type) {
+	case *xquery.Path:
+		visitExprs(v.Input, visit)
+		for _, st := range v.Steps {
+			all(st.Preds)
+		}
+	case *xquery.Filter:
+		visitExprs(v.Input, visit)
+		all(v.Preds)
+	case *xquery.FLWOR:
+		for _, cl := range v.Clauses {
+			if cl.For != nil {
+				visitExprs(cl.For.Seq, visit)
+			} else {
+				visitExprs(cl.Let.Seq, visit)
+			}
+		}
+		visitExprs(v.Where, visit)
+		for _, o := range v.Order {
+			visitExprs(o.Key, visit)
+		}
+		visitExprs(v.Return, visit)
+	case *xquery.Quantified:
+		all(v.Seqs)
+		visitExprs(v.Satisfies, visit)
+	case *xquery.IfExpr:
+		visitExprs(v.Cond, visit)
+		visitExprs(v.Then, visit)
+		visitExprs(v.Else, visit)
+	case *xquery.Binary:
+		visitExprs(v.Left, visit)
+		visitExprs(v.Right, visit)
+	case *xquery.Unary:
+		visitExprs(v.Operand, visit)
+	case *xquery.Call:
+		all(v.Args)
+	case *xquery.Sequence:
+		all(v.Items)
+	case *xquery.ElementCtor:
+		for _, a := range v.Attrs {
+			all(a.Parts)
+		}
+		all(v.Content)
+	}
+}
+
+// planFLWOR computes the static clause plan of one FLWOR expression: which
+// where conjunct each for-clause consumes as a hash join (with its probe
+// and build operands fixed), and which conjuncts remain as filters.
+func planFLWOR(f *xquery.FLWOR, hashJoins bool) *flworPlan {
+	conjs := splitConjuncts(f.Where)
+	plan := &flworPlan{joins: make([]joinPlan, len(f.Clauses))}
+	if len(conjs) == 0 || !hashJoins {
+		// Nothing to join on: every conjunct stays a filter.
+		plan.rest = conjs
+		return plan
+	}
+	used := make([]bool, len(conjs))
+	bound := map[string]bool{}
+	clauseVars := map[string]bool{}
+	for _, cl := range f.Clauses {
+		if cl.For != nil {
+			clauseVars[cl.For.Var] = true
+		} else {
+			clauseVars[cl.Let.Var] = true
+		}
+	}
+	for i, cl := range f.Clauses {
+		if cl.Let != nil {
+			bound[cl.Let.Var] = true
+			continue
+		}
+		fc := cl.For
+		if exprIndependent(fc.Seq) {
+			if ci := findJoinConjunct(conjs, used, fc, bound, clauseVars); ci >= 0 {
+				b := conjs[ci].(*xquery.Binary)
+				probe, build := b.Left, b.Right
+				if vars := freeVars(b.Left); !(len(vars) == 1 && vars[fc.Var]) {
+					probe, build = b.Right, b.Left
+				}
+				plan.joins[i] = joinPlan{conj: conjs[ci], probe: probe, build: build}
+				used[ci] = true
+			}
+		}
+		bound[fc.Var] = true
+	}
+	for ci, conj := range conjs {
+		if !used[ci] {
+			plan.rest = append(plan.rest, conj)
+		}
+	}
+	return plan
+}
+
+// findJoinConjunct looks for an equality conjunct with one side depending
+// only on the new for-variable and the other side evaluable from the
+// bindings available before this clause: the hash-joinable shape of
+// Q8/Q9/Q10.
+func findJoinConjunct(conjs []xquery.Expr, used []bool, fc *xquery.ForClause, bound, clauseVars map[string]bool) int {
+	// otherOK: the build side must not touch the new variable and must not
+	// reference clause variables that are not bound yet.
+	otherOK := func(vars map[string]bool) bool {
+		for v := range vars {
+			if v == fc.Var {
+				return false
+			}
+			if clauseVars[v] && !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, c := range conjs {
+		if used[i] {
+			continue
+		}
+		b, ok := c.(*xquery.Binary)
+		if !ok || b.Op != xquery.OpEq {
+			continue
+		}
+		lv := freeVars(b.Left)
+		rv := freeVars(b.Right)
+		if len(lv) == 1 && lv[fc.Var] && otherOK(rv) {
+			return i
+		}
+		if len(rv) == 1 && rv[fc.Var] && otherOK(lv) {
+			return i
+		}
+	}
+	return -1
+}
+
+// usesLastExpr conservatively reports whether evaluating e may call last()
+// in the current focus: a syntactic walk that does not descend into nested
+// predicates or FLWOR-bound subexpressions (their last() refers to their
+// own focus) but treats user function calls as potentially using it.
+func usesLastExpr(e xquery.Expr, funcs map[string]*xquery.FuncDecl) bool {
+	found := false
+	var walk func(e xquery.Expr)
+	walkAll := func(es []xquery.Expr) {
+		for _, x := range es {
+			if x != nil {
+				walk(x)
+			}
+		}
+	}
+	walk = func(e xquery.Expr) {
+		if found || e == nil {
+			return
+		}
+		switch v := e.(type) {
+		case *xquery.Call:
+			if v.Name == "last" {
+				found = true
+				return
+			}
+			if _, user := funcs[v.Name]; user {
+				// A user function body could call last() against the
+				// caller's focus; stay conservative.
+				found = true
+				return
+			}
+			walkAll(v.Args)
+		case *xquery.Path:
+			walk(v.Input)
+			// Nested step predicates get their own focus; skip them.
+		case *xquery.Filter:
+			walk(v.Input)
+		case *xquery.FLWOR:
+			for _, cl := range v.Clauses {
+				if cl.For != nil {
+					walk(cl.For.Seq)
+				} else {
+					walk(cl.Let.Seq)
+				}
+			}
+			if v.Where != nil {
+				walk(v.Where)
+			}
+			for _, o := range v.Order {
+				walk(o.Key)
+			}
+			walk(v.Return)
+		case *xquery.Quantified:
+			walkAll(v.Seqs)
+			walk(v.Satisfies)
+		case *xquery.IfExpr:
+			walk(v.Cond)
+			walk(v.Then)
+			walk(v.Else)
+		case *xquery.Binary:
+			walk(v.Left)
+			walk(v.Right)
+		case *xquery.Unary:
+			walk(v.Operand)
+		case *xquery.Sequence:
+			walkAll(v.Items)
+		case *xquery.ElementCtor:
+			for _, a := range v.Attrs {
+				walkAll(a.Parts)
+			}
+			walkAll(v.Content)
+		}
+	}
+	walk(e)
+	return found
+}

@@ -53,15 +53,23 @@ func (e *Engine) Store() nodestore.Store { return e.store }
 func (e *Engine) Options() Options { return e.opts }
 
 // Prepared is a compiled query. Compilation covers parsing, static
-// resolution of functions and variables, and metadata access (catalog
-// probes for absolute paths), matching the paper's "compilation" phase of
-// Table 2. Execution builds a pull-based iterator pipeline over the store;
-// Run materializes it, while Stream and Serialize consume it item by item
-// without holding the whole result. A Prepared query can be executed any
-// number of times; every execution builds a fresh pipeline.
+// resolution of functions and variables, metadata access (catalog probes
+// for absolute paths) and static analysis (join plans, usesLast), matching
+// the paper's "compilation" phase of Table 2. Execution builds a pull-based
+// iterator pipeline over the store; Run materializes it, while Stream and
+// Serialize consume it item by item without holding the whole result.
+//
+// A Prepared is immutable after Prepare returns and can be executed any
+// number of times, including concurrently from multiple goroutines: every
+// execution builds a fresh pipeline, and all mutable evaluation scratch
+// lives in a per-execution (or caller-supplied per-worker) Session.
 type Prepared struct {
 	engine *Engine
 	query  *xquery.Query
+	// analysis holds the precomputed per-expression static decisions
+	// (FLWOR join plans, usesLast); published once here, read-only during
+	// execution.
+	analysis *analysis
 	// CompileTime is the wall time spent in Prepare.
 	CompileTime time.Duration
 	// MetaProbes counts catalog consultations during compilation.
@@ -84,6 +92,7 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 		return nil, err
 	}
 	p.resolvePaths()
+	p.analyze()
 	p.diagnose()
 	p.CompileTime = time.Since(start)
 	return p, nil
@@ -91,7 +100,7 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 
 // Run executes the prepared query and materializes the result sequence.
 func (p *Prepared) Run() (result Seq, err error) {
-	err = p.execute(func(it Iterator) error {
+	err = p.execute(nil, func(it Iterator) error {
 		result = materialize(it)
 		return nil
 	})
@@ -106,7 +115,17 @@ func (p *Prepared) Run() (result Seq, err error) {
 // the remainder of the result is never computed — the pipeline's
 // early-termination property.
 func (p *Prepared) Stream(fn func(Item) bool) error {
-	return p.execute(func(it Iterator) error {
+	return p.StreamSession(nil, fn)
+}
+
+// StreamSession is Stream with a caller-owned Session holding the
+// execution's mutable scratch (recycled iterators, memoized join build
+// sides). A worker goroutine that executes prepared queries repeatedly
+// passes its own Session to keep that scratch warm across executions; the
+// Session must not be shared between goroutines. A nil sess behaves like
+// Stream.
+func (p *Prepared) StreamSession(sess *Session, fn func(Item) bool) error {
+	return p.execute(sess, func(it Iterator) error {
 		for {
 			v, ok := it.Next()
 			if !ok {
@@ -123,14 +142,17 @@ func (p *Prepared) Stream(fn func(Item) bool) error {
 // to w item by item, interleaving evaluation with output instead of
 // materializing the result sequence first.
 func (p *Prepared) Serialize(w io.Writer) error {
-	return p.execute(func(it Iterator) error {
+	return p.execute(nil, func(it Iterator) error {
 		return SerializeIter(w, p.engine.store, it)
 	})
 }
 
 // execute builds a fresh pipeline for the query body and hands it to
-// consume, converting evaluation panics into error returns.
-func (p *Prepared) execute(consume func(Iterator) error) (err error) {
+// consume, converting evaluation panics into error returns. The evaluator
+// reads the compile-time analysis through the Prepared (immutable) and
+// keeps all mutable scratch in the Session, so concurrent executions of
+// one Prepared never share writable state.
+func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(*evalError); ok {
@@ -140,11 +162,15 @@ func (p *Prepared) execute(consume func(Iterator) error) (err error) {
 			panic(r)
 		}
 	}()
-	// The join-index and plan memos are allocated on first use.
+	if sess == nil {
+		sess = NewSession()
+	}
 	ev := &evaluator{
-		store: p.engine.store,
-		opts:  p.engine.opts,
-		funcs: p.query.Functions,
+		store:  p.engine.store,
+		opts:   p.engine.opts,
+		funcs:  p.query.Functions,
+		shared: p.analysis,
+		sess:   sess,
 	}
 	return consume(ev.iter(p.query.Body, &bindings{}))
 }

@@ -40,30 +40,26 @@ type focus struct {
 	size int // 0 while streaming a predicate that provably ignores last()
 }
 
-// evaluator executes one query run.
+// evaluator executes one query run. It separates what concurrent
+// executions may share from what they must not: store, opts, funcs and
+// shared are read-only for the whole run (shared is the Prepared's
+// compile-time analysis), while focus, depth and everything reachable
+// through sess are mutable scratch owned by exactly one goroutine.
 type evaluator struct {
-	store    nodestore.Store
-	opts     Options
-	funcs    map[string]*xquery.FuncDecl
+	store nodestore.Store
+	opts  Options
+	funcs map[string]*xquery.FuncDecl
+	// shared is the compile-time analysis of the Prepared being executed:
+	// FLWOR join plans and usesLast answers, published once by Prepare and
+	// only read here.
+	shared *analysis
+	// sess holds the run's mutable scratch: iterator free lists and the
+	// hash-join index cache. Per-worker when the caller supplies one, per-
+	// execution otherwise.
+	sess     *Session
 	focus    focus
 	hasFocus bool
-	// cache memoizes hash-join indexes for independent for-clauses so
-	// correlated inner FLWORs (Q10) build the index once.
-	cache map[*xquery.ForClause]*joinIndex
-	// plans memoizes FLWOR clause plans: join planning is static per
-	// expression node, and inner FLWORs evaluate once per outer tuple.
-	plans map[*xquery.FLWOR]*flworPlan
-	// lastUse memoizes the usesLast analysis, which is likewise static
-	// per predicate expression but consulted once per context item.
-	lastUse map[xquery.Expr]bool
-	// stepFree, inlineFree and varFree recycle exhausted iterators (with
-	// their grown buffers): per-tuple paths in FLWOR return clauses
-	// re-evaluate constantly, and reuse makes their steady state
-	// allocation-free.
-	stepFree   []*stepIter
-	inlineFree []*inlineTextIter
-	varFree    []*varIter
-	depth      int
+	depth    int
 }
 
 const maxRecursion = 2000
@@ -150,10 +146,13 @@ type varIter struct {
 }
 
 func (ev *evaluator) newVarIter(s Seq) *varIter {
-	if n := len(ev.varFree); n > 0 {
-		v := ev.varFree[n-1]
-		ev.varFree = ev.varFree[:n-1]
-		v.s, v.released = s, false
+	free := ev.sess.varFree
+	if n := len(free); n > 0 {
+		v := free[n-1]
+		ev.sess.varFree = free[:n-1]
+		// Rebind ev: a Session outlives executions, so a recycled iterator
+		// may carry the previous execution's evaluator.
+		v.ev, v.s, v.released = ev, s, false
 		return v
 	}
 	return &varIter{ev: ev, s: s}
@@ -177,7 +176,7 @@ func (v *varIter) release() {
 		return
 	}
 	v.s, v.i, v.released = nil, 0, true
-	v.ev.varFree = append(v.ev.varFree, v)
+	v.ev.sess.varFree = append(v.ev.sess.varFree, v)
 }
 
 // sequenceIter streams a comma sequence, building each part's pipeline
@@ -268,10 +267,14 @@ func (ev *evaluator) iterSteps(in Iterator, steps []*xquery.Step, env *bindings)
 // newStepIter takes a recycled stepIter from the free list (keeping its
 // grown candidate buffer) or allocates a fresh one.
 func (ev *evaluator) newStepIter(in Iterator, st *xquery.Step, env *bindings) *stepIter {
-	if n := len(ev.stepFree); n > 0 {
-		d := ev.stepFree[n-1]
-		ev.stepFree = ev.stepFree[:n-1]
-		d.in, d.st, d.env = in, st, env
+	free := ev.sess.stepFree
+	if n := len(free); n > 0 {
+		d := free[n-1]
+		ev.sess.stepFree = free[:n-1]
+		// Rebind ev, not just the operands: a Session is reused across
+		// executions of different Prepared queries, and a stale evaluator
+		// would navigate the previous query's store with its funcs.
+		d.ev, d.in, d.st, d.env = ev, in, st, env
 		return d
 	}
 	return &stepIter{ev: ev, in: in, st: st, env: env}
@@ -284,7 +287,7 @@ func (d *stepIter) release() {
 	d.in, d.st, d.env = nil, nil, nil
 	d.pending, d.inner = nil, nil
 	d.bi, d.bn = 0, 0
-	d.ev.stepFree = append(d.ev.stepFree, d)
+	d.ev.sess.stepFree = append(d.ev.sess.stepFree, d)
 }
 
 // stepIter streams a child, attribute or text step over the context
@@ -607,10 +610,12 @@ type inlineTextIter struct {
 }
 
 func (ev *evaluator) newInlineTextIter(in Iterator, childStep, textStep *xquery.Step) *inlineTextIter {
-	if n := len(ev.inlineFree); n > 0 {
-		d := ev.inlineFree[n-1]
-		ev.inlineFree = ev.inlineFree[:n-1]
-		d.in, d.childStep, d.textStep = in, childStep, textStep
+	free := ev.sess.inlineFree
+	if n := len(free); n > 0 {
+		d := free[n-1]
+		ev.sess.inlineFree = free[:n-1]
+		// Rebind ev for the same reason as newStepIter.
+		d.ev, d.in, d.childStep, d.textStep = ev, in, childStep, textStep
 		return d
 	}
 	return &inlineTextIter{ev: ev, in: in, childStep: childStep, textStep: textStep}
@@ -618,7 +623,7 @@ func (ev *evaluator) newInlineTextIter(in Iterator, childStep, textStep *xquery.
 
 func (d *inlineTextIter) release() {
 	d.in, d.childStep, d.textStep, d.inner = nil, nil, nil, nil
-	d.ev.inlineFree = append(d.ev.inlineFree, d)
+	d.ev.sess.inlineFree = append(d.ev.sess.inlineFree, d)
 }
 
 func (d *inlineTextIter) Next() (Item, bool) {
@@ -891,8 +896,9 @@ func (s *sliceTupleIter) Next() (*bindings, bool) {
 // flworPlan is the static clause plan of one FLWOR expression: which
 // where conjunct each for-clause consumes as a hash join (with its probe
 // and build operands fixed), and which conjuncts remain as filters. The
-// plan depends only on the expression and the engine options, so it is
-// computed once per run and reused by every evaluation of the node.
+// plan depends only on the expression and the engine options, so Prepare
+// computes it once (planFLWOR in analyze.go) and publishes it with the
+// Prepared's analysis; executions only read it.
 type flworPlan struct {
 	joins []joinPlan    // per clause; conj == nil for plain expansion
 	rest  []xquery.Expr // conjuncts not consumed by joins, in order
@@ -906,55 +912,14 @@ type joinPlan struct {
 }
 
 func (ev *evaluator) flworPlan(f *xquery.FLWOR) *flworPlan {
-	if p, ok := ev.plans[f]; ok {
-		return p
-	}
-	conjs := splitConjuncts(f.Where)
-	plan := &flworPlan{joins: make([]joinPlan, len(f.Clauses))}
-	if len(conjs) == 0 || !ev.opts.HashJoins {
-		// Nothing to join on: every conjunct stays a filter.
-		plan.rest = conjs
-	} else {
-		used := make([]bool, len(conjs))
-		bound := map[string]bool{}
-		clauseVars := map[string]bool{}
-		for _, cl := range f.Clauses {
-			if cl.For != nil {
-				clauseVars[cl.For.Var] = true
-			} else {
-				clauseVars[cl.Let.Var] = true
-			}
-		}
-		for i, cl := range f.Clauses {
-			if cl.Let != nil {
-				bound[cl.Let.Var] = true
-				continue
-			}
-			fc := cl.For
-			if exprIndependent(fc.Seq) {
-				if ci := ev.findJoinConjunct(conjs, used, fc, bound, clauseVars); ci >= 0 {
-					b := conjs[ci].(*xquery.Binary)
-					probe, build := b.Left, b.Right
-					if vars := freeVars(b.Left); !(len(vars) == 1 && vars[fc.Var]) {
-						probe, build = b.Right, b.Left
-					}
-					plan.joins[i] = joinPlan{conj: conjs[ci], probe: probe, build: build}
-					used[ci] = true
-				}
-			}
-			bound[fc.Var] = true
-		}
-		for ci, conj := range conjs {
-			if !used[ci] {
-				plan.rest = append(plan.rest, conj)
-			}
+	if ev.shared != nil {
+		if p, ok := ev.shared.plans[f]; ok {
+			return p
 		}
 	}
-	if ev.plans == nil {
-		ev.plans = make(map[*xquery.FLWOR]*flworPlan)
-	}
-	ev.plans[f] = plan
-	return plan
+	// Not covered by the compile-time walk (cannot happen for expressions
+	// reachable from the query); plan on the fly without publishing.
+	return planFLWOR(f, ev.opts.HashJoins)
 }
 
 func (ev *evaluator) iterFLWOR(f *xquery.FLWOR, env *bindings) Iterator {
@@ -1090,44 +1055,6 @@ func splitConjuncts(e xquery.Expr) []xquery.Expr {
 	return []xquery.Expr{e}
 }
 
-// findJoinConjunct looks for an equality conjunct with one side depending
-// only on the new for-variable and the other side evaluable from the
-// bindings available before this clause: the hash-joinable shape of
-// Q8/Q9/Q10.
-func (ev *evaluator) findJoinConjunct(conjs []xquery.Expr, used []bool, fc *xquery.ForClause, bound, clauseVars map[string]bool) int {
-	// otherOK: the build side must not touch the new variable and must not
-	// reference clause variables that are not bound yet.
-	otherOK := func(vars map[string]bool) bool {
-		for v := range vars {
-			if v == fc.Var {
-				return false
-			}
-			if clauseVars[v] && !bound[v] {
-				return false
-			}
-		}
-		return true
-	}
-	for i, c := range conjs {
-		if used[i] {
-			continue
-		}
-		b, ok := c.(*xquery.Binary)
-		if !ok || b.Op != xquery.OpEq {
-			continue
-		}
-		lv := freeVars(b.Left)
-		rv := freeVars(b.Right)
-		if len(lv) == 1 && lv[fc.Var] && otherOK(rv) {
-			return i
-		}
-		if len(rv) == 1 && rv[fc.Var] && otherOK(lv) {
-			return i
-		}
-	}
-	return -1
-}
-
 // joinIndex is a memoized hash index over an independent for-sequence.
 type joinIndex struct {
 	items Seq
@@ -1155,12 +1082,14 @@ type hashJoinTupleIter struct {
 
 // newHashJoinIter executes the planned hash join for the clause. The
 // index materializes the independent sequence — the hash table is a
-// pipeline breaker by nature — and is memoized across evaluations.
+// pipeline breaker by nature — and is memoized in the Session, so it is
+// reused across evaluations within a run and, for a worker that keeps its
+// Session, across executions.
 func (ev *evaluator) newHashJoinIter(in tupleIter, fc *xquery.ForClause, jp *joinPlan) tupleIter {
-	if ev.cache == nil {
-		ev.cache = make(map[*xquery.ForClause]*joinIndex)
+	if ev.sess.joinCache == nil {
+		ev.sess.joinCache = make(map[*xquery.ForClause]*joinIndex)
 	}
-	idx := ev.cache[fc]
+	idx := ev.sess.joinCache[fc]
 	if idx == nil || idx.probe != jp.probe {
 		items := ev.eval(fc.Seq, &bindings{})
 		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: jp.probe}
@@ -1179,7 +1108,7 @@ func (ev *evaluator) newHashJoinIter(in tupleIter, fc *xquery.ForClause, jp *joi
 				idx.byKey[ks] = append(idx.byKey[ks], i)
 			}
 		}
-		ev.cache[fc] = idx
+		ev.sess.joinCache[fc] = idx
 	}
 	return &hashJoinTupleIter{ev: ev, in: in, fc: fc, buildSide: jp.build, idx: idx}
 }

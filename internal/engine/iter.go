@@ -248,93 +248,17 @@ func (ev *evaluator) filterCandidates(in Iterator, preds []xquery.Expr, env *bin
 }
 
 // usesLast conservatively reports whether evaluating e may call last() in
-// the current focus: a syntactic walk that does not descend into nested
-// predicates or FLWOR-bound subexpressions (their last() refers to their
-// own focus) but treats user function calls as potentially using it. The
-// answer is static per expression, so it is memoized — the filter
-// operators consult it once per context item.
+// the current focus. The answer is static per predicate expression, so
+// Prepare computes it for every step and filter predicate (usesLastExpr in
+// analyze.go) and publishes it with the analysis; the filter operators
+// only read it here, once per context item.
 func (ev *evaluator) usesLast(e xquery.Expr) bool {
-	if v, ok := ev.lastUse[e]; ok {
-		return v
-	}
-	found := ev.usesLastWalk(e)
-	if ev.lastUse == nil {
-		ev.lastUse = make(map[xquery.Expr]bool)
-	}
-	ev.lastUse[e] = found
-	return found
-}
-
-func (ev *evaluator) usesLastWalk(e xquery.Expr) bool {
-	found := false
-	var walk func(e xquery.Expr)
-	walkAll := func(es []xquery.Expr) {
-		for _, x := range es {
-			if x != nil {
-				walk(x)
-			}
+	if ev.shared != nil {
+		if v, ok := ev.shared.lastUse[e]; ok {
+			return v
 		}
 	}
-	walk = func(e xquery.Expr) {
-		if found || e == nil {
-			return
-		}
-		switch v := e.(type) {
-		case *xquery.Call:
-			if v.Name == "last" {
-				found = true
-				return
-			}
-			if _, user := ev.funcs[v.Name]; user {
-				// A user function body could call last() against the
-				// caller's focus; stay conservative.
-				found = true
-				return
-			}
-			walkAll(v.Args)
-		case *xquery.Path:
-			walk(v.Input)
-			// Nested step predicates get their own focus; skip them.
-		case *xquery.Filter:
-			walk(v.Input)
-		case *xquery.FLWOR:
-			for _, cl := range v.Clauses {
-				if cl.For != nil {
-					walk(cl.For.Seq)
-				} else {
-					walk(cl.Let.Seq)
-				}
-			}
-			if v.Where != nil {
-				walk(v.Where)
-			}
-			for _, o := range v.Order {
-				walk(o.Key)
-			}
-			walk(v.Return)
-		case *xquery.Quantified:
-			walkAll(v.Seqs)
-			walk(v.Satisfies)
-		case *xquery.IfExpr:
-			walk(v.Cond)
-			walk(v.Then)
-			walk(v.Else)
-		case *xquery.Binary:
-			walk(v.Left)
-			walk(v.Right)
-		case *xquery.Unary:
-			walk(v.Operand)
-		case *xquery.Sequence:
-			walkAll(v.Items)
-		case *xquery.ElementCtor:
-			for _, a := range v.Attrs {
-				walkAll(a.Parts)
-			}
-			walkAll(v.Content)
-		}
-	}
-	walk(e)
-	return found
+	return usesLastExpr(e, ev.funcs)
 }
 
 // effectiveBoolIter computes the effective boolean value of a streaming

@@ -22,51 +22,77 @@ func Serialize(w io.Writer, store nodestore.Store, s Seq) error {
 // as it is produced: the sink end of the streaming pipeline. Evaluation
 // stops at the first write error.
 func SerializeIter(w io.Writer, store nodestore.Store, in Iterator) error {
-	sw := &errWriter{w: w}
-	prevAtomic := false
+	iw := NewItemWriter(w, store)
 	for {
 		it, ok := in.Next()
 		if !ok {
-			return sw.err
+			return iw.Err()
 		}
-		switch v := it.(type) {
-		case StrItem, NumItem, BoolItem:
-			if prevAtomic {
-				sw.str(" ")
-			}
-			sw.str(escapeText(itemString(it)))
-			prevAtomic = true
-		case AttrItem:
-			if prevAtomic {
-				sw.str(" ")
-			}
-			sw.str(escapeText(v.Value))
-			prevAtomic = true
-		case NodeItem:
-			if store.Kind(v.ID) == tree.Text {
-				// Text nodes in a result sequence read like atomics:
-				// separate adjacent values with a space.
-				if prevAtomic {
-					sw.str(" ")
-				}
-				sw.str(escapeText(store.Text(v.ID)))
-				prevAtomic = true
-				continue
-			}
-			serializeStored(sw, store, v.ID)
-			prevAtomic = false
-		case DocItem:
-			serializeStored(sw, store, store.Root())
-			prevAtomic = false
-		case *Constructed:
-			serializeConstructed(sw, store, v)
-			prevAtomic = false
-		}
-		if sw.err != nil {
-			return sw.err
+		if err := iw.WriteItem(it); err != nil {
+			return err
 		}
 	}
 }
+
+// ItemWriter serializes a result sequence one item at a time, keeping the
+// adjacent-atomic separator state between calls so the concatenated output
+// is byte-identical to SerializeIter over the same items. It is the sink
+// for consumers that interleave their own logic — cancellation checks,
+// flow control — with serialization, e.g. a service worker streaming a
+// result while watching its request context.
+type ItemWriter struct {
+	sw         *errWriter
+	store      nodestore.Store
+	prevAtomic bool
+}
+
+// NewItemWriter returns an ItemWriter over w for results of store.
+func NewItemWriter(w io.Writer, store nodestore.Store) *ItemWriter {
+	return &ItemWriter{sw: &errWriter{w: w}, store: store}
+}
+
+// WriteItem serializes one result item. After a write error every further
+// call is a no-op returning the same error.
+func (iw *ItemWriter) WriteItem(it Item) error {
+	sw, store := iw.sw, iw.store
+	switch v := it.(type) {
+	case StrItem, NumItem, BoolItem:
+		if iw.prevAtomic {
+			sw.str(" ")
+		}
+		sw.str(escapeText(itemString(it)))
+		iw.prevAtomic = true
+	case AttrItem:
+		if iw.prevAtomic {
+			sw.str(" ")
+		}
+		sw.str(escapeText(v.Value))
+		iw.prevAtomic = true
+	case NodeItem:
+		if store.Kind(v.ID) == tree.Text {
+			// Text nodes in a result sequence read like atomics:
+			// separate adjacent values with a space.
+			if iw.prevAtomic {
+				sw.str(" ")
+			}
+			sw.str(escapeText(store.Text(v.ID)))
+			iw.prevAtomic = true
+			break
+		}
+		serializeStored(sw, store, v.ID)
+		iw.prevAtomic = false
+	case DocItem:
+		serializeStored(sw, store, store.Root())
+		iw.prevAtomic = false
+	case *Constructed:
+		serializeConstructed(sw, store, v)
+		iw.prevAtomic = false
+	}
+	return sw.err
+}
+
+// Err returns the first write error, if any.
+func (iw *ItemWriter) Err() error { return iw.sw.err }
 
 // SerializeString renders the result sequence to a string.
 func SerializeString(store nodestore.Store, s Seq) string {

@@ -3,6 +3,7 @@ package mapping
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/nodestore"
 	"repro/internal/relational"
@@ -65,8 +66,10 @@ type Path struct {
 	root        tree.NodeID
 	nNodes      int
 	// metaOps counts catalog consultations; fragmented mappings pay more
-	// metadata cost (paper Table 2 discussion).
-	metaOps int64
+	// metadata cost (paper Table 2 discussion). Atomic: the count is
+	// bumped on read paths, and a loaded store is shared read-only by
+	// concurrent queries (the service's Catalog).
+	metaOps atomic.Int64
 }
 
 // NewPath bulkloads the document into the fragmenting path mapping
@@ -272,7 +275,7 @@ func (s *Path) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
 	}
 	var kids []ordNode
 	for _, c := range pt.children {
-		s.metaOps++
+		s.metaOps.Add(1)
 		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
 			r := c.table.Row(int(rid))
 			kids = append(kids, ordNode{r[pOrd].I, tree.NodeID(r[pID].I)})
@@ -293,7 +296,7 @@ func (s *Path) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tre
 		if c.tag != tag {
 			continue
 		}
-		s.metaOps++
+		s.metaOps.Add(1)
 		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
 			buf = append(buf, tree.NodeID(c.table.Value(int(rid), pID).I))
 		}
@@ -382,7 +385,7 @@ func (s *Path) SubtreeEnd(n tree.NodeID) tree.NodeID {
 func (s *Path) TagExtent(tag string, buf []tree.NodeID) ([]tree.NodeID, bool) {
 	start := len(buf)
 	for _, pt := range s.byTag[tag] {
-		s.metaOps++
+		s.metaOps.Add(1)
 		buf = append(buf, pt.ids...)
 	}
 	ext := buf[start:]
@@ -396,7 +399,7 @@ func (s *Path) Descendants(n tree.NodeID, tag string, buf []tree.NodeID) []tree.
 	lo, hi := n, s.SubtreeEnd(n)
 	start := len(buf)
 	for _, pt := range s.byTag[tag] {
-		s.metaOps++
+		s.metaOps.Add(1)
 		i := sort.Search(len(pt.ids), func(k int) bool { return pt.ids[k] > lo })
 		for ; i < len(pt.ids) && pt.ids[i] < hi; i++ {
 			buf = append(buf, pt.ids[i])
@@ -410,7 +413,7 @@ func (s *Path) Descendants(n tree.NodeID, tag string, buf []tree.NodeID) []tree.
 // PathExtent implements nodestore.Store: the defining strength of the path
 // mapping — a full path is one fragment scan.
 func (s *Path) PathExtent(path []string, buf []tree.NodeID) ([]tree.NodeID, bool) {
-	s.metaOps++
+	s.metaOps.Add(1)
 	pt := s.catalog[strings.Join(path, "/")]
 	if pt == nil {
 		return buf, true // path provably empty: the catalog is complete
@@ -427,7 +430,7 @@ func (s *Path) CountDescendants(tree.NodeID, string) (int, bool) { return 0, fal
 func (s *Path) AttrLookup(name, value string) ([]tree.NodeID, bool) {
 	var out []tree.NodeID
 	for _, at := range s.attrsByName[name] {
-		s.metaOps++
+		s.metaOps.Add(1)
 		for _, row := range at.valueIdx.LookupString(value) {
 			out = append(out, tree.NodeID(at.table.Value(int(row), 0).I))
 		}
@@ -476,7 +479,7 @@ func (s *Path) ChildrenByTagCursor(n tree.NodeID, tag string) nodestore.Cursor {
 		if c.tag != tag {
 			continue
 		}
-		s.metaOps++
+		s.metaOps.Add(1)
 		it := relational.ScanRows(c.table, c.parentIdx.LookupInt(int64(n)))
 		return &rowIDCursor{it: it, col: pID}
 	}
@@ -489,7 +492,7 @@ func (s *Path) ChildrenByTagCursor(n tree.NodeID, tag string) nodestore.Cursor {
 func (s *Path) DescendantsCursor(n tree.NodeID, tag string) nodestore.Cursor {
 	pts := s.byTag[tag]
 	if len(pts) == 1 {
-		s.metaOps++
+		s.metaOps.Add(1)
 		return nodestore.NewSliceCursor(summary.Within(pts[0].ids, n, s.SubtreeEnd(n)))
 	}
 	return nodestore.NewSliceCursor(s.Descendants(n, tag, nil))
@@ -498,7 +501,7 @@ func (s *Path) DescendantsCursor(n tree.NodeID, tag string) nodestore.Cursor {
 // PathExtentCursor implements nodestore.CursorStore: a full path is one
 // fragment, so its extent streams from the clustered id column in place.
 func (s *Path) PathExtentCursor(path []string) (nodestore.Cursor, bool) {
-	s.metaOps++
+	s.metaOps.Add(1)
 	pt := s.catalog[strings.Join(path, "/")]
 	if pt == nil {
 		return nodestore.EmptyCursor{}, true // path provably empty
@@ -508,7 +511,7 @@ func (s *Path) PathExtentCursor(path []string) (nodestore.Cursor, bool) {
 
 // MetaOps returns the number of catalog consultations so far; tests use it
 // to verify the fragmentation metadata tax.
-func (s *Path) MetaOps() int64 { return s.metaOps }
+func (s *Path) MetaOps() int64 { return s.metaOps.Load() }
 
 // Stats implements nodestore.Store.
 func (s *Path) Stats() nodestore.Stats {

@@ -1,0 +1,138 @@
+// Package service turns the single-query benchmark harness into a
+// concurrent query service: a load-once immutable Catalog (document,
+// stores, compiled plan cache), a bounded worker-pool Executor with
+// admission queueing and per-request cancellation, and a Metrics
+// collector (QPS, latency percentiles, queue depth).
+//
+// The paper measures its seven systems one query at a time; this package
+// opens the multi-user axis on top of the same engine and stores. The
+// concurrency contract is strict and simple:
+//
+//   - Everything in the Catalog is immutable after Load: the parsed
+//     document, every nodestore.Store (their indexes are built at load),
+//     and every engine.Prepared (its analysis is published by Prepare).
+//     Any number of goroutines may read them.
+//   - Everything mutable is per-worker: each Executor worker owns one
+//     engine.Session (recycled iterators, memoized join build sides) that
+//     never crosses goroutines.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/xmark"
+	"repro/internal/xmlgen"
+)
+
+// prepKey identifies one compiled plan-cache entry: system × query.
+type prepKey struct {
+	sys xmark.SystemID
+	qid int
+}
+
+// Catalog is the shared, immutable state of a query service: one
+// generated document loaded into every system architecture, plus every
+// benchmark query compiled against every system. Load it once, share it
+// from any number of goroutines.
+type Catalog struct {
+	// Factor is the scaling factor of the loaded document.
+	Factor float64
+	// Card is the document's entity cardinalities.
+	Card xmlgen.Cardinalities
+	// DocBytes is the size of the generated document text.
+	DocBytes int
+	// LoadTime is the total wall time of Load: generation, per-system
+	// bulkload, and plan-cache compilation.
+	LoadTime time.Duration
+
+	systems   []xmark.System
+	instances map[xmark.SystemID]*xmark.Instance
+	prepared  map[prepKey]*engine.Prepared
+	queryText map[int]string
+}
+
+// Load generates the benchmark document at factor, bulkloads it into each
+// of the given systems (all seven when systems is nil), and compiles all
+// twenty benchmark queries against each system into the plan cache.
+func Load(factor float64, systems []xmark.System) (*Catalog, error) {
+	if systems == nil {
+		systems = xmark.Systems()
+	}
+	start := time.Now()
+	bench := xmark.NewBenchmark(factor)
+	c := &Catalog{
+		Factor:    factor,
+		Card:      bench.Card,
+		DocBytes:  len(bench.DocText),
+		systems:   systems,
+		instances: make(map[xmark.SystemID]*xmark.Instance, len(systems)),
+		prepared:  make(map[prepKey]*engine.Prepared, len(systems)*20),
+		queryText: make(map[int]string, 20),
+	}
+	for _, q := range xmark.Queries() {
+		c.queryText[q.ID] = bench.QueryText(q.ID)
+	}
+	for _, s := range systems {
+		inst, err := s.Load(bench.DocText)
+		if err != nil {
+			return nil, fmt.Errorf("service: loading system %s: %w", s.ID, err)
+		}
+		c.instances[s.ID] = inst
+		for qid, text := range c.queryText {
+			prep, err := inst.Engine.Prepare(text)
+			if err != nil {
+				return nil, fmt.Errorf("service: compiling Q%d for system %s: %w", qid, s.ID, err)
+			}
+			c.prepared[prepKey{s.ID, qid}] = prep
+		}
+	}
+	c.LoadTime = time.Since(start)
+	return c, nil
+}
+
+// Systems returns the loaded system architectures in load order.
+func (c *Catalog) Systems() []xmark.System { return c.systems }
+
+// Instance returns the loaded instance of the system.
+func (c *Catalog) Instance(sys xmark.SystemID) (*xmark.Instance, error) {
+	inst, ok := c.instances[sys]
+	if !ok {
+		return nil, fmt.Errorf("service: system %s not loaded", sys)
+	}
+	return inst, nil
+}
+
+// QueryText returns the source of benchmark query qid adapted to the
+// loaded document.
+func (c *Catalog) QueryText(qid int) (string, error) {
+	text, ok := c.queryText[qid]
+	if !ok {
+		return "", fmt.Errorf("service: no benchmark query Q%d", qid)
+	}
+	return text, nil
+}
+
+// Prepared returns the cached compiled plan of benchmark query qid on the
+// system.
+func (c *Catalog) Prepared(sys xmark.SystemID, qid int) (*engine.Prepared, error) {
+	prep, ok := c.prepared[prepKey{sys, qid}]
+	if !ok {
+		if _, loaded := c.instances[sys]; !loaded {
+			return nil, fmt.Errorf("service: system %s not loaded", sys)
+		}
+		return nil, fmt.Errorf("service: no benchmark query Q%d", qid)
+	}
+	return prep, nil
+}
+
+// PrepareText compiles an ad-hoc query against the system. The result is
+// not cached; callers that re-execute should hold on to it.
+func (c *Catalog) PrepareText(sys xmark.SystemID, src string) (*engine.Prepared, error) {
+	inst, err := c.Instance(sys)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Engine.Prepare(src)
+}

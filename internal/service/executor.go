@@ -1,0 +1,255 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/xmark"
+)
+
+// ErrQueueFull is returned by Execute when the admission queue is at
+// capacity: the service sheds load instead of queueing without bound.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrClosed is returned by Execute after Close.
+var ErrClosed = errors.New("service: executor closed")
+
+// Config sizes an Executor.
+type Config struct {
+	// Workers is the number of worker goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth is the admission queue capacity; <= 0 means 4×Workers.
+	QueueDepth int
+}
+
+// Request names one query execution: a benchmark query by ID (1-20,
+// served from the Catalog's plan cache) or an ad-hoc query text
+// (compiled on the worker).
+type Request struct {
+	System  xmark.SystemID
+	QueryID int
+	Text    string
+}
+
+// Response is one completed execution.
+type Response struct {
+	System  xmark.SystemID
+	QueryID int
+	// Output is the serialized result.
+	Output string
+	// Wait is the time spent in the admission queue.
+	Wait time.Duration
+	// Exec is the evaluation plus serialization time on the worker.
+	Exec time.Duration
+}
+
+type taskResult struct {
+	resp Response
+	err  error
+}
+
+type task struct {
+	ctx  context.Context
+	req  Request
+	enq  time.Time
+	done chan taskResult
+}
+
+// Executor runs queries against a shared Catalog on a bounded worker
+// pool. Admission is a fixed-capacity queue: Execute either enqueues
+// immediately or fails fast with ErrQueueFull (backpressure). Each worker
+// owns one engine.Session, so all mutable evaluator state — recycled
+// iterators, memoized hash-join build sides — stays strictly per
+// goroutine while the Catalog's stores and compiled plans are shared
+// read-only.
+type Executor struct {
+	cat     *Catalog
+	metrics *Metrics
+	queue   chan *task
+	workers int
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewExecutor starts the worker pool over the catalog.
+func NewExecutor(cat *Catalog, cfg Config) *Executor {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	e := &Executor{
+		cat:     cat,
+		metrics: NewMetrics(),
+		queue:   make(chan *task, depth),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Metrics returns the executor's collector.
+func (e *Executor) Metrics() *Metrics { return e.metrics }
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// QueueCap returns the admission queue capacity.
+func (e *Executor) QueueCap() int { return cap(e.queue) }
+
+// Execute submits the request and blocks until its result is ready, the
+// queue rejects it, or ctx is done. A request whose context is canceled
+// while queued or mid-execution returns the context's error; its worker
+// slot is released as soon as the cancellation is observed.
+func (e *Executor) Execute(ctx context.Context, req Request) (Response, error) {
+	t := &task{ctx: ctx, req: req, enq: time.Now(), done: make(chan taskResult, 1)}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Response{}, ErrClosed
+	}
+	// The gauge goes up before the send so a worker's decrement (which can
+	// only follow its pop, which follows the send) never observes it low;
+	// a rejected submission undoes its increment.
+	e.metrics.queueDepth.Add(1)
+	select {
+	case e.queue <- t:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.metrics.queueDepth.Add(-1)
+		e.metrics.rejected.Add(1)
+		return Response{}, ErrQueueFull
+	}
+	// The done channel is buffered: if the caller leaves on ctx.Done the
+	// worker's send still completes and the task is garbage collected.
+	select {
+	case r := <-t.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// Close stops admission, lets the workers drain the queue, and waits for
+// them to exit. Queued requests still complete; new Execute calls return
+// ErrClosed.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	// The worker's Session lives as long as the worker: free-list buffers
+	// and join build sides stay warm across every query it executes.
+	sess := engine.NewSession()
+	for t := range e.queue {
+		e.metrics.queueDepth.Add(-1)
+		wait := time.Since(t.enq)
+		if t.ctx.Err() != nil {
+			// Canceled while queued: don't start the work.
+			e.metrics.canceled.Add(1)
+			t.done <- taskResult{err: t.ctx.Err()}
+			continue
+		}
+		e.metrics.inFlight.Add(1)
+		resp, err := e.run(t.ctx, sess, t.req)
+		e.metrics.inFlight.Add(-1)
+		resp.Wait = wait
+		switch {
+		case err == nil:
+			e.metrics.observe(wait, resp.Exec)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			e.metrics.canceled.Add(1)
+		default:
+			e.metrics.failed.Add(1)
+		}
+		t.done <- taskResult{resp: resp, err: err}
+	}
+}
+
+// cancelCheckInterval is how many result items a worker streams between
+// request-context checks: small enough to release the slot promptly on
+// cancellation, large enough to keep the check off the per-item hot path.
+const cancelCheckInterval = 64
+
+// run executes one request on this worker's Session, streaming the
+// result through an ItemWriter so cancellation is observed mid-stream
+// and the rest of the result is never computed.
+func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (Response, error) {
+	resp := Response{System: req.System, QueryID: req.QueryID}
+	var prep *engine.Prepared
+	var err error
+	switch {
+	case req.QueryID != 0:
+		prep, err = e.cat.Prepared(req.System, req.QueryID)
+	case req.Text != "":
+		prep, err = e.cat.PrepareText(req.System, req.Text)
+		// An ad-hoc Prepared lives for one request, but Session cache
+		// entries are keyed by its expression nodes and would outlive it
+		// in the worker's session — an unbounded leak under a stream of
+		// ad-hoc queries. Give those a throwaway session instead.
+		sess = nil
+	default:
+		err = fmt.Errorf("service: request needs a QueryID or a Text")
+	}
+	if err != nil {
+		return resp, err
+	}
+	inst, err := e.cat.Instance(req.System)
+	if err != nil {
+		return resp, err
+	}
+
+	start := time.Now()
+	var buf bytes.Buffer
+	iw := engine.NewItemWriter(&buf, inst.Engine.Store())
+	n := 0
+	canceled := false
+	err = prep.StreamSession(sess, func(it engine.Item) bool {
+		if n%cancelCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				canceled = true
+				return false
+			default:
+			}
+		}
+		n++
+		return iw.WriteItem(it) == nil
+	})
+	resp.Exec = time.Since(start)
+	if err == nil {
+		err = iw.Err()
+	}
+	if err != nil {
+		return resp, err
+	}
+	if canceled {
+		return resp, ctx.Err()
+	}
+	resp.Output = buf.String()
+	return resp, nil
+}

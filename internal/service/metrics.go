@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latency histogram geometry: geometric buckets from 1µs growing by 25%
+// per bucket, plus one overflow bucket. 80 buckets reach ~44s, wide
+// enough for any query the benchmark can produce; quantiles resolve to
+// one bucket (±25%), which is the granularity the scaling curves need.
+const (
+	histBuckets = 80
+	histBase    = float64(time.Microsecond)
+	histGrowth  = 1.25
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i in nanoseconds.
+var histBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := histBase
+	for i := range b {
+		b[i] = v
+		v *= histGrowth
+	}
+	return b
+}()
+
+// Metrics collects the service-side counters and the completed-request
+// latency histogram. All fields are atomics: workers record observations
+// concurrently with zero coordination, and Snapshot reads a consistent-
+// enough view without stopping them.
+type Metrics struct {
+	start time.Time
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+	canceled  atomic.Uint64
+
+	queueDepth atomic.Int64
+	inFlight   atomic.Int64
+
+	latSum  atomic.Int64 // nanoseconds, completed requests only
+	waitSum atomic.Int64 // nanoseconds spent queued, completed requests
+	hist    [histBuckets + 1]atomic.Uint64
+}
+
+// NewMetrics returns a Metrics with the uptime clock started.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// observe records one completed request.
+func (m *Metrics) observe(wait, exec time.Duration) {
+	m.completed.Add(1)
+	m.latSum.Add(int64(exec))
+	m.waitSum.Add(int64(wait))
+	ns := float64(exec)
+	i := 0
+	for i < histBuckets && histBounds[i] < ns {
+		i++
+	}
+	m.hist[i].Add(1)
+}
+
+// Snapshot is a point-in-time reading of the metrics, shaped for JSON.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Completed uint64  `json:"completed"`
+	Failed    uint64  `json:"failed"`
+	Rejected  uint64  `json:"rejected"`
+	Canceled  uint64  `json:"canceled"`
+	// QPS is completed requests per second of uptime.
+	QPS        float64 `json:"qps"`
+	QueueDepth int64   `json:"queue_depth"`
+	InFlight   int64   `json:"in_flight"`
+	// Latency of completed requests, milliseconds.
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MeanWaitMs float64 `json:"mean_wait_ms"`
+}
+
+// Snapshot returns the current counters and histogram quantiles.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeSec:  time.Since(m.start).Seconds(),
+		Completed:  m.completed.Load(),
+		Failed:     m.failed.Load(),
+		Rejected:   m.rejected.Load(),
+		Canceled:   m.canceled.Load(),
+		QueueDepth: m.queueDepth.Load(),
+		InFlight:   m.inFlight.Load(),
+	}
+	if s.UptimeSec > 0 {
+		s.QPS = float64(s.Completed) / s.UptimeSec
+	}
+	if s.Completed > 0 {
+		s.MeanMs = float64(m.latSum.Load()) / float64(s.Completed) / 1e6
+		s.MeanWaitMs = float64(m.waitSum.Load()) / float64(s.Completed) / 1e6
+	}
+	var counts [histBuckets + 1]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = m.hist[i].Load()
+		total += counts[i]
+	}
+	s.P50Ms = quantile(counts[:], total, 0.50)
+	s.P95Ms = quantile(counts[:], total, 0.95)
+	s.P99Ms = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile returns the q-quantile latency in milliseconds: the upper
+// bound of the histogram bucket where the cumulative count crosses
+// q*total (the overflow bucket reports the last finite bound).
+func quantile(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		if cum >= target {
+			if i >= histBuckets {
+				i = histBuckets - 1
+			}
+			return histBounds[i] / 1e6
+		}
+	}
+	return histBounds[histBuckets-1] / 1e6
+}

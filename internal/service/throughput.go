@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xmark"
+)
+
+// ThroughputOptions configures the closed-loop multi-client driver.
+type ThroughputOptions struct {
+	// ClientSteps are the client counts of the scaling curve, e.g.
+	// 1,2,4,8,16. Nil means ClientSteps(GOMAXPROCS*2).
+	ClientSteps []int
+	// Duration is the measurement window per (system, clients) cell;
+	// <= 0 means one second.
+	Duration time.Duration
+	// QueryIDs is the workload mix each client cycles through; nil means
+	// all twenty benchmark queries.
+	QueryIDs []int
+	// Systems restricts the curve to these systems; nil means every
+	// loaded system.
+	Systems []xmark.SystemID
+	// Workers fixes the executor pool size; <= 0 sizes the pool to
+	// max(clients, GOMAXPROCS) per step so the pool never caps the
+	// offered concurrency.
+	Workers int
+}
+
+// ThroughputPoint is one cell of the scaling curve: one system under one
+// closed-loop client count.
+type ThroughputPoint struct {
+	System   string  `json:"system"`
+	Clients  int     `json:"clients"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	QPS      float64 `json:"qps"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// ThroughputReport is the full scaling experiment, shaped for
+// BENCH_throughput.json.
+type ThroughputReport struct {
+	Factor      float64           `json:"factor"`
+	DocBytes    int               `json:"doc_bytes"`
+	DurationSec float64           `json:"duration_sec"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Mix         []int             `json:"mix"`
+	Points      []ThroughputPoint `json:"points"`
+}
+
+// ClientSteps returns the powers of two up to max, always including max:
+// the 1→2→4→… axis of the scaling curve.
+func ClientSteps(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var steps []int
+	for c := 1; c < max; c *= 2 {
+		steps = append(steps, c)
+	}
+	return append(steps, max)
+}
+
+// RunThroughput drives the scaling experiment: for every requested system
+// and every client count, N closed-loop clients (no think time, next
+// request issued when the previous returns) hammer a fresh Executor over
+// the shared catalog for the duration, cycling through the query mix.
+func RunThroughput(cat *Catalog, opts ThroughputOptions) (*ThroughputReport, error) {
+	steps := opts.ClientSteps
+	if len(steps) == 0 {
+		steps = ClientSteps(runtime.GOMAXPROCS(0) * 2)
+	}
+	dur := opts.Duration
+	if dur <= 0 {
+		dur = time.Second
+	}
+	mix := opts.QueryIDs
+	if len(mix) == 0 {
+		for _, q := range xmark.Queries() {
+			mix = append(mix, q.ID)
+		}
+	}
+	systems := opts.Systems
+	if len(systems) == 0 {
+		for _, s := range cat.Systems() {
+			systems = append(systems, s.ID)
+		}
+	}
+
+	report := &ThroughputReport{
+		Factor:      cat.Factor,
+		DocBytes:    cat.DocBytes,
+		DurationSec: dur.Seconds(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Mix:         mix,
+	}
+	for _, sys := range systems {
+		if _, err := cat.Instance(sys); err != nil {
+			return nil, err
+		}
+		for _, clients := range steps {
+			point, err := runCell(cat, sys, clients, dur, mix, opts.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("service: system %s at %d clients: %w", sys, clients, err)
+			}
+			report.Points = append(report.Points, point)
+		}
+	}
+	return report, nil
+}
+
+// runCell measures one (system, clients) cell on a fresh executor.
+func runCell(cat *Catalog, sys xmark.SystemID, clients int, dur time.Duration, mix []int, workers int) (ThroughputPoint, error) {
+	if workers <= 0 {
+		workers = clients
+		if g := runtime.GOMAXPROCS(0); g > workers {
+			workers = g
+		}
+	}
+	// Each closed-loop client has at most one request outstanding, so a
+	// queue of one slot per client never rejects; admission control is
+	// exercised by the saturation tests, not the scaling curve.
+	ex := NewExecutor(cat, Config{Workers: workers, QueueDepth: clients})
+	defer ex.Close()
+
+	var requests, errs atomic.Uint64
+	var firstErr atomic.Value
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; time.Now().Before(deadline); i++ {
+				qid := mix[(offset+i)%len(mix)]
+				if _, err := ex.Execute(ctx, Request{System: sys, QueryID: qid}); err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				} else {
+					requests.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// The window closes when the last in-flight request of the slowest
+	// client returns, so measure the wall time actually spent.
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = dur
+	}
+
+	snap := ex.Metrics().Snapshot()
+	point := ThroughputPoint{
+		System:   string(sys),
+		Clients:  clients,
+		Requests: requests.Load(),
+		Errors:   errs.Load(),
+		QPS:      float64(requests.Load()) / elapsed.Seconds(),
+		MeanMs:   snap.MeanMs,
+		P50Ms:    snap.P50Ms,
+		P95Ms:    snap.P95Ms,
+		P99Ms:    snap.P99Ms,
+	}
+	if e, ok := firstErr.Load().(error); ok && point.Requests == 0 {
+		return point, e
+	}
+	return point, nil
+}
