@@ -8,13 +8,18 @@
 //
 // Endpoints:
 //
-//	GET /query?system=D&q=8          benchmark query 8 on System D
+//	GET /query?system=D&q=8               benchmark query 8 on System D
 //	GET /query?system=A&q=count(//item)   ad-hoc query text
-//	GET /stats                       executor metrics as JSON
-//	GET /healthz                     liveness
+//	GET /explain?system=D&q=8             optimized plan + fired rules
+//	GET /stats                            executor metrics as JSON
+//	GET /healthz                          readiness + catalog load status
 //
-// A full admission queue answers 503 (backpressure); closing the client
-// connection cancels the query mid-stream and frees its worker slot.
+// The server starts listening immediately and loads the catalog in the
+// background; /healthz answers 503 with {"status":"loading"} until the
+// catalog is ready, so drivers and CI wait on readiness instead of
+// sleeping. A full admission queue answers 503 (backpressure); closing
+// the client connection cancels the query mid-stream and frees its
+// worker slot.
 package main
 
 import (
@@ -27,11 +32,42 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/service"
 	"repro/internal/xmark"
 )
+
+// server holds the service state behind the HTTP handlers. The catalog
+// loads asynchronously; cat/ex flip from nil exactly once under mu.
+type server struct {
+	factor float64
+	start  time.Time
+
+	mu      sync.RWMutex
+	cat     *service.Catalog
+	ex      *service.Executor
+	loadErr error
+}
+
+// ready returns the catalog and executor once the load succeeded. Until
+// then it writes the appropriate status — 503 while loading, 500 after a
+// failed load — and reports false.
+func (s *server) ready(w http.ResponseWriter) (*service.Catalog, *service.Executor, bool) {
+	s.mu.RLock()
+	cat, ex, loadErr := s.cat, s.ex, s.loadErr
+	s.mu.RUnlock()
+	switch {
+	case loadErr != nil:
+		http.Error(w, "catalog load failed: "+loadErr.Error(), http.StatusInternalServerError)
+		return nil, nil, false
+	case ex == nil:
+		http.Error(w, "catalog loading", http.StatusServiceUnavailable)
+		return nil, nil, false
+	}
+	return cat, ex, true
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -43,38 +79,37 @@ func main() {
 
 	loaded, err := selectSystems(*systems)
 	check(err)
-	fmt.Printf("xqserve: loading catalog at factor %g...\n", *factor)
-	cat, err := service.Load(*factor, loaded)
-	check(err)
-	fmt.Printf("xqserve: %d systems, %.1f MB document, loaded in %v\n",
-		len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
 
-	ex := service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue})
+	s := &server{factor: *factor, start: time.Now()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(ex, w, r)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Workers  int              `json:"workers"`
-			QueueCap int              `json:"queue_cap"`
-			Factor   float64          `json:"factor"`
-			Snapshot service.Snapshot `json:"snapshot"`
-		}{ex.Workers(), ex.QueueCap(), cat.Factor, ex.Metrics().Snapshot()})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
-		fmt.Printf("xqserve: listening on %s\n", *addr)
+		fmt.Printf("xqserve: listening on %s, loading catalog at factor %g...\n", *addr, *factor)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			check(err)
 		}
+	}()
+
+	// Load in the background so /healthz can report progress from the
+	// first moment; readiness flips atomically when the catalog is up.
+	go func() {
+		cat, err := service.Load(*factor, loaded)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.loadErr = err
+			fmt.Fprintln(os.Stderr, "xqserve: catalog load failed:", err)
+			return
+		}
+		s.cat = cat
+		s.ex = service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue})
+		fmt.Printf("xqserve: ready — %d systems, %.1f MB document, loaded in %v\n",
+			len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
 	}()
 
 	stop := make(chan os.Signal, 1)
@@ -84,27 +119,101 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
-	ex.Close()
+	s.mu.RLock()
+	ex := s.ex
+	s.mu.RUnlock()
+	if ex != nil {
+		ex.Close()
+	}
 }
 
-// handleQuery serves one /query request. The request context follows the
-// client connection, so a dropped client cancels the query.
-func handleQuery(ex *service.Executor, w http.ResponseWriter, r *http.Request) {
+// handleHealthz reports readiness and catalog load status: 200 with
+// {"status":"ready"} once the catalog is loaded, 503 while loading, 500
+// when the load failed. Drivers poll this instead of sleeping.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	cat, loadErr := s.cat, s.loadErr
+	s.mu.RUnlock()
+
+	type health struct {
+		Status    string   `json:"status"`
+		Factor    float64  `json:"factor"`
+		UptimeSec float64  `json:"uptime_sec"`
+		Systems   []string `json:"systems,omitempty"`
+		LoadMs    float64  `json:"load_ms,omitempty"`
+		Error     string   `json:"error,omitempty"`
+	}
+	h := health{Factor: s.factor, UptimeSec: time.Since(s.start).Seconds()}
+	code := http.StatusOK
+	switch {
+	case loadErr != nil:
+		h.Status = "failed"
+		h.Error = loadErr.Error()
+		code = http.StatusInternalServerError
+	case cat == nil:
+		h.Status = "loading"
+		code = http.StatusServiceUnavailable
+	default:
+		h.Status = "ready"
+		for _, sys := range cat.Systems() {
+			h.Systems = append(h.Systems, string(sys.ID))
+		}
+		h.LoadMs = float64(cat.LoadTime) / 1e6
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cat, ex, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Workers  int              `json:"workers"`
+		QueueCap int              `json:"queue_cap"`
+		Factor   float64          `json:"factor"`
+		Snapshot service.Snapshot `json:"snapshot"`
+	}{ex.Workers(), ex.QueueCap(), cat.Factor, ex.Metrics().Snapshot()})
+}
+
+// parseRequest extracts the system and query (number or ad-hoc text) of a
+// /query or /explain call.
+func parseRequest(r *http.Request) (service.Request, error) {
 	sys := r.URL.Query().Get("system")
 	q := r.URL.Query().Get("q")
 	if sys == "" || q == "" {
-		http.Error(w, "need system= and q= (a query number 1-20 or query text)", http.StatusBadRequest)
-		return
+		return service.Request{}, errors.New("need system= and q= (a query number 1-20 or query text)")
 	}
 	req := service.Request{System: xmark.SystemID(sys)}
 	if qid, err := strconv.Atoi(q); err == nil {
 		if qid < 1 || qid > 20 {
-			http.Error(w, "query number out of range 1-20", http.StatusBadRequest)
-			return
+			return service.Request{}, errors.New("query number out of range 1-20")
 		}
 		req.QueryID = qid
 	} else {
 		req.Text = q
+	}
+	return req, nil
+}
+
+// handleQuery serves one /query request. The request context follows the
+// client connection, so a dropped client cancels the query.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	_, ex, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 
 	resp, err := ex.Execute(r.Context(), req)
@@ -124,6 +233,35 @@ func handleQuery(ex *service.Executor, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Query-Wait", resp.Wait.String())
 	w.Header().Set("X-Query-Exec", resp.Exec.String())
 	fmt.Fprintln(w, resp.Output)
+}
+
+// handleExplain renders the optimized plan of a benchmark or ad-hoc query
+// on the chosen system: the plan tree, the rewrite rules that fired, and
+// the compile-time catalog probes. Nothing executes.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	cat, _, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var text string
+	if req.QueryID != 0 {
+		text, err = cat.Explain(req.System, req.QueryID)
+	} else if prep, perr := cat.PrepareText(req.System, req.Text); perr != nil {
+		err = perr
+	} else {
+		text = prep.Explain()
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
 }
 
 // selectSystems parses a string of system letters into system values.

@@ -8,6 +8,7 @@
 //	xquery -doc auction.xml -system C 'for $p in /site/people/person return $p/name/text()'
 //	xquery -factor 0.01 -f query.xq -time
 //	echo 'count(//item)' | xquery -               # query from stdin
+//	xquery -system B -n 20 -explain               # optimized plan, no execution
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	queryFile := flag.String("q", "", "read the query from a file ('-' for stdin)")
 	queryFileF := flag.String("f", "", "read the query from a file ('-' for stdin); alias of -q")
 	benchQuery := flag.Int("n", 0, "run benchmark query number 1-20 instead of an inline query")
+	explain := flag.Bool("explain", false, "print the optimized plan and fired rules instead of executing")
 	timing := flag.Bool("time", false, "print load, compile and execution times")
 	flag.Parse()
 	if *queryFile == "" {
@@ -66,6 +68,18 @@ func main() {
 	check(err)
 	inst, err := sys.Load(docText)
 	check(err)
+
+	if *explain {
+		prep, err := inst.Engine.Prepare(src)
+		check(err)
+		fmt.Printf("system %s (%s)\n", sys.ID, sys.Architecture)
+		fmt.Print(prep.Explain())
+		for _, d := range prep.Diagnostics {
+			fmt.Println("warning:", d)
+		}
+		return
+	}
+
 	res, err := inst.Run(0, src)
 	check(err)
 

@@ -6,8 +6,8 @@ import (
 	"testing"
 )
 
-// concurrencyQueries exercise the compile-time analysis a shared Prepared
-// publishes: FLWOR join plans (hash-join shape), usesLast predicates,
+// concurrencyQueries exercise the compile-time plan a shared Prepared
+// publishes: join selection (hash-join shape), UsesLast predicates,
 // descendant dedup, and plain navigation.
 var concurrencyQueries = []string{
 	`for $b in /site/people/person[@id="person0"] return $b/name/text()`,

@@ -6,34 +6,14 @@ import (
 	"time"
 
 	"repro/internal/nodestore"
+	"repro/internal/plan"
 	"repro/internal/xquery"
 )
 
-// Options select the optimizations of a system architecture. All false is
-// the paper's embedded System G profile (plus NaiveStrings for its
-// materialization overhead); the mass-storage systems enable the subsets
-// their architectures support.
-type Options struct {
-	// PathExtents answers absolute path prefixes from the store's path
-	// catalog (fragmented mappings B/C and the summary of D).
-	PathExtents bool
-	// CountShortcut answers count() over pure paths from the catalog
-	// without data access (System D's structural summary).
-	CountShortcut bool
-	// HashJoins accelerates equality value joins in FLWOR expressions
-	// with a hash table instead of a nested loop.
-	HashJoins bool
-	// Inlining reads single #PCDATA children from inlined columns
-	// (System C's DTD-derived mapping).
-	Inlining bool
-	// AttrIndexes answers [@attr = "literal"] predicates from the store's
-	// attribute value index instead of scanning the candidate set: the
-	// "index lookup" flavor of Q1 the paper contrasts with a table scan.
-	AttrIndexes bool
-	// NaiveStrings copies every string value touched, the embedded
-	// processor's materialization overhead (System G).
-	NaiveStrings bool
-}
+// Options select the optimizations of a system architecture. The type
+// lives in package plan — the planner's rewrite rules consume it — and is
+// aliased here so engine callers keep their historical spelling.
+type Options = plan.Options
 
 // Engine evaluates queries against one store.
 type Engine struct {
@@ -52,12 +32,14 @@ func (e *Engine) Store() nodestore.Store { return e.store }
 // Options returns the engine's optimization profile.
 func (e *Engine) Options() Options { return e.opts }
 
-// Prepared is a compiled query. Compilation covers parsing, static
-// resolution of functions and variables, metadata access (catalog probes
-// for absolute paths) and static analysis (join plans, usesLast), matching
-// the paper's "compilation" phase of Table 2. Execution builds a pull-based
-// iterator pipeline over the store; Run materializes it, while Stream and
-// Serialize consume it item by item without holding the whole result.
+// Prepared is a compiled query: parse → static checks → plan → optimize.
+// Compilation covers parsing, static resolution of functions and
+// variables, logical planning with metadata access (catalog probes for
+// absolute paths, count shortcuts, pushdown capabilities), and the rewrite
+// rule pipeline, matching the paper's "compilation" phase of Table 2.
+// Execution builds a pull-based iterator pipeline over the optimized plan;
+// Run materializes it, while Stream and Serialize consume it item by item
+// without holding the whole result.
 //
 // A Prepared is immutable after Prepare returns and can be executed any
 // number of times, including concurrently from multiple goroutines: every
@@ -66,10 +48,9 @@ func (e *Engine) Options() Options { return e.opts }
 type Prepared struct {
 	engine *Engine
 	query  *xquery.Query
-	// analysis holds the precomputed per-expression static decisions
-	// (FLWOR join plans, usesLast); published once here, read-only during
-	// execution.
-	analysis *analysis
+	// plan is the optimized logical plan; published once here, read-only
+	// during execution.
+	plan *plan.Plan
 	// CompileTime is the wall time spent in Prepare.
 	CompileTime time.Duration
 	// MetaProbes counts catalog consultations during compilation.
@@ -80,7 +61,8 @@ type Prepared struct {
 	Diagnostics []string
 }
 
-// Prepare compiles src.
+// Prepare compiles src: parse, static checks, logical planning, and the
+// optimizer's rewrite pipeline over the plan.
 func (e *Engine) Prepare(src string) (*Prepared, error) {
 	start := time.Now()
 	q, err := xquery.Parse(src)
@@ -91,12 +73,21 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 	if err := p.check(); err != nil {
 		return nil, err
 	}
-	p.resolvePaths()
-	p.analyze()
+	p.plan = plan.Compile(q, e.opts, e.store)
+	p.plan.Optimize(e.opts, e.store)
+	p.MetaProbes = p.plan.Probes
 	p.diagnose()
 	p.CompileTime = time.Since(start)
 	return p, nil
 }
+
+// Explain renders the optimized plan tree with the rewrite rules that
+// fired: the output behind `xquery -explain` and the service's /explain
+// endpoint.
+func (p *Prepared) Explain() string { return p.plan.Explain() }
+
+// Plan returns the optimized logical plan.
+func (p *Prepared) Plan() *plan.Plan { return p.plan }
 
 // Run executes the prepared query and materializes the result sequence.
 func (p *Prepared) Run() (result Seq, err error) {
@@ -147,11 +138,11 @@ func (p *Prepared) Serialize(w io.Writer) error {
 	})
 }
 
-// execute builds a fresh pipeline for the query body and hands it to
+// execute builds a fresh pipeline for the optimized plan and hands it to
 // consume, converting evaluation panics into error returns. The evaluator
-// reads the compile-time analysis through the Prepared (immutable) and
-// keeps all mutable scratch in the Session, so concurrent executions of
-// one Prepared never share writable state.
+// reads the immutable plan through the Prepared and keeps all mutable
+// scratch in the Session, so concurrent executions of one Prepared never
+// share writable state.
 func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -166,13 +157,12 @@ func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err err
 		sess = NewSession()
 	}
 	ev := &evaluator{
-		store:  p.engine.store,
-		opts:   p.engine.opts,
-		funcs:  p.query.Functions,
-		shared: p.analysis,
-		sess:   sess,
+		store: p.engine.store,
+		opts:  p.engine.opts,
+		funcs: p.plan.Funcs,
+		sess:  sess,
 	}
-	return consume(ev.iter(p.query.Body, &bindings{}))
+	return consume(ev.iter(p.plan.Root, &bindings{}))
 }
 
 // Query compiles and runs src in one call.
@@ -284,86 +274,10 @@ func copyBound(m map[string]bool) map[string]bool {
 	return out
 }
 
-// resolvePaths probes the store catalog for every absolute path prefix in
-// the query — the metadata access of the compilation phase. Fragmenting
-// mappings answer from larger catalogs; the heap mapping has nothing to
-// consult (paper Table 2: System A accesses far less metadata).
-func (p *Prepared) resolvePaths() {
-	if !p.engine.opts.PathExtents {
-		return
-	}
-	var walk func(e xquery.Expr)
-	walkAll := func(es []xquery.Expr) {
-		for _, e := range es {
-			if e != nil {
-				walk(e)
-			}
-		}
-	}
-	walk = func(e xquery.Expr) {
-		switch v := e.(type) {
-		case *xquery.Path:
-			if _, isRoot := v.Input.(*xquery.Root); isRoot {
-				prefix := pathPrefix(v)
-				if len(prefix) > 0 {
-					_, _ = p.engine.store.PathExtent(prefix, nil)
-					p.MetaProbes++
-				}
-			} else {
-				walk(v.Input)
-			}
-			for _, st := range v.Steps {
-				walkAll(st.Preds)
-			}
-		case *xquery.Filter:
-			walk(v.Input)
-			walkAll(v.Preds)
-		case *xquery.FLWOR:
-			for _, cl := range v.Clauses {
-				if cl.For != nil {
-					walk(cl.For.Seq)
-				} else {
-					walk(cl.Let.Seq)
-				}
-			}
-			if v.Where != nil {
-				walk(v.Where)
-			}
-			for _, o := range v.Order {
-				walk(o.Key)
-			}
-			walk(v.Return)
-		case *xquery.Quantified:
-			walkAll(v.Seqs)
-			walk(v.Satisfies)
-		case *xquery.IfExpr:
-			walk(v.Cond)
-			walk(v.Then)
-			walk(v.Else)
-		case *xquery.Binary:
-			walk(v.Left)
-			walk(v.Right)
-		case *xquery.Unary:
-			walk(v.Operand)
-		case *xquery.Call:
-			walkAll(v.Args)
-		case *xquery.Sequence:
-			walkAll(v.Items)
-		case *xquery.ElementCtor:
-			for _, a := range v.Attrs {
-				walkAll(a.Parts)
-			}
-			walkAll(v.Content)
-		}
-	}
-	for _, fd := range p.query.Functions {
-		walk(fd.Body)
-	}
-	walk(p.query.Body)
-}
-
 // pathPrefix returns the longest leading run of predicate-free child steps
-// of an absolute path: the part a path catalog can answer directly.
+// of an absolute path: the part a path catalog can answer directly (used
+// by the compile-time diagnostics; the planner has its own step-level
+// equivalent).
 func pathPrefix(p *xquery.Path) []string {
 	var prefix []string
 	for _, st := range p.Steps {

@@ -3,8 +3,10 @@ package engine
 import (
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/nodestore"
+	"repro/internal/plan"
 	"repro/internal/tree"
 	"repro/internal/xquery"
 )
@@ -40,19 +42,18 @@ type focus struct {
 	size int // 0 while streaming a predicate that provably ignores last()
 }
 
-// evaluator executes one query run. It separates what concurrent
-// executions may share from what they must not: store, opts, funcs and
-// shared are read-only for the whole run (shared is the Prepared's
-// compile-time analysis), while focus, depth and everything reachable
-// through sess are mutable scratch owned by exactly one goroutine.
+// evaluator executes one query run: a physical operator builder over the
+// compiled plan. All optimization decisions were made by the planner; the
+// evaluator only realizes the chosen strategies. It separates what
+// concurrent executions may share from what they must not: store, opts and
+// funcs are read-only for the whole run (the plan is immutable after
+// Prepare), while focus, depth and everything reachable through sess are
+// mutable scratch owned by exactly one goroutine.
 type evaluator struct {
 	store nodestore.Store
 	opts  Options
-	funcs map[string]*xquery.FuncDecl
-	// shared is the compile-time analysis of the Prepared being executed:
-	// FLWOR join plans and usesLast answers, published once by Prepare and
-	// only read here.
-	shared *analysis
+	// funcs are the compiled user function bodies of the plan.
+	funcs map[string]*plan.FuncPlan
 	// sess holds the run's mutable scratch: iterator free lists and the
 	// hash-join index cache. Per-worker when the caller supplies one, per-
 	// execution otherwise.
@@ -64,76 +65,100 @@ type evaluator struct {
 
 const maxRecursion = 2000
 
-// eval fully materializes the value of e: the explicit materialization
+// eval fully materializes the value of n: the explicit materialization
 // point used for variable bindings, sort keys and atomized arguments.
-func (ev *evaluator) eval(e xquery.Expr, env *bindings) Seq {
-	return materialize(ev.iter(e, env))
+func (ev *evaluator) eval(n *plan.Node, env *bindings) Seq {
+	return materialize(ev.iter(n, env))
 }
 
-// iter builds the pull-based pipeline for e. Sequence-producing forms
-// (paths, FLWOR, comma sequences) return lazy operators; scalar forms
-// (arithmetic, comparisons, quantifiers, most function calls) do their
-// work here, pulling from their input streams with short-circuits, and
-// return a trivial iterator over the result.
-func (ev *evaluator) iter(e xquery.Expr, env *bindings) Iterator {
+// iter builds the pull-based pipeline for plan node n. Sequence-producing
+// operators (scans, navigation, FLWOR chains, comma sequences) return lazy
+// operators; scalar forms (arithmetic, comparisons, quantifiers, most
+// function calls) do their work here, pulling from their input streams
+// with short-circuits, and return a trivial iterator over the result.
+func (ev *evaluator) iter(n *plan.Node, env *bindings) Iterator {
 	ev.depth++
 	if ev.depth > maxRecursion {
 		errf("expression nesting too deep")
 	}
-	it := ev.dispatch(e, env)
+	it := ev.dispatch(n, env)
 	// No defer: an evaluation panic abandons the evaluator, so the counter
-	// need not survive unwinding, and this runs per expression node.
+	// need not survive unwinding, and this runs per operator node.
 	ev.depth--
 	return it
 }
 
-func (ev *evaluator) dispatch(e xquery.Expr, env *bindings) Iterator {
-	switch v := e.(type) {
-	case *xquery.StringLit:
-		return one(StrItem(v.Val))
-	case *xquery.NumberLit:
-		return one(NumItem(v.Val))
-	case *xquery.VarRef:
-		return ev.newVarIter(env.lookup(v.Name))
-	case *xquery.ContextItem:
+func (ev *evaluator) dispatch(n *plan.Node, env *bindings) Iterator {
+	switch n.Op {
+	case plan.OpSerialize:
+		return ev.iter(n.Input, env)
+	case plan.OpLiteral:
+		switch v := n.Expr.(type) {
+		case *xquery.StringLit:
+			return one(StrItem(v.Val))
+		case *xquery.NumberLit:
+			return one(NumItem(v.Val))
+		}
+	case plan.OpVar:
+		return ev.newVarIter(env.lookup(n.Var))
+	case plan.OpContext:
 		if !ev.hasFocus {
 			errf("context item used outside a predicate")
 		}
 		return one(ev.focus.item)
-	case *xquery.Root:
+	case plan.OpRoot:
 		return one(DocItem{})
-	case *xquery.Path:
-		return ev.iterPath(v, env)
-	case *xquery.Filter:
+	case plan.OpPathScan:
+		return ev.iterPathScan(n)
+	case plan.OpNavigate:
+		return ev.iterSteps(ev.iter(n.Input, env), n.Steps, env)
+	case plan.OpSelect:
 		// Positions span the whole input sequence.
-		return ev.filterCandidates(ev.iter(v.Input, env), v.Preds, env)
-	case *xquery.FLWOR:
-		return ev.iterFLWOR(v, env)
-	case *xquery.Quantified:
-		return one(BoolItem(ev.evalQuantified(v, env, 0)))
-	case *xquery.IfExpr:
-		if ev.evalBool(v.Cond, env) {
-			return ev.iter(v.Then, env)
+		return ev.filterCandidates(ev.iter(n.Input, env), n.Preds, env)
+	case plan.OpProject:
+		return &flatMapTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), ret: n.Ret}
+	case plan.OpQuantified:
+		return one(BoolItem(ev.evalQuantified(n, env, 0)))
+	case plan.OpIf:
+		if ev.evalBool(n.Kids[0], env) {
+			return ev.iter(n.Kids[1], env)
 		}
-		return ev.iter(v.Else, env)
-	case *xquery.Binary:
-		return ev.iterBinary(v, env)
-	case *xquery.Unary:
-		s, ok := ev.iter(v.Operand, env).Next()
+		return ev.iter(n.Kids[2], env)
+	case plan.OpBinary:
+		return ev.iterBinary(n, env)
+	case plan.OpUnary:
+		s, ok := ev.iter(n.Kids[0], env).Next()
 		if !ok {
 			return emptyIter{}
 		}
 		return one(NumItem(-toNumber(ev.atomize(s))))
-	case *xquery.Call:
-		return ev.iterCall(v, env)
-	case *xquery.Sequence:
-		return &sequenceIter{ev: ev, items: v.Items, env: env}
-	case *xquery.ElementCtor:
-		return one(ev.construct(v, env))
-	default:
-		errf("unhandled expression %T", e)
-		return nil
+	case plan.OpCall:
+		return ev.iterCall(n, env)
+	case plan.OpCount:
+		return ev.iterCount(n, env)
+	case plan.OpSequence:
+		return &sequenceIter{ev: ev, items: n.Kids, env: env}
+	case plan.OpCtor:
+		return one(ev.construct(n, env))
 	}
+	errf("unhandled plan operator %v", n.Op)
+	return nil
+}
+
+// iterPathScan streams the extent of an absolute label path from the
+// store's path catalog, applying pushed-down filters inside the store when
+// the planner fused them.
+func (ev *evaluator) iterPathScan(n *plan.Node) Iterator {
+	if len(n.Filters) > 0 {
+		if cur, ok := nodestore.PathExtentFiltered(ev.store, n.Path, n.Filters); ok {
+			return &nodeCursorIter{cur: cur}
+		}
+	} else if cur, ok := nodestore.PathExtent(ev.store, n.Path); ok {
+		return &nodeCursorIter{cur: cur}
+	}
+	// Unreachable for planned scans: the planner probed the catalog.
+	errf("store cannot answer path extent /%s", strings.Join(n.Path, "/"))
+	return nil
 }
 
 // varIter streams a bound (materialized) sequence: the recyclable
@@ -183,7 +208,7 @@ func (v *varIter) release() {
 // only when the stream reaches it.
 type sequenceIter struct {
 	ev    *evaluator
-	items []xquery.Expr
+	items []*plan.Node
 	env   *bindings
 	cur   Iterator
 }
@@ -206,59 +231,37 @@ func (s *sequenceIter) Next() (Item, bool) {
 
 // ---- paths ----
 
-func (ev *evaluator) iterPath(p *xquery.Path, env *bindings) Iterator {
-	steps := p.Steps
-	// Absolute paths may be answered from the store's path catalog; the
-	// extent streams directly from the catalog structure when the store
-	// supports cursors.
-	if _, isRoot := p.Input.(*xquery.Root); isRoot && ev.opts.PathExtents {
-		prefix := pathPrefix(p)
-		if len(prefix) > 0 {
-			if cur, ok := nodestore.PathExtent(ev.store, prefix); ok {
-				return ev.iterSteps(&nodeCursorIter{cur: cur}, steps[len(prefix):], env)
+// iterSteps composes the planned steps into a chain of streaming operators
+// over the context stream in, realizing the strategy the planner chose for
+// each step.
+func (ev *evaluator) iterSteps(in Iterator, steps []*plan.StepPlan, env *bindings) Iterator {
+	for _, sp := range steps {
+		switch sp.Strategy {
+		case plan.StepInlineText:
+			// Inlining (System C): child::tag/text() over a store that
+			// inlines single #PCDATA children is a column read. Context
+			// nodes whose fragment lacks the column fall back to
+			// navigation individually.
+			in = ev.newInlineTextIter(in, sp)
+		case plan.StepAttrIndex:
+			// Attribute-index lookup: the index probe validates candidates
+			// against the whole context, so the context materializes here.
+			// Contexts the probe cannot validate (non-monotone node sets)
+			// fall back to navigation with the predicate.
+			ctx := materialize(in)
+			if out, ok := ev.attrIndexStep(ctx, sp.Name, sp.IdxAttr, sp.IdxValue); ok {
+				in = out.Iter()
+			} else if sp.Axis == xquery.AxisDescendant {
+				in = ev.descendantStepIter(ctx.Iter(), sp, env)
+			} else {
+				in = ev.newStepIter(ctx.Iter(), sp, env)
 			}
-		}
-	}
-	return ev.iterSteps(ev.iter(p.Input, env), steps, env)
-}
-
-// iterSteps composes the steps into a chain of streaming operators over
-// the context stream in.
-func (ev *evaluator) iterSteps(in Iterator, steps []*xquery.Step, env *bindings) Iterator {
-	for i := 0; i < len(steps); i++ {
-		st := steps[i]
-		// Inlining peephole (System C): child::tag/text() over a store
-		// that inlines single #PCDATA children is a column read, skipping
-		// one navigation level — the join the DTD-derived mapping of [23]
-		// eliminates. Context nodes whose fragment lacks the column fall
-		// back to navigation individually.
-		if ev.opts.Inlining && i+1 < len(steps) &&
-			st.Axis == xquery.AxisChild && st.Name != "*" && len(st.Preds) == 0 &&
-			steps[i+1].Axis == xquery.AxisText && len(steps[i+1].Preds) == 0 {
-			in = ev.newInlineTextIter(in, st, steps[i+1])
-			i++
-			continue
-		}
-		// Attribute-index peephole: a child step selected by a single
-		// [@attr = "literal"] predicate is answered from the attribute
-		// value index when the store keeps one — the "index lookup"
-		// execution of Q1 (paper §7) instead of a scan of the extent. The
-		// index probe validates candidates against the whole context, so
-		// the context materializes here.
-		if ev.opts.AttrIndexes && st.Axis == xquery.AxisChild && st.Name != "*" && len(st.Preds) == 1 {
-			if aname, lit, ok := attrEqPattern(st.Preds[0]); ok {
-				ctx := materialize(in)
-				if out, ok2 := ev.attrIndexStep(ctx, st.Name, aname, lit); ok2 {
-					in = out.Iter()
-					continue
-				}
-				in = ctx.Iter()
+		default:
+			if sp.Axis == xquery.AxisDescendant {
+				in = ev.descendantStepIter(in, sp, env)
+			} else {
+				in = ev.newStepIter(in, sp, env)
 			}
-		}
-		if st.Axis == xquery.AxisDescendant {
-			in = ev.descendantStepIter(in, st, env)
-		} else {
-			in = ev.newStepIter(in, st, env)
 		}
 	}
 	return in
@@ -266,7 +269,7 @@ func (ev *evaluator) iterSteps(in Iterator, steps []*xquery.Step, env *bindings)
 
 // newStepIter takes a recycled stepIter from the free list (keeping its
 // grown candidate buffer) or allocates a fresh one.
-func (ev *evaluator) newStepIter(in Iterator, st *xquery.Step, env *bindings) *stepIter {
+func (ev *evaluator) newStepIter(in Iterator, sp *plan.StepPlan, env *bindings) *stepIter {
 	free := ev.sess.stepFree
 	if n := len(free); n > 0 {
 		d := free[n-1]
@@ -274,10 +277,10 @@ func (ev *evaluator) newStepIter(in Iterator, st *xquery.Step, env *bindings) *s
 		// Rebind ev, not just the operands: a Session is reused across
 		// executions of different Prepared queries, and a stale evaluator
 		// would navigate the previous query's store with its funcs.
-		d.ev, d.in, d.st, d.env = ev, in, st, env
+		d.ev, d.in, d.st, d.env = ev, in, sp, env
 		return d
 	}
-	return &stepIter{ev: ev, in: in, st: st, env: env}
+	return &stepIter{ev: ev, in: in, st: sp, env: env}
 }
 
 // release returns an exhausted stepIter to the evaluator's free list.
@@ -294,12 +297,13 @@ func (d *stepIter) release() {
 // stream. The candidates of each stored context node are gathered into a
 // scratch buffer reused across context nodes (one relation probe or
 // sibling walk per node) and filtered in place by the step predicates with
-// per-context-node positions — the seed evaluator's semantics, without its
-// per-step intermediate sequences.
+// per-context-node positions. Predicates the planner pushed down evaluate
+// inside the store's filtered cursor instead; contexts the store cannot
+// filter (constructed elements, the document node) evaluate them here.
 type stepIter struct {
 	ev  *evaluator
 	in  Iterator
-	st  *xquery.Step
+	st  *plan.StepPlan
 	env *bindings
 
 	buf     []tree.NodeID // scratch candidates of the current stored node
@@ -342,8 +346,8 @@ func (d *stepIter) expand(ctx Item) {
 	n, isNode := ctx.(NodeItem)
 	if !isNode {
 		cands := materialize(ev.candidates(ctx, st))
-		if len(st.Preds) > 0 {
-			cands = ev.applyPredicates(cands, st.Preds, d.env)
+		if preds := st.AllPreds(); len(preds) > 0 {
+			cands = ev.applyPredicates(cands, preds, d.env)
 		}
 		d.inner = cands.Iter()
 		return
@@ -352,10 +356,22 @@ func (d *stepIter) expand(ctx Item) {
 	d.bi, d.bn = 0, 0
 	switch st.Axis {
 	case xquery.AxisChild:
-		if st.Name == "*" {
+		switch {
+		case st.Name == "*":
 			d.buf = s.Children(n.ID, d.buf[:0])
 			d.filterKind(tree.Element)
-		} else {
+		case len(st.Filters) > 0:
+			if cur, ok := nodestore.ChildrenByTagFiltered(s, n.ID, st.Name, st.Filters); ok {
+				d.buf = drainCursor(cur, d.buf[:0])
+				d.bn = len(d.buf)
+			} else {
+				// The store lost the capability the planner probed for
+				// (cannot happen for planned pushdowns); evaluate the
+				// pushed predicates here instead.
+				d.buf = s.ChildrenByTag(n.ID, st.Name, d.buf[:0])
+				d.bn = ev.filterIDs(d.buf, st.Pushed, d.env)
+			}
+		default:
 			d.buf = s.ChildrenByTag(n.ID, st.Name, d.buf[:0])
 			d.bn = len(d.buf)
 		}
@@ -379,6 +395,17 @@ func (d *stepIter) expand(ctx Item) {
 	}
 }
 
+// drainCursor appends every id of cur to buf.
+func drainCursor(cur nodestore.Cursor, buf []tree.NodeID) []tree.NodeID {
+	for {
+		id, ok := cur.Next()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, id)
+	}
+}
+
 // filterKind keeps only the buffered candidates of one node kind.
 func (d *stepIter) filterKind(k tree.Kind) {
 	w := 0
@@ -395,7 +422,7 @@ func (d *stepIter) filterKind(k tree.Kind) {
 // in place and returns the surviving length. Positions are ranks within
 // the buffer, and the buffer length is the context size, so positional
 // predicates and last() see exactly the per-context-node semantics.
-func (ev *evaluator) filterIDs(ids []tree.NodeID, preds []xquery.Expr, env *bindings) int {
+func (ev *evaluator) filterIDs(ids []tree.NodeID, preds []*plan.Node, env *bindings) int {
 	n := len(ids)
 	for _, pred := range preds {
 		w := 0
@@ -412,7 +439,7 @@ func (ev *evaluator) filterIDs(ids []tree.NodeID, preds []xquery.Expr, env *bind
 
 // applyPredicates filters a materialized sequence by each predicate in
 // turn with positional semantics.
-func (ev *evaluator) applyPredicates(items Seq, preds []xquery.Expr, env *bindings) Seq {
+func (ev *evaluator) applyPredicates(items Seq, preds []*plan.Node, env *bindings) Seq {
 	for _, pred := range preds {
 		var kept Seq
 		size := len(items)
@@ -432,14 +459,14 @@ func (ev *evaluator) applyPredicates(items Seq, preds []xquery.Expr, env *bindin
 // order run of stored nodes the operator streams, skipping context nodes
 // covered by an earlier subtree, and otherwise it falls back to
 // materializing the output and restoring document order with a sort.
-func (ev *evaluator) descendantStepIter(in Iterator, st *xquery.Step, env *bindings) Iterator {
+func (ev *evaluator) descendantStepIter(in Iterator, sp *plan.StepPlan, env *bindings) Iterator {
 	ctx := materialize(in)
-	if len(ctx) == 1 || (len(st.Preds) == 0 && sortedNodeRun(ctx)) {
-		return &descStreamIter{ev: ev, ctx: ctx, st: st, env: env, skip: len(ctx) > 1}
+	if len(ctx) == 1 || (len(sp.Preds) == 0 && sortedNodeRun(ctx)) {
+		return &descStreamIter{ev: ev, ctx: ctx, st: sp, env: env, skip: len(ctx) > 1}
 	}
 	var out Seq
 	for _, it := range ctx {
-		out = append(out, materialize(ev.filterCandidates(ev.candidates(it, st), st.Preds, env))...)
+		out = append(out, materialize(ev.filterCandidates(ev.candidates(it, sp), sp.Preds, env))...)
 	}
 	return dedupNodes(out).Iter()
 }
@@ -453,7 +480,7 @@ type descStreamIter struct {
 	ev     *evaluator
 	ctx    Seq
 	i      int
-	st     *xquery.Step
+	st     *plan.StepPlan
 	env    *bindings
 	cur    Iterator
 	maxEnd tree.NodeID
@@ -487,14 +514,14 @@ func (d *descStreamIter) Next() (Item, bool) {
 }
 
 // candidates returns the axis candidates of one context item as a stream.
-func (ev *evaluator) candidates(it Item, st *xquery.Step) Iterator {
+func (ev *evaluator) candidates(it Item, sp *plan.StepPlan) Iterator {
 	switch n := it.(type) {
 	case NodeItem:
-		return ev.storedCandidates(n, st)
+		return ev.storedCandidates(n, sp)
 	case DocItem:
-		return ev.docCandidates(st)
+		return ev.docCandidates(sp)
 	case *Constructed:
-		return stepFromConstructed(n, st).Iter()
+		return stepFromConstructed(n, sp).Iter()
 	case AttrItem:
 		return emptyIter{}
 	default:
@@ -505,18 +532,18 @@ func (ev *evaluator) candidates(it Item, st *xquery.Step) Iterator {
 
 // docCandidates steps from the virtual document node: its only child is
 // the root element.
-func (ev *evaluator) docCandidates(st *xquery.Step) Iterator {
+func (ev *evaluator) docCandidates(sp *plan.StepPlan) Iterator {
 	root := ev.store.Root()
 	rootTag := ev.store.Tag(root)
-	switch st.Axis {
+	switch sp.Axis {
 	case xquery.AxisChild:
-		if st.Name == "*" || st.Name == rootTag {
+		if sp.Name == "*" || sp.Name == rootTag {
 			return one(NodeItem{ID: root})
 		}
 		return emptyIter{}
 	case xquery.AxisDescendant:
-		rest := ev.storedCandidates(NodeItem{ID: root}, st)
-		if st.Name == "*" || st.Name == rootTag {
+		rest := ev.storedCandidates(NodeItem{ID: root}, sp)
+		if sp.Name == "*" || sp.Name == rootTag {
 			return &concatIter{parts: []Iterator{one(NodeItem{ID: root}), rest}}
 		}
 		return rest
@@ -527,25 +554,25 @@ func (ev *evaluator) docCandidates(st *xquery.Step) Iterator {
 
 // storedCandidates streams one axis step from a stored node, pulling from
 // the store's cursors so no candidate id slice materializes.
-func (ev *evaluator) storedCandidates(n NodeItem, st *xquery.Step) Iterator {
+func (ev *evaluator) storedCandidates(n NodeItem, sp *plan.StepPlan) Iterator {
 	s := ev.store
-	switch st.Axis {
+	switch sp.Axis {
 	case xquery.AxisChild:
-		if st.Name == "*" {
+		if sp.Name == "*" {
 			return &kindFilterIter{store: s, cur: nodestore.Children(s, n.ID), kind: tree.Element}
 		}
-		return &nodeCursorIter{cur: nodestore.ChildrenByTag(s, n.ID, st.Name)}
+		return &nodeCursorIter{cur: nodestore.ChildrenByTag(s, n.ID, sp.Name)}
 	case xquery.AxisDescendant:
-		if st.Name == "*" {
+		if sp.Name == "*" {
 			return ev.wildcardDescendants(n).Iter()
 		}
-		return &nodeCursorIter{cur: nodestore.Descendants(s, n.ID, st.Name)}
+		return &nodeCursorIter{cur: nodestore.Descendants(s, n.ID, sp.Name)}
 	case xquery.AxisAttribute:
-		if v, ok := s.Attr(n.ID, st.Name); ok {
+		if v, ok := s.Attr(n.ID, sp.Name); ok {
 			if ev.opts.NaiveStrings {
 				v = string(append([]byte(nil), v...))
 			}
-			return one(AttrItem{Owner: n.ID, Name: st.Name, Value: v})
+			return one(AttrItem{Owner: n.ID, Name: sp.Name, Value: v})
 		}
 		return emptyIter{}
 	case xquery.AxisText:
@@ -598,31 +625,34 @@ func (ev *evaluator) wildcardDescendants(n NodeItem) Seq {
 	return out
 }
 
-// inlineTextIter answers a child/text() step pair from inlined columns
+// textStepPlan is the synthetic text() step of the inline-text fallback.
+var textStepPlan = &plan.StepPlan{Axis: xquery.AxisText}
+
+// inlineTextIter answers a fused child/text() step from inlined columns
 // (System C): supported fragments read the column, unsupported context
 // nodes navigate normally. Both produce the text content, so results
 // serialize identically either way.
 type inlineTextIter struct {
-	ev                  *evaluator
-	in                  Iterator
-	childStep, textStep *xquery.Step
-	inner               Iterator // navigation fallback for one context item
+	ev    *evaluator
+	in    Iterator
+	st    *plan.StepPlan
+	inner Iterator // navigation fallback for one context item
 }
 
-func (ev *evaluator) newInlineTextIter(in Iterator, childStep, textStep *xquery.Step) *inlineTextIter {
+func (ev *evaluator) newInlineTextIter(in Iterator, sp *plan.StepPlan) *inlineTextIter {
 	free := ev.sess.inlineFree
 	if n := len(free); n > 0 {
 		d := free[n-1]
 		ev.sess.inlineFree = free[:n-1]
 		// Rebind ev for the same reason as newStepIter.
-		d.ev, d.in, d.childStep, d.textStep = ev, in, childStep, textStep
+		d.ev, d.in, d.st = ev, in, sp
 		return d
 	}
-	return &inlineTextIter{ev: ev, in: in, childStep: childStep, textStep: textStep}
+	return &inlineTextIter{ev: ev, in: in, st: sp}
 }
 
 func (d *inlineTextIter) release() {
-	d.in, d.childStep, d.textStep, d.inner = nil, nil, nil, nil
+	d.in, d.st, d.inner = nil, nil, nil
 	d.ev.sess.inlineFree = append(d.ev.sess.inlineFree, d)
 }
 
@@ -640,7 +670,7 @@ func (d *inlineTextIter) Next() (Item, bool) {
 			return nil, false
 		}
 		if n, isNode := ctx.(NodeItem); isNode {
-			v, present, supported := d.ev.store.InlinedChildText(n.ID, d.childStep.Name)
+			v, present, supported := d.ev.store.InlinedChildText(n.ID, d.st.Name)
 			if supported {
 				if present {
 					return StrItem(v), true
@@ -649,44 +679,10 @@ func (d *inlineTextIter) Next() (Item, bool) {
 			}
 		}
 		d.inner = &flatMapIter{
-			outer: d.ev.candidates(ctx, d.childStep),
-			fn:    func(c Item) Iterator { return d.ev.candidates(c, d.textStep) },
+			outer: d.ev.candidates(ctx, d.st),
+			fn:    func(c Item) Iterator { return d.ev.candidates(c, textStepPlan) },
 		}
 	}
-}
-
-// attrEqPattern recognizes the predicate shape [@name = "literal"] (either
-// operand order).
-func attrEqPattern(pred xquery.Expr) (name, lit string, ok bool) {
-	b, isBin := pred.(*xquery.Binary)
-	if !isBin || b.Op != xquery.OpEq {
-		return "", "", false
-	}
-	attrOf := func(e xquery.Expr) (string, bool) {
-		p, isPath := e.(*xquery.Path)
-		if !isPath || len(p.Steps) != 1 {
-			return "", false
-		}
-		if _, isCtx := p.Input.(*xquery.ContextItem); !isCtx {
-			return "", false
-		}
-		st := p.Steps[0]
-		if st.Axis != xquery.AxisAttribute || len(st.Preds) != 0 {
-			return "", false
-		}
-		return st.Name, true
-	}
-	if a, isAttr := attrOf(b.Left); isAttr {
-		if s, isLit := b.Right.(*xquery.StringLit); isLit {
-			return a, s.Val, true
-		}
-	}
-	if a, isAttr := attrOf(b.Right); isAttr {
-		if s, isLit := b.Left.(*xquery.StringLit); isLit {
-			return a, s.Val, true
-		}
-	}
-	return "", "", false
 }
 
 // attrIndexStep answers a child step with an attribute-equality predicate
@@ -725,12 +721,12 @@ func (ev *evaluator) attrIndexStep(ctx Seq, tag, aname, value string) (Seq, bool
 	return out, true
 }
 
-func stepFromConstructed(c *Constructed, st *xquery.Step) Seq {
+func stepFromConstructed(c *Constructed, sp *plan.StepPlan) Seq {
 	var out Seq
-	switch st.Axis {
+	switch sp.Axis {
 	case xquery.AxisChild:
 		for _, ch := range c.Children {
-			if el, ok := ch.(*Constructed); ok && (st.Name == "*" || el.Tag == st.Name) {
+			if el, ok := ch.(*Constructed); ok && (sp.Name == "*" || el.Tag == sp.Name) {
 				out = append(out, el)
 			}
 		}
@@ -739,7 +735,7 @@ func stepFromConstructed(c *Constructed, st *xquery.Step) Seq {
 		walk = func(el *Constructed) {
 			for _, ch := range el.Children {
 				if sub, ok := ch.(*Constructed); ok {
-					if st.Name == "*" || sub.Tag == st.Name {
+					if sp.Name == "*" || sub.Tag == sp.Name {
 						out = append(out, sub)
 					}
 					walk(sub)
@@ -749,7 +745,7 @@ func stepFromConstructed(c *Constructed, st *xquery.Step) Seq {
 		walk(c)
 	case xquery.AxisAttribute:
 		for _, a := range c.Attrs {
-			if a.Name == st.Name {
+			if a.Name == sp.Name {
 				out = append(out, AttrItem{Owner: tree.Nil, Name: a.Name, Value: a.Value})
 			}
 		}
@@ -813,12 +809,41 @@ func (s *singleTupleIter) Next() (*bindings, bool) {
 	return s.tp, true
 }
 
+// buildTuples realizes the plan's tuple-operator chain as a pipeline of
+// tuple iterators: the physical side of the FLWOR plan the optimizer
+// shaped (clause order, join strategies, residual selections, sorting).
+func (ev *evaluator) buildTuples(n *plan.Node, env *bindings) tupleIter {
+	switch n.Op {
+	case plan.OpTupleSrc:
+		return &singleTupleIter{tp: env}
+	case plan.OpLet:
+		return &letTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), name: n.Var, seq: n.Seq}
+	case plan.OpFor:
+		return &forTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), name: n.Var, seq: n.Seq}
+	case plan.OpNLJoin:
+		// The nested-loop join expands the clause and filters on the
+		// consumed conjunct right after the binding.
+		var t tupleIter = &forTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), name: n.Var, seq: n.Seq}
+		return &whereTupleIter{ev: ev, in: t, cond: n.Cond}
+	case plan.OpHashJoin:
+		return ev.newHashJoinIter(ev.buildTuples(n.Input, env), n)
+	case plan.OpWhere:
+		return &whereTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), cond: n.Cond}
+	case plan.OpOrderBy:
+		// Order by is a pipeline breaker: materialize, sort, replay.
+		return ev.sortTuples(ev.buildTuples(n.Input, env), n.Keys)
+	}
+	errf("unhandled tuple operator %v", n.Op)
+	return nil
+}
+
 // letTupleIter extends each tuple with a let binding; the bound value is
 // materialized so later references never re-evaluate it.
 type letTupleIter struct {
-	ev *evaluator
-	in tupleIter
-	cl *xquery.LetClause
+	ev   *evaluator
+	in   tupleIter
+	name string
+	seq  *plan.Node
 }
 
 func (l *letTupleIter) Next() (*bindings, bool) {
@@ -826,16 +851,16 @@ func (l *letTupleIter) Next() (*bindings, bool) {
 	if !ok {
 		return nil, false
 	}
-	return tp.bind(l.cl.Var, l.ev.eval(l.cl.Seq, tp)), true
+	return tp.bind(l.name, l.ev.eval(l.seq, tp)), true
 }
 
 // forTupleIter expands each tuple by the items of the for sequence: the
-// streaming nested-loop that replaces the materialized tuple lists of the
-// previous evaluator.
+// streaming nested loop of plain clause expansion.
 type forTupleIter struct {
 	ev    *evaluator
 	in    tupleIter
-	fc    *xquery.ForClause
+	name  string
+	seq   *plan.Node
 	tp    *bindings
 	items Iterator
 }
@@ -844,7 +869,7 @@ func (f *forTupleIter) Next() (*bindings, bool) {
 	for {
 		if f.items != nil {
 			if it, ok := f.items.Next(); ok {
-				return f.tp.bind(f.fc.Var, Seq{it}), true
+				return f.tp.bind(f.name, Seq{it}), true
 			}
 			f.items = nil
 		}
@@ -853,7 +878,7 @@ func (f *forTupleIter) Next() (*bindings, bool) {
 			return nil, false
 		}
 		f.tp = tp
-		f.items = f.ev.iter(f.fc.Seq, tp)
+		f.items = f.ev.iter(f.seq, tp)
 	}
 }
 
@@ -863,7 +888,7 @@ func (f *forTupleIter) Next() (*bindings, bool) {
 type whereTupleIter struct {
 	ev   *evaluator
 	in   tupleIter
-	cond xquery.Expr
+	cond *plan.Node
 }
 
 func (w *whereTupleIter) Next() (*bindings, bool) {
@@ -893,75 +918,11 @@ func (s *sliceTupleIter) Next() (*bindings, bool) {
 	return tp, true
 }
 
-// flworPlan is the static clause plan of one FLWOR expression: which
-// where conjunct each for-clause consumes as a hash join (with its probe
-// and build operands fixed), and which conjuncts remain as filters. The
-// plan depends only on the expression and the engine options, so Prepare
-// computes it once (planFLWOR in analyze.go) and publishes it with the
-// Prepared's analysis; executions only read it.
-type flworPlan struct {
-	joins []joinPlan    // per clause; conj == nil for plain expansion
-	rest  []xquery.Expr // conjuncts not consumed by joins, in order
-}
-
-// joinPlan fixes one hash join: the equality conjunct, its probe side
-// (depending only on the clause variable) and its build side.
-type joinPlan struct {
-	conj         xquery.Expr
-	probe, build xquery.Expr
-}
-
-func (ev *evaluator) flworPlan(f *xquery.FLWOR) *flworPlan {
-	if ev.shared != nil {
-		if p, ok := ev.shared.plans[f]; ok {
-			return p
-		}
-	}
-	// Not covered by the compile-time walk (cannot happen for expressions
-	// reachable from the query); plan on the fly without publishing.
-	return planFLWOR(f, ev.opts.HashJoins)
-}
-
-func (ev *evaluator) iterFLWOR(f *xquery.FLWOR, env *bindings) Iterator {
-	// Without a where clause there is nothing to plan: no conjuncts, no
-	// joins, every clause expands plainly.
-	var plan *flworPlan
-	if f.Where != nil {
-		plan = ev.flworPlan(f)
-	}
-	var tuples tupleIter = &singleTupleIter{tp: env}
-	for i, cl := range f.Clauses {
-		if cl.Let != nil {
-			tuples = &letTupleIter{ev: ev, in: tuples, cl: cl.Let}
-			continue
-		}
-		if plan != nil && plan.joins[i].conj != nil {
-			tuples = ev.newHashJoinIter(tuples, cl.For, &plan.joins[i])
-		} else {
-			tuples = &forTupleIter{ev: ev, in: tuples, fc: cl.For}
-		}
-	}
-
-	// Remaining where conjuncts filter the tuple stream.
-	if plan != nil {
-		for _, conj := range plan.rest {
-			tuples = &whereTupleIter{ev: ev, in: tuples, cond: conj}
-		}
-	}
-
-	// Order by is a pipeline breaker: materialize, sort, replay.
-	if len(f.Order) > 0 {
-		tuples = ev.sortTuples(tuples, f.Order)
-	}
-
-	return &flatMapTupleIter{ev: ev, in: tuples, ret: f.Return}
-}
-
 // flatMapTupleIter streams the return clause across the tuple stream.
 type flatMapTupleIter struct {
 	ev  *evaluator
 	in  tupleIter
-	ret xquery.Expr
+	ret *plan.Node
 	cur Iterator
 }
 
@@ -983,7 +944,7 @@ func (m *flatMapTupleIter) Next() (Item, bool) {
 
 // sortTuples materializes the tuple stream and stable-sorts it by the
 // order specs; empty keys sort first.
-func (ev *evaluator) sortTuples(in tupleIter, order []xquery.OrderSpec) tupleIter {
+func (ev *evaluator) sortTuples(in tupleIter, order []plan.OrderKey) tupleIter {
 	var tuples []*bindings
 	for {
 		tp, ok := in.Next()
@@ -1044,23 +1005,13 @@ func orderLess(a, b Item) bool {
 	return itemString(a) < itemString(b)
 }
 
-// splitConjuncts flattens a where clause into AND-connected conjuncts.
-func splitConjuncts(e xquery.Expr) []xquery.Expr {
-	if e == nil {
-		return nil
-	}
-	if b, ok := e.(*xquery.Binary); ok && b.Op == xquery.OpAnd {
-		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
-	}
-	return []xquery.Expr{e}
-}
-
 // joinIndex is a memoized hash index over an independent for-sequence.
 type joinIndex struct {
 	items Seq
 	byKey map[string][]int
-	// probe is the key expression evaluated per item.
-	probe xquery.Expr
+	// probe is the key plan evaluated per item; identity-checked so a
+	// stale cache entry for a different plan never answers.
+	probe *plan.Node
 }
 
 // hashJoinTupleIter expands tuples with a for-clause using an equality
@@ -1068,38 +1019,37 @@ type joinIndex struct {
 // sequence is built (and memoized) once, and each incoming tuple streams
 // its matches.
 type hashJoinTupleIter struct {
-	ev        *evaluator
-	in        tupleIter
-	fc        *xquery.ForClause
-	buildSide xquery.Expr
-	idx       *joinIndex
-	seen      map[int]bool
+	ev   *evaluator
+	in   tupleIter
+	node *plan.Node
+	idx  *joinIndex
+	seen map[int]bool
 
 	tp      *bindings
 	matches []int
 	mi      int
 }
 
-// newHashJoinIter executes the planned hash join for the clause. The
-// index materializes the independent sequence — the hash table is a
-// pipeline breaker by nature — and is memoized in the Session, so it is
-// reused across evaluations within a run and, for a worker that keeps its
-// Session, across executions.
-func (ev *evaluator) newHashJoinIter(in tupleIter, fc *xquery.ForClause, jp *joinPlan) tupleIter {
+// newHashJoinIter executes the planned hash join. The index materializes
+// the independent sequence — the hash table is a pipeline breaker by
+// nature — and is memoized in the Session keyed by the join's plan node,
+// so it is reused across evaluations within a run and, for a worker that
+// keeps its Session, across executions.
+func (ev *evaluator) newHashJoinIter(in tupleIter, n *plan.Node) tupleIter {
 	if ev.sess.joinCache == nil {
-		ev.sess.joinCache = make(map[*xquery.ForClause]*joinIndex)
+		ev.sess.joinCache = make(map[*plan.Node]*joinIndex)
 	}
-	idx := ev.sess.joinCache[fc]
-	if idx == nil || idx.probe != jp.probe {
-		items := ev.eval(fc.Seq, &bindings{})
-		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: jp.probe}
+	idx := ev.sess.joinCache[n]
+	if idx == nil || idx.probe != n.Probe {
+		items := ev.eval(n.Seq, &bindings{})
+		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: n.Probe}
 		for i, it := range items {
-			envI := (&bindings{}).bind(fc.Var, Seq{it})
+			envI := (&bindings{}).bind(n.Var, Seq{it})
 			// An item whose key expression yields the same value twice
 			// (e.g. two interests in one category) must be indexed once:
 			// general comparison is existential, not multiplicative.
 			seen := map[string]bool{}
-			for _, k := range ev.atomizeSeq(ev.eval(jp.probe, envI)) {
+			for _, k := range ev.atomizeSeq(ev.eval(n.Probe, envI)) {
 				ks := itemString(k)
 				if seen[ks] {
 					continue
@@ -1108,9 +1058,9 @@ func (ev *evaluator) newHashJoinIter(in tupleIter, fc *xquery.ForClause, jp *joi
 				idx.byKey[ks] = append(idx.byKey[ks], i)
 			}
 		}
-		ev.sess.joinCache[fc] = idx
+		ev.sess.joinCache[n] = idx
 	}
-	return &hashJoinTupleIter{ev: ev, in: in, fc: fc, buildSide: jp.build, idx: idx}
+	return &hashJoinTupleIter{ev: ev, in: in, node: n, idx: idx}
 }
 
 func (j *hashJoinTupleIter) Next() (*bindings, bool) {
@@ -1118,7 +1068,7 @@ func (j *hashJoinTupleIter) Next() (*bindings, bool) {
 		if j.mi < len(j.matches) {
 			i := j.matches[j.mi]
 			j.mi++
-			return j.tp.bind(j.fc.Var, Seq{j.idx.items[i]}), true
+			return j.tp.bind(j.node.Var, Seq{j.idx.items[i]}), true
 		}
 		tp, ok := j.in.Next()
 		if !ok {
@@ -1130,11 +1080,11 @@ func (j *hashJoinTupleIter) Next() (*bindings, bool) {
 	}
 }
 
-// tupleMatches probes the index with the tuple's build-side keys and
+// tupleMatches probes the index with the tuple's outer-side keys and
 // returns matched item positions in index order.
 func (j *hashJoinTupleIter) tupleMatches(tp *bindings) []int {
 	ev := j.ev
-	keys := ev.atomizeSeq(ev.eval(j.buildSide, tp))
+	keys := ev.atomizeSeq(ev.eval(j.node.Build, tp))
 	if len(keys) == 1 {
 		return j.idx.byKey[itemString(keys[0])]
 	}
@@ -1159,99 +1109,20 @@ func (j *hashJoinTupleIter) tupleMatches(tp *bindings) []int {
 	return matches
 }
 
-// exprIndependent reports whether e references no variables at all (so its
-// value, and a hash index over it, can be computed once and reused).
-func exprIndependent(e xquery.Expr) bool { return len(freeVars(e)) == 0 }
-
-// freeVars returns the free variables of e.
-func freeVars(e xquery.Expr) map[string]bool {
-	out := map[string]bool{}
-	var walk func(e xquery.Expr, bound map[string]bool)
-	walkAll := func(es []xquery.Expr, bound map[string]bool) {
-		for _, x := range es {
-			if x != nil {
-				walk(x, bound)
-			}
-		}
-	}
-	walk = func(e xquery.Expr, bound map[string]bool) {
-		switch v := e.(type) {
-		case *xquery.VarRef:
-			if !bound[v.Name] {
-				out[v.Name] = true
-			}
-		case *xquery.Path:
-			walk(v.Input, bound)
-			for _, st := range v.Steps {
-				walkAll(st.Preds, bound)
-			}
-		case *xquery.Filter:
-			walk(v.Input, bound)
-			walkAll(v.Preds, bound)
-		case *xquery.FLWOR:
-			inner := copyBound(bound)
-			for _, cl := range v.Clauses {
-				if cl.For != nil {
-					walk(cl.For.Seq, inner)
-					inner[cl.For.Var] = true
-				} else {
-					walk(cl.Let.Seq, inner)
-					inner[cl.Let.Var] = true
-				}
-			}
-			if v.Where != nil {
-				walk(v.Where, inner)
-			}
-			for _, o := range v.Order {
-				walk(o.Key, inner)
-			}
-			walk(v.Return, inner)
-		case *xquery.Quantified:
-			inner := copyBound(bound)
-			for i, name := range v.Vars {
-				walk(v.Seqs[i], inner)
-				inner[name] = true
-			}
-			walk(v.Satisfies, inner)
-		case *xquery.IfExpr:
-			walk(v.Cond, bound)
-			walk(v.Then, bound)
-			walk(v.Else, bound)
-		case *xquery.Binary:
-			walk(v.Left, bound)
-			walk(v.Right, bound)
-		case *xquery.Unary:
-			walk(v.Operand, bound)
-		case *xquery.Call:
-			walkAll(v.Args, bound)
-		case *xquery.Sequence:
-			walkAll(v.Items, bound)
-		case *xquery.ElementCtor:
-			for _, a := range v.Attrs {
-				walkAll(a.Parts, bound)
-			}
-			walkAll(v.Content, bound)
-		}
-	}
-	if e != nil {
-		walk(e, map[string]bool{})
-	}
-	return out
-}
-
 // ---- quantifiers ----
 
-func (ev *evaluator) evalQuantified(q *xquery.Quantified, env *bindings, i int) bool {
+func (ev *evaluator) evalQuantified(n *plan.Node, env *bindings, i int) bool {
+	q := n.Expr.(*xquery.Quantified)
 	if i == len(q.Vars) {
-		return ev.evalBool(q.Satisfies, env)
+		return ev.evalBool(n.Cond, env)
 	}
-	it := ev.iter(q.Seqs[i], env)
+	it := ev.iter(n.Kids[i], env)
 	for {
 		v, more := it.Next()
 		if !more {
 			break
 		}
-		ok := ev.evalQuantified(q, env.bind(q.Vars[i], Seq{v}), i+1)
+		ok := ev.evalQuantified(n, env.bind(q.Vars[i], Seq{v}), i+1)
 		if q.Every && !ok {
 			return false
 		}
@@ -1266,74 +1137,78 @@ func (ev *evaluator) evalQuantified(q *xquery.Quantified, env *bindings, i int) 
 
 // ---- binary operators ----
 
-// evalBool computes the effective boolean value of e without routing the
-// single boolean through an iterator: the fast path under where clauses,
-// predicates, quantifiers and conditions. For expressions without a
-// boolean shape it falls back to the streaming EBV, which pulls at most
-// two items.
-func (ev *evaluator) evalBool(e xquery.Expr, env *bindings) bool {
-	switch v := e.(type) {
-	case *xquery.Binary:
-		switch v.Op {
+// evalBool computes the effective boolean value of plan node n without
+// routing the single boolean through an iterator: the fast path under
+// where clauses, predicates, quantifiers and conditions. For operators
+// without a boolean shape it falls back to the streaming EBV, which pulls
+// at most two items.
+func (ev *evaluator) evalBool(n *plan.Node, env *bindings) bool {
+	switch n.Op {
+	case plan.OpBinary:
+		b := n.Expr.(*xquery.Binary)
+		switch b.Op {
 		case xquery.OpOr:
-			return ev.evalBool(v.Left, env) || ev.evalBool(v.Right, env)
+			return ev.evalBool(n.Kids[0], env) || ev.evalBool(n.Kids[1], env)
 		case xquery.OpAnd:
-			return ev.evalBool(v.Left, env) && ev.evalBool(v.Right, env)
+			return ev.evalBool(n.Kids[0], env) && ev.evalBool(n.Kids[1], env)
 		case xquery.OpEq, xquery.OpNeq, xquery.OpLt, xquery.OpLe, xquery.OpGt, xquery.OpGe:
-			return ev.generalCompare(v, env)
+			return ev.generalCompare(n, env)
 		case xquery.OpBefore, xquery.OpAfter:
-			res, nonEmpty := ev.orderCompare(v, env)
+			res, nonEmpty := ev.orderCompare(n, env)
 			return nonEmpty && res
 		}
-	case *xquery.Quantified:
-		return ev.evalQuantified(v, env, 0)
-	case *xquery.IfExpr:
-		if ev.evalBool(v.Cond, env) {
-			return ev.evalBool(v.Then, env)
+	case plan.OpQuantified:
+		return ev.evalQuantified(n, env, 0)
+	case plan.OpIf:
+		if ev.evalBool(n.Kids[0], env) {
+			return ev.evalBool(n.Kids[1], env)
 		}
-		return ev.evalBool(v.Else, env)
-	case *xquery.Call:
-		if _, user := ev.funcs[v.Name]; !user {
-			switch v.Name {
+		return ev.evalBool(n.Kids[2], env)
+	case plan.OpCall:
+		c := n.Expr.(*xquery.Call)
+		if _, user := ev.funcs[c.Name]; !user {
+			switch c.Name {
 			case "not":
-				ev.argc(v, 1)
-				return !ev.evalBool(v.Args[0], env)
+				ev.argc(c, 1)
+				return !ev.evalBool(n.Kids[0], env)
 			case "boolean":
-				ev.argc(v, 1)
-				return ev.evalBool(v.Args[0], env)
+				ev.argc(c, 1)
+				return ev.evalBool(n.Kids[0], env)
 			case "empty":
-				ev.argc(v, 1)
-				_, ok := ev.iter(v.Args[0], env).Next()
+				ev.argc(c, 1)
+				_, ok := ev.iter(n.Kids[0], env).Next()
 				return !ok
 			}
 		}
 	}
-	return ev.effectiveBoolIter(ev.iter(e, env))
+	return ev.effectiveBoolIter(ev.iter(n, env))
 }
 
-func (ev *evaluator) iterBinary(b *xquery.Binary, env *bindings) Iterator {
+func (ev *evaluator) iterBinary(n *plan.Node, env *bindings) Iterator {
+	b := n.Expr.(*xquery.Binary)
 	switch b.Op {
 	case xquery.OpOr, xquery.OpAnd:
-		return one(BoolItem(ev.evalBool(b, env)))
+		return one(BoolItem(ev.evalBool(n, env)))
 	case xquery.OpBefore, xquery.OpAfter:
-		res, nonEmpty := ev.orderCompare(b, env)
+		res, nonEmpty := ev.orderCompare(n, env)
 		if !nonEmpty {
 			return emptyIter{}
 		}
 		return one(BoolItem(res))
 	case xquery.OpAdd, xquery.OpSub, xquery.OpMul, xquery.OpDiv, xquery.OpMod:
-		return ev.iterArithmetic(b, env)
+		return ev.iterArithmetic(n, env)
 	default:
-		return one(BoolItem(ev.generalCompare(b, env)))
+		return one(BoolItem(ev.generalCompare(n, env)))
 	}
 }
 
 // orderCompare implements "<<" and ">>": document order between two
 // single nodes, the ordered-access primitive of Q4. nonEmpty is false
 // when either operand is the empty sequence.
-func (ev *evaluator) orderCompare(b *xquery.Binary, env *bindings) (res, nonEmpty bool) {
-	l, lok := ev.iter(b.Left, env).Next()
-	r, rok := ev.iter(b.Right, env).Next()
+func (ev *evaluator) orderCompare(n *plan.Node, env *bindings) (res, nonEmpty bool) {
+	b := n.Expr.(*xquery.Binary)
+	l, lok := ev.iter(n.Kids[0], env).Next()
+	r, rok := ev.iter(n.Kids[1], env).Next()
 	if !lok || !rok {
 		return false, false
 	}
@@ -1374,9 +1249,10 @@ func firstTwo(in Iterator) (first, second Item, n int) {
 	return first, second, 2
 }
 
-func (ev *evaluator) iterArithmetic(b *xquery.Binary, env *bindings) Iterator {
-	l, _, ln := firstTwo(ev.iter(b.Left, env))
-	r, _, rn := firstTwo(ev.iter(b.Right, env))
+func (ev *evaluator) iterArithmetic(n *plan.Node, env *bindings) Iterator {
+	b := n.Expr.(*xquery.Binary)
+	l, _, ln := firstTwo(ev.iter(n.Kids[0], env))
+	r, _, rn := firstTwo(ev.iter(n.Kids[1], env))
 	if ln == 0 || rn == 0 {
 		return emptyIter{}
 	}
@@ -1408,10 +1284,10 @@ var cmpOpOf = map[xquery.BinOp]compareOp{
 // generalCompare applies existential general-comparison semantics: the
 // right side materializes, the left side streams and stops at the first
 // matching pair.
-func (ev *evaluator) generalCompare(b *xquery.Binary, env *bindings) bool {
-	op := cmpOpOf[b.Op]
-	r := ev.atomizeSeq(ev.eval(b.Right, env))
-	l := ev.iter(b.Left, env)
+func (ev *evaluator) generalCompare(n *plan.Node, env *bindings) bool {
+	op := cmpOpOf[n.Expr.(*xquery.Binary).Op]
+	r := ev.atomizeSeq(ev.eval(n.Kids[1], env))
+	l := ev.iter(n.Kids[0], env)
 	for {
 		a, ok := l.Next()
 		if !ok {
@@ -1428,12 +1304,13 @@ func (ev *evaluator) generalCompare(b *xquery.Binary, env *bindings) bool {
 
 // ---- constructors ----
 
-func (ev *evaluator) construct(c *xquery.ElementCtor, env *bindings) *Constructed {
+func (ev *evaluator) construct(n *plan.Node, env *bindings) *Constructed {
+	c := n.Expr.(*xquery.ElementCtor)
 	out := &Constructed{Tag: c.Tag}
-	for _, a := range c.Attrs {
+	for ai, a := range c.Attrs {
 		var val []byte
-		for _, part := range a.Parts {
-			if lit, ok := part.(*xquery.StringLit); ok {
+		for _, part := range n.CtorAttrs[ai] {
+			if lit, ok := part.Expr.(*xquery.StringLit); ok && part.Op == plan.OpLiteral {
 				val = append(val, lit.Val...)
 				continue
 			}
@@ -1451,21 +1328,24 @@ func (ev *evaluator) construct(c *xquery.ElementCtor, env *bindings) *Constructe
 		}
 		out.Attrs = append(out.Attrs, tree.Attr{Name: a.Name, Value: string(val)})
 	}
-	for _, part := range c.Content {
-		switch v := part.(type) {
-		case *xquery.StringLit:
-			out.Children = append(out.Children, StrItem(v.Val))
-		case *xquery.ElementCtor:
-			out.Children = append(out.Children, ev.construct(v, env))
-		default:
-			it := ev.iter(part, env)
-			for {
-				v, ok := it.Next()
-				if !ok {
-					break
-				}
-				out.Children = append(out.Children, ev.contentItem(v))
+	for _, part := range n.Content {
+		switch {
+		case part.Op == plan.OpLiteral:
+			if lit, ok := part.Expr.(*xquery.StringLit); ok {
+				out.Children = append(out.Children, StrItem(lit.Val))
+				continue
 			}
+		case part.Op == plan.OpCtor:
+			out.Children = append(out.Children, ev.construct(part, env))
+			continue
+		}
+		it := ev.iter(part, env)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			out.Children = append(out.Children, ev.contentItem(v))
 		}
 	}
 	return out

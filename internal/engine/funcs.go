@@ -3,7 +3,7 @@ package engine
 import (
 	"strings"
 
-	"repro/internal/tree"
+	"repro/internal/plan"
 	"repro/internal/xquery"
 )
 
@@ -20,61 +20,64 @@ func builtinNames() map[string]bool {
 	}
 }
 
-// iterCall evaluates a function call. Aggregates (count, sum,
-// distinct-values, string-join) drain their argument stream without
-// materializing it; existential tests (empty, boolean, not, zero-or-one,
-// exactly-one) pull only as many items as their answer needs. User
-// function bodies evaluate eagerly so the recursion guard in iter applies.
-func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
+// iterCall evaluates a function call. Aggregates (sum, distinct-values,
+// string-join) drain their argument stream without materializing it;
+// existential tests (empty, boolean, not, zero-or-one, exactly-one) pull
+// only as many items as their answer needs. User function bodies evaluate
+// eagerly so the recursion guard in iter applies. count() does not appear
+// here: the planner lowers it to its own Count operator.
+func (ev *evaluator) iterCall(n *plan.Node, env *bindings) Iterator {
+	c := n.Expr.(*xquery.Call)
 	if fd, ok := ev.funcs[c.Name]; ok {
 		inner := &bindings{}
 		for i, param := range fd.Params {
-			inner = inner.bind(param, ev.eval(c.Args[i], env))
+			inner = inner.bind(param, ev.eval(n.Kids[i], env))
 		}
 		return ev.eval(fd.Body, inner).Iter()
 	}
 	switch c.Name {
 	case "count":
+		// Only a count() with the wrong arity reaches the generic call
+		// path (the planner lowers count/1 to its Count operator); report
+		// it like any other arity error, and fall back to draining if a
+		// well-formed call ever lands here.
 		ev.argc(c, 1)
-		if n, ok := ev.countShortcut(c.Args[0], env); ok {
-			return one(NumItem(float64(n)))
-		}
-		return one(NumItem(float64(drainCount(ev.iter(c.Args[0], env)))))
+		return one(NumItem(float64(drainCount(ev.iter(n.Kids[0], env)))))
 	case "empty":
 		ev.argc(c, 1)
-		_, ok := ev.iter(c.Args[0], env).Next()
+		_, ok := ev.iter(n.Kids[0], env).Next()
 		return one(BoolItem(!ok))
 	case "not":
 		ev.argc(c, 1)
-		return one(BoolItem(!ev.evalBool(c.Args[0], env)))
+		return one(BoolItem(!ev.evalBool(n.Kids[0], env)))
 	case "boolean":
 		ev.argc(c, 1)
-		return one(BoolItem(ev.evalBool(c.Args[0], env)))
+		return one(BoolItem(ev.evalBool(n.Kids[0], env)))
 	case "contains":
 		ev.argc(c, 2)
-		hay := ev.strArg(c.Args[0], env)
-		needle := ev.strArg(c.Args[1], env)
+		hay := ev.strArg(n.Kids[0], env)
+		needle := ev.strArg(n.Kids[1], env)
 		return one(BoolItem(strings.Contains(hay, needle)))
 	case "starts-with":
 		ev.argc(c, 2)
-		return one(BoolItem(strings.HasPrefix(ev.strArg(c.Args[0], env), ev.strArg(c.Args[1], env))))
+		return one(BoolItem(strings.HasPrefix(ev.strArg(n.Kids[0], env), ev.strArg(n.Kids[1], env))))
 	case "string":
 		ev.argc(c, 1)
-		return one(StrItem(ev.strArg(c.Args[0], env)))
+		return one(StrItem(ev.strArg(n.Kids[0], env)))
 	case "string-length":
 		ev.argc(c, 1)
-		return one(NumItem(float64(len(ev.strArg(c.Args[0], env)))))
+		return one(NumItem(float64(len(ev.strArg(n.Kids[0], env)))))
 	case "concat":
 		var b strings.Builder
-		for _, a := range c.Args {
+		for _, a := range n.Kids {
 			b.WriteString(ev.strArg(a, env))
 		}
 		return one(StrItem(b.String()))
 	case "string-join":
 		ev.argc(c, 2)
-		sep := ev.strArg(c.Args[1], env)
+		sep := ev.strArg(n.Kids[1], env)
 		var b strings.Builder
-		it := ev.iter(c.Args[0], env)
+		it := ev.iter(n.Kids[0], env)
 		for i := 0; ; i++ {
 			v, ok := it.Next()
 			if !ok {
@@ -88,7 +91,7 @@ func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
 		return one(StrItem(b.String()))
 	case "number":
 		ev.argc(c, 1)
-		v, ok := ev.iter(c.Args[0], env).Next()
+		v, ok := ev.iter(n.Kids[0], env).Next()
 		if !ok {
 			return one(NumItem(nan()))
 		}
@@ -96,7 +99,7 @@ func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
 	case "sum":
 		ev.argc(c, 1)
 		total := 0.0
-		it := ev.iter(c.Args[0], env)
+		it := ev.iter(n.Kids[0], env)
 		for {
 			v, ok := it.Next()
 			if !ok {
@@ -107,28 +110,28 @@ func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
 		return one(NumItem(total))
 	case "zero-or-one":
 		ev.argc(c, 1)
-		it := ev.iter(c.Args[0], env)
-		first, _, n := firstTwo(it)
-		if n > 1 {
-			errf("zero-or-one() applied to a sequence of %d items", n+drainCount(it))
+		it := ev.iter(n.Kids[0], env)
+		first, _, cnt := firstTwo(it)
+		if cnt > 1 {
+			errf("zero-or-one() applied to a sequence of %d items", cnt+drainCount(it))
 		}
-		if n == 0 {
+		if cnt == 0 {
 			return emptyIter{}
 		}
 		return one(first)
 	case "exactly-one":
 		ev.argc(c, 1)
-		it := ev.iter(c.Args[0], env)
-		first, _, n := firstTwo(it)
-		if n != 1 {
-			errf("exactly-one() applied to a sequence of %d items", n+drainCount(it))
+		it := ev.iter(n.Kids[0], env)
+		first, _, cnt := firstTwo(it)
+		if cnt != 1 {
+			errf("exactly-one() applied to a sequence of %d items", cnt+drainCount(it))
 		}
 		return one(first)
 	case "distinct-values":
 		ev.argc(c, 1)
 		var out Seq
 		seen := make(map[string]bool)
-		it := ev.iter(c.Args[0], env)
+		it := ev.iter(n.Kids[0], env)
 		for {
 			v, ok := it.Next()
 			if !ok {
@@ -160,7 +163,7 @@ func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
 		return one(DocItem{})
 	case "name":
 		ev.argc(c, 1)
-		s, ok := ev.iter(c.Args[0], env).Next()
+		s, ok := ev.iter(n.Kids[0], env).Next()
 		if !ok {
 			return one(StrItem(""))
 		}
@@ -176,6 +179,58 @@ func (ev *evaluator) iterCall(c *xquery.Call, env *bindings) Iterator {
 	default:
 		errf("unknown function %s()", c.Name)
 		return nil
+	}
+}
+
+// iterCount executes a Count operator with the planner's chosen strategy,
+// falling back to draining the full argument plan when the catalog answer
+// is unavailable for the concrete context (a non-node item in the
+// truncated path, or a store capability that disappeared).
+func (ev *evaluator) iterCount(n *plan.Node, env *bindings) Iterator {
+	switch n.CountMode {
+	case plan.CountCatalogPath:
+		if c, ok := ev.store.CountPath(n.Path); ok {
+			return one(NumItem(float64(c)))
+		}
+	case plan.CountCatalogDesc:
+		if total, ok := ev.countDescendants(n, env); ok {
+			return one(NumItem(float64(total)))
+		}
+	}
+	return one(NumItem(float64(drainCount(ev.iter(n.Kids[0], env)))))
+}
+
+// countDescendants sums CountDescendants over the truncated context path:
+// the structural-summary optimization the paper credits System D for on
+// Q6 and Q7. ok is false when a context item is not a stored node, or the
+// store cannot answer; the caller then drains the full argument.
+func (ev *evaluator) countDescendants(n *plan.Node, env *bindings) (int, bool) {
+	ctx := ev.iter(n.CountCtx, env)
+	total := 0
+	for {
+		it, ok := ctx.Next()
+		if !ok {
+			return total, true
+		}
+		var id = ev.store.Root()
+		switch v := it.(type) {
+		case NodeItem:
+			id = v.ID
+		case DocItem:
+			// The descendant axis from the document node includes the
+			// root element itself when the tag matches (docCandidates);
+			// CountDescendants excludes the origin, so add it back.
+			if ev.store.Tag(id) == n.CountTag {
+				total++
+			}
+		default:
+			return 0, false
+		}
+		cnt, supported := ev.store.CountDescendants(id, n.CountTag)
+		if !supported {
+			return 0, false
+		}
+		total += cnt
 	}
 }
 
@@ -203,89 +258,10 @@ func (ev *evaluator) argc(c *xquery.Call, want int) {
 
 // strArg evaluates an argument to its string value: the first item of the
 // argument stream, atomized; the empty sequence is the empty string.
-func (ev *evaluator) strArg(e xquery.Expr, env *bindings) string {
-	v, ok := ev.iter(e, env).Next()
+func (ev *evaluator) strArg(n *plan.Node, env *bindings) string {
+	v, ok := ev.iter(n, env).Next()
 	if !ok {
 		return ""
 	}
 	return itemString(ev.atomize(v))
-}
-
-// countShortcut answers count() over a pure path from catalog metadata
-// when the store supports it: the structural-summary optimization the
-// paper credits System D for on Q6 and Q7.
-func (ev *evaluator) countShortcut(arg xquery.Expr, env *bindings) (int, bool) {
-	if !ev.opts.CountShortcut {
-		return 0, false
-	}
-	p, ok := arg.(*xquery.Path)
-	if !ok || len(p.Steps) == 0 {
-		return 0, false
-	}
-	for _, st := range p.Steps {
-		if len(st.Preds) > 0 || st.Name == "*" || st.Axis == xquery.AxisAttribute || st.Axis == xquery.AxisText {
-			return 0, false
-		}
-	}
-	last := p.Steps[len(p.Steps)-1]
-	if _, isRoot := p.Input.(*xquery.Root); isRoot {
-		allChild := true
-		for _, st := range p.Steps {
-			if st.Axis != xquery.AxisChild {
-				allChild = false
-				break
-			}
-		}
-		if allChild {
-			prefix := make([]string, len(p.Steps))
-			for i, st := range p.Steps {
-				prefix[i] = st.Name
-			}
-			if n, ok := ev.store.CountPath(prefix); ok {
-				return n, true
-			}
-			return 0, false
-		}
-	}
-	// Path ending in a single descendant step: count descendants under
-	// each context node from the catalog.
-	if last.Axis != xquery.AxisDescendant {
-		return 0, false
-	}
-	for _, st := range p.Steps[:len(p.Steps)-1] {
-		if st.Axis != xquery.AxisChild {
-			return 0, false
-		}
-	}
-	if _, supported := ev.store.CountDescendants(ev.store.Root(), last.Name); !supported {
-		return 0, false
-	}
-	trunc := &xquery.Path{Input: p.Input, Steps: p.Steps[:len(p.Steps)-1]}
-	var ctx Iterator
-	if len(trunc.Steps) == 0 {
-		ctx = ev.iter(trunc.Input, env)
-	} else {
-		ctx = ev.iterPath(trunc, env)
-	}
-	total := 0
-	for {
-		it, ok := ctx.Next()
-		if !ok {
-			return total, true
-		}
-		var id tree.NodeID
-		switch n := it.(type) {
-		case NodeItem:
-			id = n.ID
-		case DocItem:
-			id = ev.store.Root()
-		default:
-			return 0, false
-		}
-		cnt, supported := ev.store.CountDescendants(id, last.Name)
-		if !supported {
-			return 0, false
-		}
-		total += cnt
-	}
 }

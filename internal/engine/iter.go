@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/nodestore"
+	"repro/internal/plan"
 	"repro/internal/tree"
 	"repro/internal/xquery"
 )
@@ -141,11 +142,11 @@ func (c *concatIter) Next() (Item, bool) {
 // predFilterIter applies one predicate to a streaming candidate sequence
 // with positional semantics: position() is the candidate's 1-based rank in
 // this iterator's input. The caller must have materialized the input
-// instead when the predicate needs last() (see usesLast).
+// instead when the predicate needs last() (the plan's UsesLast annotation).
 type predFilterIter struct {
 	ev   *evaluator
 	in   Iterator
-	pred xquery.Expr
+	pred *plan.Node
 	env  *bindings
 	pos  int
 	size int // context size for last(); 0 when streaming without it
@@ -169,10 +170,10 @@ func (f *predFilterIter) Next() (Item, bool) {
 // quantifiers) take an allocation-free fast path; for the rest, at most
 // two items of the predicate's value are pulled — enough to distinguish a
 // positional (single numeric) predicate from an effective-boolean one.
-func (ev *evaluator) predMatch(pred xquery.Expr, env *bindings, item Item, pos, size int) bool {
+func (ev *evaluator) predMatch(pred *plan.Node, env *bindings, item Item, pos, size int) bool {
 	// Literal positional predicates ([1], [last-ish constants]) need no
 	// evaluation at all.
-	if lit, isNum := pred.(*xquery.NumberLit); isNum {
+	if lit, isNum := pred.Expr.(*xquery.NumberLit); isNum {
 		return float64(pos) == lit.Val
 	}
 	saved, savedHas := ev.focus, ev.hasFocus
@@ -185,9 +186,10 @@ func (ev *evaluator) predMatch(pred xquery.Expr, env *bindings, item Item, pos, 
 	return match
 }
 
-// predValue computes one predicate decision under an installed focus.
-func (ev *evaluator) predValue(pred xquery.Expr, env *bindings, pos int) bool {
-	if boolShaped(pred, ev.funcs) {
+// predValue computes one predicate decision under an installed focus. The
+// boolean shape was decided at plan time (plan.Node.BoolShaped).
+func (ev *evaluator) predValue(pred *plan.Node, env *bindings, pos int) bool {
+	if pred.BoolShaped {
 		return ev.evalBool(pred, env)
 	}
 	it := ev.iter(pred, env)
@@ -208,36 +210,13 @@ func (ev *evaluator) predValue(pred xquery.Expr, env *bindings, pos int) bool {
 	return true
 }
 
-// boolShaped reports whether e always evaluates to a single boolean, so a
-// predicate over it can never be positional and evalBool applies.
-func boolShaped(e xquery.Expr, funcs map[string]*xquery.FuncDecl) bool {
-	switch v := e.(type) {
-	case *xquery.Binary:
-		switch v.Op {
-		case xquery.OpOr, xquery.OpAnd, xquery.OpEq, xquery.OpNeq,
-			xquery.OpLt, xquery.OpLe, xquery.OpGt, xquery.OpGe:
-			return true
-		}
-	case *xquery.Quantified:
-		return true
-	case *xquery.Call:
-		if _, user := funcs[v.Name]; user {
-			return false
-		}
-		switch v.Name {
-		case "not", "boolean", "empty", "contains", "starts-with":
-			return true
-		}
-	}
-	return false
-}
-
 // filterCandidates chains the step predicates over a candidate stream for
-// one context item. Predicates that consult last() force the candidate set
-// to materialize first so the context size is known; all others stream.
-func (ev *evaluator) filterCandidates(in Iterator, preds []xquery.Expr, env *bindings) Iterator {
+// one context item. Predicates that consult last() (per the plan's static
+// UsesLast annotation) force the candidate set to materialize first so the
+// context size is known; all others stream.
+func (ev *evaluator) filterCandidates(in Iterator, preds []*plan.Node, env *bindings) Iterator {
 	for _, pred := range preds {
-		if ev.usesLast(pred) {
+		if pred.UsesLast {
 			items := materialize(in)
 			in = &predFilterIter{ev: ev, in: items.Iter(), pred: pred, env: env, size: len(items)}
 		} else {
@@ -245,20 +224,6 @@ func (ev *evaluator) filterCandidates(in Iterator, preds []xquery.Expr, env *bin
 		}
 	}
 	return in
-}
-
-// usesLast conservatively reports whether evaluating e may call last() in
-// the current focus. The answer is static per predicate expression, so
-// Prepare computes it for every step and filter predicate (usesLastExpr in
-// analyze.go) and publishes it with the analysis; the filter operators
-// only read it here, once per context item.
-func (ev *evaluator) usesLast(e xquery.Expr) bool {
-	if ev.shared != nil {
-		if v, ok := ev.shared.lastUse[e]; ok {
-			return v
-		}
-	}
-	return usesLastExpr(e, ev.funcs)
 }
 
 // effectiveBoolIter computes the effective boolean value of a streaming

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// pushdownDoc exercises every edge of the pushdown comparison semantics:
+// numeric strings, unparsable strings (NaN casts), missing attributes,
+// text children, and child-element values.
+const pushdownDoc = `<site><people>` +
+	`<person id="p0" income="90000"><name>Ada</name><age>31</age></person>` +
+	`<person id="p1" income="junk"><name>Bob</name><age>child</age></person>` +
+	`<person id="p2"><name>Cyd</name></person>` +
+	`<person id="p3" income="30000"><name>Dee</name><age>4</age>extra</person>` +
+	`</people></site>`
+
+var pushdownQueries = []string{
+	`/site/people/person[@income >= 40000]/name/text()`,
+	`/site/people/person[@income < 40000]/name/text()`,
+	`/site/people/person[@income = 90000]/name/text()`,
+	`/site/people/person[@income != 90000]/name/text()`, // NaN != n is true
+	`/site/people/person[@id = "p1"]/name/text()`,
+	`/site/people/person[@id != "p1"]/name/text()`,
+	`/site/people/person[@id >= "p1" and @id < "p3"]/name/text()`,
+	`/site/people/person[name/text() = "Ada"]/@id`,
+	`/site/people/person[name/text() != "Ada"]/@id`,
+	`/site/people/person[age/text() < 10]/name/text()`,
+	`/site/people/person[name/@missing = "x"]/@id`,
+	`count(/site/people/person[@income >= 30000])`,
+	// A positional predicate behind a pushed one: positions must count
+	// within the filter's survivors.
+	`/site/people/person[@income >= 30000][2]/name/text()`,
+}
+
+// TestPushdownMatchesNavigation runs every pushdown-shaped predicate on
+// the relational mappings (where the planner pushes it into the store
+// scan) and on the plain DOM store (where the engine evaluates it), and
+// requires byte-identical serializations — the correctness half of the
+// pushdown contract in nodestore.ValueFilter.
+func TestPushdownMatchesNavigation(t *testing.T) {
+	doc, err := tree.Parse([]byte(pushdownDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := New(nodestore.NewDOM("dom", doc, nodestore.DOMOptions{}), Options{})
+	stores := map[string]*Engine{
+		"edge":   New(mapping.NewEdge(doc), Options{}),
+		"path":   New(mapping.NewPath(doc), Options{PathExtents: true}),
+		"inline": New(mapping.NewInline(doc), Options{PathExtents: true, Inlining: true}),
+	}
+	for _, src := range pushdownQueries {
+		wantSeq, err := reference.Query(src)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", src, err)
+		}
+		want := SerializeString(reference.Store(), wantSeq)
+		for name, e := range stores {
+			prep, err := e.Prepare(src)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", src, name, err)
+			}
+			if !strings.Contains(prep.Explain(), "pushdown") {
+				t.Errorf("%s on %s: pushdown did not fire\n%s", src, name, prep.Explain())
+			}
+			got, err := prep.Run()
+			if err != nil {
+				t.Fatalf("%s on %s: %v", src, name, err)
+			}
+			if g := SerializeString(e.Store(), got); g != want {
+				t.Errorf("%s on %s:\n got %q\nwant %q", src, name, g, want)
+			}
+		}
+	}
+}
+
+// TestShadowedJoinVariableResults pins the evaluation-level consequence
+// of the planner's shadowed-variable rule: a conjunct on a rebound
+// variable filters the latest binding, so fusing it into the first
+// clause's join would return wrong tuples.
+func TestShadowedJoinVariableResults(t *testing.T) {
+	doc, err := tree.Parse([]byte(`<site><a>1</a><a>2</a><b>2</b><b>3</b></site>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{{}, {HashJoins: true}} {
+		e := New(nodestore.NewDOM("dom", doc, nodestore.DOMOptions{}), opts)
+		got, err := e.Query(`for $x in /site/a
+		                     for $x in /site/b
+		                     where $x = "2"
+		                     return $x/text()`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := SerializeString(e.Store(), got); s != "2 2" {
+			t.Fatalf("HashJoins=%v: got %q, want %q", opts.HashJoins, s, "2 2")
+		}
+	}
+}
+
+// TestCountShortcutRootTag pins that the catalog count includes the root
+// element itself when the descendant tag names it: the descendant axis
+// from the document node includes the root, CountDescendants does not.
+func TestCountShortcutRootTag(t *testing.T) {
+	doc, err := tree.Parse([]byte(`<site><a/><a/></site>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(nodestore.NewDOM("dom", doc, nodestore.DOMOptions{Summary: true}), Options{CountShortcut: true})
+	for src, want := range map[string]string{
+		`count(//site)`: "1",
+		`count(//a)`:    "2",
+	} {
+		got, err := e.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := SerializeString(e.Store(), got); s != want {
+			t.Errorf("%s = %s, want %s", src, s, want)
+		}
+	}
+}
+
+// TestPushdownSkippedOnPlainStores pins that stores without filtered
+// cursors keep engine-side evaluation: the rule must not fire.
+func TestPushdownSkippedOnPlainStores(t *testing.T) {
+	doc, err := tree.Parse([]byte(pushdownDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(nodestore.NewDOM("dom", doc, nodestore.DOMOptions{}), Options{})
+	prep, err := e.Prepare(`/site/people/person[@income >= 40000]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prep.Explain(), "pushdown") {
+		t.Fatalf("pushdown fired on a store without filtered cursors:\n%s", prep.Explain())
+	}
+}

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"repro/internal/xquery"
+	"repro/internal/plan"
 )
 
 // Session is the per-worker mutable evaluation state: the recycled
@@ -9,17 +9,17 @@ import (
 // NOT safe for concurrent use — it is the part of the evaluator that must
 // never cross goroutines — but it may be reused across any number of
 // sequential executions, and across different Prepared queries: the join
-// cache is keyed by expression identity, and every Prepared owns its own
-// parsed expression tree, so entries from different queries (or the same
-// query compiled for different stores) can never collide.
+// cache is keyed by plan-node identity, and every Prepared owns its own
+// optimized plan, so entries from different queries (or the same query
+// compiled for different stores) can never collide.
 //
 // Reusing a Session keeps the free lists' grown buffers warm and makes
-// hash-join build sides (which depend only on the store and the
-// expression) build once per worker instead of once per execution — the
-// steady-state win for a server executing the same prepared queries over
-// and over. Executions without a Session (Prepared.Run, Stream, Serialize)
-// allocate a fresh one each time, which is what makes a shared Prepared
-// trivially safe to execute from many goroutines.
+// hash-join build sides (which depend only on the store and the plan)
+// build once per worker instead of once per execution — the steady-state
+// win for a server executing the same prepared queries over and over.
+// Executions without a Session (Prepared.Run, Stream, Serialize) allocate
+// a fresh one each time, which is what makes a shared Prepared trivially
+// safe to execute from many goroutines.
 type Session struct {
 	// stepFree, inlineFree and varFree recycle exhausted iterators (with
 	// their grown buffers): per-tuple paths in FLWOR return clauses
@@ -28,9 +28,9 @@ type Session struct {
 	stepFree   []*stepIter
 	inlineFree []*inlineTextIter
 	varFree    []*varIter
-	// joinCache memoizes hash-join indexes for independent for-clauses so
-	// correlated inner FLWORs (Q10) build the index once per session.
-	joinCache map[*xquery.ForClause]*joinIndex
+	// joinCache memoizes hash-join indexes keyed by the join's plan node,
+	// so correlated inner FLWORs (Q10) build the index once per session.
+	joinCache map[*plan.Node]*joinIndex
 }
 
 // NewSession returns an empty Session for one worker goroutine.

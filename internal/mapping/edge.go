@@ -417,6 +417,77 @@ func (c *edgeRangeCursor) Next() (tree.NodeID, bool) {
 // access path.
 func (s *Edge) PathExtentCursor([]string) (nodestore.Cursor, bool) { return nil, false }
 
+// ChildrenByTagFilteredCursor implements nodestore.FilteredCursorStore:
+// pushed-down value predicates evaluate inside the relational select over
+// the parent posting list, so rows a predicate rejects never leave the
+// heap relation.
+func (s *Edge) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return nodestore.EmptyCursor{}, true
+	}
+	it := relational.Select(
+		relational.ScanRows(s.table, s.parentIdx.LookupInt(int64(n))),
+		func(r relational.Row) bool {
+			if r[eKind].I != rowElement || int32(r[eTag].I) != sym {
+				return false
+			}
+			return s.matchFilters(tree.NodeID(r[eID].I), fs)
+		})
+	return &rowIDCursor{it: it, col: eID}, true
+}
+
+// matchFilters answers pushed-down predicates from the heap: attribute
+// filters probe the candidate's posting list for the attribute row, text
+// filters scan it for a matching text child, and a Child component hops
+// one more posting list to the named element children first.
+func (s *Edge) matchFilters(n tree.NodeID, fs []nodestore.ValueFilter) bool {
+	for _, f := range fs {
+		if !s.matchFilter(n, f) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Edge) matchFilter(n tree.NodeID, f nodestore.ValueFilter) bool {
+	if f.Child != "" {
+		sym := s.sym(f.Child)
+		if sym < 0 {
+			return false
+		}
+		for _, row := range s.parentIdx.LookupInt(int64(n)) {
+			r := s.table.Row(int(row))
+			if r[eKind].I == rowElement && int32(r[eTag].I) == sym &&
+				s.matchValueAt(tree.NodeID(r[eID].I), f) {
+				return true
+			}
+		}
+		return false
+	}
+	return s.matchValueAt(n, f)
+}
+
+func (s *Edge) matchValueAt(n tree.NodeID, f nodestore.ValueFilter) bool {
+	if f.Attr != "" {
+		v, ok := s.Attr(n, f.Attr)
+		return ok && f.Match(v)
+	}
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		r := s.table.Row(int(row))
+		if r[eKind].I == rowText && f.Match(r[eValue].S) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathExtentFilteredCursor implements nodestore.FilteredCursorStore: the
+// heap has no path access path, filtered or not.
+func (s *Edge) PathExtentFilteredCursor([]string, []nodestore.ValueFilter) (nodestore.Cursor, bool) {
+	return nil, false
+}
+
 // Stats implements nodestore.Store.
 func (s *Edge) Stats() nodestore.Stats {
 	return nodestore.Stats{

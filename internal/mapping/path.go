@@ -509,6 +509,112 @@ func (s *Path) PathExtentCursor(path []string) (nodestore.Cursor, bool) {
 	return nodestore.NewSliceCursor(pt.ids), true
 }
 
+// ChildrenByTagFilteredCursor implements nodestore.FilteredCursorStore:
+// pushed-down predicates evaluate against the child fragment's own
+// attribute tables (and its #text child fragment) while the posting list
+// streams, so the engine never sees rejected rows.
+func (s *Path) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
+	pt := s.entryOf(n)
+	for _, c := range pt.children {
+		if c.tag != tag {
+			continue
+		}
+		s.metaOps.Add(1)
+		frag := c
+		it := relational.Select(
+			relational.ScanRows(c.table, c.parentIdx.LookupInt(int64(n))),
+			func(r relational.Row) bool {
+				return s.fragMatch(frag, tree.NodeID(r[pID].I), fs)
+			})
+		return &rowIDCursor{it: it, col: pID}, true
+	}
+	return nodestore.EmptyCursor{}, true
+}
+
+// fragMatch evaluates pushed-down filters against one row of a fragment:
+// attribute filters probe the fragment's attribute table by owner, text
+// filters probe its #text child fragments, and a Child component descends
+// into the named child fragment first.
+func (s *Path) fragMatch(pt *pathTable, id tree.NodeID, fs []nodestore.ValueFilter) bool {
+	for _, f := range fs {
+		if f.Child == "" {
+			if !s.fragValueMatch(pt, id, f) {
+				return false
+			}
+			continue
+		}
+		matched := false
+		for _, c := range pt.children {
+			if c.tag != f.Child {
+				continue
+			}
+			for _, rid := range c.parentIdx.LookupInt(int64(id)) {
+				if s.fragValueMatch(c, tree.NodeID(c.table.Value(int(rid), pID).I), f) {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// fragValueMatch applies the filter's value source (the fragment's
+// attribute table, or its #text child fragments) at one fragment row.
+func (s *Path) fragValueMatch(pt *pathTable, id tree.NodeID, f nodestore.ValueFilter) bool {
+	if f.Attr != "" {
+		v, ok := s.Attr(id, f.Attr)
+		return ok && f.Match(v)
+	}
+	for _, c := range pt.children {
+		if c.tag != textLabel {
+			continue
+		}
+		for _, rid := range c.parentIdx.LookupInt(int64(id)) {
+			if f.Match(c.table.Value(int(rid), pValue).S) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PathExtentFilteredCursor implements nodestore.FilteredCursorStore: the
+// defining strength of the fragmenting mapping extends to filtered scans —
+// a filtered full-path extent is one clustered fragment scan with the
+// predicate answered from the fragment's own attribute tables.
+func (s *Path) PathExtentFilteredCursor(path []string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
+	s.metaOps.Add(1)
+	pt := s.catalog[strings.Join(path, "/")]
+	if pt == nil {
+		return nodestore.EmptyCursor{}, true // path provably empty
+	}
+	return &filteredIDCursor{s: s, pt: pt, ids: pt.ids, fs: fs}, true
+}
+
+// filteredIDCursor streams a fragment's clustered id column, skipping rows
+// rejected by the pushed-down filters.
+type filteredIDCursor struct {
+	s   *Path
+	pt  *pathTable
+	ids []tree.NodeID
+	fs  []nodestore.ValueFilter
+}
+
+func (c *filteredIDCursor) Next() (tree.NodeID, bool) {
+	for len(c.ids) > 0 {
+		id := c.ids[0]
+		c.ids = c.ids[1:]
+		if c.s.fragMatch(c.pt, id, c.fs) {
+			return id, true
+		}
+	}
+	return tree.Nil, false
+}
+
 // MetaOps returns the number of catalog consultations so far; tests use it
 // to verify the fragmentation metadata tax.
 func (s *Path) MetaOps() int64 { return s.metaOps.Load() }

@@ -1,0 +1,52 @@
+package nodestore
+
+import (
+	"testing"
+)
+
+// TestValueFilterMatch pins the untyped comparison semantics a store must
+// reproduce: numeric casts with NaN behavior (every comparison false
+// except "!="), and codepoint string comparison.
+func TestValueFilterMatch(t *testing.T) {
+	cases := []struct {
+		f    ValueFilter
+		v    string
+		want bool
+	}{
+		{ValueFilter{Op: CmpEq, Value: "x"}, "x", true},
+		{ValueFilter{Op: CmpEq, Value: "x"}, "y", false},
+		{ValueFilter{Op: CmpNeq, Value: "x"}, "y", true},
+		{ValueFilter{Op: CmpLt, Value: "b"}, "a", true},
+		{ValueFilter{Op: CmpGe, Value: "b"}, "a", false},
+		{ValueFilter{Op: CmpGe, Num: 100, Numeric: true}, "100", true},
+		{ValueFilter{Op: CmpGe, Num: 100, Numeric: true}, " 100.5 ", true}, // TrimSpace cast
+		{ValueFilter{Op: CmpLt, Num: 100, Numeric: true}, "99.9", true},
+		// NaN semantics: an unparsable value fails every numeric
+		// comparison except "!=", exactly like the engine's xs:double cast.
+		{ValueFilter{Op: CmpEq, Num: 100, Numeric: true}, "junk", false},
+		{ValueFilter{Op: CmpLt, Num: 100, Numeric: true}, "junk", false},
+		{ValueFilter{Op: CmpGe, Num: 100, Numeric: true}, "junk", false},
+		{ValueFilter{Op: CmpNeq, Num: 100, Numeric: true}, "junk", true},
+	}
+	for _, c := range cases {
+		if got := c.f.Match(c.v); got != c.want {
+			t.Errorf("%s on %q = %v, want %v", c.f, c.v, got, c.want)
+		}
+	}
+}
+
+// TestValueFilterString pins the explain rendering of all filter shapes.
+func TestValueFilterString(t *testing.T) {
+	cases := map[string]ValueFilter{
+		`@a = "x"`:          {Attr: "a", Op: CmpEq, Value: "x"},
+		`@a >= 100`:         {Attr: "a", Op: CmpGe, Num: 100, Numeric: true},
+		`text() != "x"`:     {Op: CmpNeq, Value: "x"},
+		`name/text() < "x"`: {Child: "name", Op: CmpLt, Value: "x"},
+		`name/@a > 5`:       {Child: "name", Attr: "a", Op: CmpGt, Num: 5, Numeric: true},
+	}
+	for want, f := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xquery"
+)
+
+// Explain renders the optimized plan as an indented operator tree followed
+// by planning metadata: the rules that fired (with counts, in first-firing
+// order) and the catalog probes performed. Subtrees the optimizer left
+// untouched collapse to their source form, so the rendering highlights
+// exactly where the plan diverges from naive evaluation — the per-system
+// differences the paper's Table 3 is about.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for _, name := range p.FuncNames {
+		fp := p.Funcs[name]
+		fmt.Fprintf(&b, "Function %s($%s)\n", name, strings.Join(fp.Params, ", $"))
+		renderNode(&b, fp.Body, 1, "")
+	}
+	renderNode(&b, p.Root, 0, "")
+	b.WriteString(rulesSummary(p.Fired))
+	fmt.Fprintf(&b, "meta probes: %d\n", p.Probes)
+	return b.String()
+}
+
+// rulesSummary aggregates rule firings into "name x count" in first-seen
+// order.
+func rulesSummary(fired []string) string {
+	if len(fired) == 0 {
+		return "rules fired: (none)\n"
+	}
+	var order []string
+	counts := map[string]int{}
+	for _, name := range fired {
+		if counts[name] == 0 {
+			order = append(order, name)
+		}
+		counts[name]++
+	}
+	parts := make([]string, len(order))
+	for i, name := range order {
+		if counts[name] == 1 {
+			parts[i] = name
+		} else {
+			parts[i] = fmt.Sprintf("%s x%d", name, counts[name])
+		}
+	}
+	return "rules fired: " + strings.Join(parts, ", ") + "\n"
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func line(b *strings.Builder, depth int, label, text string) {
+	indent(b, depth)
+	b.WriteString(label)
+	b.WriteString(text)
+	b.WriteByte('\n')
+}
+
+// renderNode emits the tree rendering of n. Collapsible subtrees (no
+// optimizer decisions inside) render as one source-form line.
+func renderNode(b *strings.Builder, n *Node, depth int, label string) {
+	if n == nil {
+		return
+	}
+	if s, ok := oneline(n); ok {
+		line(b, depth, label, s)
+		return
+	}
+	kid := func(c *Node, lbl string) {
+		if c != nil && c.Op != OpTupleSrc {
+			renderNode(b, c, depth+1, lbl)
+		}
+	}
+	switch n.Op {
+	case OpSerialize:
+		line(b, depth, label, "Serialize")
+		kid(n.Input, "")
+	case OpProject:
+		line(b, depth, label, "Project")
+		kid(n.Input, "")
+		kid(n.Ret, "return: ")
+	case OpFor, OpLet:
+		line(b, depth, label, fmt.Sprintf("%s $%s", n.Op, n.Var))
+		kid(n.Input, "")
+		kid(n.Seq, "seq: ")
+	case OpNLJoin, OpHashJoin:
+		line(b, depth, label, fmt.Sprintf("%s $%s on %s", n.Op, n.Var, xquery.UnparseExpr(n.Expr)))
+		kid(n.Input, "")
+		kid(n.Seq, "seq: ")
+	case OpWhere:
+		if s, ok := oneline(n.Cond); ok {
+			line(b, depth, label, "Select "+s)
+			kid(n.Input, "")
+		} else {
+			line(b, depth, label, "Select")
+			kid(n.Input, "")
+			kid(n.Cond, "cond: ")
+		}
+	case OpOrderBy:
+		keys := make([]string, 0, len(n.Keys))
+		simple := true
+		for _, k := range n.Keys {
+			s, ok := oneline(k.Key)
+			if !ok {
+				simple = false
+				break
+			}
+			if k.Descending {
+				s += " descending"
+			}
+			keys = append(keys, s)
+		}
+		if simple {
+			line(b, depth, label, "OrderBy "+strings.Join(keys, ", "))
+			kid(n.Input, "")
+		} else {
+			line(b, depth, label, "OrderBy")
+			kid(n.Input, "")
+			for _, k := range n.Keys {
+				kid(k.Key, "key: ")
+			}
+		}
+	case OpNavigate:
+		if len(n.Steps) == 0 {
+			// All steps were fused away; the navigation is the identity
+			// over its input.
+			renderNode(b, n.Input, depth, label)
+			return
+		}
+		steps, sok := stepsString(n.Steps)
+		if !sok {
+			steps = ""
+		}
+		switch {
+		case n.Input.Op == OpRoot && sok:
+			line(b, depth, label, "Navigate "+steps)
+		case sok:
+			line(b, depth, label, "Navigate "+steps)
+			kid(n.Input, "in: ")
+		default:
+			line(b, depth, label, "Navigate")
+			kid(n.Input, "in: ")
+			for _, sp := range n.Steps {
+				indent(b, depth+1)
+				ss, _ := stepsString([]*StepPlan{sp})
+				b.WriteString("step: " + ss + "\n")
+				for _, pr := range sp.Preds {
+					renderNode(b, pr, depth+2, "pred: ")
+				}
+			}
+		}
+	case OpPathScan:
+		line(b, depth, label, pathScanLabel(n))
+	case OpSelect:
+		line(b, depth, label, "Select")
+		kid(n.Input, "in: ")
+		for _, pr := range n.Preds {
+			kid(pr, "pred: ")
+		}
+	case OpCount:
+		switch n.CountMode {
+		case CountCatalogPath:
+			line(b, depth, label, "Count [catalog /"+strings.Join(n.Path, "/")+"]")
+		case CountCatalogDesc:
+			line(b, depth, label, "Count [catalog //"+n.CountTag+"]")
+			kid(n.CountCtx, "ctx: ")
+		default:
+			line(b, depth, label, "Count")
+			kid(n.Kids[0], "")
+		}
+	case OpCtor:
+		c := n.Expr.(*xquery.ElementCtor)
+		line(b, depth, label, "Element <"+c.Tag+">")
+		for i, a := range c.Attrs {
+			for _, part := range n.CtorAttrs[i] {
+				if part.Op == OpLiteral {
+					continue
+				}
+				kid(part, "@"+a.Name+": ")
+			}
+		}
+		for _, part := range n.Content {
+			if part.Op == OpLiteral {
+				continue
+			}
+			kid(part, "")
+		}
+	case OpIf:
+		line(b, depth, label, "If")
+		kid(n.Kids[0], "cond: ")
+		kid(n.Kids[1], "then: ")
+		kid(n.Kids[2], "else: ")
+	case OpQuantified:
+		q := n.Expr.(*xquery.Quantified)
+		kind := "some"
+		if q.Every {
+			kind = "every"
+		}
+		line(b, depth, label, "Quantified "+kind+" $"+strings.Join(q.Vars, ", $"))
+		for _, k := range n.Kids {
+			kid(k, "in: ")
+		}
+		kid(n.Cond, "satisfies: ")
+	case OpSequence:
+		line(b, depth, label, "Sequence")
+		for _, k := range n.Kids {
+			kid(k, "")
+		}
+	case OpBinary:
+		line(b, depth, label, "Op "+n.Expr.(*xquery.Binary).Op.String())
+		kid(n.Kids[0], "")
+		kid(n.Kids[1], "")
+	case OpUnary:
+		line(b, depth, label, "Neg")
+		kid(n.Kids[0], "")
+	case OpCall:
+		line(b, depth, label, "Call "+n.Expr.(*xquery.Call).Name)
+		for _, k := range n.Kids {
+			kid(k, "")
+		}
+	default:
+		line(b, depth, label, n.Op.String())
+	}
+}
+
+// pathScanLabel renders a PathScan with its pushed-down filters.
+func pathScanLabel(n *Node) string {
+	s := "PathScan /" + strings.Join(n.Path, "/")
+	for _, f := range n.Filters {
+		s += "[push: " + f.String() + "]"
+	}
+	return s
+}
+
+// subtreePlain reports whether no optimizer decision is visible anywhere
+// in the subtree, so it can collapse to its source form.
+func subtreePlain(n *Node) bool {
+	plain := true
+	var visit func(*Node)
+	seen := map[*Node]bool{}
+	visit = func(n *Node) {
+		if n == nil || seen[n] || !plain {
+			return
+		}
+		seen[n] = true
+		switch n.Op {
+		case OpPathScan, OpNLJoin, OpHashJoin:
+			plain = false
+			return
+		case OpCount:
+			if n.CountMode != CountDrain {
+				plain = false
+				return
+			}
+		}
+		if len(n.Rules) > 0 {
+			plain = false
+			return
+		}
+		for _, sp := range n.Steps {
+			if sp.Strategy != StepNavigate || len(sp.Filters) > 0 {
+				plain = false
+				return
+			}
+		}
+		walkNode(n, map[*Node]bool{}, func(c *Node) {
+			if c != n {
+				visit(c)
+			}
+		})
+	}
+	visit(n)
+	return plain
+}
+
+// oneline attempts a single-line rendering of the subtree: the exact
+// source form when the optimizer left it untouched, or a composed form
+// with inline step annotations when only step strategies changed.
+func oneline(n *Node) (string, bool) {
+	if n == nil {
+		return "", false
+	}
+	if n.Expr != nil && subtreePlain(n) {
+		switch n.Op {
+		// Only expression forms collapse to their source text; structural
+		// operators (FLWOR chains, constructors, sequences) stay trees —
+		// they are where the interesting children live, and tuple
+		// operators carry an Expr that names more than themselves.
+		case OpLiteral, OpVar, OpContext, OpRoot, OpNavigate, OpSelect,
+			OpBinary, OpUnary, OpCall, OpCount, OpQuantified, OpIf:
+			return xquery.UnparseExpr(n.Expr), true
+		}
+		return "", false
+	}
+	switch n.Op {
+	case OpNavigate:
+		steps, ok := stepsString(n.Steps)
+		if !ok {
+			return "", false
+		}
+		if n.Input.Op == OpRoot {
+			return steps, true
+		}
+		in, ok := oneline(n.Input)
+		if !ok {
+			return "", false
+		}
+		return in + steps, true
+	case OpCount:
+		if n.CountMode != CountDrain {
+			return "", false
+		}
+		arg, ok := oneline(n.Kids[0])
+		if !ok {
+			return "", false
+		}
+		return "count(" + arg + ")", true
+	case OpBinary:
+		l, lok := oneline(n.Kids[0])
+		r, rok := oneline(n.Kids[1])
+		if !lok || !rok {
+			return "", false
+		}
+		return "(" + l + " " + n.Expr.(*xquery.Binary).Op.String() + " " + r + ")", true
+	case OpCall:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			s, ok := oneline(k)
+			if !ok {
+				return "", false
+			}
+			parts[i] = s
+		}
+		return n.Expr.(*xquery.Call).Name + "(" + strings.Join(parts, ", ") + ")", true
+	case OpUnary:
+		s, ok := oneline(n.Kids[0])
+		if !ok {
+			return "", false
+		}
+		return "-(" + s + ")", true
+	}
+	return "", false
+}
+
+// stepsString renders a step chain with inline annotations; ok is false
+// when a predicate is too complex to render inline.
+func stepsString(steps []*StepPlan) (string, bool) {
+	var b strings.Builder
+	for _, sp := range steps {
+		switch sp.Axis {
+		case xquery.AxisDescendant:
+			b.WriteString("//")
+			b.WriteString(sp.Name)
+		case xquery.AxisAttribute:
+			b.WriteString("/@")
+			b.WriteString(sp.Name)
+		case xquery.AxisText:
+			b.WriteString("/text()")
+		default:
+			b.WriteString("/")
+			b.WriteString(sp.Name)
+		}
+		switch sp.Strategy {
+		case StepInlineText:
+			b.WriteString("/text(){inline}")
+		case StepAttrIndex:
+			fmt.Fprintf(&b, "[idx: @%s = %q]", sp.IdxAttr, sp.IdxValue)
+		}
+		for _, f := range sp.Filters {
+			b.WriteString("[push: " + f.String() + "]")
+		}
+		if sp.Strategy == StepAttrIndex {
+			// The retained predicate is the index condition already shown.
+			continue
+		}
+		for _, pr := range sp.Preds {
+			s, ok := oneline(pr)
+			if !ok {
+				return "", false
+			}
+			b.WriteString("[" + s + "]")
+		}
+	}
+	return b.String(), true
+}

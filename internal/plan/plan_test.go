@@ -1,0 +1,277 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+	"repro/internal/xquery"
+)
+
+const testDoc = `<site><people>` +
+	`<person id="p0" income="90000"><name>Ada</name></person>` +
+	`<person id="p1" income="notanumber"><name>Bob</name></person>` +
+	`<person id="p2"><name>Cyd</name></person>` +
+	`</people></site>`
+
+func testStore(t *testing.T) nodestore.Store {
+	t.Helper()
+	doc, err := tree.Parse([]byte(testDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodestore.NewDOM("dom", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true})
+}
+
+func compileOpt(t *testing.T, src string, opts Options, store nodestore.Store) *Plan {
+	t.Helper()
+	q, err := xquery.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Compile(q, opts, store)
+	p.Optimize(opts, store)
+	return p
+}
+
+func countOps(p *Plan, op Op) int {
+	n := 0
+	p.walk(func(nd *Node) {
+		if nd.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+func fired(p *Plan, rule string) int {
+	n := 0
+	for _, f := range p.Fired {
+		if f == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// TestOrderByElimConstantKeys: a stable sort on literal keys is the
+// identity, so the OrderBy operator (a pipeline breaker) must disappear.
+func TestOrderByElimConstantKeys(t *testing.T) {
+	store := testStore(t)
+	p := compileOpt(t, `for $p in /site/people/person order by "k" ascending return $p`, Options{}, store)
+	if countOps(p, OpOrderBy) != 0 {
+		t.Fatal("constant-key OrderBy survived")
+	}
+	if fired(p, "orderby-elim") != 1 {
+		t.Fatalf("orderby-elim fired %d times", fired(p, "orderby-elim"))
+	}
+	// A real key must keep its OrderBy.
+	p = compileOpt(t, `for $p in /site/people/person order by $p/name/text() ascending return $p`, Options{}, store)
+	if countOps(p, OpOrderBy) != 1 {
+		t.Fatal("value-key OrderBy was eliminated")
+	}
+}
+
+// TestJoinDetection: an equality conjunct over an independent for-sequence
+// becomes a NestedLoopJoin always, and a HashJoin only when the system's
+// options allow hash joins — the planning that used to hide in the
+// engine's analyze step.
+func TestJoinDetection(t *testing.T) {
+	store := testStore(t)
+	src := `for $a in /site/people/person
+	        for $b in /site/people/person
+	        where $b/@id = $a/@id
+	        return $b/name`
+	p := compileOpt(t, src, Options{}, store)
+	if countOps(p, OpNLJoin) != 1 || countOps(p, OpHashJoin) != 0 {
+		t.Fatalf("want 1 NLJoin and 0 HashJoin, got %d/%d",
+			countOps(p, OpNLJoin), countOps(p, OpHashJoin))
+	}
+	if countOps(p, OpWhere) != 0 {
+		t.Fatal("consumed conjunct still present as Select")
+	}
+	p = compileOpt(t, src, Options{HashJoins: true}, store)
+	if countOps(p, OpHashJoin) != 1 {
+		t.Fatal("HashJoins option did not upgrade the join")
+	}
+	// The join node's probe side must depend on the clause variable.
+	p.walk(func(n *Node) {
+		if n.Op == OpHashJoin {
+			vars := freeVars(n.Probe.Expr)
+			if !(len(vars) == 1 && vars[n.Var]) {
+				t.Fatalf("probe side depends on %v, want only $%s", vars, n.Var)
+			}
+		}
+	})
+	// A dependent sequence must not join.
+	p = compileOpt(t, `for $a in /site/people/person
+	        for $b in $a/name
+	        where $b/text() = "Ada"
+	        return $b`, Options{HashJoins: true}, store)
+	if countOps(p, OpNLJoin)+countOps(p, OpHashJoin) != 0 {
+		t.Fatal("dependent for-sequence was joined")
+	}
+}
+
+// TestJoinSkipsShadowedVariables: when a later clause rebinds the same
+// variable, a conjunct referencing it means the latest binding — free
+// variable analysis cannot attribute it to a clause, so it must stay a
+// plain filter (fusing it at the first clause returns wrong tuples).
+func TestJoinSkipsShadowedVariables(t *testing.T) {
+	store := testStore(t)
+	src := `for $x in /site/people/person
+	        for $x in /site/people/person/name
+	        where $x/text() = "Ada"
+	        return $x`
+	p := compileOpt(t, src, Options{HashJoins: true}, store)
+	if countOps(p, OpNLJoin)+countOps(p, OpHashJoin) != 0 {
+		t.Fatal("conjunct on a shadowed variable was fused into a join")
+	}
+	if countOps(p, OpWhere) != 1 {
+		t.Fatal("shadowed conjunct is no longer a filter")
+	}
+}
+
+// TestCountShortcutModes covers both catalog count strategies and the
+// shapes that must not rewrite.
+func TestCountShortcutModes(t *testing.T) {
+	store := testStore(t)
+	opts := Options{CountShortcut: true}
+	p := compileOpt(t, `count(/site/people/person)`, opts, store)
+	mode := CountDrain
+	p.walk(func(n *Node) {
+		if n.Op == OpCount {
+			mode = n.CountMode
+		}
+	})
+	if mode != CountCatalogPath {
+		t.Fatalf("all-child absolute count mode = %v", mode)
+	}
+	p = compileOpt(t, `for $s in /site return count($s//person)`, opts, store)
+	mode = CountDrain
+	p.walk(func(n *Node) {
+		if n.Op == OpCount {
+			mode = n.CountMode
+		}
+	})
+	if mode != CountCatalogDesc {
+		t.Fatalf("descendant count mode = %v", mode)
+	}
+	// Predicates block the shortcut.
+	p = compileOpt(t, `count(/site/people/person[@id = "p0"])`, opts, store)
+	p.walk(func(n *Node) {
+		if n.Op == OpCount && n.CountMode != CountDrain {
+			t.Fatal("predicated count took the catalog shortcut")
+		}
+	})
+}
+
+// TestFiltersOf pins the predicate shapes the pushdown rule accepts and
+// the operator flip when the literal stands on the left.
+func TestFiltersOf(t *testing.T) {
+	parse := func(src string) xquery.Expr {
+		q, err := xquery.Parse("/a/b[" + src + "]")
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		return q.Body.(*xquery.Path).Steps[1].Preds[0]
+	}
+	cases := []struct {
+		pred string
+		want string // rendered filters, "" = not pushable
+	}{
+		{`@x = "v"`, `@x = "v"`},
+		{`"v" = @x`, `@x = "v"`},
+		{`@x >= 100`, `@x >= 100`},
+		{`100 >= @x`, `@x <= 100`},
+		{`30 <= @x and @x < 100`, `@x >= 30 | @x < 100`},
+		{`name/text() = "v"`, `name/text() = "v"`},
+		{`name/@x = "v"`, `name/@x = "v"`},
+		{`@x != 5`, `@x != 5`},
+		{`@x = $v`, ""},            // non-literal operand
+		{`name = "v"`, ""},         // child path, not attr/text
+		{`@x = "a" or @x="b"`, ""}, // disjunction
+		{`position() < 2`, ""},     // positional
+	}
+	for _, c := range cases {
+		fs, ok := filtersOf(parse(c.pred))
+		if c.want == "" {
+			if ok {
+				t.Errorf("%s: unexpectedly pushable (%v)", c.pred, fs)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s: not pushable", c.pred)
+			continue
+		}
+		parts := make([]string, len(fs))
+		for i, f := range fs {
+			parts[i] = f.String()
+		}
+		got := strings.Join(parts, " | ")
+		got = strings.ReplaceAll(got, `"`, `"`)
+		if got != c.want {
+			t.Errorf("%s: filters %q, want %q", c.pred, got, c.want)
+		}
+	}
+}
+
+// TestPushdownPrefixOnly: only a leading run of pushable predicates may
+// move into the cursor — a later positional predicate still sees
+// positions within the survivors, and a leading unpushable predicate
+// blocks everything after it.
+func TestPushdownPrefixOnly(t *testing.T) {
+	doc, err := tree.Parse([]byte(testDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := filteredDOM{nodestore.NewDOM("dom", doc, nodestore.DOMOptions{})}
+	p := compileOpt(t, `/site/people/person[@income >= 1][1]/name`, Options{}, store)
+	var sp *StepPlan
+	p.walk(func(n *Node) {
+		if n.Op == OpNavigate {
+			for _, s := range n.Steps {
+				if s.Name == "person" {
+					sp = s
+				}
+			}
+		}
+	})
+	if sp == nil {
+		t.Fatal("person step not found")
+	}
+	if len(sp.Filters) != 1 || len(sp.Preds) != 1 {
+		t.Fatalf("filters/preds = %d/%d, want 1/1", len(sp.Filters), len(sp.Preds))
+	}
+	p = compileOpt(t, `/site/people/person[1][@income >= 1]/name`, Options{}, store)
+	p.walk(func(n *Node) {
+		if n.Op != OpNavigate {
+			return
+		}
+		for _, s := range n.Steps {
+			if len(s.Filters) > 0 {
+				t.Fatal("predicate behind a positional predicate was pushed")
+			}
+		}
+	})
+}
+
+// filteredDOM makes a plain DOM store claim filtered-cursor support so the
+// pushdown rule fires without a relational mapping in the test.
+type filteredDOM struct{ *nodestore.DOM }
+
+func (f filteredDOM) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
+	var out []tree.NodeID
+	for _, id := range f.ChildrenByTag(n, tag, nil) {
+		if nodestore.MatchAll(f.DOM, id, fs) {
+			out = append(out, id)
+		}
+	}
+	return nodestore.NewSliceCursor(out), true
+}
+
+func (f filteredDOM) PathExtentFilteredCursor([]string, []nodestore.ValueFilter) (nodestore.Cursor, bool) {
+	return nil, false
+}

@@ -1,0 +1,433 @@
+package plan
+
+import (
+	"repro/internal/nodestore"
+	"repro/internal/xquery"
+)
+
+// Optimize runs the rewrite pipeline over the plan in place. Rule order
+// encodes the engine's historical peephole priorities: count shortcuts
+// win over path-extent fusion (a catalog count never touches data),
+// path-extent fusion claims leading steps before per-step strategies,
+// inlining fuses before attribute indexes can look at a step, attribute
+// indexes beat generic predicate pushdown on equality (a value-index probe
+// reads less than a filtered scan), and join selection runs over the tuple
+// chains last, after the clause sequences have their final shapes.
+func (p *Plan) Optimize(opts Options, store nodestore.Store) {
+	ruleCountShortcut(p, opts, store)
+	rulePathExtent(p, opts, store)
+	ruleInlineText(p, opts)
+	ruleAttrIndex(p, opts, store)
+	rulePushdown(p, store)
+	rulePushdownExtent(p, store)
+	ruleJoins(p, opts)
+	ruleOrderByElim(p)
+}
+
+// stepPrefix returns the longest leading run of predicate-free named child
+// steps: the part a path catalog can answer directly.
+func stepPrefix(steps []*StepPlan) []string {
+	var prefix []string
+	for _, sp := range steps {
+		if sp.Axis != xquery.AxisChild || sp.Name == "*" || sp.Name == "" || len(sp.Preds) > 0 {
+			break
+		}
+		prefix = append(prefix, sp.Name)
+	}
+	return prefix
+}
+
+// ruleCountShortcut rewrites count() over pure paths to catalog lookups
+// (System D's structural summary): an all-child absolute path becomes a
+// CountPath probe with no data access at all, and a path ending in one
+// descendant step sums CountDescendants over the truncated context path.
+// The full argument plan stays in place as the drain fallback.
+func ruleCountShortcut(p *Plan, opts Options, store nodestore.Store) {
+	if !opts.CountShortcut {
+		return
+	}
+	p.walk(func(n *Node) {
+		if n.Op != OpCount || n.CountMode != CountDrain {
+			return
+		}
+		arg := n.Kids[0]
+		if arg.Op != OpNavigate || len(arg.Steps) == 0 {
+			return
+		}
+		for _, sp := range arg.Steps {
+			if len(sp.Preds) > 0 || sp.Name == "*" || sp.Axis == xquery.AxisAttribute || sp.Axis == xquery.AxisText {
+				return
+			}
+		}
+		last := arg.Steps[len(arg.Steps)-1]
+		if arg.Input.Op == OpRoot {
+			allChild := true
+			for _, sp := range arg.Steps {
+				if sp.Axis != xquery.AxisChild {
+					allChild = false
+					break
+				}
+			}
+			if allChild {
+				path := make([]string, len(arg.Steps))
+				for i, sp := range arg.Steps {
+					path[i] = sp.Name
+				}
+				p.Probes++
+				if _, ok := store.CountPath(path); ok {
+					n.CountMode = CountCatalogPath
+					n.Path = path
+					p.fire("count-shortcut", n)
+				}
+				return
+			}
+		}
+		if last.Axis != xquery.AxisDescendant {
+			return
+		}
+		for _, sp := range arg.Steps[:len(arg.Steps)-1] {
+			if sp.Axis != xquery.AxisChild {
+				return
+			}
+		}
+		p.Probes++
+		if _, ok := store.CountDescendants(store.Root(), last.Name); !ok {
+			return
+		}
+		n.CountMode = CountCatalogDesc
+		n.CountTag = last.Name
+		if len(arg.Steps) == 1 {
+			n.CountCtx = arg.Input
+		} else {
+			n.CountCtx = &Node{Op: OpNavigate, Expr: arg.Expr,
+				Input: arg.Input, Steps: arg.Steps[:len(arg.Steps)-1]}
+		}
+		p.fire("count-shortcut", n)
+	})
+}
+
+// rulePathExtent fuses the leading predicate-free child steps of absolute
+// paths onto a PathScan of the store's path catalog. Every probe counts
+// toward the plan's compile-time metadata accesses whether or not the
+// store can answer (paper Table 2: fragmenting mappings consult far more
+// metadata).
+func rulePathExtent(p *Plan, opts Options, store nodestore.Store) {
+	if !opts.PathExtents {
+		return
+	}
+	p.walk(func(n *Node) {
+		if n.Op != OpNavigate || n.Input.Op != OpRoot {
+			return
+		}
+		prefix := stepPrefix(n.Steps)
+		if len(prefix) == 0 {
+			return
+		}
+		p.Probes++
+		if _, ok := store.PathExtent(prefix, nil); !ok {
+			return
+		}
+		n.Input = &Node{Op: OpPathScan, Expr: n.Input.Expr, Path: prefix}
+		n.Steps = n.Steps[len(prefix):]
+		p.fire("path-extent", n.Input)
+	})
+}
+
+// ruleInlineText fuses child/text() step pairs onto the store's inlined
+// #PCDATA columns (System C): the navigation level the DTD-derived mapping
+// of [23] eliminates. Fragments without the column fall back to navigation
+// per context node at run time.
+func ruleInlineText(p *Plan, opts Options) {
+	if !opts.Inlining {
+		return
+	}
+	p.walk(func(n *Node) {
+		if n.Op != OpNavigate {
+			return
+		}
+		for i := 0; i < len(n.Steps); i++ {
+			sp := n.Steps[i]
+			if i+1 < len(n.Steps) && sp.Strategy == StepNavigate &&
+				sp.Axis == xquery.AxisChild && sp.Name != "*" && len(sp.Preds) == 0 &&
+				n.Steps[i+1].Axis == xquery.AxisText && len(n.Steps[i+1].Preds) == 0 {
+				sp.Strategy = StepInlineText
+				n.Steps = append(n.Steps[:i+1], n.Steps[i+2:]...)
+				p.fire("inline-text", n)
+			}
+		}
+	})
+}
+
+// ruleAttrIndex answers child steps selected by a single [@attr =
+// "literal"] predicate from the store's attribute value index: the "index
+// lookup" execution of Q1 the paper contrasts with a table scan. The
+// predicate stays on the step as the navigation fallback for contexts the
+// index probe cannot validate.
+func ruleAttrIndex(p *Plan, opts Options, store nodestore.Store) {
+	if !opts.AttrIndexes {
+		return
+	}
+	p.walk(func(n *Node) {
+		if n.Op != OpNavigate {
+			return
+		}
+		for _, sp := range n.Steps {
+			if sp.Strategy != StepNavigate || sp.Axis != xquery.AxisChild ||
+				sp.Name == "*" || len(sp.Preds) != 1 {
+				continue
+			}
+			aname, lit, ok := attrEqPattern(sp.Preds[0].Expr)
+			if !ok {
+				continue
+			}
+			p.Probes++
+			if _, supported := store.AttrLookup(aname, lit); !supported {
+				continue
+			}
+			sp.Strategy = StepAttrIndex
+			sp.IdxAttr, sp.IdxValue = aname, lit
+			p.fire("attr-index", n)
+		}
+	})
+}
+
+// rulePushdown moves the longest prefix of pushable step predicates —
+// conjunctions of @attr/text() comparisons against literals — into the
+// store's filtered cursors, so the relational mappings evaluate them
+// inside the table scan instead of surfacing every candidate into the
+// engine. Only a prefix may move: later predicates see positions within
+// the survivors of earlier ones, which the filtered scan preserves exactly.
+func rulePushdown(p *Plan, store nodestore.Store) {
+	if _, ok := store.(nodestore.FilteredCursorStore); !ok {
+		return
+	}
+	p.walk(func(n *Node) {
+		if n.Op != OpNavigate {
+			return
+		}
+		for _, sp := range n.Steps {
+			if sp.Strategy != StepNavigate || sp.Axis != xquery.AxisChild ||
+				sp.Name == "*" || sp.Name == "" || len(sp.Preds) == 0 {
+				continue
+			}
+			var filters []nodestore.ValueFilter
+			pushed := 0
+			for _, pr := range sp.Preds {
+				fs, ok := filtersOf(pr.Expr)
+				if !ok {
+					break
+				}
+				filters = append(filters, fs...)
+				pushed++
+			}
+			if pushed == 0 {
+				continue
+			}
+			sp.Filters = filters
+			sp.Pushed = sp.Preds[:pushed]
+			sp.Preds = sp.Preds[pushed:]
+			p.fire("pushdown", n)
+		}
+	})
+}
+
+// rulePushdownExtent extends a PathScan by a following child step whose
+// predicates were all pushed down, when the store can filter a path extent
+// scan directly (the fragmenting mappings: one clustered fragment scan
+// with the predicate answered from the fragment's attribute tables).
+func rulePushdownExtent(p *Plan, store nodestore.Store) {
+	fcs, ok := store.(nodestore.FilteredCursorStore)
+	if !ok {
+		return
+	}
+	p.walk(func(n *Node) {
+		if n.Op != OpNavigate || n.Input.Op != OpPathScan ||
+			len(n.Input.Filters) > 0 || len(n.Steps) == 0 {
+			return
+		}
+		sp := n.Steps[0]
+		if sp.Strategy != StepNavigate || sp.Axis != xquery.AxisChild ||
+			sp.Name == "*" || sp.Name == "" ||
+			len(sp.Preds) > 0 || len(sp.Filters) == 0 {
+			return
+		}
+		path := append(append([]string{}, n.Input.Path...), sp.Name)
+		p.Probes++
+		if _, supported := fcs.PathExtentFilteredCursor(path, sp.Filters); !supported {
+			return
+		}
+		n.Input.Path = path
+		n.Input.Filters = sp.Filters
+		n.Steps = n.Steps[1:]
+		p.fire("pushdown-extent", n.Input)
+	})
+}
+
+// ruleJoins runs join selection over every FLWOR tuple chain: a for-clause
+// whose sequence is variable-independent and whose new variable is one
+// side of an unconsumed equality conjunct becomes a value join — a
+// NestedLoopJoin always (the conjunct filters right after the binding),
+// upgraded to a HashJoin when the system's options allow hash joins. This
+// is the planning that used to live in the engine's analyze step.
+func ruleJoins(p *Plan, opts Options) {
+	p.walk(func(n *Node) {
+		if n.Op != OpProject {
+			return
+		}
+		// Gather the chain bottom-up: clauses in declaration order, then
+		// the where conjuncts in split order (compile stacks them that way).
+		var rev []*Node
+		for c := n.Input; c != nil && c.Op != OpTupleSrc; c = c.Input {
+			rev = append(rev, c)
+		}
+		var chain []*Node
+		for i := len(rev) - 1; i >= 0; i-- {
+			chain = append(chain, rev[i])
+		}
+		var wheres []*Node
+		clauseVars := map[string]bool{}
+		shadowed := map[string]bool{}
+		for _, c := range chain {
+			switch c.Op {
+			case OpWhere:
+				wheres = append(wheres, c)
+			case OpFor, OpLet:
+				// A variable bound by more than one clause is positional:
+				// a conjunct referencing it means the latest binding, which
+				// free-variable analysis cannot attribute. Leave every such
+				// conjunct as a filter.
+				if clauseVars[c.Var] {
+					shadowed[c.Var] = true
+				}
+				clauseVars[c.Var] = true
+			}
+		}
+		if len(wheres) == 0 {
+			return
+		}
+		used := make([]bool, len(wheres))
+		bound := map[string]bool{}
+		for _, cl := range chain {
+			switch cl.Op {
+			case OpLet:
+				bound[cl.Var] = true
+				continue
+			case OpFor:
+			default:
+				continue
+			}
+			if !shadowed[cl.Var] && exprIndependent(cl.Seq.Expr) {
+				if ci := findJoinConjunct(wheres, used, cl.Var, bound, clauseVars, shadowed); ci >= 0 {
+					w := wheres[ci]
+					b := w.Expr.(*xquery.Binary)
+					probe, build := w.Cond.Kids[0], w.Cond.Kids[1]
+					if vars := freeVars(b.Left); !(len(vars) == 1 && vars[cl.Var]) {
+						probe, build = build, probe
+					}
+					cl.Op = OpNLJoin
+					cl.Cond, cl.Probe, cl.Build = w.Cond, probe, build
+					cl.Expr = w.Expr
+					unlinkTupleOp(n, w)
+					used[ci] = true
+					p.fire("nested-loop-join", cl)
+					if opts.HashJoins {
+						cl.Op = OpHashJoin
+						p.fire("hash-join", cl)
+					}
+				}
+			}
+			bound[cl.Var] = true
+		}
+	})
+}
+
+// findJoinConjunct looks for an equality conjunct with one side depending
+// only on the new for-variable and the other side evaluable from the
+// bindings available before this clause: the hash-joinable shape of
+// Q8/Q9/Q10. Conjuncts touching a shadowed variable never qualify.
+func findJoinConjunct(wheres []*Node, used []bool, newVar string, bound, clauseVars, shadowed map[string]bool) int {
+	// otherOK: the outer side must not touch the new variable and must not
+	// reference clause variables that are not bound yet.
+	otherOK := func(vars map[string]bool) bool {
+		for v := range vars {
+			if v == newVar {
+				return false
+			}
+			if clauseVars[v] && !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, w := range wheres {
+		if used[i] {
+			continue
+		}
+		b, ok := w.Expr.(*xquery.Binary)
+		if !ok || b.Op != xquery.OpEq {
+			continue
+		}
+		lv := freeVars(b.Left)
+		rv := freeVars(b.Right)
+		if anyShadowed(lv, shadowed) || anyShadowed(rv, shadowed) {
+			continue
+		}
+		if len(lv) == 1 && lv[newVar] && otherOK(rv) {
+			return i
+		}
+		if len(rv) == 1 && rv[newVar] && otherOK(lv) {
+			return i
+		}
+	}
+	return -1
+}
+
+// anyShadowed reports whether any free variable is bound more than once
+// in the clause chain.
+func anyShadowed(vars, shadowed map[string]bool) bool {
+	for v := range vars {
+		if shadowed[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// unlinkTupleOp removes one tuple operator from the chain below project.
+func unlinkTupleOp(project, target *Node) {
+	for c := project; c.Input != nil; c = c.Input {
+		if c.Input == target {
+			c.Input = target.Input
+			return
+		}
+	}
+}
+
+// ruleOrderByElim drops OrderBy operators whose keys are all literals: a
+// stable sort on constant keys is the identity, so the sort (a pipeline
+// breaker that materializes the whole tuple stream) can be removed without
+// changing a single output byte.
+func ruleOrderByElim(p *Plan) {
+	p.walk(func(n *Node) {
+		if n.Op != OpProject {
+			return
+		}
+		for c := n; c.Input != nil; c = c.Input {
+			ob := c.Input
+			if ob.Op != OpOrderBy {
+				continue
+			}
+			constant := true
+			for _, k := range ob.Keys {
+				if k.Key.Op != OpLiteral {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				c.Input = ob.Input
+				p.fire("orderby-elim", n)
+			}
+		}
+	})
+}

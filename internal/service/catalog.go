@@ -127,6 +127,17 @@ func (c *Catalog) Prepared(sys xmark.SystemID, qid int) (*engine.Prepared, error
 	return prep, nil
 }
 
+// Explain renders the cached optimized plan of benchmark query qid on the
+// system — the plan tree and the optimizer rules that fired — without
+// executing anything.
+func (c *Catalog) Explain(sys xmark.SystemID, qid int) (string, error) {
+	prep, err := c.Prepared(sys, qid)
+	if err != nil {
+		return "", err
+	}
+	return prep.Explain(), nil
+}
+
 // PrepareText compiles an ad-hoc query against the system. The result is
 // not cached; callers that re-execute should hold on to it.
 func (c *Catalog) PrepareText(sys xmark.SystemID, src string) (*engine.Prepared, error) {

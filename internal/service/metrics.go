@@ -105,9 +105,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		counts[i] = m.hist[i].Load()
 		total += counts[i]
 	}
-	s.P50Ms = quantile(counts[:], total, 0.50)
-	s.P95Ms = quantile(counts[:], total, 0.95)
-	s.P99Ms = quantile(counts[:], total, 0.99)
+	// An empty histogram has no quantiles: report zeros rather than any
+	// bucket bound, so a scraper polling before the first completed
+	// request sees an all-zero latency block.
+	if total > 0 {
+		s.P50Ms = quantile(counts[:], total, 0.50)
+		s.P95Ms = quantile(counts[:], total, 0.95)
+		s.P99Ms = quantile(counts[:], total, 0.99)
+	}
 	return s
 }
 

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMetricsEmptySnapshot pins the readout before the first completed
+// request: every latency figure must be zero, not a histogram bucket
+// bound or other garbage, so readiness probes and scrapers that poll a
+// fresh server see a clean all-zero block.
+func TestMetricsEmptySnapshot(t *testing.T) {
+	m := NewMetrics()
+	s := m.Snapshot()
+	if s.Completed != 0 || s.Failed != 0 || s.Rejected != 0 || s.Canceled != 0 {
+		t.Fatalf("fresh metrics report activity: %+v", s)
+	}
+	if s.P50Ms != 0 || s.P95Ms != 0 || s.P99Ms != 0 {
+		t.Fatalf("empty histogram reported quantiles p50=%v p95=%v p99=%v",
+			s.P50Ms, s.P95Ms, s.P99Ms)
+	}
+	if s.MeanMs != 0 || s.MeanWaitMs != 0 || s.QPS != 0 {
+		t.Fatalf("empty metrics reported means: %+v", s)
+	}
+}
+
+// TestMetricsSingleObservation checks the quantiles after one request:
+// all three land in the histogram bucket containing the observation
+// (bucket resolution is ±25%).
+func TestMetricsSingleObservation(t *testing.T) {
+	m := NewMetrics()
+	exec := 1 * time.Millisecond
+	m.observe(100*time.Microsecond, exec)
+	s := m.Snapshot()
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+	lo, hi := 0.8, 1.25+0.01 // ms, one bucket of slack around 1ms
+	for name, v := range map[string]float64{"p50": s.P50Ms, "p95": s.P95Ms, "p99": s.P99Ms} {
+		if v < lo || v > hi {
+			t.Errorf("%s = %vms, want within one bucket of 1ms", name, v)
+		}
+	}
+	if s.MeanMs != 1.0 {
+		t.Errorf("mean = %vms", s.MeanMs)
+	}
+	if s.MeanWaitMs != 0.1 {
+		t.Errorf("mean wait = %vms", s.MeanWaitMs)
+	}
+}
+
+// TestMetricsQuantileOrder feeds a spread of latencies and checks the
+// quantiles are monotone and bracket the data.
+func TestMetricsQuantileOrder(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.observe(0, time.Duration(i)*time.Millisecond)
+	}
+	s := m.Snapshot()
+	if !(s.P50Ms <= s.P95Ms && s.P95Ms <= s.P99Ms) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50Ms, s.P95Ms, s.P99Ms)
+	}
+	if s.P50Ms < 25 || s.P50Ms > 80 {
+		t.Errorf("p50 = %vms implausible for uniform 1..100ms", s.P50Ms)
+	}
+	if s.P99Ms < 80 || s.P99Ms > 130 {
+		t.Errorf("p99 = %vms implausible for uniform 1..100ms", s.P99Ms)
+	}
+}
