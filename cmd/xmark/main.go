@@ -14,6 +14,10 @@
 //	xmark -clients 8 -duration 2s -mix all -factor 0.01
 //	                             # throughput scaling curve, written to
 //	                             # BENCH_throughput.json
+//	xmark -parallel 8 -factor 0.1
+//	                             # intra-query parallelism speedup curve
+//	                             # (degrees 1,2,4,8 on the scan-heavy
+//	                             # queries), written to BENCH_parallel.json
 package main
 
 import (
@@ -41,14 +45,29 @@ func main() {
 	scan := flag.Bool("scan", false, "parser-only scan time of the document (expat baseline)")
 	inspect := flag.Bool("inspect", false, "structural profile of the document (§4 characteristics)")
 	clients := flag.Int("clients", 0, "throughput mode: scale closed-loop clients 1,2,4,... up to N")
+	parallel := flag.Int("parallel", 0, "parallel mode: measure intra-query speedup at degrees 1,2,4,... up to N")
 	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
 	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
 	systems := flag.String("systems", "", "throughput mode: systems to drive, e.g. DEF (empty = all seven)")
 	out := flag.String("out", "BENCH_throughput.json", "throughput mode: output artifact path")
 	flag.Parse()
 
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 	if *clients > 0 {
 		runThroughput(*factor, *clients, *duration, *mix, *systems, *out)
+		return
+	}
+	if *parallel > 0 {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_parallel.json"
+		}
+		runParallel(*factor, *parallel, *mix, *systems, dest)
 		return
 	}
 	if *all {
@@ -98,6 +117,16 @@ func main() {
 		cells, err := need().RunTable3()
 		check(err)
 		xmark.RenderTable3(os.Stdout, cells)
+		// Persist the Table 3 trajectory: query x system ns/op and allocs
+		// as a machine-readable artifact CI uploads alongside the
+		// throughput curve.
+		data, err := json.MarshalIndent(struct {
+			Factor float64            `json:"factor"`
+			Cells  []xmark.Table3Cell `json:"cells"`
+		}{*factor, cells}, "", "  ")
+		check(err)
+		check(os.WriteFile("BENCH_table3.json", append(data, '\n'), 0o644))
+		fmt.Println("wrote BENCH_table3.json")
 		fmt.Println()
 	}
 	if *f4 {
@@ -162,6 +191,44 @@ func runThroughput(factor float64, maxClients int, duration time.Duration, mixSp
 	check(err)
 	check(os.WriteFile(out, append(data, '\n'), 0o644))
 	fmt.Printf("\nwrote %s\n", out)
+}
+
+// runParallel drives the intra-query parallelism experiment: the
+// scan-heavy queries (or an explicit -mix) at degrees 1,2,4,... up to
+// maxDegree, written to the BENCH_parallel.json artifact. Every parallel
+// run is byte-verified against its sequential output before timing.
+func runParallel(factor float64, maxDegree int, mixSpec, systemsSpec, dest string) {
+	queryIDs := xmark.ParallelQueryIDs
+	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
+		var err error
+		queryIDs, err = parseMix(mixSpec)
+		check(err)
+	}
+	if systemsSpec == "" {
+		// The fragmenting mapping and the summarized main-memory store:
+		// the two architectures where every scan-heavy query partitions.
+		systemsSpec = "BD"
+	}
+	var load []xmark.System
+	for _, r := range systemsSpec {
+		sys, err := xmark.SystemByID(xmark.SystemID(r))
+		check(err)
+		load = append(load, sys)
+	}
+	degrees := service.ClientSteps(maxDegree)
+
+	fmt.Printf("generating document at factor %g...\n", factor)
+	bench := xmark.NewBenchmark(factor)
+	fmt.Printf("document: %.1f MB; degrees %v; queries %v; systems %s\n\n",
+		float64(len(bench.DocText))/1e6, degrees, queryIDs, systemsSpec)
+	report, err := bench.RunParallel(load, queryIDs, degrees, 3)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
 }
 
 // parseMix parses the -mix flag: "all", a comma list of query names

@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	xqserve -addr :8080 -factor 0.01 -workers 8 -queue 64
+//	xqserve -addr :8080 -factor 0.01 -workers 8 -queue 64 -degree 8 -timeout 30s
+//
+// -degree sizes the shared intra-query parallelism pool: each request is
+// granted a slice of it, so one idle-server client fans its scans out
+// across every core while many concurrent clients each run sequentially.
+// -timeout bounds every request with a context deadline; a query that
+// exceeds it stops mid-stream (releasing its worker and any partition
+// workers) and answers 504 with the elapsed time.
 //
 // Endpoints:
 //
@@ -42,8 +49,9 @@ import (
 // server holds the service state behind the HTTP handlers. The catalog
 // loads asynchronously; cat/ex flip from nil exactly once under mu.
 type server struct {
-	factor float64
-	start  time.Time
+	factor  float64
+	start   time.Time
+	timeout time.Duration
 
 	mu      sync.RWMutex
 	cat     *service.Catalog
@@ -74,13 +82,15 @@ func main() {
 	factor := flag.Float64("factor", 0.01, "scaling factor of the served document")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	degree := flag.Int("degree", 0, "shared intra-query parallelism pool (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline; slow queries answer 504 (0 = none)")
 	systems := flag.String("systems", "", "systems to load, e.g. ABD (empty = all seven)")
 	flag.Parse()
 
 	loaded, err := selectSystems(*systems)
 	check(err)
 
-	s := &server{factor: *factor, start: time.Now()}
+	s := &server{factor: *factor, start: time.Now(), timeout: *timeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/explain", s.handleExplain)
@@ -107,7 +117,7 @@ func main() {
 			return
 		}
 		s.cat = cat
-		s.ex = service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue})
+		s.ex = service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue, Parallel: *degree})
 		fmt.Printf("xqserve: ready — %d systems, %.1f MB document, loaded in %v\n",
 			len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
 	}()
@@ -178,9 +188,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(struct {
 		Workers  int              `json:"workers"`
 		QueueCap int              `json:"queue_cap"`
+		Parallel int              `json:"parallel"`
 		Factor   float64          `json:"factor"`
 		Snapshot service.Snapshot `json:"snapshot"`
-	}{ex.Workers(), ex.QueueCap(), cat.Factor, ex.Metrics().Snapshot()})
+	}{ex.Workers(), ex.QueueCap(), ex.Parallel(), cat.Factor, ex.Metrics().Snapshot()})
 }
 
 // parseRequest extracts the system and query (number or ad-hoc text) of a
@@ -216,11 +227,27 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, err := ex.Execute(r.Context(), req)
+	// The request context follows the client connection; the server-side
+	// deadline bounds how long a slow query may pin a worker slot.
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	resp, err := ex.Execute(ctx, req)
 	switch {
 	case err == nil:
 	case errors.Is(err, service.ErrQueueFull):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil && r.Context().Err() == nil:
+		// The server deadline fired while the client was still there:
+		// report the timeout with the elapsed time instead of hanging
+		// the worker on an unbounded query.
+		http.Error(w, fmt.Sprintf("query timed out after %v (limit %v)",
+			time.Since(start).Round(time.Millisecond), s.timeout), http.StatusGatewayTimeout)
 		return
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client is gone; nothing useful to write.

@@ -9,6 +9,7 @@
 //	xquery -factor 0.01 -f query.xq -time
 //	echo 'count(//item)' | xquery -               # query from stdin
 //	xquery -system B -n 20 -explain               # optimized plan, no execution
+//	xquery -factor 0.1 -n 14 -degree 8 -time      # morsel-parallel scan
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	benchQuery := flag.Int("n", 0, "run benchmark query number 1-20 instead of an inline query")
 	explain := flag.Bool("explain", false, "print the optimized plan and fired rules instead of executing")
 	timing := flag.Bool("time", false, "print load, compile and execution times")
+	degree := flag.Int("degree", 1, "intra-query parallelism budget (1 = sequential; output is byte-identical at any degree)")
 	flag.Parse()
 	if *queryFile == "" {
 		*queryFile = *queryFileF
@@ -80,7 +82,7 @@ func main() {
 		return
 	}
 
-	res, err := inst.Run(0, src)
+	res, err := inst.RunDegree(0, src, *degree)
 	check(err)
 
 	fmt.Println(res.Output)

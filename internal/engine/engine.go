@@ -45,6 +45,11 @@ func (e *Engine) Options() Options { return e.opts }
 // number of times, including concurrently from multiple goroutines: every
 // execution builds a fresh pipeline, and all mutable evaluation scratch
 // lives in a per-execution (or caller-supplied per-worker) Session.
+//
+// An execution whose Session carries a parallelism budget (Session.Degree
+// above one) may additionally fan the plan's partitioned scans out across
+// that many morsel workers; output is guaranteed byte-identical to
+// sequential execution at every degree.
 type Prepared struct {
 	engine *Engine
 	query  *xquery.Query
@@ -133,7 +138,16 @@ func (p *Prepared) StreamSession(sess *Session, fn func(Item) bool) error {
 // to w item by item, interleaving evaluation with output instead of
 // materializing the result sequence first.
 func (p *Prepared) Serialize(w io.Writer) error {
-	return p.execute(nil, func(it Iterator) error {
+	return p.SerializeSession(w, nil)
+}
+
+// SerializeSession is Serialize with a caller-owned Session. Besides the
+// warm evaluation scratch, the Session carries the execution's intra-query
+// parallelism budget (Session.Degree): a degree above one lets the plan's
+// Gather operators fan partitioned scans out across workers, with output
+// guaranteed byte-identical to sequential execution.
+func (p *Prepared) SerializeSession(w io.Writer, sess *Session) error {
+	return p.execute(sess, func(it Iterator) error {
 		return SerializeIter(w, p.engine.store, it)
 	})
 }
@@ -157,11 +171,16 @@ func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err err
 		sess = NewSession()
 	}
 	ev := &evaluator{
-		store: p.engine.store,
-		opts:  p.engine.opts,
-		funcs: p.plan.Funcs,
-		sess:  sess,
+		store:  p.engine.store,
+		opts:   p.engine.opts,
+		funcs:  p.plan.Funcs,
+		sess:   sess,
+		degree: sess.Degree,
 	}
+	// Registered after the recover defer, so it runs first during panic
+	// unwinding: partition workers never outlive their execution, whether
+	// it finished, errored, or the consumer stopped pulling mid-stream.
+	defer ev.stopGathers()
 	return consume(ev.iter(p.plan.Root, &bindings{}))
 }
 

@@ -61,6 +61,16 @@ type evaluator struct {
 	focus    focus
 	hasFocus bool
 	depth    int
+
+	// degree is the execution's intra-query parallelism budget (the
+	// Session's Degree captured at execute); gathers lists the fan-outs
+	// this execution spawned so execute can end them on the way out.
+	// part/partNode bind a partition worker's evaluator to its morsel of
+	// the plan's PartitionedScan leaf; both are nil on the root evaluator.
+	degree   int
+	gathers  []*gather
+	part     nodestore.Cursor
+	partNode *plan.Node
 }
 
 const maxRecursion = 2000
@@ -110,6 +120,10 @@ func (ev *evaluator) dispatch(n *plan.Node, env *bindings) Iterator {
 		return one(DocItem{})
 	case plan.OpPathScan:
 		return ev.iterPathScan(n)
+	case plan.OpPartitionedScan:
+		return ev.iterPartScan(n)
+	case plan.OpGather:
+		return ev.iterGather(n, env)
 	case plan.OpNavigate:
 		return ev.iterSteps(ev.iter(n.Input, env), n.Steps, env)
 	case plan.OpSelect:

@@ -123,7 +123,12 @@ func (ev *evaluator) iterCall(n *plan.Node, env *bindings) Iterator {
 		ev.argc(c, 1)
 		it := ev.iter(n.Kids[0], env)
 		first, _, cnt := firstTwo(it)
-		if cnt != 1 {
+		if cnt == 0 {
+			// The exhausted iterator must not be drained further:
+			// iterators are single-use once Next returns false.
+			errf("exactly-one() applied to an empty sequence")
+		}
+		if cnt > 1 {
 			errf("exactly-one() applied to a sequence of %d items", cnt+drainCount(it))
 		}
 		return one(first)
@@ -196,6 +201,17 @@ func (ev *evaluator) iterCount(n *plan.Node, env *bindings) Iterator {
 		if total, ok := ev.countDescendants(n, env); ok {
 			return one(NumItem(float64(total)))
 		}
+	}
+	if arg := n.Kids[0]; arg.Op == plan.OpGather {
+		// Parallel count recombines by partial sums: each partition
+		// worker counts its morsel without materializing it. When the
+		// scan does not partition, drain the gather's sub-pipeline
+		// directly instead of re-dispatching the Gather node (which
+		// would probe the store's partition split a second time).
+		if total, ok := ev.gatherCount(arg, env); ok {
+			return one(NumItem(float64(total)))
+		}
+		return one(NumItem(float64(drainCount(ev.iter(arg.Input, env)))))
 	}
 	return one(NumItem(float64(drainCount(ev.iter(n.Kids[0], env)))))
 }

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// parallelEngines returns the architectures whose stores can split scans,
+// with morsel parallelism enabled in the planning profile.
+func parallelEngines(t *testing.T) []*Engine {
+	t.Helper()
+	doc, err := tree.Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8}
+	return []*Engine{
+		New(nodestore.NewDOM("dom+summary", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true}), full),
+		New(nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true, AttrIndexes: true}), Options{HashJoins: true, AttrIndexes: true, MaxDegree: 8}),
+		New(mapping.NewEdge(doc), Options{HashJoins: true, AttrIndexes: true, MaxDegree: 8}),
+		New(mapping.NewPath(doc), Options{PathExtents: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8}),
+		New(mapping.NewInline(doc), Options{PathExtents: true, HashJoins: true, Inlining: true, AttrIndexes: true, MaxDegree: 8}),
+	}
+}
+
+// serializeDegree executes prep at the given parallelism budget.
+func serializeDegree(t *testing.T, prep *Prepared, degree int) string {
+	t.Helper()
+	sess := NewSession()
+	sess.Degree = degree
+	var b strings.Builder
+	if err := prep.SerializeSession(&b, sess); err != nil {
+		t.Fatalf("degree %d: %v", degree, err)
+	}
+	return b.String()
+}
+
+// TestParallelGatherByteIdentical runs partitionable pipelines at degrees
+// 1 through 8 and asserts the gathered output matches sequential
+// evaluation byte for byte — the correctness anchor of the morsel
+// parallelism: ordered gather over disjoint document-order partitions is
+// the identity on the result.
+func TestParallelGatherByteIdentical(t *testing.T) {
+	queries := []string{
+		// Path extent scan, per-tuple navigation in the return.
+		`for $p in /site/people/person return $p/name/text()`,
+		// Tag extent scan with a whole-sequence filter.
+		`for $i in /site//item where contains(string(exactly-one($i/description)), "gold") return $i/name/text()`,
+		// Count over a filtered scan: partial-sum recombination.
+		`count(for $c in /site/closed_auctions/closed_auction where $c/price/text() >= 40 return $c/price)`,
+		// Descendant step below a path extent scan (disjoint territories).
+		`for $a in /site/open_auctions/open_auction return count($a//increase)`,
+		// Positional step predicates keep their per-context focus.
+		`for $b in /site/open_auctions/open_auction return $b/bidder[1]/increase/text()`,
+		// Constructed results across partitions.
+		`for $p in /site/people/person return <p name="{$p/name/text()}">{count($p/profile/interest)}</p>`,
+	}
+	for _, e := range parallelEngines(t) {
+		for _, src := range queries {
+			prep, err := e.Prepare(src)
+			if err != nil {
+				t.Fatalf("[%s] %v\nquery: %s", e.Store().Name(), err, src)
+			}
+			want := serializeDegree(t, prep, 0)
+			for _, degree := range []int{1, 2, 3, 8} {
+				if got := serializeDegree(t, prep, degree); got != want {
+					t.Fatalf("[%s] degree %d differs from sequential\nquery: %s\ngot:  %q\nwant: %q",
+						e.Store().Name(), degree, src, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPlansFire asserts the parallelize rule actually fired for a
+// representative scan so the byte-identity sweep above exercises real
+// fan-out, not a silently sequential plan.
+func TestParallelPlansFire(t *testing.T) {
+	for _, e := range parallelEngines(t) {
+		prep, err := e.Prepare(`for $i in /site//item return $i/name/text()`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired := false
+		for _, r := range prep.Plan().Fired {
+			if r == "parallelize" {
+				fired = true
+			}
+		}
+		if !fired {
+			t.Errorf("[%s] parallelize did not fire: %v", e.Store().Name(), prep.Plan().Fired)
+		}
+	}
+}
+
+// TestParallelWorkersExitOnError proves the cancellation contract: when
+// one partition worker hits an evaluation error, the error surfaces to
+// the caller, the sibling workers observe the abort flag and exit, and no
+// partition goroutine outlives the execution.
+func TestParallelWorkersExitOnError(t *testing.T) {
+	doc, err := tree.Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true}), Options{MaxDegree: 8})
+	// exactly-one() fails on every person without a homepage, so some
+	// partition errors while others are still producing.
+	prep, err := e.Prepare(`for $p in /site//person return exactly-one($p/homepage)/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		sess := NewSession()
+		sess.Degree = 4
+		var b strings.Builder
+		if err := prep.SerializeSession(&b, sess); err == nil {
+			t.Fatal("expected an evaluation error")
+		}
+	}
+	// execute waits for its workers before returning, so the goroutine
+	// count settles back to the baseline (allow scheduler lag).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partition workers leaked: %d goroutines, baseline %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelEarlyStopJoinsWorkers asserts a consumer that stops pulling
+// mid-stream (the service's cancellation path) still leaves no partition
+// worker behind: execute joins the fan-out on the way out.
+func TestParallelEarlyStopJoinsWorkers(t *testing.T) {
+	doc, err := tree.Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true}), Options{MaxDegree: 8})
+	prep, err := e.Prepare(`for $i in /site//item return $i/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		sess := NewSession()
+		sess.Degree = 3
+		seen := 0
+		if err := prep.StreamSession(sess, func(Item) bool {
+			seen++
+			return false // stop after the first item
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if seen != 1 {
+			t.Fatalf("streamed %d items, want 1", seen)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("partition workers leaked after early stop: %d goroutines, baseline %d",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

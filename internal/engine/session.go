@@ -21,6 +21,14 @@ import (
 // a fresh one each time, which is what makes a shared Prepared trivially
 // safe to execute from many goroutines.
 type Session struct {
+	// Degree is the execution's intra-query parallelism budget: the
+	// maximum number of partition workers a Gather operator may fan out
+	// to, further clamped by the plan's own MaxDegree. 0 or 1 executes
+	// every plan sequentially (the default), so parallelism is strictly
+	// opt-in per execution; a service executor typically grants each
+	// request a degree from a shared pool before running it.
+	Degree int
+
 	// stepFree, inlineFree and varFree recycle exhausted iterators (with
 	// their grown buffers): per-tuple paths in FLWOR return clauses
 	// re-evaluate constantly, and reuse makes their steady state

@@ -488,6 +488,38 @@ func (s *Edge) PathExtentFilteredCursor([]string, []nodestore.ValueFilter) (node
 	return nil, false
 }
 
+// TagExtentPartitions implements nodestore.SplittableStore: the tag index
+// posting list is in bulkload (document) order, so a partition is a
+// contiguous range of it, streamed row by row like DescendantsCursor.
+func (s *Edge) TagExtentPartitions(tag string, k int) ([]nodestore.Cursor, bool) {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return nil, true // tag provably absent: zero partitions
+	}
+	rows := s.tagIdx.LookupInt(int64(sym))
+	n := len(rows)
+	if k > n {
+		k = n
+	}
+	var parts []nodestore.Cursor
+	for i := 0; i < k; i++ {
+		parts = append(parts, &edgeRangeCursor{s: s, rows: rows[i*n/k : (i+1)*n/k], hi: tree.NodeID(s.nNodes)})
+	}
+	return parts, true
+}
+
+// PathExtentPartitions implements nodestore.SplittableStore: the heap has
+// no path access path to split.
+func (s *Edge) PathExtentPartitions([]string, int) ([]nodestore.Cursor, bool) {
+	return nil, false
+}
+
+// PathExtentFilteredPartitions implements nodestore.SplittableStore:
+// unsupported, like the unfiltered path scan.
+func (s *Edge) PathExtentFilteredPartitions([]string, []nodestore.ValueFilter, int) ([]nodestore.Cursor, bool) {
+	return nil, false
+}
+
 // Stats implements nodestore.Store.
 func (s *Edge) Stats() nodestore.Stats {
 	return nodestore.Stats{

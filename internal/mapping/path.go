@@ -615,6 +615,51 @@ func (c *filteredIDCursor) Next() (tree.NodeID, bool) {
 	return tree.Nil, false
 }
 
+// TagExtentPartitions implements nodestore.SplittableStore. Several
+// fragments may end in the tag, so the extent materializes once (the same
+// merge TagExtent pays) and splits into contiguous ranges of the merged,
+// document-ordered slice.
+func (s *Path) TagExtentPartitions(tag string, k int) ([]nodestore.Cursor, bool) {
+	if pts := s.byTag[tag]; len(pts) == 1 {
+		// One fragment: split its clustered id column in place.
+		s.metaOps.Add(1)
+		return nodestore.SliceCursors(nodestore.SplitIDs(pts[0].ids, k)), true
+	}
+	ext, _ := s.TagExtent(tag, nil)
+	return nodestore.SliceCursors(nodestore.SplitIDs(ext, k)), true
+}
+
+// PathExtentPartitions implements nodestore.SplittableStore: a full path
+// is one fragment, so a partition is a contiguous range of the fragment's
+// clustered id column, sliced in place.
+func (s *Path) PathExtentPartitions(path []string, k int) ([]nodestore.Cursor, bool) {
+	s.metaOps.Add(1)
+	pt := s.catalog[strings.Join(path, "/")]
+	if pt == nil {
+		return nil, true // path provably empty: zero partitions
+	}
+	return nodestore.SliceCursors(nodestore.SplitIDs(pt.ids, k)), true
+}
+
+// PathExtentFilteredPartitions implements nodestore.SplittableStore: each
+// partition is a filteredIDCursor over its range of the fragment's
+// clustered id column, evaluating the pushed-down predicates against the
+// fragment's own attribute and #text tables exactly like the sequential
+// PathExtentFilteredCursor.
+func (s *Path) PathExtentFilteredPartitions(path []string, fs []nodestore.ValueFilter, k int) ([]nodestore.Cursor, bool) {
+	s.metaOps.Add(1)
+	pt := s.catalog[strings.Join(path, "/")]
+	if pt == nil {
+		return nil, true // path provably empty: zero partitions
+	}
+	ranges := nodestore.SplitIDs(pt.ids, k)
+	parts := make([]nodestore.Cursor, len(ranges))
+	for i, ids := range ranges {
+		parts[i] = &filteredIDCursor{s: s, pt: pt, ids: ids, fs: fs}
+	}
+	return parts, true
+}
+
 // MetaOps returns the number of catalog consultations so far; tests use it
 // to verify the fragmentation metadata tax.
 func (s *Path) MetaOps() int64 { return s.metaOps.Load() }

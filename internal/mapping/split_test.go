@@ -1,0 +1,139 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// drainCur pulls every id of a cursor.
+func drainCur(t *testing.T, c nodestore.Cursor) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	for {
+		id, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+// drainPartsCur concatenates partition cursors in order.
+func drainPartsCur(t *testing.T, parts []nodestore.Cursor) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	for _, p := range parts {
+		out = append(out, drainCur(t, p)...)
+	}
+	return out
+}
+
+func assertSameIDs(t *testing.T, got, want []tree.NodeID, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEdgeTagExtentPartitions checks the posting-list range splitting of
+// the one-relation mapping: concatenated partitions equal the sequential
+// tag extent for every degree, including degrees beyond the extent size.
+func TestEdgeTagExtentPartitions(t *testing.T) {
+	_, stores := buildAll(t, 0.002)
+	edge := stores[0].(*Edge)
+	for _, tag := range []string{"item", "person", "incategory"} {
+		want, _ := edge.TagExtent(tag, nil)
+		for _, k := range []int{1, 2, 7, 1000} {
+			parts, ok := edge.TagExtentPartitions(tag, k)
+			if !ok {
+				t.Fatalf("%s k=%d: not splittable", tag, k)
+			}
+			assertSameIDs(t, drainPartsCur(t, parts), want, tag)
+		}
+	}
+	// Unknown tag: provably empty, zero partitions.
+	if parts, ok := edge.TagExtentPartitions("nosuchtag", 4); !ok || len(parts) != 0 {
+		t.Fatalf("unknown tag: parts=%d ok=%v", len(parts), ok)
+	}
+	// The heap has no path access path.
+	if _, ok := edge.PathExtentPartitions([]string{"site", "people", "person"}, 2); ok {
+		t.Fatal("edge claims path partitions")
+	}
+}
+
+// TestPathExtentPartitions checks the fragment-range splitting of the
+// fragmenting mapping, including extents smaller than the degree and the
+// provably-empty path.
+func TestPathExtentPartitions(t *testing.T) {
+	_, stores := buildAll(t, 0.002)
+	for _, s := range stores[1:] {
+		ps := s.(*Path)
+		for _, path := range [][]string{
+			{"site", "people", "person"},
+			{"site", "closed_auctions", "closed_auction"},
+			{"site"}, // single-node extent: fewer partitions than degree
+		} {
+			want, _ := ps.PathExtent(path, nil)
+			for _, k := range []int{1, 2, 8} {
+				parts, ok := ps.PathExtentPartitions(path, k)
+				if !ok {
+					t.Fatalf("%s: not splittable", ps.Name())
+				}
+				if len(parts) > len(want) {
+					t.Fatalf("%s: %d partitions for %d ids", ps.Name(), len(parts), len(want))
+				}
+				assertSameIDs(t, drainPartsCur(t, parts), want, ps.Name())
+			}
+		}
+		if parts, ok := ps.PathExtentPartitions([]string{"site", "nosuch"}, 4); !ok || len(parts) != 0 {
+			t.Fatalf("%s empty path: parts=%d ok=%v", ps.Name(), len(parts), ok)
+		}
+		// Tag extents split too (merged across fragments).
+		want, _ := ps.TagExtent("item", nil)
+		parts, ok := ps.TagExtentPartitions("item", 4)
+		if !ok {
+			t.Fatalf("%s: tag extent not splittable", ps.Name())
+		}
+		assertSameIDs(t, drainPartsCur(t, parts), want, ps.Name()+" tag")
+	}
+}
+
+// TestPathExtentFilteredPartitions checks that filtered partitions apply
+// the pushed-down predicates exactly like the sequential filtered cursor:
+// the concatenation over partitions equals the unpartitioned filtered
+// scan, for selective and non-selective filters alike.
+func TestPathExtentFilteredPartitions(t *testing.T) {
+	_, stores := buildAll(t, 0.002)
+	path := []string{"site", "people", "person", "profile"}
+	filters := [][]nodestore.ValueFilter{
+		{{Attr: "income", Op: nodestore.CmpGe, Num: 50000, Numeric: true}},
+		{{Attr: "income", Op: nodestore.CmpLt, Num: 50000, Numeric: true},
+			{Attr: "income", Op: nodestore.CmpGe, Num: 30000, Numeric: true}},
+		{{Attr: "income", Op: nodestore.CmpEq, Value: "never-matches"}},
+	}
+	for _, s := range stores[1:] {
+		ps := s.(*Path)
+		for fi, fs := range filters {
+			seq, ok := ps.PathExtentFilteredCursor(path, fs)
+			if !ok {
+				t.Fatalf("%s: filtered cursor unsupported", ps.Name())
+			}
+			want := drainCur(t, seq)
+			for _, k := range []int{2, 8} {
+				parts, ok := ps.PathExtentFilteredPartitions(path, fs, k)
+				if !ok {
+					t.Fatalf("%s: filtered partitions unsupported", ps.Name())
+				}
+				assertSameIDs(t, drainPartsCur(t, parts), want, ps.Name())
+			}
+			_ = fi
+		}
+	}
+}

@@ -254,6 +254,36 @@ func (d *DOM) PathExtentCursor(path []string) (Cursor, bool) {
 	return NewSliceCursor(d.sum.Lookup(path...)), true
 }
 
+// TagExtentPartitions implements SplittableStore: the inverted element
+// list (or the summary's merged extent) splits into contiguous ranges in
+// place.
+func (d *DOM) TagExtentPartitions(tag string, k int) ([]Cursor, bool) {
+	if d.extents != nil {
+		return SliceCursors(SplitIDs(d.extents[tag], k)), true
+	}
+	ext, ok := d.TagExtent(tag, nil)
+	if !ok {
+		return nil, false
+	}
+	return SliceCursors(SplitIDs(ext, k)), true
+}
+
+// PathExtentPartitions implements SplittableStore; only the summary can
+// answer it. The partitions slice the summary's extent without copying.
+func (d *DOM) PathExtentPartitions(path []string, k int) ([]Cursor, bool) {
+	if d.sum == nil {
+		return nil, false
+	}
+	return SliceCursors(SplitIDs(d.sum.Lookup(path...), k)), true
+}
+
+// PathExtentFilteredPartitions implements SplittableStore: main-memory
+// stores have no in-scan filter evaluation (they are not
+// FilteredCursorStores), so filtered scans stay sequential in the engine.
+func (d *DOM) PathExtentFilteredPartitions([]string, []ValueFilter, int) ([]Cursor, bool) {
+	return nil, false
+}
+
 // Stats implements Store.
 func (d *DOM) Stats() Stats {
 	doc := d.doc

@@ -1,0 +1,147 @@
+package nodestore
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func ids(n ...int) []tree.NodeID {
+	out := make([]tree.NodeID, len(n))
+	for i, v := range n {
+		out[i] = tree.NodeID(v)
+	}
+	return out
+}
+
+func TestSplitIDsBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		ids   []tree.NodeID
+		k     int
+		parts int
+	}{
+		{"empty extent", nil, 4, 0},
+		{"smaller than degree", ids(3, 7), 8, 2},
+		{"equal to degree", ids(1, 2, 3), 3, 3},
+		{"uneven split", ids(1, 2, 3, 4, 5, 6, 7), 3, 3},
+		{"degree one", ids(1, 2, 3), 1, 1},
+		{"degree zero clamps to one run", ids(1, 2, 3), 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parts := SplitIDs(tc.ids, tc.k)
+			if len(parts) != tc.parts {
+				t.Fatalf("partition count = %d, want %d", len(parts), tc.parts)
+			}
+			// Concatenation in partition order must be the identity, every
+			// partition must be non-empty, and ranges must be disjoint and
+			// ordered (each partition entirely before the next).
+			var concat []tree.NodeID
+			for i, p := range parts {
+				if len(p) == 0 {
+					t.Fatalf("partition %d is empty", i)
+				}
+				if len(concat) > 0 && p[0] <= concat[len(concat)-1] {
+					t.Fatalf("partition %d overlaps its predecessor", i)
+				}
+				concat = append(concat, p...)
+			}
+			if len(concat) != len(tc.ids) {
+				t.Fatalf("concatenation lost ids: %d vs %d", len(concat), len(tc.ids))
+			}
+			for i := range concat {
+				if concat[i] != tc.ids[i] {
+					t.Fatalf("id %d reordered", i)
+				}
+			}
+		})
+	}
+}
+
+// drain pulls every id of a cursor.
+func drain(t *testing.T, c Cursor) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	for {
+		id, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+// drainParts concatenates the ids of every partition cursor in order.
+func drainParts(t *testing.T, parts []Cursor) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	for _, p := range parts {
+		out = append(out, drain(t, p)...)
+	}
+	return out
+}
+
+func TestDOMTagExtentPartitions(t *testing.T) {
+	d, _ := build(t, DOMOptions{TagExtents: true})
+	want, ok := d.TagExtent("item", nil)
+	if !ok {
+		t.Fatal("tag extent unsupported")
+	}
+	for _, k := range []int{1, 2, 8} {
+		parts, ok := d.TagExtentPartitions("item", k)
+		if !ok {
+			t.Fatalf("k=%d: not splittable", k)
+		}
+		got := drainParts(t, parts)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d ids, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: id %d differs", k, i)
+			}
+		}
+	}
+	// Unknown tag: empty extent, zero partitions, capability intact.
+	parts, ok := d.TagExtentPartitions("nosuchtag", 4)
+	if !ok || len(parts) != 0 {
+		t.Fatalf("unknown tag: parts=%d ok=%v, want 0 partitions with ok", len(parts), ok)
+	}
+	// Plain DOM has no tag access path at all.
+	plain, _ := build(t, DOMOptions{})
+	if _, ok := plain.TagExtentPartitions("item", 2); ok {
+		t.Fatal("plain DOM claims tag partitions")
+	}
+}
+
+func TestDOMPathExtentPartitions(t *testing.T) {
+	d, _ := build(t, DOMOptions{Summary: true})
+	path := []string{"site", "regions", "europe", "item"}
+	want, _ := d.PathExtent(path, nil)
+	if len(want) != 2 {
+		t.Fatalf("extent = %d items", len(want))
+	}
+	parts, ok := d.PathExtentPartitions(path, 8)
+	if !ok {
+		t.Fatal("summary store not splittable")
+	}
+	if len(parts) != 2 {
+		t.Fatalf("extent smaller than degree: %d partitions, want 2", len(parts))
+	}
+	got := drainParts(t, parts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id %d differs", i)
+		}
+	}
+	// No summary: no path access path.
+	e, _ := build(t, DOMOptions{TagExtents: true})
+	if _, ok := e.PathExtentPartitions(path, 2); ok {
+		t.Fatal("extent-only DOM claims path partitions")
+	}
+	// Filtered partitions are a relational capability, not a DOM one.
+	if _, ok := d.PathExtentFilteredPartitions(path, []ValueFilter{{Attr: "id", Op: CmpEq, Value: "i0"}}, 2); ok {
+		t.Fatal("DOM claims filtered path partitions")
+	}
+}

@@ -111,10 +111,19 @@ func copyBound(m map[string]bool) map[string]bool {
 }
 
 // usesLastExpr conservatively reports whether evaluating e may call last()
-// in the current focus: a syntactic walk that does not descend into nested
-// predicates or FLWOR-bound subexpressions (their last() refers to their
-// own focus) but treats user function calls as potentially using it.
+// in the current focus.
 func usesLastExpr(e xquery.Expr, funcs map[string]*xquery.FuncDecl) bool {
+	isUser := func(name string) bool { _, ok := funcs[name]; return ok }
+	return usesFocusCallName(e, isUser, "last")
+}
+
+// usesFocusCallName conservatively reports whether evaluating e may call
+// the named focus-dependent builtin (last, position) in the current focus:
+// a syntactic walk that does not descend into nested predicates (their
+// focus is their own) but treats user function calls as potentially using
+// it. The parallelize rule uses it to reject whole-sequence filters whose
+// decisions depend on global ranks.
+func usesFocusCallName(e xquery.Expr, isUser func(string) bool, name string) bool {
 	found := false
 	var walk func(e xquery.Expr)
 	walkAll := func(es []xquery.Expr) {
@@ -130,13 +139,13 @@ func usesLastExpr(e xquery.Expr, funcs map[string]*xquery.FuncDecl) bool {
 		}
 		switch v := e.(type) {
 		case *xquery.Call:
-			if v.Name == "last" {
+			if v.Name == name {
 				found = true
 				return
 			}
-			if _, user := funcs[v.Name]; user {
-				// A user function body could call last() against the
-				// caller's focus; stay conservative.
+			if isUser(v.Name) {
+				// A user function body could consult the caller's focus;
+				// stay conservative.
 				found = true
 				return
 			}

@@ -159,6 +159,11 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 		}
 	case OpPathScan:
 		line(b, depth, label, pathScanLabel(n))
+	case OpGather:
+		line(b, depth, label, fmt.Sprintf("Gather [ordered, degree <= %d]", n.Degree))
+		kid(n.Input, "")
+	case OpPartitionedScan:
+		line(b, depth, label, partScanLabel(n))
 	case OpSelect:
 		line(b, depth, label, "Select")
 		kid(n.Input, "in: ")
@@ -240,6 +245,19 @@ func pathScanLabel(n *Node) string {
 	return s
 }
 
+// partScanLabel renders a PartitionedScan: the tag extent or the path
+// extent (with pushed-down filters) the store range-splits into morsels.
+func partScanLabel(n *Node) string {
+	if n.Tag != "" {
+		return "PartitionedScan //" + n.Tag + " (tag extent)"
+	}
+	s := "PartitionedScan /" + strings.Join(n.Path, "/")
+	for _, f := range n.Filters {
+		s += "[push: " + f.String() + "]"
+	}
+	return s
+}
+
 // subtreePlain reports whether no optimizer decision is visible anywhere
 // in the subtree, so it can collapse to its source form.
 func subtreePlain(n *Node) bool {
@@ -252,7 +270,7 @@ func subtreePlain(n *Node) bool {
 		}
 		seen[n] = true
 		switch n.Op {
-		case OpPathScan, OpNLJoin, OpHashJoin:
+		case OpPathScan, OpNLJoin, OpHashJoin, OpGather, OpPartitionedScan:
 			plain = false
 			return
 		case OpCount:

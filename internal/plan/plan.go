@@ -50,6 +50,13 @@ type Options struct {
 	// NaiveStrings copies every string value touched, the embedded
 	// processor's materialization overhead (System G).
 	NaiveStrings bool
+	// MaxDegree caps the morsel-style intra-query parallelism of the
+	// parallelize rule: splittable scans may fan out into at most this
+	// many partitioned sub-pipelines, recombined by an ordered gather.
+	// 0 or 1 keeps every plan sequential. The plan records the cap; the
+	// actual degree of one execution is the session's parallelism budget
+	// clamped to it.
+	MaxDegree int
 }
 
 // Op enumerates the logical operators of the plan IR.
@@ -72,6 +79,18 @@ const (
 	// OpProject maps the Ret expression over the tuple chain Input: the
 	// FLWOR return clause.
 	OpProject
+	// OpPartitionedScan is a splittable scan leaf: a tag extent (Tag set)
+	// or a path extent (Path set, optionally with pushed-down Filters)
+	// whose store access path can be range-split into disjoint
+	// document-order morsels. Sequentially it behaves exactly like the
+	// scan it replaced.
+	OpPartitionedScan
+	// OpGather runs its Input sub-pipeline once per partition of the
+	// Scan leaf inside it — at most Degree partitions, each on its own
+	// worker — and recombines the partial results by ordered
+	// concatenation, which is the NodeID merge because partition ranges
+	// are totally ordered in document order.
+	OpGather
 
 	// OpTupleSrc is the single initial FLWOR tuple.
 	OpTupleSrc
@@ -112,8 +131,10 @@ const (
 
 var opNames = map[Op]string{
 	OpSerialize: "Serialize", OpPathScan: "PathScan", OpNavigate: "Navigate",
-	OpSelect: "Select", OpProject: "Project", OpTupleSrc: "TupleSrc",
-	OpFor: "For", OpLet: "Let", OpNLJoin: "NestedLoopJoin",
+	OpSelect: "Select", OpProject: "Project",
+	OpPartitionedScan: "PartitionedScan", OpGather: "Gather",
+	OpTupleSrc: "TupleSrc",
+	OpFor:      "For", OpLet: "Let", OpNLJoin: "NestedLoopJoin",
 	OpHashJoin: "HashJoin", OpWhere: "Select", OpOrderBy: "OrderBy",
 	OpCount: "Count", OpLiteral: "Literal", OpVar: "Var",
 	OpContext: "Context", OpRoot: "Root", OpQuantified: "Quantified",
@@ -209,11 +230,20 @@ type Node struct {
 	// the count argument, the unary operand.
 	Kids []*Node
 
-	// Path is the catalog path of OpPathScan (and CountCatalogPath).
+	// Path is the catalog path of OpPathScan and OpPartitionedScan (and
+	// CountCatalogPath).
 	Path []string
-	// Filters restrict an OpPathScan to rows satisfying pushed-down
-	// predicates.
+	// Tag is the tag extent of an OpPartitionedScan tag scan ("" for
+	// path scans).
+	Tag string
+	// Filters restrict an OpPathScan or OpPartitionedScan to rows
+	// satisfying pushed-down predicates.
 	Filters []nodestore.ValueFilter
+	// Degree is the maximum parallel degree of OpGather (the system
+	// profile's MaxDegree at plan time); Scan aliases the
+	// OpPartitionedScan leaf inside its Input subtree.
+	Degree int
+	Scan   *Node
 	// Steps is the step chain of OpNavigate.
 	Steps []*StepPlan
 	// Preds are the predicates of OpSelect.

@@ -11,8 +11,11 @@ import (
 // path-extent fusion claims leading steps before per-step strategies,
 // inlining fuses before attribute indexes can look at a step, attribute
 // indexes beat generic predicate pushdown on equality (a value-index probe
-// reads less than a filtered scan), and join selection runs over the tuple
-// chains last, after the clause sequences have their final shapes.
+// reads less than a filtered scan), join selection runs over the tuple
+// chains after the clause sequences have their final shapes, and
+// parallelize runs dead last so it partitions the final physical scan
+// shapes (filtered path extents, post-join chains) rather than
+// intermediate ones.
 func (p *Plan) Optimize(opts Options, store nodestore.Store) {
 	ruleCountShortcut(p, opts, store)
 	rulePathExtent(p, opts, store)
@@ -22,6 +25,7 @@ func (p *Plan) Optimize(opts Options, store nodestore.Store) {
 	rulePushdownExtent(p, store)
 	ruleJoins(p, opts)
 	ruleOrderByElim(p)
+	ruleParallelize(p, opts, store)
 }
 
 // stepPrefix returns the longest leading run of predicate-free named child

@@ -19,6 +19,8 @@ package service
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -56,6 +58,15 @@ type Catalog struct {
 // Load generates the benchmark document at factor, bulkloads it into each
 // of the given systems (all seven when systems is nil), and compiles all
 // twenty benchmark queries against each system into the plan cache.
+//
+// The per-system work — document parse, store build with its indexes, and
+// the twenty Prepare calls — is independent across systems, so Load runs
+// it concurrently, bounded by GOMAXPROCS. Cold start dominated xqserve
+// readiness at larger factors when the seven systems loaded back to back;
+// concurrent bulkload cuts it to roughly the slowest system's time. Each
+// goroutine fills its own result slot and the Catalog's shared maps are
+// written only after every loader has finished, keeping the published
+// Catalog as immutable as before.
 func Load(factor float64, systems []xmark.System) (*Catalog, error) {
 	if systems == nil {
 		systems = xmark.Systems()
@@ -74,17 +85,47 @@ func Load(factor float64, systems []xmark.System) (*Catalog, error) {
 	for _, q := range xmark.Queries() {
 		c.queryText[q.ID] = bench.QueryText(q.ID)
 	}
-	for _, s := range systems {
-		inst, err := s.Load(bench.DocText)
-		if err != nil {
-			return nil, fmt.Errorf("service: loading system %s: %w", s.ID, err)
-		}
-		c.instances[s.ID] = inst
-		for qid, text := range c.queryText {
-			prep, err := inst.Engine.Prepare(text)
+
+	type loaded struct {
+		inst     *xmark.Instance
+		prepared map[int]*engine.Prepared
+		err      error
+	}
+	results := make([]loaded, len(systems))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, s := range systems {
+		wg.Add(1)
+		go func(i int, s xmark.System) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &results[i]
+			inst, err := s.Load(bench.DocText)
 			if err != nil {
-				return nil, fmt.Errorf("service: compiling Q%d for system %s: %w", qid, s.ID, err)
+				r.err = fmt.Errorf("service: loading system %s: %w", s.ID, err)
+				return
 			}
+			r.inst = inst
+			r.prepared = make(map[int]*engine.Prepared, len(c.queryText))
+			for qid, text := range c.queryText {
+				prep, err := inst.Engine.Prepare(text)
+				if err != nil {
+					r.err = fmt.Errorf("service: compiling Q%d for system %s: %w", qid, s.ID, err)
+					return
+				}
+				r.prepared[qid] = prep
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for i, s := range systems {
+		r := &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		c.instances[s.ID] = r.inst
+		for qid, prep := range r.prepared {
 			c.prepared[prepKey{s.ID, qid}] = prep
 		}
 	}

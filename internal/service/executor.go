@@ -26,6 +26,14 @@ type Config struct {
 	Workers int
 	// QueueDepth is the admission queue capacity; <= 0 means 4×Workers.
 	QueueDepth int
+	// Parallel is the shared intra-query parallelism pool: the total
+	// number of partition workers the executor hands out across all
+	// in-flight requests. Each request is granted a degree of roughly
+	// Parallel divided by the requests currently executing, so one client
+	// on an idle 8-core box fans its scans out 8 ways while eight
+	// concurrent clients run sequentially — both saturate the hardware.
+	// <= 0 means GOMAXPROCS; 1 disables intra-query parallelism.
+	Parallel int
 }
 
 // Request names one query execution: a benchmark query by ID (1-20,
@@ -69,10 +77,15 @@ type task struct {
 // goroutine while the Catalog's stores and compiled plans are shared
 // read-only.
 type Executor struct {
-	cat     *Catalog
-	metrics *Metrics
-	queue   chan *task
-	workers int
+	cat      *Catalog
+	metrics  *Metrics
+	queue    chan *task
+	workers  int
+	parallel int
+
+	// degMu guards the pool's outstanding reservations (degGranted).
+	degMu      sync.Mutex
+	degGranted int
 
 	mu     sync.RWMutex
 	closed bool
@@ -89,11 +102,16 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 	if depth <= 0 {
 		depth = 4 * workers
 	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
 	e := &Executor{
-		cat:     cat,
-		metrics: NewMetrics(),
-		queue:   make(chan *task, depth),
-		workers: workers,
+		cat:      cat,
+		metrics:  NewMetrics(),
+		queue:    make(chan *task, depth),
+		workers:  workers,
+		parallel: parallel,
 	}
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
@@ -107,6 +125,46 @@ func (e *Executor) Metrics() *Metrics { return e.metrics }
 
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
+
+// Parallel returns the shared intra-query parallelism pool size.
+func (e *Executor) Parallel() int { return e.parallel }
+
+// grantDegree reserves one request's parallelism budget from the shared
+// pool: the pool divided by the requests in flight (this one included),
+// clamped to what the pool still has unclaimed, never below sequential.
+// A single client on an idle server gets the whole pool; a fully loaded
+// worker pool degrades everyone to degree 1. Reservation makes the pool
+// a real cap — concurrent grants can never hand out more partition
+// workers than Parallel — and releaseDegree returns the budget when the
+// request finishes. Degree-1 grants reserve nothing: a sequential
+// execution spawns no partition workers.
+func (e *Executor) grantDegree() int {
+	e.degMu.Lock()
+	defer e.degMu.Unlock()
+	active := int(e.metrics.inFlight.Load())
+	if active < 1 {
+		active = 1
+	}
+	deg := e.parallel / active
+	if avail := e.parallel - e.degGranted; deg > avail {
+		deg = avail
+	}
+	if deg <= 1 {
+		return 1
+	}
+	e.degGranted += deg
+	return deg
+}
+
+// releaseDegree returns a grantDegree reservation to the pool.
+func (e *Executor) releaseDegree(deg int) {
+	if deg <= 1 {
+		return
+	}
+	e.degMu.Lock()
+	e.degGranted -= deg
+	e.degMu.Unlock()
+}
 
 // QueueCap returns the admission queue capacity.
 func (e *Executor) QueueCap() int { return cap(e.queue) }
@@ -211,7 +269,7 @@ func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (
 		// entries are keyed by its expression nodes and would outlive it
 		// in the worker's session — an unbounded leak under a stream of
 		// ad-hoc queries. Give those a throwaway session instead.
-		sess = nil
+		sess = engine.NewSession()
 	default:
 		err = fmt.Errorf("service: request needs a QueryID or a Text")
 	}
@@ -222,6 +280,11 @@ func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (
 	if err != nil {
 		return resp, err
 	}
+	// Reserve the request's intra-query parallelism budget for this
+	// execution; the engine's Gather operators clamp it per plan.
+	degree := e.grantDegree()
+	defer e.releaseDegree(degree)
+	sess.Degree = degree
 
 	start := time.Now()
 	var buf bytes.Buffer

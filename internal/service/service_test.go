@@ -357,3 +357,46 @@ func itoa(v int) string {
 	}
 	return string(b[i:])
 }
+
+// TestConcurrentParallelDegreePool runs the executor with a large shared
+// intra-query parallelism pool and concurrent clients: each request gets
+// a degree slice, partitioned scans fan out inside the requests, and
+// every result must still be byte-identical to the sequential reference.
+// With -race this pins the combination of inter-query worker concurrency
+// and intra-query partition workers.
+func TestConcurrentParallelDegreePool(t *testing.T) {
+	c := testCat(t)
+	ref := sequentialReference(t, c)
+	ex := NewExecutor(c, Config{Workers: 4, QueueDepth: 256, Parallel: 8})
+	defer ex.Close()
+	if ex.Parallel() != 8 {
+		t.Fatalf("Parallel() = %d, want 8", ex.Parallel())
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range c.Systems() {
+				for _, qid := range []int{1, 5, 8, 14, 19, 20} {
+					resp, err := ex.Execute(context.Background(), Request{System: s.ID, QueryID: qid})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.Output != ref[prepKey{s.ID, qid}] {
+						errs <- errors.New("parallel-degree output differs from sequential reference")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

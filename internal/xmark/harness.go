@@ -3,6 +3,7 @@ package xmark
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/saxparse"
@@ -195,12 +196,18 @@ func (b *Benchmark) RunTable2(reps int) ([]Table2Row, error) {
 // Table 3.
 var Table3QueryIDs = []int{1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 17, 20}
 
-// Table3Cell is one measurement of Table 3.
+// Table3Cell is one measurement of Table 3. The JSON tags shape the
+// machine-readable BENCH_table3.json artifact `xmark -table3` emits
+// alongside the pretty-printed table, so the bench trajectory of query ×
+// system runtimes persists across runs instead of scrolling away.
 type Table3Cell struct {
-	QueryID int
-	System  SystemID
-	Time    time.Duration
-	OutSize int
+	QueryID int           `json:"query"`
+	System  SystemID      `json:"system"`
+	Time    time.Duration `json:"ns_op"`
+	OutSize int           `json:"out_bytes"`
+	// Allocs is the heap allocation count of the best run (compile plus
+	// streamed execution), measured from runtime.MemStats deltas.
+	Allocs uint64 `json:"allocs"`
 }
 
 // RunTable3 reproduces Table 3: runtimes of the reported queries on the
@@ -213,17 +220,22 @@ func (b *Benchmark) RunTable3() ([]Table3Cell, error) {
 	}
 	const reps = 3
 	var cells []Table3Cell
+	var ms runtime.MemStats
 	for _, qid := range Table3QueryIDs {
 		for _, inst := range instances {
 			cell := Table3Cell{QueryID: qid, System: inst.System.ID}
 			for r := 0; r < reps; r++ {
+				runtime.ReadMemStats(&ms)
+				before := ms.Mallocs
 				res, err := b.RunQuery(inst, qid)
 				if err != nil {
 					return nil, err
 				}
+				runtime.ReadMemStats(&ms)
 				if r == 0 || res.Total() < cell.Time {
 					cell.Time = res.Total()
 					cell.OutSize = len(res.Output)
+					cell.Allocs = ms.Mallocs - before
 				}
 			}
 			cells = append(cells, cell)

@@ -1,0 +1,173 @@
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// ParallelQueryIDs are the scan-heavy queries of the intra-query
+// parallelism benchmark: the big extent scans of the issue's motivation.
+// Q1 stays an attribute-index lookup on every indexed system (there is
+// nothing left to parallelize) and Q19's order by is a pipeline breaker,
+// so both document the sequential boundary of the morsel model; Q5, Q14
+// and Q20 are the scans the speedup curve is about.
+var ParallelQueryIDs = []int{1, 5, 14, 19, 20}
+
+// ParallelDegrees is the default degree axis of the speedup curve.
+var ParallelDegrees = []int{1, 2, 4, 8}
+
+// ParallelPoint is one cell of the intra-query parallelism experiment.
+type ParallelPoint struct {
+	System  SystemID `json:"system"`
+	QueryID int      `json:"query"`
+	Degree  int      `json:"degree"`
+	// NsOp is the best serialization wall time at this degree.
+	NsOp int64 `json:"ns_op"`
+	// Speedup is the degree-1 time divided by this degree's time.
+	Speedup float64 `json:"speedup"`
+	// Parallel reports whether the plan has a Gather operator at all;
+	// false marks the honest sequential baselines (Q1's index lookup,
+	// Q19's order-by pipeline breaker).
+	Parallel bool `json:"parallel"`
+	OutBytes int  `json:"out_bytes"`
+}
+
+// ParallelReport is the BENCH_parallel.json artifact: the degree 1→2→4→8
+// speedup curve of the scan-heavy queries.
+type ParallelReport struct {
+	Factor     float64         `json:"factor"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Degrees    []int           `json:"degrees"`
+	QueryIDs   []int           `json:"queries"`
+	Systems    []SystemID      `json:"systems"`
+	Points     []ParallelPoint `json:"points"`
+}
+
+// RunParallel measures the intra-query parallelism speedup curve: each
+// query is prepared once per system and serialized to a discarding writer
+// at every degree, best of reps runs. Parallel output is verified
+// byte-identical to the degree-1 run before anything is timed, so the
+// artifact can never report a speedup that changed the answer.
+func (b *Benchmark) RunParallel(systems []System, queryIDs, degrees []int, reps int) (*ParallelReport, error) {
+	if len(queryIDs) == 0 {
+		queryIDs = ParallelQueryIDs
+	}
+	if len(degrees) == 0 {
+		degrees = ParallelDegrees
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	report := &ParallelReport{
+		Factor:     b.Factor,
+		GoMaxProcs: maxProcs(),
+		Degrees:    degrees,
+		QueryIDs:   queryIDs,
+	}
+	for _, s := range systems {
+		report.Systems = append(report.Systems, s.ID)
+	}
+	instances, err := b.LoadAll(systems)
+	if err != nil {
+		return nil, err
+	}
+	for _, inst := range instances {
+		for _, qid := range queryIDs {
+			prep, err := inst.Engine.Prepare(b.QueryText(qid))
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d: %w", inst.System.ID, qid, err)
+			}
+			parallel := false
+			for _, r := range prep.Plan().Fired {
+				if r == "parallelize" {
+					parallel = true
+				}
+			}
+			ref, err := serializeDegreeString(prep, 1)
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d: %w", inst.System.ID, qid, err)
+			}
+			var base int64
+			for _, degree := range degrees {
+				if degree > 1 {
+					// Degree 1 is the reference itself; only parallel
+					// runs need the byte-identity check.
+					got, err := serializeDegreeString(prep, degree)
+					if err != nil {
+						return nil, fmt.Errorf("system %s Q%d degree %d: %w", inst.System.ID, qid, degree, err)
+					}
+					if got != ref {
+						return nil, fmt.Errorf("system %s Q%d degree %d: output differs from sequential (%d vs %d bytes)",
+							inst.System.ID, qid, degree, len(got), len(ref))
+					}
+				}
+				best := time.Duration(0)
+				for r := 0; r < reps; r++ {
+					d, err := timeSerialize(prep, degree)
+					if err != nil {
+						return nil, err
+					}
+					if r == 0 || d < best {
+						best = d
+					}
+				}
+				if degree == 1 || base == 0 {
+					base = best.Nanoseconds()
+				}
+				speedup := 0.0
+				if best > 0 {
+					speedup = float64(base) / float64(best.Nanoseconds())
+				}
+				report.Points = append(report.Points, ParallelPoint{
+					System: inst.System.ID, QueryID: qid, Degree: degree,
+					NsOp: best.Nanoseconds(), Speedup: speedup,
+					Parallel: parallel, OutBytes: len(ref),
+				})
+			}
+		}
+	}
+	return report, nil
+}
+
+// maxProcs reports the runtime's scheduler width for the artifact header.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// serializeDegreeString runs prep at the degree and returns the full
+// serialized output for the byte-identity verification pass.
+func serializeDegreeString(prep *engine.Prepared, degree int) (string, error) {
+	sess := engine.NewSession()
+	sess.Degree = degree
+	var b strings.Builder
+	if err := prep.SerializeSession(&b, sess); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// timeSerialize times one serialization of prep at the degree.
+func timeSerialize(prep *engine.Prepared, degree int) (time.Duration, error) {
+	sess := engine.NewSession()
+	sess.Degree = degree
+	start := time.Now()
+	err := prep.SerializeSession(io.Discard, sess)
+	return time.Since(start), err
+}
+
+// RenderParallel prints the speedup curve as a table.
+func (r *ParallelReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Intra-query parallelism (factor %g, GOMAXPROCS %d)\n", r.Factor, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-8s %6s %8s %12s %9s %s\n", "system", "query", "degree", "ns/op", "speedup", "plan")
+	for _, p := range r.Points {
+		plan := "sequential"
+		if p.Parallel {
+			plan = "gather"
+		}
+		fmt.Fprintf(w, "%-8s %6s %8d %12d %8.2fx %s\n",
+			p.System, fmt.Sprintf("Q%d", p.QueryID), p.Degree, p.NsOp, p.Speedup, plan)
+	}
+}

@@ -53,27 +53,32 @@ func SystemByID(id SystemID) (System, error) {
 	return System{}, fmt.Errorf("xmark: unknown system %q", id)
 }
 
+// systems holds the seven profiles. The indexed architectures A-E allow
+// morsel-style intra-query parallelism (MaxDegree 8): their stores expose
+// splittable extents. F navigates raw pointers and G is the embedded
+// single-session processor; both stay strictly sequential, like the
+// originals.
 var systems = []System{
 	{
 		ID:           SystemA,
 		Architecture: "relational, all XML data on one big heap relation (edge mapping [20])",
 		MassStorage:  true,
 		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewEdge(doc) },
-		opts:         engine.Options{HashJoins: true, AttrIndexes: true},
+		opts:         engine.Options{HashJoins: true, AttrIndexes: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemB,
 		Architecture: "relational, highly fragmenting mapping (one relation per label path)",
 		MassStorage:  true,
 		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewPath(doc) },
-		opts:         engine.Options{PathExtents: true, HashJoins: true, AttrIndexes: true},
+		opts:         engine.Options{PathExtents: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemC,
 		Architecture: "relational, DTD-derived schema with inlined #PCDATA children [23]",
 		MassStorage:  true,
 		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewInline(doc) },
-		opts:         engine.Options{PathExtents: true, HashJoins: true, Inlining: true, AttrIndexes: true},
+		opts:         engine.Options{PathExtents: true, HashJoins: true, Inlining: true, AttrIndexes: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemD,
@@ -82,7 +87,7 @@ var systems = []System{
 		build: func(doc *tree.Doc) nodestore.Store {
 			return nodestore.NewDOM("dom+summary", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true})
 		},
-		opts: engine.Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true},
+		opts: engine.Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemE,
@@ -91,7 +96,7 @@ var systems = []System{
 		build: func(doc *tree.Doc) nodestore.Store {
 			return nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true, AttrIndexes: true})
 		},
-		opts: engine.Options{HashJoins: true, AttrIndexes: true},
+		opts: engine.Options{HashJoins: true, AttrIndexes: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemF,
@@ -174,6 +179,13 @@ func (r QueryResult) Total() time.Duration { return r.Compile + r.Execute }
 // phase includes the per-session document parse, the constant overhead
 // Figure 4 exhibits.
 func (inst *Instance) Run(queryID int, text string) (QueryResult, error) {
+	return inst.RunDegree(queryID, text, 0)
+}
+
+// RunDegree is Run with an intra-query parallelism budget: a degree above
+// one lets the plan's Gather operators fan partitioned scans out across
+// worker goroutines. Output is byte-identical at every degree.
+func (inst *Instance) RunDegree(queryID int, text string, degree int) (QueryResult, error) {
 	res := QueryResult{System: inst.System.ID, QueryID: queryID}
 
 	eng := inst.Engine
@@ -195,9 +207,11 @@ func (inst *Instance) Run(queryID int, text string) (QueryResult, error) {
 	}
 	res.Compile = prep.CompileTime
 
+	sess := engine.NewSession()
+	sess.Degree = degree
 	start := time.Now()
 	var out strings.Builder
-	if err := prep.Serialize(&out); err != nil {
+	if err := prep.SerializeSession(&out, sess); err != nil {
 		return res, fmt.Errorf("system %s Q%d: %w", inst.System.ID, queryID, err)
 	}
 	res.Output = out.String()
