@@ -46,6 +46,7 @@ func main() {
 	inspect := flag.Bool("inspect", false, "structural profile of the document (§4 characteristics)")
 	clients := flag.Int("clients", 0, "throughput mode: scale closed-loop clients 1,2,4,... up to N")
 	parallel := flag.Int("parallel", 0, "parallel mode: measure intra-query speedup at degrees 1,2,4,... up to N")
+	batchbench := flag.Bool("batchbench", false, "batch mode: tuple vs batch ns/op and allocs per query x system, written to BENCH_batch.json")
 	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
 	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
 	systems := flag.String("systems", "", "throughput mode: systems to drive, e.g. DEF (empty = all seven)")
@@ -68,6 +69,14 @@ func main() {
 			dest = "BENCH_parallel.json"
 		}
 		runParallel(*factor, *parallel, *mix, *systems, dest)
+		return
+	}
+	if *batchbench {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_batch.json"
+		}
+		runBatchBench(*factor, *mix, *systems, dest)
 		return
 	}
 	if *all {
@@ -222,6 +231,40 @@ func runParallel(factor float64, maxDegree int, mixSpec, systemsSpec, dest strin
 	fmt.Printf("document: %.1f MB; degrees %v; queries %v; systems %s\n\n",
 		float64(len(bench.DocText))/1e6, degrees, queryIDs, systemsSpec)
 	report, err := bench.RunParallel(load, queryIDs, degrees, 3)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
+}
+
+// runBatchBench drives the batch-vs-tuple experiment: the Table 3 queries
+// (or an explicit -mix) serialized tuple-at-a-time and batch-at-a-time,
+// byte-verified identical, written to the BENCH_batch.json artifact.
+func runBatchBench(factor float64, mixSpec, systemsSpec, dest string) {
+	queryIDs := xmark.Table3QueryIDs
+	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
+		var err error
+		queryIDs, err = parseMix(mixSpec)
+		check(err)
+	}
+	load := xmark.MassStorageSystems()
+	if systemsSpec != "" {
+		load = nil
+		for _, r := range systemsSpec {
+			sys, err := xmark.SystemByID(xmark.SystemID(r))
+			check(err)
+			load = append(load, sys)
+		}
+	}
+
+	fmt.Printf("generating document at factor %g...\n", factor)
+	bench := xmark.NewBenchmark(factor)
+	fmt.Printf("document: %.1f MB; queries %v; %d systems\n\n",
+		float64(len(bench.DocText))/1e6, queryIDs, len(load))
+	report, err := bench.RunBatchBench(load, queryIDs, 5)
 	check(err)
 	report.Render(os.Stdout)
 

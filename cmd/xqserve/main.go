@@ -11,7 +11,10 @@
 // across every core while many concurrent clients each run sequentially.
 // -timeout bounds every request with a context deadline; a query that
 // exceeds it stops mid-stream (releasing its worker and any partition
-// workers) and answers 504 with the elapsed time.
+// workers) and answers 504 with the elapsed time. -batch sets the workers'
+// batch-at-a-time vector width (1 = tuple-at-a-time baseline). -pprof
+// exposes net/http/pprof under /debug/pprof/ — off by default — so
+// batch-vs-tuple CPU profiles can be captured from the running service.
 //
 // Endpoints:
 //
@@ -36,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -83,8 +87,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
 	degree := flag.Int("degree", 0, "shared intra-query parallelism pool (0 = GOMAXPROCS, 1 = sequential)")
+	batch := flag.Int("batch", 0, "batch-at-a-time vector width on the workers (0 = engine default, 1 = tuple-at-a-time)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline; slow queries answer 504 (0 = none)")
 	systems := flag.String("systems", "", "systems to load, e.g. ABD (empty = all seven)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	loaded, err := selectSystems(*systems)
@@ -96,6 +102,18 @@ func main() {
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if *pprofOn {
+		// Profiling endpoints are opt-in: they expose runtime internals,
+		// so the default server surface stays queries-only. With the flag
+		// set, batch-vs-tuple CPU and heap profiles can be captured from
+		// the running service, e.g.
+		//   go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=10'
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
@@ -117,7 +135,7 @@ func main() {
 			return
 		}
 		s.cat = cat
-		s.ex = service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue, Parallel: *degree})
+		s.ex = service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue, Parallel: *degree, BatchSize: *batch})
 		fmt.Printf("xqserve: ready — %d systems, %.1f MB document, loaded in %v\n",
 			len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
 	}()
@@ -186,12 +204,13 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(struct {
-		Workers  int              `json:"workers"`
-		QueueCap int              `json:"queue_cap"`
-		Parallel int              `json:"parallel"`
-		Factor   float64          `json:"factor"`
-		Snapshot service.Snapshot `json:"snapshot"`
-	}{ex.Workers(), ex.QueueCap(), ex.Parallel(), cat.Factor, ex.Metrics().Snapshot()})
+		Workers   int              `json:"workers"`
+		QueueCap  int              `json:"queue_cap"`
+		Parallel  int              `json:"parallel"`
+		BatchSize int              `json:"batch_size"`
+		Factor    float64          `json:"factor"`
+		Snapshot  service.Snapshot `json:"snapshot"`
+	}{ex.Workers(), ex.QueueCap(), ex.Parallel(), ex.BatchSize(), cat.Factor, ex.Metrics().Snapshot()})
 }
 
 // parseRequest extracts the system and query (number or ad-hoc text) of a

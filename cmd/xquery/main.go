@@ -10,6 +10,7 @@
 //	echo 'count(//item)' | xquery -               # query from stdin
 //	xquery -system B -n 20 -explain               # optimized plan, no execution
 //	xquery -factor 0.1 -n 14 -degree 8 -time      # morsel-parallel scan
+//	xquery -system B -n 20 -batch 1 -time         # strict tuple-at-a-time baseline
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the optimized plan and fired rules instead of executing")
 	timing := flag.Bool("time", false, "print load, compile and execution times")
 	degree := flag.Int("degree", 1, "intra-query parallelism budget (1 = sequential; output is byte-identical at any degree)")
+	batch := flag.Int("batch", 0, "batch-at-a-time vector width (0 = engine default, 1 = tuple-at-a-time; output is byte-identical at any width)")
 	flag.Parse()
 	if *queryFile == "" {
 		*queryFile = *queryFileF
@@ -82,7 +84,7 @@ func main() {
 		return
 	}
 
-	res, err := inst.RunDegree(0, src, *degree)
+	res, err := inst.RunOpts(0, src, *degree, *batch)
 	check(err)
 
 	fmt.Println(res.Output)

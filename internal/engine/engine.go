@@ -171,17 +171,32 @@ func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err err
 		sess = NewSession()
 	}
 	ev := &evaluator{
-		store:  p.engine.store,
-		opts:   p.engine.opts,
-		funcs:  p.plan.Funcs,
-		sess:   sess,
-		degree: sess.Degree,
+		store:     p.engine.store,
+		opts:      p.engine.opts,
+		funcs:     p.plan.Funcs,
+		sess:      sess,
+		degree:    sess.Degree,
+		batchSize: resolveBatchSize(sess.BatchSize, p.engine.opts.BatchSize),
 	}
 	// Registered after the recover defer, so it runs first during panic
 	// unwinding: partition workers never outlive their execution, whether
 	// it finished, errored, or the consumer stopped pulling mid-stream.
 	defer ev.stopGathers()
 	return consume(ev.iter(p.plan.Root, &bindings{}))
+}
+
+// resolveBatchSize picks one execution's vector width: the Session
+// override when set, else the engine Options, else the nodestore default.
+// Anything at or below 1 means strict tuple-at-a-time execution.
+func resolveBatchSize(sess, opts int) int {
+	switch {
+	case sess != 0:
+		return sess
+	case opts != 0:
+		return opts
+	default:
+		return nodestore.DefaultBatchSize
+	}
 }
 
 // Query compiles and runs src in one call.

@@ -71,6 +71,12 @@ type evaluator struct {
 	gathers  []*gather
 	part     nodestore.Cursor
 	partNode *plan.Node
+
+	// batchSize is the execution's vector width for the plan's vectorized
+	// prefixes, resolved at execute from the Session override, the engine
+	// Options and the nodestore default; 1 or less runs strictly
+	// tuple-at-a-time.
+	batchSize int
 }
 
 const maxRecursion = 2000
@@ -118,16 +124,31 @@ func (ev *evaluator) dispatch(n *plan.Node, env *bindings) Iterator {
 		return one(ev.focus.item)
 	case plan.OpRoot:
 		return one(DocItem{})
-	case plan.OpPathScan:
-		return ev.iterPathScan(n)
-	case plan.OpPartitionedScan:
-		return ev.iterPartScan(n)
+	case plan.OpPathScan, plan.OpPartitionedScan:
+		// Vectorized scans fill NodeID batches straight from the store
+		// cursor and surface items through the adapter; the tuple scan is
+		// the fallback for unmarked plans and batch size 1.
+		if bi := ev.batchOf(n, env); bi != nil {
+			return &fromBatchIter{in: bi}
+		}
+		if n.Op == plan.OpPartitionedScan {
+			return &nodeCursorIter{cur: ev.partScanCursor(n)}
+		}
+		return &nodeCursorIter{cur: ev.pathScanCursor(n)}
 	case plan.OpGather:
 		return ev.iterGather(n, env)
 	case plan.OpNavigate:
+		// A batched prefix (scan plus leading per-context steps) runs
+		// vector-at-a-time; the leftover steps consume it as items.
+		if in, rest, ok := ev.batchNavigate(n, env); ok {
+			return ev.iterSteps(in, rest, env)
+		}
 		return ev.iterSteps(ev.iter(n.Input, env), n.Steps, env)
 	case plan.OpSelect:
 		// Positions span the whole input sequence.
+		if bi := ev.batchOf(n, env); bi != nil {
+			return &fromBatchIter{in: bi}
+		}
 		return ev.filterCandidates(ev.iter(n.Input, env), n.Preds, env)
 	case plan.OpProject:
 		return &flatMapTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), ret: n.Ret}
@@ -159,16 +180,17 @@ func (ev *evaluator) dispatch(n *plan.Node, env *bindings) Iterator {
 	return nil
 }
 
-// iterPathScan streams the extent of an absolute label path from the
-// store's path catalog, applying pushed-down filters inside the store when
-// the planner fused them.
-func (ev *evaluator) iterPathScan(n *plan.Node) Iterator {
+// pathScanCursor opens the store cursor of an OpPathScan: the extent of an
+// absolute label path from the store's path catalog, applying pushed-down
+// filters inside the store when the planner fused them. Both the tuple and
+// the batch scan operators pull from it.
+func (ev *evaluator) pathScanCursor(n *plan.Node) nodestore.Cursor {
 	if len(n.Filters) > 0 {
 		if cur, ok := nodestore.PathExtentFiltered(ev.store, n.Path, n.Filters); ok {
-			return &nodeCursorIter{cur: cur}
+			return cur
 		}
 	} else if cur, ok := nodestore.PathExtent(ev.store, n.Path); ok {
-		return &nodeCursorIter{cur: cur}
+		return cur
 	}
 	// Unreachable for planned scans: the planner probed the catalog.
 	errf("store cannot answer path extent /%s", strings.Join(n.Path, "/"))

@@ -207,11 +207,20 @@ func (ev *evaluator) iterCount(n *plan.Node, env *bindings) Iterator {
 		// worker counts its morsel without materializing it. When the
 		// scan does not partition, drain the gather's sub-pipeline
 		// directly instead of re-dispatching the Gather node (which
-		// would probe the store's partition split a second time).
+		// would probe the store's partition split a second time) —
+		// vector-at-a-time when the sub-pipeline is batchable.
 		if total, ok := ev.gatherCount(arg, env); ok {
 			return one(NumItem(float64(total)))
 		}
+		if bi := ev.batchOf(arg.Input, env); bi != nil {
+			return one(NumItem(float64(drainBatchCount(bi))))
+		}
 		return one(NumItem(float64(drainCount(ev.iter(arg.Input, env)))))
+	}
+	// A vectorized count sums batch lengths: no id is ever boxed into an
+	// item on the way to the total.
+	if bi := ev.batchOf(n.Kids[0], env); bi != nil {
+		return one(NumItem(float64(drainBatchCount(bi))))
 	}
 	return one(NumItem(float64(drainCount(ev.iter(n.Kids[0], env)))))
 }

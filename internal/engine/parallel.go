@@ -125,12 +125,13 @@ func (ev *evaluator) spawn(n *plan.Node, env *bindings, parts []nodestore.Cursor
 	for i, cur := range parts {
 		g.parts[i].done = make(chan struct{})
 		wev := &evaluator{
-			store:    ev.store,
-			opts:     ev.opts,
-			funcs:    ev.funcs,
-			sess:     NewSession(),
-			part:     cur,
-			partNode: n.Scan,
+			store:     ev.store,
+			opts:      ev.opts,
+			funcs:     ev.funcs,
+			sess:      NewSession(),
+			part:      cur,
+			partNode:  n.Scan,
+			batchSize: ev.batchSize,
 		}
 		go g.work(i, wev, n.Input, env, countOnly)
 	}
@@ -150,6 +151,23 @@ func (g *gather) work(i int, wev *evaluator, pipe *plan.Node, env *bindings, cou
 			g.abort.Store(true)
 		}
 	}()
+	if countOnly {
+		// A counting worker over a vectorized sub-pipeline sums batch
+		// lengths instead of boxing every morsel id through the item
+		// pipeline; the abort flag is checked between batches.
+		if bi := wev.batchOf(pipe, env); bi != nil {
+			for {
+				if g.abort.Load() {
+					return
+				}
+				ids := bi.nextBatch()
+				if ids == nil {
+					return
+				}
+				p.count += len(ids)
+			}
+		}
+	}
 	it := wev.iter(pipe, env)
 	for produced := 0; ; produced++ {
 		if produced%abortCheckInterval == 0 && g.abort.Load() {
@@ -215,13 +233,16 @@ func (ev *evaluator) stopGathers() {
 	}
 }
 
-// iterPartScan streams a PartitionedScan leaf: the bound partition cursor
-// when this evaluator is a partition worker for this scan node, and the
-// full sequential scan otherwise. The sequential forms are exactly the
-// scans the parallelize rule replaced — the path extent (optionally
-// filtered) cursor, or the root element's tag-labeled descendants — so a
-// degree-1 execution is byte-identical to the pre-rewrite plan.
-func (ev *evaluator) iterPartScan(n *plan.Node) Iterator {
+// partScanCursor opens the store cursor of a PartitionedScan leaf: the
+// bound partition cursor when this evaluator is a partition worker for
+// this scan node, and the full sequential scan otherwise. The sequential
+// forms are exactly the scans the parallelize rule replaced — the path
+// extent (optionally filtered) cursor, or the root element's tag-labeled
+// descendants — so a degree-1 execution is byte-identical to the
+// pre-rewrite plan. Both the tuple and the batch scan operators pull from
+// it, which is how vectorization composes under Gather: a partition
+// worker's batch pipeline fills its vectors from the morsel cursor.
+func (ev *evaluator) partScanCursor(n *plan.Node) nodestore.Cursor {
 	if ev.partNode == n {
 		cur := ev.part
 		if cur == nil {
@@ -230,17 +251,17 @@ func (ev *evaluator) iterPartScan(n *plan.Node) Iterator {
 			errf("partitioned scan consumed twice")
 		}
 		ev.part = nil
-		return &nodeCursorIter{cur: cur}
+		return cur
 	}
 	if n.Tag != "" {
-		return &nodeCursorIter{cur: nodestore.Descendants(ev.store, ev.store.Root(), n.Tag)}
+		return nodestore.Descendants(ev.store, ev.store.Root(), n.Tag)
 	}
 	if len(n.Filters) > 0 {
 		if cur, ok := nodestore.PathExtentFiltered(ev.store, n.Path, n.Filters); ok {
-			return &nodeCursorIter{cur: cur}
+			return cur
 		}
 	} else if cur, ok := nodestore.PathExtent(ev.store, n.Path); ok {
-		return &nodeCursorIter{cur: cur}
+		return cur
 	}
 	// Unreachable for planned scans: the planner probed the catalog.
 	errf("store cannot answer partitioned scan")

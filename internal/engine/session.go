@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/plan"
+	"repro/internal/tree"
 )
 
 // Session is the per-worker mutable evaluation state: the recycled
@@ -29,6 +30,14 @@ type Session struct {
 	// request a degree from a shared pool before running it.
 	Degree int
 
+	// BatchSize overrides the vector width of batch-at-a-time execution
+	// for runs under this Session: 0 keeps the engine's configured width
+	// (Options.BatchSize, defaulting to nodestore.DefaultBatchSize), 1
+	// forces strict tuple-at-a-time execution (the benchmark baseline),
+	// and any larger value runs the plan's vectorized prefixes at that
+	// width. Output is byte-identical at every width.
+	BatchSize int
+
 	// stepFree, inlineFree and varFree recycle exhausted iterators (with
 	// their grown buffers): per-tuple paths in FLWOR return clauses
 	// re-evaluate constantly, and reuse makes their steady state
@@ -36,6 +45,9 @@ type Session struct {
 	stepFree   []*stepIter
 	inlineFree []*inlineTextIter
 	varFree    []*varIter
+	// batchFree recycles the NodeID vectors of exhausted batch operators,
+	// so steady-state vectorized execution allocates no batch buffers.
+	batchFree [][]tree.NodeID
 	// joinCache memoizes hash-join indexes keyed by the join's plan node,
 	// so correlated inner FLWORs (Q10) build the index once per session.
 	joinCache map[*plan.Node]*joinIndex
@@ -43,3 +55,29 @@ type Session struct {
 
 // NewSession returns an empty Session for one worker goroutine.
 func NewSession() *Session { return &Session{} }
+
+// getBatchBuf takes a recycled NodeID vector of at least n capacity from
+// the free list, or allocates a fresh one. The returned slice has length n.
+func (s *Session) getBatchBuf(n int) []tree.NodeID {
+	if k := len(s.batchFree); k > 0 {
+		b := s.batchFree[k-1]
+		s.batchFree = s.batchFree[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this execution's width (the session saw a smaller
+		// batch size earlier); drop it and allocate at the new width.
+	}
+	return make([]tree.NodeID, n)
+}
+
+// putBatchBuf returns an exhausted batch operator's vector to the free
+// list. Like the iterator free lists, recycling happens only at
+// exhaustion, so a vector still visible downstream is never handed out
+// twice.
+func (s *Session) putBatchBuf(b []tree.NodeID) {
+	if cap(b) == 0 {
+		return
+	}
+	s.batchFree = append(s.batchFree, b)
+}

@@ -1,0 +1,127 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+const batchDoc = `<site><people>` +
+	`<person income="10"><name>a</name></person>` +
+	`<person income="25"><name>b</name></person>` +
+	`<person><name>c</name></person>` +
+	`<person income="40"><name>d</name></person>` +
+	`<person income="55"><name>e</name></person>` +
+	`<person income="70"><name>f</name></person>` +
+	`<person income="85"><name>g</name></person>` +
+	`</people></site>`
+
+func parseBatchDoc(t *testing.T) *tree.Doc {
+	t.Helper()
+	doc, err := tree.Parse([]byte(batchDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func drainNext(cur nodestore.Cursor) []tree.NodeID {
+	var out []tree.NodeID
+	for {
+		id, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+func drainWidth(t *testing.T, cur nodestore.Cursor, width int) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	dst := make([]tree.NodeID, width)
+	for i := 0; ; i++ {
+		n := nodestore.FillBatch(cur, dst)
+		if n == 0 {
+			return out
+		}
+		out = append(out, dst[:n]...)
+		if i > 10000 {
+			t.Fatal("cursor never exhausted")
+		}
+	}
+}
+
+func sameIDs(t *testing.T, got, want []tree.NodeID, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, want %d (%v vs %v)", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPathFilteredBatchMatchesNext pins that the path mapping's filtered
+// fragment scan yields identical ids batch-wise and tuple-wise at every
+// width, including widths that straddle runs of rejected rows.
+func TestPathFilteredBatchMatchesNext(t *testing.T) {
+	s := NewPath(parseBatchDoc(t))
+	path := []string{"site", "people", "person"}
+	for _, fs := range [][]nodestore.ValueFilter{
+		{{Attr: "income", Op: nodestore.CmpGe, Num: 40, Numeric: true}},
+		{{Attr: "income", Op: nodestore.CmpLt, Num: 30, Numeric: true}},
+		{{Attr: "income", Op: nodestore.CmpGt, Num: 1e9, Numeric: true}}, // empty result
+		{{Child: "name", Op: nodestore.CmpEq, Value: "d"}},
+	} {
+		ref, ok := s.PathExtentFilteredCursor(path, fs)
+		if !ok {
+			t.Fatal("path mapping lost its filtered path scan")
+		}
+		want := drainNext(ref)
+		for _, width := range []int{1, 2, 3, 5, 64} {
+			cur, _ := s.PathExtentFilteredCursor(path, fs)
+			sameIDs(t, drainWidth(t, cur, width), want, "filtered path extent")
+		}
+	}
+}
+
+// TestEdgeRangeBatchMatchesNext pins the edge mapping's posting-range
+// cursor: tag extent partitions and descendant ranges batch identically
+// to their tuple drains.
+func TestEdgeRangeBatchMatchesNext(t *testing.T) {
+	s := NewEdge(parseBatchDoc(t))
+	ref := drainNext(s.DescendantsCursor(s.Root(), "person"))
+	if len(ref) != 7 {
+		t.Fatalf("descendants: got %d persons, want 7", len(ref))
+	}
+	for _, width := range []int{1, 2, 3, 64} {
+		sameIDs(t, drainWidth(t, s.DescendantsCursor(s.Root(), "person"), width), ref, "descendants")
+	}
+	parts, ok := s.TagExtentPartitions("person", 3)
+	if !ok {
+		t.Fatal("edge mapping lost its tag partitions")
+	}
+	var got []tree.NodeID
+	for _, p := range parts {
+		got = append(got, drainWidth(t, p, 2)...)
+	}
+	sameIDs(t, got, ref, "tag extent partitions")
+}
+
+// TestRowIDCursorBatch pins the relational row-projection cursor's batch
+// method against its tuple drain.
+func TestRowIDCursorBatch(t *testing.T) {
+	s := NewEdge(parseBatchDoc(t))
+	people := s.Children(s.Root(), nil)
+	if len(people) != 1 {
+		t.Fatalf("root children = %v", people)
+	}
+	ref := drainNext(s.ChildrenByTagCursor(people[0], "person"))
+	for _, width := range []int{1, 3, 16} {
+		sameIDs(t, drainWidth(t, s.ChildrenByTagCursor(people[0], "person"), width), ref, "children by tag")
+	}
+}

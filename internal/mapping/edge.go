@@ -350,6 +350,21 @@ func (c *rowIDCursor) Next() (tree.NodeID, bool) {
 	return tree.NodeID(r[c.col].I), true
 }
 
+// NextBatch implements nodestore.BatchCursor: one relational pull loop
+// fills the vector, projecting the Node column as it goes.
+func (c *rowIDCursor) NextBatch(dst []tree.NodeID) int {
+	n := 0
+	for n < len(dst) {
+		r, ok := c.it.Next()
+		if !ok {
+			break
+		}
+		dst[n] = tree.NodeID(r[c.col].I)
+		n++
+	}
+	return n
+}
+
 // ChildrenCursor implements nodestore.CursorStore: a streaming
 // select-project over the parent index posting list, skipping attribute
 // rows.
@@ -411,6 +426,27 @@ func (c *edgeRangeCursor) Next() (tree.NodeID, bool) {
 		}
 	}
 	return tree.Nil, false
+}
+
+// NextBatch implements nodestore.BatchCursor: the posting-list range fills
+// a whole NodeID vector per call, projecting the id column row by row in
+// one loop instead of one virtual dispatch per posting.
+func (c *edgeRangeCursor) NextBatch(dst []tree.NodeID) int {
+	n := 0
+	for len(c.rows) > 0 && n < len(dst) {
+		r := c.s.table.Row(int(c.rows[0]))
+		c.rows = c.rows[1:]
+		id := tree.NodeID(r[eID].I)
+		if id >= c.hi {
+			c.rows = nil
+			break
+		}
+		if r[eKind].I == rowElement {
+			dst[n] = id
+			n++
+		}
+	}
+	return n
 }
 
 // PathExtentCursor implements nodestore.CursorStore: the heap has no path

@@ -585,34 +585,24 @@ func (s *Path) fragValueMatch(pt *pathTable, id tree.NodeID, f nodestore.ValueFi
 // PathExtentFilteredCursor implements nodestore.FilteredCursorStore: the
 // defining strength of the fragmenting mapping extends to filtered scans —
 // a filtered full-path extent is one clustered fragment scan with the
-// predicate answered from the fragment's own attribute tables.
+// predicate answered from the fragment's own attribute tables. The cursor
+// is the shared selection-vector slice scan with the fragment-probing
+// match plugged in, so it batches like every other filtered extent.
 func (s *Path) PathExtentFilteredCursor(path []string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
 	s.metaOps.Add(1)
 	pt := s.catalog[strings.Join(path, "/")]
 	if pt == nil {
 		return nodestore.EmptyCursor{}, true // path provably empty
 	}
-	return &filteredIDCursor{s: s, pt: pt, ids: pt.ids, fs: fs}, true
+	return s.filteredCursor(pt, pt.ids, fs), true
 }
 
-// filteredIDCursor streams a fragment's clustered id column, skipping rows
-// rejected by the pushed-down filters.
-type filteredIDCursor struct {
-	s   *Path
-	pt  *pathTable
-	ids []tree.NodeID
-	fs  []nodestore.ValueFilter
-}
-
-func (c *filteredIDCursor) Next() (tree.NodeID, bool) {
-	for len(c.ids) > 0 {
-		id := c.ids[0]
-		c.ids = c.ids[1:]
-		if c.s.fragMatch(c.pt, id, c.fs) {
-			return id, true
-		}
-	}
-	return tree.Nil, false
+// filteredCursor scans one run of a fragment's clustered id column with
+// the pushed-down filters answered from the fragment's own tables.
+func (s *Path) filteredCursor(pt *pathTable, ids []tree.NodeID, fs []nodestore.ValueFilter) nodestore.Cursor {
+	return nodestore.NewMatchSliceCursor(ids, func(id tree.NodeID) bool {
+		return s.fragMatch(pt, id, fs)
+	})
 }
 
 // TagExtentPartitions implements nodestore.SplittableStore. Several
@@ -642,9 +632,9 @@ func (s *Path) PathExtentPartitions(path []string, k int) ([]nodestore.Cursor, b
 }
 
 // PathExtentFilteredPartitions implements nodestore.SplittableStore: each
-// partition is a filteredIDCursor over its range of the fragment's
-// clustered id column, evaluating the pushed-down predicates against the
-// fragment's own attribute and #text tables exactly like the sequential
+// partition is a filtered scan over its range of the fragment's clustered
+// id column, evaluating the pushed-down predicates against the fragment's
+// own attribute and #text tables exactly like the sequential
 // PathExtentFilteredCursor.
 func (s *Path) PathExtentFilteredPartitions(path []string, fs []nodestore.ValueFilter, k int) ([]nodestore.Cursor, bool) {
 	s.metaOps.Add(1)
@@ -655,7 +645,7 @@ func (s *Path) PathExtentFilteredPartitions(path []string, fs []nodestore.ValueF
 	ranges := nodestore.SplitIDs(pt.ids, k)
 	parts := make([]nodestore.Cursor, len(ranges))
 	for i, ids := range ranges {
-		parts[i] = &filteredIDCursor{s: s, pt: pt, ids: ids, fs: fs}
+		parts[i] = s.filteredCursor(pt, ids, fs)
 	}
 	return parts, true
 }

@@ -1,0 +1,132 @@
+package nodestore
+
+import "repro/internal/tree"
+
+// DefaultBatchSize is the engine's default vector width: large enough that
+// per-batch bookkeeping amortizes to nothing over the hot scan loops, small
+// enough that a batch of ids (plus a selection vector) stays comfortably in
+// L1/L2 cache.
+const DefaultBatchSize = 1024
+
+// BatchCursor is optionally implemented by cursors that can fill a whole
+// NodeID vector per call instead of surfacing one id per virtual Next
+// dispatch: the storage-layer half of the engine's batch-at-a-time
+// execution. NextBatch fills dst with up to len(dst) ids in the cursor's
+// document order and returns how many it wrote.
+//
+// The contract deliberately allows partial batches mid-stream — a filtered
+// scan may stop after inspecting a bounded run of candidates so a consumer
+// that terminates early never pays for a full vector of filter evaluations
+// — so only a return of 0 signals exhaustion; callers must keep calling
+// until then. Batch and Next calls must not be interleaved on one cursor.
+type BatchCursor interface {
+	NextBatch(dst []tree.NodeID) int
+}
+
+// FillBatch fills dst from cur, using the cursor's native batch method when
+// it has one and falling back to a Next loop otherwise, so every Cursor in
+// the system is batchable from the engine's point of view. Like NextBatch,
+// it returns the number of ids written and 0 at exhaustion.
+func FillBatch(cur Cursor, dst []tree.NodeID) int {
+	if bc, ok := cur.(BatchCursor); ok {
+		return bc.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		id, ok := cur.Next()
+		if !ok {
+			break
+		}
+		dst[n] = id
+		n++
+	}
+	return n
+}
+
+// NextBatch implements BatchCursor for slice-backed cursors — the DOM tag
+// extents, structural-summary path extents and the path mapping's clustered
+// fragment columns are all served as SliceCursors — with one copy and no
+// per-id dispatch.
+func (c *SliceCursor) NextBatch(dst []tree.NodeID) int {
+	n := copy(dst, c.ids[c.i:])
+	c.i += n
+	return n
+}
+
+// NextBatch implements BatchCursor for the empty cursor.
+func (EmptyCursor) NextBatch([]tree.NodeID) int { return 0 }
+
+// FilterBatch evaluates a pushed-down predicate over a whole candidate
+// vector with a selection vector: the returned slice (sel's backing array,
+// grown as needed) holds the indexes of the ids that satisfy match, in
+// order. match is the store's per-node filter evaluation (fragment probes,
+// posting-list scans), so stores share one batch loop instead of each
+// reimplementing the compaction.
+func FilterBatch(ids []tree.NodeID, sel []int32, match func(tree.NodeID) bool) []int32 {
+	sel = sel[:0]
+	for i, id := range ids {
+		if match(id) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// FilteredSliceCursor streams a document-order id slice restricted to the
+// ids satisfying a per-node match predicate: the one filtered scan loop
+// every slice-extent store shares. It batches with a selection vector —
+// filters evaluate over a bounded run of the extent at a time, so an
+// early-terminating consumer never pays for evaluations past its batch.
+// The DOM uses it with the generic MatchAll reference semantics; the path
+// mapping plugs in its fragment-probing match instead.
+type FilteredSliceCursor struct {
+	ids   []tree.NodeID
+	match func(tree.NodeID) bool
+	sel   []int32
+}
+
+// NewFilteredSliceCursor returns a filtered cursor over ids evaluating fs
+// through the generic MatchAll reference semantics; the slice is not
+// copied.
+func NewFilteredSliceCursor(s Store, ids []tree.NodeID, fs []ValueFilter) *FilteredSliceCursor {
+	return NewMatchSliceCursor(ids, func(id tree.NodeID) bool { return MatchAll(s, id, fs) })
+}
+
+// NewMatchSliceCursor returns a filtered cursor over ids with a custom
+// per-node match — for stores whose filter evaluation beats the generic
+// interface navigation (fragment probes, posting-list scans). The match
+// must honor the ValueFilter reference semantics.
+func NewMatchSliceCursor(ids []tree.NodeID, match func(tree.NodeID) bool) *FilteredSliceCursor {
+	return &FilteredSliceCursor{ids: ids, match: match}
+}
+
+// Next implements Cursor.
+func (c *FilteredSliceCursor) Next() (tree.NodeID, bool) {
+	for len(c.ids) > 0 {
+		id := c.ids[0]
+		c.ids = c.ids[1:]
+		if c.match(id) {
+			return id, true
+		}
+	}
+	return tree.Nil, false
+}
+
+// NextBatch implements BatchCursor.
+func (c *FilteredSliceCursor) NextBatch(dst []tree.NodeID) int {
+	for len(c.ids) > 0 {
+		run := c.ids
+		if len(run) > len(dst) {
+			run = run[:len(dst)]
+		}
+		c.ids = c.ids[len(run):]
+		c.sel = FilterBatch(run, c.sel, c.match)
+		if len(c.sel) > 0 {
+			for i, j := range c.sel {
+				dst[i] = run[j]
+			}
+			return len(c.sel)
+		}
+	}
+	return 0
+}

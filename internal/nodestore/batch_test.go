@@ -1,0 +1,158 @@
+package nodestore
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// fakeCursor is a Cursor without a native batch method, exercising the
+// FillBatch fallback loop.
+type fakeCursor struct {
+	ids []tree.NodeID
+}
+
+func (c *fakeCursor) Next() (tree.NodeID, bool) {
+	if len(c.ids) == 0 {
+		return tree.Nil, false
+	}
+	id := c.ids[0]
+	c.ids = c.ids[1:]
+	return id, true
+}
+
+func someIDs(n int) []tree.NodeID {
+	ids := make([]tree.NodeID, n)
+	for i := range ids {
+		ids[i] = tree.NodeID(i * 3)
+	}
+	return ids
+}
+
+// drainBatches pulls dst-sized batches until exhaustion and returns the
+// concatenation, checking the only-zero-means-done contract.
+func drainBatches(t *testing.T, fill func([]tree.NodeID) int, width int) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	dst := make([]tree.NodeID, width)
+	for i := 0; ; i++ {
+		n := fill(dst)
+		if n == 0 {
+			return out
+		}
+		if n < 0 || n > width {
+			t.Fatalf("batch %d: fill returned %d with width %d", i, n, width)
+		}
+		out = append(out, dst[:n]...)
+		if i > 10000 {
+			t.Fatal("batch fill never exhausted")
+		}
+	}
+}
+
+func TestSliceCursorNextBatch(t *testing.T) {
+	for _, width := range []int{1, 3, 7, 100} {
+		ids := someIDs(10)
+		cur := NewSliceCursor(ids)
+		got := drainBatches(t, cur.NextBatch, width)
+		if len(got) != 10 {
+			t.Fatalf("width %d: got %d ids, want 10", width, len(got))
+		}
+		for i, id := range got {
+			if id != ids[i] {
+				t.Fatalf("width %d: id %d = %d, want %d", width, i, id, ids[i])
+			}
+		}
+	}
+}
+
+func TestFillBatchFallback(t *testing.T) {
+	// A cursor without NextBatch still batches through the generic loop,
+	// including the partial final batch.
+	cur := &fakeCursor{ids: someIDs(10)}
+	out := drainBatches(t, func(dst []tree.NodeID) int { return FillBatch(cur, dst) }, 4)
+	if len(out) != 10 {
+		t.Fatalf("got %d ids, want 10", len(out))
+	}
+	// Native batch cursors route through NextBatch.
+	sc := NewSliceCursor(someIDs(5))
+	out = drainBatches(t, func(dst []tree.NodeID) int { return FillBatch(sc, dst) }, 2)
+	if len(out) != 5 {
+		t.Fatalf("slice cursor: got %d ids, want 5", len(out))
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	if n := (EmptyCursor{}).NextBatch(make([]tree.NodeID, 4)); n != 0 {
+		t.Fatalf("EmptyCursor.NextBatch = %d, want 0", n)
+	}
+	if n := NewSliceCursor(nil).NextBatch(make([]tree.NodeID, 4)); n != 0 {
+		t.Fatalf("empty SliceCursor.NextBatch = %d, want 0", n)
+	}
+	if n := FillBatch(&fakeCursor{}, make([]tree.NodeID, 4)); n != 0 {
+		t.Fatalf("FillBatch over empty cursor = %d, want 0", n)
+	}
+}
+
+func TestFilterBatchSelection(t *testing.T) {
+	ids := someIDs(8)
+	sel := FilterBatch(ids, nil, func(id tree.NodeID) bool { return id%2 == 0 })
+	// ids are 0,3,6,...,21; even ones are 0,6,12,18 at indexes 0,2,4,6.
+	want := []int32{0, 2, 4, 6}
+	if len(sel) != len(want) {
+		t.Fatalf("sel = %v, want %v", sel, want)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel = %v, want %v", sel, want)
+		}
+	}
+	// The scratch is reused without reallocating when capacity suffices.
+	sel2 := FilterBatch(ids[:4], sel, func(tree.NodeID) bool { return true })
+	if len(sel2) != 4 || &sel2[0] != &sel[:1][0] {
+		t.Fatalf("FilterBatch did not reuse the selection scratch")
+	}
+}
+
+func TestFilteredSliceCursorBatchMatchesNext(t *testing.T) {
+	doc, err := tree.Parse([]byte(`<site>` +
+		`<p income="10"/><p income="20"/><p income="30"/><p income="40"/>` +
+		`<p/><p income="50"/><p income="60"/>` +
+		`</site>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDOM("dom", doc, DOMOptions{TagExtents: true, FilteredScans: true})
+	ext, _ := d.TagExtent("p", nil)
+	fs := []ValueFilter{{Attr: "income", Op: CmpGe, Num: 30, Numeric: true}}
+
+	ref := drainCursorIDs(NewFilteredSliceCursor(d, ext, fs))
+	for _, width := range []int{1, 2, 3, 100} {
+		cur := NewFilteredSliceCursor(d, ext, fs)
+		got := drainBatches(t, cur.NextBatch, width)
+		if len(got) != len(ref) {
+			t.Fatalf("width %d: %d ids, want %d", width, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("width %d: id %d = %d, want %d", width, i, got[i], ref[i])
+			}
+		}
+	}
+	// All-rejected extents exhaust with 0, not a stuck loop.
+	none := NewFilteredSliceCursor(d, ext, []ValueFilter{{Attr: "income", Op: CmpGt, Num: 1e9, Numeric: true}})
+	if got := drainBatches(t, none.NextBatch, 2); len(got) != 0 {
+		t.Fatalf("all-rejected filter yielded %v", got)
+	}
+}
+
+func drainCursorIDs(cur Cursor) []tree.NodeID {
+	var out []tree.NodeID
+	for {
+		id, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}

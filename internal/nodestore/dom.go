@@ -16,21 +16,28 @@ type DOMOptions struct {
 	TagExtents bool
 	// AttrIndexes builds attribute value indexes (name, value) -> nodes.
 	AttrIndexes bool
+	// FilteredScans lets the store evaluate pushed-down value predicates
+	// inside its extent scans (FilteredCursorStore over the extent
+	// slices, with selection-vector batches). The plain-traversal and
+	// embedded profiles keep it off: they evaluate every predicate in
+	// the engine, like the originals.
+	FilteredScans bool
 }
 
 // DOM is a main-memory store over the parsed document tree.
 type DOM struct {
-	name    string
-	doc     *tree.Doc
-	sum     *summary.Summary
-	extents map[string][]tree.NodeID
-	attrIdx map[string]map[string][]tree.NodeID
+	name     string
+	doc      *tree.Doc
+	sum      *summary.Summary
+	extents  map[string][]tree.NodeID
+	attrIdx  map[string]map[string][]tree.NodeID
+	filtered bool
 }
 
 // NewDOM wraps a parsed document as a Store with the given access
 // structures.
 func NewDOM(name string, doc *tree.Doc, opts DOMOptions) *DOM {
-	d := &DOM{name: name, doc: doc}
+	d := &DOM{name: name, doc: doc, filtered: opts.FilteredScans}
 	if opts.Summary {
 		d.sum = summary.Build(doc)
 	}
@@ -245,6 +252,20 @@ func (c *domScanCursor) Next() (tree.NodeID, bool) {
 	return tree.Nil, false
 }
 
+// NextBatch implements BatchCursor: the pre-order range scan fills the
+// whole vector in one tight loop over the arena instead of one virtual
+// dispatch per matching element.
+func (c *domScanCursor) NextBatch(dst []tree.NodeID) int {
+	n := 0
+	for ; c.at < c.end && n < len(dst); c.at++ {
+		if c.doc.Kind(c.at) == tree.Element && c.doc.TagID(c.at) == c.sym {
+			dst[n] = c.at
+			n++
+		}
+	}
+	return n
+}
+
 // PathExtentCursor implements CursorStore; only the summary can answer it.
 // The cursor walks the summary's extent in place without copying it.
 func (d *DOM) PathExtentCursor(path []string) (Cursor, bool) {
@@ -277,11 +298,44 @@ func (d *DOM) PathExtentPartitions(path []string, k int) ([]Cursor, bool) {
 	return SliceCursors(SplitIDs(d.sum.Lookup(path...), k)), true
 }
 
-// PathExtentFilteredPartitions implements SplittableStore: main-memory
-// stores have no in-scan filter evaluation (they are not
-// FilteredCursorStores), so filtered scans stay sequential in the engine.
-func (d *DOM) PathExtentFilteredPartitions([]string, []ValueFilter, int) ([]Cursor, bool) {
-	return nil, false
+// ChildrenByTagFilteredCursor implements FilteredCursorStore when the
+// profile enables in-scan filtering: the child list materializes as usual
+// and the pushed-down predicates evaluate over it through the generic
+// reference semantics, so rows a predicate rejects never surface into the
+// engine's pipeline.
+func (d *DOM) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []ValueFilter) (Cursor, bool) {
+	if !d.filtered {
+		return nil, false
+	}
+	return NewFilteredSliceCursor(d, d.ChildrenByTag(n, tag, nil), fs), true
+}
+
+// PathExtentFilteredCursor implements FilteredCursorStore: the structural
+// summary's extent slice streams through the pushed-down predicates
+// (selection-vector batches), the main-memory counterpart of the path
+// mapping's filtered fragment scan.
+func (d *DOM) PathExtentFilteredCursor(path []string, fs []ValueFilter) (Cursor, bool) {
+	if !d.filtered || d.sum == nil {
+		return nil, false
+	}
+	return NewFilteredSliceCursor(d, d.sum.Lookup(path...), fs), true
+}
+
+// PathExtentFilteredPartitions implements SplittableStore: with in-scan
+// filtering enabled, each partition applies every pushed-down predicate
+// over its range of the summary's extent slice, exactly like the
+// sequential PathExtentFilteredCursor; profiles without FilteredScans
+// keep filtered scans sequential in the engine.
+func (d *DOM) PathExtentFilteredPartitions(path []string, fs []ValueFilter, k int) ([]Cursor, bool) {
+	if !d.filtered || d.sum == nil {
+		return nil, false
+	}
+	ranges := SplitIDs(d.sum.Lookup(path...), k)
+	parts := make([]Cursor, len(ranges))
+	for i, ids := range ranges {
+		parts[i] = NewFilteredSliceCursor(d, ids, fs)
+	}
+	return parts, true
 }
 
 // Stats implements Store.

@@ -165,6 +165,31 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 	case OpPartitionedScan:
 		line(b, depth, label, partScanLabel(n))
 	case OpSelect:
+		if n.Vectorized {
+			// A vectorized filter evaluates its predicates over whole
+			// batches with a selection vector.
+			sels := make([]string, 0, len(n.Preds))
+			simple := true
+			for _, pr := range n.Preds {
+				s, ok := oneline(pr)
+				if !ok {
+					simple = false
+					break
+				}
+				sels = append(sels, s)
+			}
+			if simple {
+				line(b, depth, label, "BatchSelect [sel="+strings.Join(sels, ", ")+"]")
+				kid(n.Input, "in: ")
+			} else {
+				line(b, depth, label, "BatchSelect")
+				kid(n.Input, "in: ")
+				for _, pr := range n.Preds {
+					kid(pr, "sel: ")
+				}
+			}
+			return
+		}
 		line(b, depth, label, "Select")
 		kid(n.Input, "in: ")
 		for _, pr := range n.Preds {
@@ -236,9 +261,14 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 	}
 }
 
-// pathScanLabel renders a PathScan with its pushed-down filters.
+// pathScanLabel renders a PathScan with its pushed-down filters; scans the
+// vectorize rule marked render as BatchScan, the batch-at-a-time operator.
 func pathScanLabel(n *Node) string {
-	s := "PathScan /" + strings.Join(n.Path, "/")
+	s := "PathScan /"
+	if n.Vectorized {
+		s = "BatchScan /"
+	}
+	s += strings.Join(n.Path, "/")
 	for _, f := range n.Filters {
 		s += "[push: " + f.String() + "]"
 	}
@@ -247,13 +277,25 @@ func pathScanLabel(n *Node) string {
 
 // partScanLabel renders a PartitionedScan: the tag extent or the path
 // extent (with pushed-down filters) the store range-splits into morsels.
+// Vectorized partitioned scans render as BatchScan with a partitioned
+// marker — each morsel runs vector-at-a-time inside its Gather.
 func partScanLabel(n *Node) string {
 	if n.Tag != "" {
+		if n.Vectorized {
+			return "BatchScan //" + n.Tag + " (partitioned tag extent)"
+		}
 		return "PartitionedScan //" + n.Tag + " (tag extent)"
 	}
-	s := "PartitionedScan /" + strings.Join(n.Path, "/")
+	s := "PartitionedScan /"
+	if n.Vectorized {
+		s = "BatchScan /"
+	}
+	s += strings.Join(n.Path, "/")
 	for _, f := range n.Filters {
 		s += "[push: " + f.String() + "]"
+	}
+	if n.Vectorized {
+		s += " (partitioned)"
 	}
 	return s
 }

@@ -57,6 +57,14 @@ type Options struct {
 	// actual degree of one execution is the session's parallelism budget
 	// clamped to it.
 	MaxDegree int
+	// BatchSize selects the vector width of batch-at-a-time execution:
+	// the vectorize rule marks batchable scan→step→select prefixes and
+	// the evaluator runs them over NodeID vectors of this many ids.
+	// 0 means the engine default (nodestore.DefaultBatchSize); 1 disables
+	// vectorization entirely (strict tuple-at-a-time, the pre-batch
+	// engine); an execution may override the width — but not re-enable a
+	// disabled rule — through its Session.
+	BatchSize int
 }
 
 // Op enumerates the logical operators of the plan IR.
@@ -284,6 +292,19 @@ type Node struct {
 	// enabling the evaluator's allocation-free boolean fast path and
 	// letting predicates skip positional-value handling.
 	BoolShaped bool
+
+	// Vectorized marks nodes the vectorize rule proved batchable: scans
+	// (OpPathScan, OpPartitionedScan) whose cursors fill NodeID vectors,
+	// and OpSelect nodes whose predicates are rank-independent so they
+	// evaluate over whole batches with a selection vector. The evaluator
+	// builds batch operators for marked nodes and falls back to the item
+	// iterators everywhere else.
+	Vectorized bool
+	// BatchSteps is the number of leading steps of an OpNavigate the
+	// batch pipeline may run vector-at-a-time (per-context child/text
+	// expansion into the output vector); the remaining steps run through
+	// the item-iterator fallback behind a batch→item adapter.
+	BatchSteps int
 }
 
 // FuncPlan is one compiled user function declaration.

@@ -12,10 +12,11 @@ import (
 // inlining fuses before attribute indexes can look at a step, attribute
 // indexes beat generic predicate pushdown on equality (a value-index probe
 // reads less than a filtered scan), join selection runs over the tuple
-// chains after the clause sequences have their final shapes, and
-// parallelize runs dead last so it partitions the final physical scan
-// shapes (filtered path extents, post-join chains) rather than
-// intermediate ones.
+// chains after the clause sequences have their final shapes, parallelize
+// runs over the final physical scan shapes (filtered path extents,
+// post-join chains) rather than intermediate ones, and vectorize runs dead
+// last so its batch marks land on the scans parallelize just partitioned —
+// each morsel then runs vector-at-a-time inside its Gather.
 func (p *Plan) Optimize(opts Options, store nodestore.Store) {
 	ruleCountShortcut(p, opts, store)
 	rulePathExtent(p, opts, store)
@@ -26,6 +27,7 @@ func (p *Plan) Optimize(opts Options, store nodestore.Store) {
 	ruleJoins(p, opts)
 	ruleOrderByElim(p)
 	ruleParallelize(p, opts, store)
+	ruleVectorize(p, opts, store)
 }
 
 // stepPrefix returns the longest leading run of predicate-free named child
@@ -202,7 +204,8 @@ func ruleAttrIndex(p *Plan, opts Options, store nodestore.Store) {
 // engine. Only a prefix may move: later predicates see positions within
 // the survivors of earlier ones, which the filtered scan preserves exactly.
 func rulePushdown(p *Plan, store nodestore.Store) {
-	if _, ok := store.(nodestore.FilteredCursorStore); !ok {
+	fcs, ok := store.(nodestore.FilteredCursorStore)
+	if !ok {
 		return
 	}
 	p.walk(func(n *Node) {
@@ -225,6 +228,14 @@ func rulePushdown(p *Plan, store nodestore.Store) {
 				pushed++
 			}
 			if pushed == 0 {
+				continue
+			}
+			// The interface alone is not the capability: a store may
+			// implement filtered cursors but decline them per profile
+			// (plain main-memory stores evaluate predicates in the
+			// engine). Probe it like every other catalog consultation.
+			p.Probes++
+			if _, supported := fcs.ChildrenByTagFilteredCursor(store.Root(), sp.Name, filters); !supported {
 				continue
 			}
 			sp.Filters = filters

@@ -1,0 +1,214 @@
+package plan
+
+import (
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+	"repro/internal/xquery"
+)
+
+// ruleVectorize is the batch-at-a-time execution rewrite: it marks the
+// scan→step→select pipeline prefixes the evaluator may run over NodeID
+// vectors instead of one item per virtual Next dispatch. The rule changes
+// no plan shape — batching is an execution strategy, not an algebraic
+// rewrite — so it only ever sets Vectorized/BatchSteps marks; the batch
+// operators and the tuple operators they replace are output-equivalent by
+// construction, and the item-iterator fallback behind the FromBatch adapter
+// covers everything the marks do not reach.
+//
+// What may batch, and why it is provably output-preserving:
+//
+//   - Scan leaves (OpPathScan, OpPartitionedScan): a scan yields exactly
+//     the ids of its store cursor in cursor order, so filling a vector per
+//     NextBatch call instead of one id per Next changes nothing but the
+//     dispatch granularity. Pushed-down ValueFilters evaluate inside the
+//     store either way (batch cursors use a selection vector).
+//   - Leading Navigate steps: child and text() steps are strictly
+//     per-context operators — each context node's candidates are emitted
+//     in place, with no cross-context sort or dedup — so expanding a
+//     context vector into an output vector is the same computation in a
+//     tighter loop. Descendant steps are only per-context when the context
+//     run is provably non-nested (the parallelize rule's path-extent
+//     argument: nodes of one exact label path never nest, and child steps
+//     preserve disjointness); a descendant step destroys that invariant,
+//     so at most one may batch and none may follow it on a tag extent,
+//     whose nodes may nest from the start. Steps with engine-evaluated
+//     predicates keep their per-context positional focus in the tuple
+//     operators. Attribute and inlined-text steps leave the NodeID domain.
+//   - OpSelect filters: a whole-sequence filter batches when every
+//     predicate is boolean-shaped and free of position()/last() — the same
+//     rank-independence analysis parallelize applies — because then the
+//     selection vector's per-id verdicts cannot depend on where a batch
+//     boundary falls.
+//
+// The rule composes under Gather: it marks the PartitionedScan leaf inside
+// a gathered sub-pipeline, so every morsel worker rips through its
+// partition's vectors, and the ordered gather (or the partial-sum count)
+// recombines exactly as before. BatchSize 1 in the system profile keeps
+// the rule off and the engine strictly tuple-at-a-time.
+//
+// The firing is cost-gated like every other catalog decision: the rule
+// probes the extent size (a compile-time metadata access, counted toward
+// the plan's probes) and leaves scans below minBatchExtent tuple-at-a-time
+// — a one-node container scan gains nothing from vector machinery and the
+// microsecond-scale queries over them would only pay its fixed setup.
+func ruleVectorize(p *Plan, opts Options, store nodestore.Store) {
+	if opts.BatchSize == 1 {
+		return
+	}
+	vz := &vectorizer{p: p, store: store}
+	p.walk(func(n *Node) { vz.batched(n) })
+}
+
+// minBatchExtent is the smallest scan extent worth vectorizing.
+const minBatchExtent = 32
+
+type vectorizer struct {
+	p     *Plan
+	store nodestore.Store
+	// done memoizes the per-node decision: walk visits every node once,
+	// but batched recurses through Input chains ahead of the walk.
+	done map[*Node]batchInfo
+}
+
+// batchInfo is the per-node analysis result. batched: the node's whole
+// output can flow as NodeID batches — the condition its consumer needs to
+// extend the pipeline upward. nonNested: the output run is provably
+// disjoint subtrees in document order, which is what entitles a consumer
+// to batch a descendant step without the tuple operator's covered-subtree
+// duplicate elimination. The flag must flow transitively through the whole
+// chain: a descendant step anywhere upstream (even inside a nested
+// Navigate) may emit nested nodes, so only the recursion — never the shape
+// of the immediate input node — can prove it.
+type batchInfo struct {
+	batched   bool
+	nonNested bool
+}
+
+// batched marks n (and, recursively, its pipeline input) and reports its
+// analysis result.
+func (vz *vectorizer) batched(n *Node) batchInfo {
+	if n == nil {
+		return batchInfo{}
+	}
+	if vz.done == nil {
+		vz.done = make(map[*Node]batchInfo)
+	}
+	if v, seen := vz.done[n]; seen {
+		return v
+	}
+	v := vz.mark(n)
+	vz.done[n] = v
+	return v
+}
+
+func (vz *vectorizer) mark(n *Node) batchInfo {
+	switch n.Op {
+	case OpPathScan, OpPartitionedScan:
+		if !vz.bigEnough(n) {
+			return batchInfo{}
+		}
+		n.Vectorized = true
+		vz.p.fire("vectorize", n)
+		// Path extents never nest (one exact label path cannot be a
+		// proper prefix of itself); tag extents may (parlist inside
+		// parlist).
+		return batchInfo{batched: true, nonNested: n.Op == OpPathScan || n.Tag == ""}
+	case OpNavigate:
+		in := vz.batched(n.Input)
+		if !in.batched {
+			return batchInfo{}
+		}
+		// Child and text steps preserve non-nestedness (children of
+		// disjoint ordered subtrees are disjoint and ordered); one
+		// descendant step is admitted only over a non-nested run and
+		// destroys the property for everything after it.
+		nonNested := in.nonNested
+		k := 0
+		for _, sp := range n.Steps {
+			if len(sp.Preds) > 0 || sp.Strategy != StepNavigate {
+				break
+			}
+			if sp.Axis == xquery.AxisDescendant {
+				if !nonNested || sp.Name == "*" || sp.Name == "" || len(sp.Filters) > 0 {
+					break
+				}
+				nonNested = false
+			} else if sp.Axis != xquery.AxisChild && sp.Axis != xquery.AxisText {
+				break
+			}
+			k++
+		}
+		n.BatchSteps = k
+		return batchInfo{batched: k == len(n.Steps), nonNested: nonNested}
+	case OpSelect:
+		in := vz.batched(n.Input)
+		if !in.batched {
+			return batchInfo{}
+		}
+		for _, pr := range n.Preds {
+			if !rankFreePred(vz.p, pr) {
+				return batchInfo{}
+			}
+		}
+		n.Vectorized = true
+		vz.p.fire("vectorize", n)
+		// Filtering keeps a subset in order: non-nestedness survives.
+		return batchInfo{batched: true, nonNested: in.nonNested}
+	}
+	return batchInfo{}
+}
+
+// bigEnough probes the store for the scan's extent size — a catalog
+// consultation counted like every other compile-time metadata access —
+// and reports whether it clears the vectorization threshold. The probe is
+// metadata-only where the store can answer (CountPath), and otherwise
+// pulls at most minBatchExtent ids from the scan's own cursor — never the
+// whole extent, which at factor 0.1 would copy tens of thousands of ids
+// per ad-hoc compile just to compare a length against 32. Filters do not
+// enter the estimate: a filtered scan still reads the whole extent, which
+// is exactly the work that batches.
+func (vz *vectorizer) bigEnough(n *Node) bool {
+	vz.p.Probes++
+	if n.Tag != "" {
+		if parts, ok := nodestore.TagExtentPartitions(vz.store, n.Tag, 1); ok {
+			return len(parts) == 1 && cursorAtLeast(parts[0], minBatchExtent)
+		}
+		ext, ok := vz.store.TagExtent(n.Tag, nil)
+		return ok && len(ext) >= minBatchExtent
+	}
+	if c, ok := vz.store.CountPath(n.Path); ok {
+		return c >= minBatchExtent
+	}
+	if cur, ok := nodestore.PathExtent(vz.store, n.Path); ok {
+		return cursorAtLeast(cur, minBatchExtent)
+	}
+	return false
+}
+
+// cursorAtLeast reports whether the cursor yields at least k ids, pulling
+// no more than k.
+func cursorAtLeast(cur nodestore.Cursor, k int) bool {
+	var buf [minBatchExtent]tree.NodeID
+	total := 0
+	for total < k {
+		n := nodestore.FillBatch(cur, buf[:k-total])
+		if n == 0 {
+			return false
+		}
+		total += n
+	}
+	return true
+}
+
+// rankFreePred reports whether a whole-sequence filter predicate is
+// independent of global ranks: boolean-shaped and free of position() and
+// last() — the same admission test the parallelize rule applies to
+// sequence filters, for the same reason (batch boundaries, like partition
+// boundaries, must not be observable).
+func rankFreePred(p *Plan, pr *Node) bool {
+	if !pr.BoolShaped || pr.UsesLast {
+		return false
+	}
+	isUser := func(name string) bool { _, ok := p.Funcs[name]; return ok }
+	return !usesFocusCallName(pr.Expr, isUser, "position")
+}

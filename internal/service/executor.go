@@ -34,6 +34,11 @@ type Config struct {
 	// concurrent clients run sequentially — both saturate the hardware.
 	// <= 0 means GOMAXPROCS; 1 disables intra-query parallelism.
 	Parallel int
+	// BatchSize is the vector width of batch-at-a-time execution on the
+	// workers: 0 keeps the engine default, 1 forces tuple-at-a-time (the
+	// benchmark baseline), larger values run the plans' vectorized
+	// prefixes at that width. Output is identical at every width.
+	BatchSize int
 }
 
 // Request names one query execution: a benchmark query by ID (1-20,
@@ -77,11 +82,12 @@ type task struct {
 // goroutine while the Catalog's stores and compiled plans are shared
 // read-only.
 type Executor struct {
-	cat      *Catalog
-	metrics  *Metrics
-	queue    chan *task
-	workers  int
-	parallel int
+	cat       *Catalog
+	metrics   *Metrics
+	queue     chan *task
+	workers   int
+	parallel  int
+	batchSize int
 
 	// degMu guards the pool's outstanding reservations (degGranted).
 	degMu      sync.Mutex
@@ -107,11 +113,12 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	e := &Executor{
-		cat:      cat,
-		metrics:  NewMetrics(),
-		queue:    make(chan *task, depth),
-		workers:  workers,
-		parallel: parallel,
+		cat:       cat,
+		metrics:   NewMetrics(),
+		queue:     make(chan *task, depth),
+		workers:   workers,
+		parallel:  parallel,
+		batchSize: cfg.BatchSize,
 	}
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
@@ -128,6 +135,9 @@ func (e *Executor) Workers() int { return e.workers }
 
 // Parallel returns the shared intra-query parallelism pool size.
 func (e *Executor) Parallel() int { return e.parallel }
+
+// BatchSize returns the configured vector width (0 = engine default).
+func (e *Executor) BatchSize() int { return e.batchSize }
 
 // grantDegree reserves one request's parallelism budget from the shared
 // pool: the pool divided by the requests in flight (this one included),
@@ -221,8 +231,10 @@ func (e *Executor) Close() {
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	// The worker's Session lives as long as the worker: free-list buffers
-	// and join build sides stay warm across every query it executes.
+	// and join build sides stay warm across every query it executes. The
+	// executor's batch width rides on it into every execution.
 	sess := engine.NewSession()
+	sess.BatchSize = e.batchSize
 	for t := range e.queue {
 		e.metrics.queueDepth.Add(-1)
 		wait := time.Since(t.enq)
@@ -270,6 +282,7 @@ func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (
 		// in the worker's session — an unbounded leak under a stream of
 		// ad-hoc queries. Give those a throwaway session instead.
 		sess = engine.NewSession()
+		sess.BatchSize = e.batchSize
 	default:
 		err = fmt.Errorf("service: request needs a QueryID or a Text")
 	}

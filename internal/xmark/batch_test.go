@@ -1,0 +1,84 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// serializeWith runs prep with the given parallelism degree and batch
+// width on a fresh session.
+func serializeWith(t *testing.T, prep *engine.Prepared, degree, batch int) string {
+	t.Helper()
+	sess := engine.NewSession()
+	sess.Degree = degree
+	sess.BatchSize = batch
+	var b strings.Builder
+	if err := prep.SerializeSession(&b, sess); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestBatchByteIdenticalAllQueries is the batch-mode regression net: for
+// every one of the twenty queries on every system architecture, batch-at-
+// a-time execution must serialize exactly the bytes of tuple-at-a-time
+// execution — at the default vector width, and at width 3, where batch
+// boundaries straddle every predicate run and partial batch the pipeline
+// can produce. It rides the CI race job (-run 'Batch|...') so the batch
+// operators' buffer recycling is race-checked alongside.
+func TestBatchByteIdenticalAllQueries(t *testing.T) {
+	b := bench(t, 0.01)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		text := b.QueryText(q.ID)
+		for _, inst := range instances {
+			prep, err := inst.Engine.Prepare(text)
+			if err != nil {
+				t.Fatalf("Q%d system %s: %v", q.ID, inst.System.ID, err)
+			}
+			want := serializeWith(t, prep, 0, 1)
+			for _, width := range []int{0, 3} {
+				if got := serializeWith(t, prep, 0, width); got != want {
+					t.Errorf("Q%d system %s: batch width %d differs from tuple mode (%d vs %d bytes)",
+						q.ID, inst.System.ID, width, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchParallelByteIdentical pins the composition of vectorization
+// with morsel parallelism: on the scan-heavy queries, every (degree,
+// width) combination — sequential and fanned out, tuple and batch — must
+// produce identical bytes, so each morsel worker ripping through its
+// partition in vectors changes nothing observable.
+func TestBatchParallelByteIdentical(t *testing.T) {
+	b := bench(t, 0.01)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range ParallelQueryIDs {
+		text := b.QueryText(qid)
+		for _, inst := range instances {
+			prep, err := inst.Engine.Prepare(text)
+			if err != nil {
+				t.Fatalf("Q%d system %s: %v", qid, inst.System.ID, err)
+			}
+			want := serializeWith(t, prep, 1, 1)
+			for _, degree := range []int{1, 8} {
+				for _, width := range []int{1, 3, 0} {
+					if got := serializeWith(t, prep, degree, width); got != want {
+						t.Errorf("Q%d system %s degree %d width %d: output differs (%d vs %d bytes)",
+							qid, inst.System.ID, degree, width, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/nodestore"
+)
+
+// BatchPoint is one cell of the batch-vs-tuple experiment: the same
+// prepared query serialized tuple-at-a-time (batch size 1, the
+// pre-vectorization engine) and batch-at-a-time (the default vector
+// width), byte-verified identical before anything is timed.
+type BatchPoint struct {
+	System  SystemID `json:"system"`
+	QueryID int      `json:"query"`
+	// TupleNs and BatchNs are the best serialization wall times.
+	TupleNs int64 `json:"tuple_ns_op"`
+	BatchNs int64 `json:"batch_ns_op"`
+	// TupleAllocs and BatchAllocs are the heap allocation counts of the
+	// best runs, from runtime.MemStats deltas.
+	TupleAllocs uint64 `json:"tuple_allocs"`
+	BatchAllocs uint64 `json:"batch_allocs"`
+	// Speedup is tuple time over batch time (1.0 = no change).
+	Speedup float64 `json:"speedup"`
+	// Vectorized reports whether the plan has any vectorize firing at
+	// all; false marks the honest tuple-only baselines (no scan leaf to
+	// batch — the plain-traversal and embedded systems, index lookups).
+	Vectorized bool `json:"vectorized"`
+	OutBytes   int  `json:"out_bytes"`
+}
+
+// BatchReport is the BENCH_batch.json artifact: tuple vs batch ns/op and
+// allocs per query × system.
+type BatchReport struct {
+	Factor     float64      `json:"factor"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	BatchSize  int          `json:"batch_size"`
+	QueryIDs   []int        `json:"queries"`
+	Systems    []SystemID   `json:"systems"`
+	Points     []BatchPoint `json:"points"`
+}
+
+// RunBatchBench measures tuple-at-a-time vs batch-at-a-time execution over
+// the Table 3 queries: each query is prepared once per system, its batch
+// output is byte-verified against the tuple output, and both modes are
+// timed best-of-reps with MemStats alloc deltas. Executions run at degree
+// 0 (sequential), so the comparison isolates the vectorization effect from
+// morsel parallelism.
+func (b *Benchmark) RunBatchBench(systems []System, queryIDs []int, reps int) (*BatchReport, error) {
+	if len(queryIDs) == 0 {
+		queryIDs = Table3QueryIDs
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	report := &BatchReport{
+		Factor:     b.Factor,
+		GoMaxProcs: maxProcs(),
+		BatchSize:  nodestore.DefaultBatchSize,
+		QueryIDs:   queryIDs,
+	}
+	for _, s := range systems {
+		report.Systems = append(report.Systems, s.ID)
+	}
+	instances, err := b.LoadAll(systems)
+	if err != nil {
+		return nil, err
+	}
+	for _, inst := range instances {
+		for _, qid := range queryIDs {
+			prep, err := inst.Engine.Prepare(b.QueryText(qid))
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d: %w", inst.System.ID, qid, err)
+			}
+			vectorized := false
+			for _, r := range prep.Plan().Fired {
+				if r == "vectorize" {
+					vectorized = true
+				}
+			}
+			ref, err := serializeBatchString(prep, 1)
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d tuple: %w", inst.System.ID, qid, err)
+			}
+			got, err := serializeBatchString(prep, 0)
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d batch: %w", inst.System.ID, qid, err)
+			}
+			if got != ref {
+				return nil, fmt.Errorf("system %s Q%d: batch output differs from tuple (%d vs %d bytes)",
+					inst.System.ID, qid, len(got), len(ref))
+			}
+			pt := BatchPoint{System: inst.System.ID, QueryID: qid,
+				Vectorized: vectorized, OutBytes: len(ref)}
+			if err := timeCell(prep, reps, &pt); err != nil {
+				return nil, err
+			}
+			if pt.BatchNs > 0 {
+				pt.Speedup = float64(pt.TupleNs) / float64(pt.BatchNs)
+			}
+			report.Points = append(report.Points, pt)
+		}
+	}
+	return report, nil
+}
+
+// serializeBatchString runs prep at the batch width and returns the full
+// serialized output for the byte-identity verification pass.
+func serializeBatchString(prep *engine.Prepared, batchSize int) (string, error) {
+	sess := engine.NewSession()
+	sess.BatchSize = batchSize
+	var b strings.Builder
+	if err := prep.SerializeSession(&b, sess); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// timeCell measures one query × system cell in both modes, interleaving a
+// tuple run and a batch run per repetition so clock drift, GC cycles and
+// scheduler noise land on both modes alike — timing the modes in separate
+// phases minutes apart makes sub-millisecond comparisons meaningless.
+// Every run gets a fresh Session (matching how Table 3 executes); runs
+// repeat at least reps times and fast cells keep repeating until a minimum
+// measurement window has accumulated, each mode keeping its best time and
+// that run's allocation count.
+//
+// Cells whose plan has no vectorize mark (pt.Vectorized false) run the
+// identical tuple pipeline at every width, so only tuple mode is timed and
+// the measurement stands for both columns — timing "both modes" there
+// would only compare machine noise against itself.
+func timeCell(prep *engine.Prepared, reps int, pt *BatchPoint) error {
+	const (
+		minWindow = 250 * time.Millisecond
+		maxReps   = 4000
+	)
+	runtime.GC() // start the cell with a clean heap instead of a random GC debt
+	gcEach := false
+	var total time.Duration
+	for r := 0; r < reps || (total < minWindow && r < maxReps); r++ {
+		if gcEach {
+			// Allocation-heavy cells (the join queries touch >10M
+			// allocations per run) are dominated by where the GC cycles
+			// happen to land; pinning a collection before every run makes
+			// the two modes comparable at the cost of a slower sweep.
+			runtime.GC()
+		}
+		dTuple, aTuple, err := timeOnce(prep, 1)
+		if err != nil {
+			return err
+		}
+		total += dTuple
+		if r == 0 || dTuple.Nanoseconds() < pt.TupleNs {
+			pt.TupleNs, pt.TupleAllocs = dTuple.Nanoseconds(), aTuple
+		}
+		if pt.Vectorized {
+			if gcEach {
+				runtime.GC()
+			}
+			dBatch, aBatch, err := timeOnce(prep, 0)
+			if err != nil {
+				return err
+			}
+			total += dBatch
+			if r == 0 || dBatch.Nanoseconds() < pt.BatchNs {
+				pt.BatchNs, pt.BatchAllocs = dBatch.Nanoseconds(), aBatch
+			}
+		}
+		gcEach = aTuple > 1_000_000
+	}
+	if !pt.Vectorized {
+		pt.BatchNs, pt.BatchAllocs = pt.TupleNs, pt.TupleAllocs
+	}
+	return nil
+}
+
+// timeOnce serializes prep once at the batch width on a fresh Session and
+// returns the wall time and allocation count.
+func timeOnce(prep *engine.Prepared, batchSize int) (time.Duration, uint64, error) {
+	sess := engine.NewSession()
+	sess.BatchSize = batchSize
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
+	start := time.Now()
+	if err := prep.SerializeSession(io.Discard, sess); err != nil {
+		return 0, 0, err
+	}
+	d := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return d, ms.Mallocs - before, nil
+}
+
+// Render prints the batch-vs-tuple table.
+func (r *BatchReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Batch vs tuple execution (factor %g, batch size %d)\n", r.Factor, r.BatchSize)
+	fmt.Fprintf(w, "%-8s %6s %12s %12s %8s %12s %12s %s\n",
+		"system", "query", "tuple ns/op", "batch ns/op", "speedup", "tuple allocs", "batch allocs", "plan")
+	for _, p := range r.Points {
+		plan := "tuple-only"
+		if p.Vectorized {
+			plan = "vectorized"
+		}
+		fmt.Fprintf(w, "%-8s %6s %12d %12d %7.2fx %12d %12d %s\n",
+			p.System, fmt.Sprintf("Q%d", p.QueryID), p.TupleNs, p.BatchNs, p.Speedup,
+			p.TupleAllocs, p.BatchAllocs, plan)
+	}
+}

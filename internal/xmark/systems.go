@@ -85,7 +85,7 @@ var systems = []System{
 		Architecture: "main-memory with detailed structural summary and tag indexes",
 		MassStorage:  true,
 		build: func(doc *tree.Doc) nodestore.Store {
-			return nodestore.NewDOM("dom+summary", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true})
+			return nodestore.NewDOM("dom+summary", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true, FilteredScans: true})
 		},
 		opts: engine.Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8},
 	},
@@ -186,6 +186,15 @@ func (inst *Instance) Run(queryID int, text string) (QueryResult, error) {
 // one lets the plan's Gather operators fan partitioned scans out across
 // worker goroutines. Output is byte-identical at every degree.
 func (inst *Instance) RunDegree(queryID int, text string, degree int) (QueryResult, error) {
+	return inst.RunOpts(queryID, text, degree, 0)
+}
+
+// RunOpts is RunDegree with an explicit batch-at-a-time vector width:
+// 0 keeps the engine default, 1 forces strict tuple-at-a-time execution
+// (the pre-vectorization baseline the batch benchmark compares against),
+// larger values run the plan's vectorized prefixes at that width. Output
+// is byte-identical at every width and every degree.
+func (inst *Instance) RunOpts(queryID int, text string, degree, batchSize int) (QueryResult, error) {
 	res := QueryResult{System: inst.System.ID, QueryID: queryID}
 
 	eng := inst.Engine
@@ -209,6 +218,7 @@ func (inst *Instance) RunDegree(queryID int, text string, degree int) (QueryResu
 
 	sess := engine.NewSession()
 	sess.Degree = degree
+	sess.BatchSize = batchSize
 	start := time.Now()
 	var out strings.Builder
 	if err := prep.SerializeSession(&out, sess); err != nil {
