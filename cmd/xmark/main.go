@@ -18,6 +18,11 @@
 //	                             # intra-query parallelism speedup curve
 //	                             # (degrees 1,2,4,8 on the scan-heavy
 //	                             # queries), written to BENCH_parallel.json
+//	xmark -shardbench 8 -factor 0.1
+//	                             # sharded scatter-gather scaling (shard
+//	                             # counts 1,2,4,8; every cell byte-verified
+//	                             # against the unsharded reference), written
+//	                             # to BENCH_shard.json
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/xmark"
 )
 
@@ -47,6 +53,7 @@ func main() {
 	clients := flag.Int("clients", 0, "throughput mode: scale closed-loop clients 1,2,4,... up to N")
 	parallel := flag.Int("parallel", 0, "parallel mode: measure intra-query speedup at degrees 1,2,4,... up to N")
 	batchbench := flag.Bool("batchbench", false, "batch mode: tuple vs batch ns/op and allocs per query x system, written to BENCH_batch.json")
+	shardbench := flag.Int("shardbench", 0, "shard mode: scatter-gather scaling at shard counts 1,2,4,... up to N, written to BENCH_shard.json")
 	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
 	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
 	systems := flag.String("systems", "", "throughput mode: systems to drive, e.g. DEF (empty = all seven)")
@@ -77,6 +84,14 @@ func main() {
 			dest = "BENCH_batch.json"
 		}
 		runBatchBench(*factor, *mix, *systems, dest)
+		return
+	}
+	if *shardbench > 0 {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_shard.json"
+		}
+		runShardBench(*factor, *shardbench, *mix, *systems, dest)
 		return
 	}
 	if *all {
@@ -265,6 +280,42 @@ func runBatchBench(factor float64, mixSpec, systemsSpec, dest string) {
 	fmt.Printf("document: %.1f MB; queries %v; %d systems\n\n",
 		float64(len(bench.DocText))/1e6, queryIDs, len(load))
 	report, err := bench.RunBatchBench(load, queryIDs, 5)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
+}
+
+// runShardBench drives the sharded scale-out experiment: the shardable
+// query mix (or an explicit -mix) through the scatter-gather coordinator
+// at shard counts 1,2,4,... up to maxShards, every cell byte-verified
+// against the unsharded reference, written to the BENCH_shard.json
+// artifact.
+func runShardBench(factor float64, maxShards int, mixSpec, systemsSpec, dest string) {
+	queryIDs := shard.ShardBenchQueryIDs
+	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
+		var err error
+		queryIDs, err = parseMix(mixSpec)
+		check(err)
+	}
+	if systemsSpec == "" {
+		// Same pair as the parallel experiment: the fragmenting mapping and
+		// the summarized main-memory store.
+		systemsSpec = "BD"
+	}
+	var load []xmark.System
+	for _, r := range systemsSpec {
+		sys, err := xmark.SystemByID(xmark.SystemID(r))
+		check(err)
+		load = append(load, sys)
+	}
+
+	fmt.Printf("shard scaling at factor %g: shard counts %v; queries %v; systems %s\n\n",
+		factor, shard.ShardSteps(maxShards), queryIDs, systemsSpec)
+	report, err := shard.RunShardBench(factor, maxShards, load, queryIDs, 3)
 	check(err)
 	report.Render(os.Stdout)
 

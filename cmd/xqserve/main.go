@@ -16,12 +16,19 @@
 // exposes net/http/pprof under /debug/pprof/ — off by default — so
 // batch-vs-tuple CPU profiles can be captured from the running service.
 //
+// -shards N partitions the document across N disjoint shards and serves
+// /query by scatter-gather: decomposable queries fan out to every shard
+// and merge in document order, the rest fall back to a global unsharded
+// replica. -shard-retries, -shard-deadline and -shard-policy tune the
+// coordinator's robustness (see the /shards endpoint for live counters).
+//
 // Endpoints:
 //
 //	GET /query?system=D&q=8               benchmark query 8 on System D
 //	GET /query?system=A&q=count(//item)   ad-hoc query text
 //	GET /explain?system=D&q=8             optimized plan + fired rules
 //	GET /stats                            executor metrics as JSON
+//	GET /shards                           shard topology + fault counters
 //	GET /healthz                          readiness + catalog load status
 //
 // The server starts listening immediately and loads the catalog in the
@@ -47,11 +54,15 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/xmark"
 )
 
 // server holds the service state behind the HTTP handlers. The catalog
 // loads asynchronously; cat/ex flip from nil exactly once under mu.
+// In sharded mode (-shards > 1) co routes /query through the
+// scatter-gather coordinator while cat/ex point at its global unsharded
+// replica, so /explain and /stats keep working unchanged.
 type server struct {
 	factor  float64
 	start   time.Time
@@ -60,6 +71,7 @@ type server struct {
 	mu      sync.RWMutex
 	cat     *service.Catalog
 	ex      *service.Executor
+	co      *shard.Coordinator
 	loadErr error
 }
 
@@ -90,17 +102,30 @@ func main() {
 	batch := flag.Int("batch", 0, "batch-at-a-time vector width on the workers (0 = engine default, 1 = tuple-at-a-time)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline; slow queries answer 504 (0 = none)")
 	systems := flag.String("systems", "", "systems to load, e.g. ABD (empty = all seven)")
+	shards := flag.Int("shards", 0, "partition the document across N shards and scatter-gather queries (0 or 1 = unsharded)")
+	shardRetries := flag.Int("shard-retries", 1, "sharded mode: retries per transiently failed shard sub-query")
+	shardDeadline := flag.Duration("shard-deadline", 0, "sharded mode: per-shard sub-query deadline (0 = none)")
+	shardPolicy := flag.String("shard-policy", "fail-fast", "sharded mode: degraded-mode policy, fail-fast | partial")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	loaded, err := selectSystems(*systems)
 	check(err)
+	policy := shard.FailFast
+	switch *shardPolicy {
+	case "fail-fast":
+	case "partial":
+		policy = shard.PartialResults
+	default:
+		check(fmt.Errorf("unknown -shard-policy %q (want fail-fast or partial)", *shardPolicy))
+	}
 
 	s := &server{factor: *factor, start: time.Now(), timeout: *timeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/shards", s.handleShards)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if *pprofOn {
 		// Profiling endpoints are opt-in: they expose runtime internals,
@@ -126,6 +151,31 @@ func main() {
 	// Load in the background so /healthz can report progress from the
 	// first moment; readiness flips atomically when the catalog is up.
 	go func() {
+		exec := service.Config{Workers: *workers, QueueDepth: *queue, Parallel: *degree, BatchSize: *batch}
+		if *shards > 1 {
+			scat, err := shard.Load(*factor, *shards, loaded)
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err == nil {
+				s.co, err = shard.NewCoordinator(scat, shard.Config{
+					Exec:          exec,
+					ShardDeadline: *shardDeadline,
+					Retries:       *shardRetries,
+					Policy:        policy,
+					Injector:      nil,
+				})
+			}
+			if err != nil {
+				s.loadErr = err
+				fmt.Fprintln(os.Stderr, "xqserve: sharded catalog load failed:", err)
+				return
+			}
+			s.cat = scat.Global
+			s.ex = s.co.Global()
+			fmt.Printf("xqserve: ready — %d shards, %d systems, %.1f MB document, loaded in %v\n",
+				s.co.Shards(), len(scat.Global.Systems()), float64(scat.Global.DocBytes)/1e6, scat.LoadTime)
+			return
+		}
 		cat, err := service.Load(*factor, loaded)
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -135,7 +185,7 @@ func main() {
 			return
 		}
 		s.cat = cat
-		s.ex = service.NewExecutor(cat, service.Config{Workers: *workers, QueueDepth: *queue, Parallel: *degree, BatchSize: *batch})
+		s.ex = service.NewExecutor(cat, exec)
 		fmt.Printf("xqserve: ready — %d systems, %.1f MB document, loaded in %v\n",
 			len(cat.Systems()), float64(cat.DocBytes)/1e6, cat.LoadTime)
 	}()
@@ -148,9 +198,12 @@ func main() {
 	defer cancel()
 	_ = srv.Shutdown(ctx)
 	s.mu.RLock()
-	ex := s.ex
+	ex, co := s.ex, s.co
 	s.mu.RUnlock()
-	if ex != nil {
+	if co != nil {
+		// Closes every shard executor and the global replica's (s.ex).
+		co.Close()
+	} else if ex != nil {
 		ex.Close()
 	}
 }
@@ -160,18 +213,22 @@ func main() {
 // when the load failed. Drivers poll this instead of sleeping.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	cat, loadErr := s.cat, s.loadErr
+	cat, co, loadErr := s.cat, s.co, s.loadErr
 	s.mu.RUnlock()
 
 	type health struct {
 		Status    string   `json:"status"`
 		Factor    float64  `json:"factor"`
 		UptimeSec float64  `json:"uptime_sec"`
+		Shards    int      `json:"shards,omitempty"`
 		Systems   []string `json:"systems,omitempty"`
 		LoadMs    float64  `json:"load_ms,omitempty"`
 		Error     string   `json:"error,omitempty"`
 	}
 	h := health{Factor: s.factor, UptimeSec: time.Since(s.start).Seconds()}
+	if co != nil {
+		h.Shards = co.Shards()
+	}
 	code := http.StatusOK
 	switch {
 	case loadErr != nil:
@@ -255,30 +312,81 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
+
+	s.mu.RLock()
+	co := s.co
+	s.mu.RUnlock()
+	if co != nil {
+		// Sharded mode: scatter-gather through the coordinator (the
+		// non-decomposable queries fall back to the global replica inside).
+		var res shard.Result
+		if req.QueryID != 0 {
+			res, err = co.Query(ctx, req.System, req.QueryID)
+		} else {
+			res, err = co.QueryText(ctx, req.System, req.Text)
+		}
+		if s.writeQueryError(w, r, ctx, err, start) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Shard-Scattered", strconv.FormatBool(res.Scattered))
+		w.Header().Set("X-Shard-Merge", res.Merge.String())
+		if res.Partial {
+			w.Header().Set("X-Shard-Partial", fmt.Sprint(res.Failed))
+		}
+		fmt.Fprintln(w, res.Output)
+		return
+	}
+
 	resp, err := ex.Execute(ctx, req)
-	switch {
-	case err == nil:
-	case errors.Is(err, service.ErrQueueFull):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil && r.Context().Err() == nil:
-		// The server deadline fired while the client was still there:
-		// report the timeout with the elapsed time instead of hanging
-		// the worker on an unbounded query.
-		http.Error(w, fmt.Sprintf("query timed out after %v (limit %v)",
-			time.Since(start).Round(time.Millisecond), s.timeout), http.StatusGatewayTimeout)
-		return
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// The client is gone; nothing useful to write.
-		return
-	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if s.writeQueryError(w, r, ctx, err, start) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Query-Wait", resp.Wait.String())
 	w.Header().Set("X-Query-Exec", resp.Exec.String())
 	fmt.Fprintln(w, resp.Output)
+}
+
+// writeQueryError maps an execution error to its HTTP answer, reporting
+// whether the request is finished. A nil error reports false.
+func (s *server) writeQueryError(w http.ResponseWriter, r *http.Request, ctx context.Context, err error, start time.Time) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, service.ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil && r.Context().Err() == nil:
+		// The server deadline fired while the client was still there:
+		// report the timeout with the elapsed time instead of hanging
+		// the worker on an unbounded query.
+		http.Error(w, fmt.Sprintf("query timed out after %v (limit %v)",
+			time.Since(start).Round(time.Millisecond), s.timeout), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; nothing useful to write.
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	return true
+}
+
+// handleShards reports the scatter-gather topology and fault counters;
+// 404 when the server runs unsharded.
+func (s *server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	co := s.co
+	s.mu.RUnlock()
+	if co == nil {
+		if _, _, ok := s.ready(w); !ok {
+			return
+		}
+		http.Error(w, "sharding disabled (start with -shards N)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(co.Status())
 }
 
 // handleExplain renders the optimized plan of a benchmark or ad-hoc query

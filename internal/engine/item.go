@@ -163,6 +163,12 @@ func itemString(it Item) string {
 	}
 }
 
+// FormatNumber renders a double exactly as the serializer renders
+// numeric result items. Exported for mergers that recombine per-shard
+// aggregates and must re-emit the combined value byte-identically to an
+// unsharded run (the shard coordinator's sum merge).
+func FormatNumber(f float64) string { return formatNumber(f) }
+
 // formatNumber renders a double the way XQuery serializes integers without
 // a decimal point.
 func formatNumber(f float64) string {

@@ -44,6 +44,8 @@ type ItemWriter struct {
 	sw         *errWriter
 	store      nodestore.Store
 	prevAtomic bool
+	wrote      bool
+	leadAtomic bool
 }
 
 // NewItemWriter returns an ItemWriter over w for results of store.
@@ -88,11 +90,27 @@ func (iw *ItemWriter) WriteItem(it Item) error {
 		serializeConstructed(sw, store, v)
 		iw.prevAtomic = false
 	}
+	if !iw.wrote {
+		iw.wrote, iw.leadAtomic = true, iw.prevAtomic
+	}
 	return sw.err
 }
 
 // Err returns the first write error, if any.
 func (iw *ItemWriter) Err() error { return iw.sw.err }
+
+// LeadAtomic reports whether the first item written was atomic (false
+// while nothing has been written). Together with TailAtomic it lets a
+// result merger concatenate independently serialized sub-sequences
+// byte-identically to one serialization pass: the single-space separator
+// between adjacent atomics must be re-inserted exactly when one piece
+// ends atomic and the next begins atomic — the shard coordinator's
+// document-order concat merge.
+func (iw *ItemWriter) LeadAtomic() bool { return iw.leadAtomic }
+
+// TailAtomic reports whether the last item written so far was atomic
+// (false while nothing has been written).
+func (iw *ItemWriter) TailAtomic() bool { return iw.prevAtomic }
 
 // SerializeString renders the result sequence to a string.
 func SerializeString(store nodestore.Store, s Seq) string {

@@ -1,0 +1,84 @@
+package nodestore
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Territory is one shard's slice of the global document: a half-open
+// pre-order NodeID range [Lo, Hi) in the *unsharded* document's
+// numbering. Because NodeIDs are assigned in document (pre-order)
+// position, a contiguous run of whole entity subtrees is exactly such a
+// range, and "shard order equals document order" is the statement that
+// the shards' territories are ascending and pairwise disjoint.
+type Territory struct {
+	Lo, Hi tree.NodeID
+}
+
+// Empty reports whether the territory covers no nodes (an empty shard).
+func (t Territory) Empty() bool { return t.Hi <= t.Lo }
+
+// Contains reports whether the global NodeID lies in the territory.
+func (t Territory) Contains(id tree.NodeID) bool { return id >= t.Lo && id < t.Hi }
+
+// CheckTerritories validates the shard territory invariant: non-empty
+// territories appear in ascending order and are pairwise disjoint.
+// Empty territories may appear anywhere.
+func CheckTerritories(ts []Territory) error {
+	have := false
+	var last Territory
+	lastIdx := 0
+	for i, t := range ts {
+		if t.Empty() {
+			continue
+		}
+		if have && t.Lo < last.Hi {
+			return fmt.Errorf("nodestore: territory %d [%d,%d) overlaps or precedes territory %d [%d,%d)",
+				i, t.Lo, t.Hi, lastIdx, last.Lo, last.Hi)
+		}
+		last, lastIdx, have = t, i, true
+	}
+	return nil
+}
+
+// MergeTerritoryOrdered merges per-shard document-ordered NodeID
+// sequences into one global document-ordered sequence. parts[i] holds
+// shard i's ids translated to the global numbering.
+//
+// The merge is concatenation in territory order — the same argument as
+// the engine's ordered gather over scan partitions: every id of
+// partition i precedes every id of partition i+1, so no comparison-based
+// merge is needed. Here the precedence is enforced rather than assumed:
+// the territories must satisfy CheckTerritories, each id must lie inside
+// its shard's territory, and each part must itself be ascending. A
+// violation means a shard executed outside its slice of the document and
+// silent concatenation would return a wrong order, so it is an error,
+// not a best-effort result.
+func MergeTerritoryOrdered(ts []Territory, parts [][]tree.NodeID) ([]tree.NodeID, error) {
+	if len(ts) != len(parts) {
+		return nil, fmt.Errorf("nodestore: %d territories but %d parts", len(ts), len(parts))
+	}
+	if err := CheckTerritories(ts); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, ids := range parts {
+		total += len(ids)
+	}
+	out := make([]tree.NodeID, 0, total)
+	for i, ids := range parts {
+		for j, id := range ids {
+			if !ts[i].Contains(id) {
+				return nil, fmt.Errorf("nodestore: shard %d result id %d outside its territory [%d,%d)",
+					i, id, ts[i].Lo, ts[i].Hi)
+			}
+			if j > 0 && id <= ids[j-1] {
+				return nil, fmt.Errorf("nodestore: shard %d results not in document order: id %d after %d",
+					i, id, ids[j-1])
+			}
+		}
+		out = append(out, ids...)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package nodestore
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tree"
+)
+
+// TestMergeTerritoryOrderedProperty is the property test of the
+// document-order merge: for random disjoint territory layouts with
+// random per-shard result sizes — including empty shards and the
+// single-shard degenerate case — the merged output must equal the
+// sorted concatenation of all per-shard ids.
+func TestMergeTerritoryOrderedProperty(t *testing.T) {
+	rs := rng.New(0x5ead5)
+	for trial := 0; trial < 500; trial++ {
+		n := rs.IntRange(1, 8)
+		ts := make([]Territory, n)
+		parts := make([][]tree.NodeID, n)
+		var all []tree.NodeID
+		cur := tree.NodeID(rs.Intn(16))
+		for i := 0; i < n; i++ {
+			if rs.Bool(0.2) {
+				// Empty shard: zero-width territory, no results.
+				ts[i] = Territory{Lo: cur, Hi: cur}
+				continue
+			}
+			width := rs.IntRange(1, 40)
+			ts[i] = Territory{Lo: cur, Hi: cur + tree.NodeID(width)}
+			// A random-size ascending subset of the territory.
+			k := rs.Intn(width + 1)
+			perm := rs.Perm(width)[:k]
+			sort.Ints(perm)
+			ids := make([]tree.NodeID, k)
+			for j, off := range perm {
+				ids[j] = cur + tree.NodeID(off)
+			}
+			parts[i] = ids
+			all = append(all, ids...)
+			cur += tree.NodeID(width + rs.Intn(9))
+		}
+
+		got, err := MergeTerritoryOrdered(ts, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The reference: shuffle the concatenation, then sort it — the
+		// merged output must be exactly the globally sorted id multiset.
+		want := append([]tree.NodeID(nil), all...)
+		rs.Shuffle(len(want), func(i, j int) { want[i], want[j] = want[j], want[i] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: merged[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeTerritoryOrderedViolations(t *testing.T) {
+	ok := []Territory{{0, 10}, {10, 20}, {25, 30}}
+
+	if _, err := MergeTerritoryOrdered(ok, [][]tree.NodeID{{1, 2}, {11}}); err == nil {
+		t.Fatal("territory/part length mismatch accepted")
+	}
+	if _, err := MergeTerritoryOrdered([]Territory{{0, 10}, {5, 15}},
+		[][]tree.NodeID{nil, nil}); err == nil {
+		t.Fatal("overlapping territories accepted")
+	}
+	if _, err := MergeTerritoryOrdered([]Territory{{10, 20}, {0, 10}},
+		[][]tree.NodeID{nil, nil}); err == nil {
+		t.Fatal("descending territories accepted")
+	}
+	if _, err := MergeTerritoryOrdered(ok, [][]tree.NodeID{{1, 12}, nil, nil}); err == nil {
+		t.Fatal("id outside its territory accepted")
+	}
+	if _, err := MergeTerritoryOrdered(ok, [][]tree.NodeID{{2, 1}, nil, nil}); err == nil {
+		t.Fatal("out-of-order part accepted")
+	}
+	if _, err := MergeTerritoryOrdered(ok, [][]tree.NodeID{{1, 1}, nil, nil}); err == nil {
+		t.Fatal("duplicate id in part accepted")
+	}
+
+	// Empty territories are legal anywhere, including between overlapping
+	// neighbors' positions.
+	got, err := MergeTerritoryOrdered(
+		[]Territory{{0, 5}, {5, 5}, {5, 9}},
+		[][]tree.NodeID{{0, 4}, nil, {5, 8}})
+	if err != nil {
+		t.Fatalf("empty middle territory rejected: %v", err)
+	}
+	want := []tree.NodeID{0, 4, 5, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+}

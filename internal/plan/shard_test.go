@@ -1,0 +1,164 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/xquery"
+)
+
+// xmarkEnvelope mirrors xmark.EnvelopeTags for the synthetic cases; the
+// full 20-query classification lives in internal/shard, next to the
+// coordinator that consumes it.
+func xmarkEnvelope() map[string]bool {
+	env := map[string]bool{"site": true}
+	for _, t := range []string{
+		"regions", "categories", "catgraph", "people",
+		"open_auctions", "closed_auctions",
+		"africa", "asia", "australia", "europe", "namerica", "samerica",
+	} {
+		env[t] = true
+	}
+	return env
+}
+
+func classify(t *testing.T, src string) ShardMerge {
+	t.Helper()
+	q, err := xquery.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return ShardableQuery(q, ShardSchema{Envelope: xmarkEnvelope()})
+}
+
+func TestShardableQuery(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want ShardMerge
+	}{
+		{
+			"plain crossing path",
+			`/site/people/person/name`,
+			ShardConcat,
+		},
+		{
+			"descendant crossing",
+			`/site//item/name/text()`,
+			ShardConcat,
+		},
+		{
+			"safe crossing predicate",
+			`/site/people/person[@id = "person0"]/name`,
+			ShardConcat,
+		},
+		{
+			"flwor over crossing path",
+			`for $p in /site/people/person
+			 where empty($p/homepage/text())
+			 return <person name="{$p/name/text()}"/>`,
+			ShardConcat,
+		},
+		{
+			"local user function",
+			`declare function local:f($v) { 2 * $v };
+			 for $p in /site/people/person return local:f(count($p/watches))`,
+			ShardConcat,
+		},
+		{
+			"top-level count sums",
+			`count(/site/people/person)`,
+			ShardSum,
+		},
+		{
+			"count of decomposable flwor sums",
+			`count(for $p in /site/people/person
+			       where $p/profile/@income > 40 return $p)`,
+			ShardSum,
+		},
+		{
+			"envelope flwor of counts sums",
+			`for $s in /site
+			 return count($s//description) + count($s//annotation)`,
+			ShardSum,
+		},
+		{
+			"positional crossing predicate",
+			`/site/people/person[2]/name`,
+			ShardNone,
+		},
+		{
+			"last in crossing predicate",
+			`/site/people/person[last()]/name`,
+			ShardNone,
+		},
+		{
+			"envelope-only path replicates",
+			`/site/regions`,
+			ShardNone,
+		},
+		{
+			"wildcard in envelope",
+			`/site/*/person`,
+			ShardNone,
+		},
+		{
+			"order by is a global sort",
+			`for $p in /site/people/person
+			 order by zero-or-one($p/name/text()) ascending
+			 return $p/name`,
+			ShardNone,
+		},
+		{
+			"absolute path in return",
+			`for $p in /site/people/person
+			 return count(/site/open_auctions/open_auction)`,
+			ShardNone,
+		},
+		{
+			"absolute path in let",
+			`for $p in /site/people/person
+			 let $a := /site/closed_auctions/closed_auction
+			 return count($a)`,
+			ShardNone,
+		},
+		{
+			"user function reading the root",
+			`declare function local:g($v) { count(/site/people/person) + $v };
+			 for $p in /site/people/person return local:g(1)`,
+			ShardNone,
+		},
+		{
+			"top-level constructor",
+			`<result>{count(/site/people/person)}</result>`,
+			ShardNone,
+		},
+		{
+			"non-linear return over envelope",
+			`for $s in /site return count($s//item) * 2`,
+			ShardNone,
+		},
+		{
+			"global positional filter",
+			`(/site/people/person)[1]`,
+			ShardNone,
+		},
+		{
+			"boolean whole-sequence filter decomposes",
+			`(/site/people/person)[empty(./homepage)]`,
+			ShardConcat,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := classify(t, tc.src); got != tc.want {
+				t.Fatalf("ShardableQuery = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestShardMergeString(t *testing.T) {
+	if ShardNone.String() != "none" || ShardConcat.String() != "concat" || ShardSum.String() != "sum" {
+		t.Fatalf("unexpected ShardMerge names: %v %v %v", ShardNone, ShardConcat, ShardSum)
+	}
+}

@@ -68,22 +68,34 @@ type Catalog struct {
 // written only after every loader has finished, keeping the published
 // Catalog as immutable as before.
 func Load(factor float64, systems []xmark.System) (*Catalog, error) {
+	bench := xmark.NewBenchmark(factor)
+	return LoadDoc(bench.DocText, bench.Card, factor, systems)
+}
+
+// LoadDoc bulkloads an already generated document text into each system
+// and compiles the benchmark queries, exactly like Load without the
+// generation step. card must be the cardinalities of the full benchmark
+// document the text derives from, which may be larger than the text
+// itself: a sharded deployment loads each shard's partition text with the
+// *global* cardinalities so that cardinality-dependent query constants
+// (Q4's person IDs) are identical on every shard and on the unsharded
+// reference.
+func LoadDoc(docText []byte, card xmlgen.Cardinalities, factor float64, systems []xmark.System) (*Catalog, error) {
 	if systems == nil {
 		systems = xmark.Systems()
 	}
 	start := time.Now()
-	bench := xmark.NewBenchmark(factor)
 	c := &Catalog{
 		Factor:    factor,
-		Card:      bench.Card,
-		DocBytes:  len(bench.DocText),
+		Card:      card,
+		DocBytes:  len(docText),
 		systems:   systems,
 		instances: make(map[xmark.SystemID]*xmark.Instance, len(systems)),
 		prepared:  make(map[prepKey]*engine.Prepared, len(systems)*20),
 		queryText: make(map[int]string, 20),
 	}
 	for _, q := range xmark.Queries() {
-		c.queryText[q.ID] = bench.QueryText(q.ID)
+		c.queryText[q.ID] = q.Text(card)
 	}
 
 	type loaded struct {
@@ -101,7 +113,7 @@ func Load(factor float64, systems []xmark.System) (*Catalog, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			r := &results[i]
-			inst, err := s.Load(bench.DocText)
+			inst, err := s.Load(docText)
 			if err != nil {
 				r.err = fmt.Errorf("service: loading system %s: %w", s.ID, err)
 				return

@@ -60,6 +60,14 @@ type Response struct {
 	Wait time.Duration
 	// Exec is the evaluation plus serialization time on the worker.
 	Exec time.Duration
+	// LeadAtomic and TailAtomic report whether Output begins/ends with an
+	// atomic item (both false when Output is empty). The serializer
+	// separates adjacent atomics with a single space, so a merger
+	// concatenating independently produced outputs (the shard
+	// coordinator) must re-insert that space exactly when one piece ends
+	// atomic and the next begins atomic.
+	LeadAtomic bool
+	TailAtomic bool
 }
 
 type taskResult struct {
@@ -327,5 +335,6 @@ func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (
 		return resp, ctx.Err()
 	}
 	resp.Output = buf.String()
+	resp.LeadAtomic, resp.TailAtomic = iw.LeadAtomic(), iw.TailAtomic()
 	return resp, nil
 }

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/xmark"
+)
+
+// ShardBenchQueryIDs is the default query mix of the shard-scaling
+// experiment: the scan-heavy concat queries, the three sum aggregates,
+// and one non-shardable query (Q20) so the artifact shows both the
+// scatter path and the global-replica fallback.
+var ShardBenchQueryIDs = []int{1, 5, 6, 13, 14, 15, 17, 20}
+
+// BenchPoint is one (system, query, shard count) measurement.
+type BenchPoint struct {
+	System    string  `json:"system"`
+	Query     int     `json:"query"`
+	Shards    int     `json:"shards"`
+	Scattered bool    `json:"scattered"`
+	Merge     string  `json:"merge"`
+	NsOp      int64   `json:"ns_op"`
+	Speedup   float64 `json:"speedup"`
+	OutBytes  int     `json:"out_bytes"`
+}
+
+// BenchReport is the BENCH_shard.json artifact: shard-count scaling of
+// the scatter-gather coordinator, byte-verified per cell against the
+// unsharded reference before any timing.
+type BenchReport struct {
+	Factor      float64         `json:"factor"`
+	ShardCounts []int           `json:"shard_counts"`
+	Queries     []int           `json:"queries"`
+	Systems     []string        `json:"systems"`
+	LoadMs      map[int]float64 `json:"load_ms"`
+	Points      []BenchPoint    `json:"points"`
+}
+
+// ShardSteps returns the shard counts 1, 2, 4, ... up to max.
+func ShardSteps(max int) []int {
+	var steps []int
+	for n := 1; n <= max; n *= 2 {
+		steps = append(steps, n)
+	}
+	if len(steps) == 0 {
+		steps = []int{1}
+	}
+	return steps
+}
+
+// RunShardBench measures coordinated query latency across shard counts
+// 1→2→4→… up to maxShards. Every cell's output is first verified
+// byte-identical to the unsharded reference (an error aborts the run:
+// a wrong fast answer is worthless), then timed as the best of iters
+// runs.
+func RunShardBench(factor float64, maxShards int, systems []xmark.System, queryIDs []int, iters int) (*BenchReport, error) {
+	if systems == nil {
+		systems = xmark.Systems()
+	}
+	if queryIDs == nil {
+		queryIDs = ShardBenchQueryIDs
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	report := &BenchReport{
+		Factor:      factor,
+		ShardCounts: ShardSteps(maxShards),
+		Queries:     queryIDs,
+		LoadMs:      map[int]float64{},
+	}
+	for _, s := range systems {
+		report.Systems = append(report.Systems, string(s.ID))
+	}
+
+	ctx := context.Background()
+	// The unsharded reference outputs, from the first load's global
+	// replica (the generator is deterministic, so every load serves the
+	// same document).
+	type cell struct {
+		sys xmark.SystemID
+		qid int
+	}
+	reference := map[cell]string{}
+	baseline := map[cell]int64{}
+
+	for _, nshards := range report.ShardCounts {
+		cat, err := Load(factor, nshards, systems)
+		if err != nil {
+			return nil, err
+		}
+		report.LoadMs[nshards] = float64(cat.LoadTime) / float64(time.Millisecond)
+		co, err := NewCoordinator(cat, Config{})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range systems {
+			for _, qid := range queryIDs {
+				key := cell{s.ID, qid}
+				if _, ok := reference[key]; !ok {
+					resp, err := co.global.Execute(ctx, service.Request{System: s.ID, QueryID: qid})
+					if err != nil {
+						co.Close()
+						return nil, fmt.Errorf("shard bench: unsharded reference %s/Q%d: %w", s.ID, qid, err)
+					}
+					reference[key] = resp.Output
+				}
+				// Byte-verify before timing.
+				res, err := co.Query(ctx, s.ID, qid)
+				if err != nil {
+					co.Close()
+					return nil, fmt.Errorf("shard bench: %s/Q%d at %d shards: %w", s.ID, qid, nshards, err)
+				}
+				if res.Output != reference[key] {
+					co.Close()
+					return nil, fmt.Errorf("shard bench: %s/Q%d at %d shards: output differs from unsharded reference",
+						s.ID, qid, nshards)
+				}
+				best := res.Elapsed
+				for it := 1; it < iters; it++ {
+					res, err = co.Query(ctx, s.ID, qid)
+					if err != nil {
+						co.Close()
+						return nil, err
+					}
+					if res.Elapsed < best {
+						best = res.Elapsed
+					}
+				}
+				p := BenchPoint{
+					System:    string(s.ID),
+					Query:     qid,
+					Shards:    nshards,
+					Scattered: res.Scattered,
+					Merge:     res.Merge.String(),
+					NsOp:      best.Nanoseconds(),
+					OutBytes:  len(res.Output),
+				}
+				if nshards == 1 {
+					baseline[key] = p.NsOp
+				}
+				if base := baseline[key]; base > 0 && p.NsOp > 0 {
+					p.Speedup = float64(base) / float64(p.NsOp)
+				}
+				report.Points = append(report.Points, p)
+			}
+		}
+		co.Close()
+	}
+	return report, nil
+}
+
+// Render writes the report as a text table.
+func (r *BenchReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %6s %8s %10s %10s %8s %10s\n",
+		"system", "query", "shards", "mode", "ns/op", "speedup", "out bytes")
+	for _, p := range r.Points {
+		mode := p.Merge
+		if !p.Scattered {
+			mode = "global"
+		}
+		fmt.Fprintf(w, "%-8s %6s %8d %10s %10d %8.2f %10d\n",
+			p.System, fmt.Sprintf("Q%d", p.Query), p.Shards, mode, p.NsOp, p.Speedup, p.OutBytes)
+	}
+}

@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/xmark"
+)
+
+// chaosQID is the query the chaos scenarios run: a concat-merged scan
+// whose output is spread across shards.
+const chaosQID = 17
+
+// onShard injects the fault into exactly one shard, healthy elsewhere.
+func onShard(target int, f Fault) FaultInjector {
+	return FaultFunc(func(shard, attempt int) Fault {
+		if shard == target {
+			return f
+		}
+		return Fault{}
+	})
+}
+
+// onShardAttempt injects the fault into one (shard, attempt) pair only —
+// the transient flavor that a retry recovers from.
+func onShardAttempt(target, targetAttempt int, f Fault) FaultInjector {
+	return FaultFunc(func(shard, attempt int) Fault {
+		if shard == target && attempt == targetAttempt {
+			return f
+		}
+		return Fault{}
+	})
+}
+
+// TestShardChaos drives the coordinator through injected failures. Every
+// scenario is deterministic: faults come from the injector seam, slow
+// shards block on the attempt context (so they always lose to the
+// deadline), and expectations are exact outputs — no sleep-tuned timing.
+func TestShardChaos(t *testing.T) {
+	cat := loadCatalog(t, 0.002, 3, sysD(t))
+	ctx := context.Background()
+	req := service.Request{System: xmark.SystemD, QueryID: chaosQID}
+
+	// The healthy baseline: the full merged output and each shard's own
+	// contribution, for building exact degraded-mode expectations.
+	healthy, err := NewCoordinator(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	full, err := healthy.Query(ctx, xmark.SystemD, chaosQID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Scattered || full.Output == "" {
+		t.Fatalf("chaos baseline not scattered or empty: %+v", full)
+	}
+	perShard := make([]shardReply, len(cat.Shards))
+	for i := range healthy.execs {
+		resp, err := healthy.execs[i].Execute(ctx, req)
+		if err != nil {
+			t.Fatalf("shard %d baseline: %v", i, err)
+		}
+		perShard[i] = shardReply{resp: resp}
+	}
+	// without computes the exact output the coordinator must produce when
+	// it degrades around the given shards.
+	without := func(failed ...int) string {
+		replies := make([]shardReply, len(perShard))
+		copy(replies, perShard)
+		for _, f := range failed {
+			replies[f] = shardReply{err: errors.New("injected")}
+		}
+		return mergeConcat(replies)
+	}
+
+	corrupt := func(s string) string { return s + "<corrupt/>" }
+
+	cases := []struct {
+		name string
+		cfg  Config
+		want func(t *testing.T, res Result, err error)
+	}{
+		{
+			name: "slow shard, partial: deadline fires and the others complete",
+			cfg: Config{
+				ShardDeadline: 50 * time.Millisecond,
+				Retries:       1,
+				Policy:        PartialResults,
+				Injector:      onShard(1, Fault{Hang: true}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Partial || len(res.Failed) != 1 || res.Failed[0] != 1 {
+					t.Fatalf("want partial with shard 1 failed, got %+v", res)
+				}
+				if res.Output != without(1) {
+					t.Fatalf("degraded output %q, want %q", res.Output, without(1))
+				}
+				if res.Retried != 1 {
+					t.Fatalf("retried %d, want 1", res.Retried)
+				}
+				if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "shard 1") {
+					t.Fatalf("warnings %v must name shard 1", res.Warnings)
+				}
+			},
+		},
+		{
+			name: "slow shard, fail-fast: the whole query reports the deadline",
+			cfg: Config{
+				ShardDeadline: 50 * time.Millisecond,
+				Policy:        FailFast,
+				Injector:      onShard(1, Fault{Hang: true}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("want deadline error, got %v", err)
+				}
+				var se *ShardError
+				if !errors.As(err, &se) || se.Shard != 1 {
+					t.Fatalf("want ShardError for shard 1, got %v", err)
+				}
+				if res.Output != "" {
+					t.Fatalf("fail-fast leaked partial output %q", res.Output)
+				}
+			},
+		},
+		{
+			name: "dead shard, partial: retries exhaust, others answer",
+			cfg: Config{
+				Retries:  2,
+				Policy:   PartialResults,
+				Injector: onShard(1, Fault{Fail: ErrShardUnavailable}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Partial || len(res.Failed) != 1 || res.Failed[0] != 1 {
+					t.Fatalf("want partial with shard 1 failed, got %+v", res)
+				}
+				if res.Retried != 2 {
+					t.Fatalf("retried %d, want 2", res.Retried)
+				}
+				if res.Output != without(1) {
+					t.Fatalf("degraded output %q, want %q", res.Output, without(1))
+				}
+				if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "3 attempt") {
+					t.Fatalf("warnings %v must count 3 attempts", res.Warnings)
+				}
+			},
+		},
+		{
+			name: "dead shard, fail-fast: the shard error surfaces",
+			cfg: Config{
+				Retries:  1,
+				Policy:   FailFast,
+				Injector: onShard(1, Fault{Fail: ErrShardUnavailable}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if !errors.Is(err, ErrShardUnavailable) {
+					t.Fatalf("want ErrShardUnavailable, got %v", err)
+				}
+				var se *ShardError
+				if !errors.As(err, &se) || se.Shard != 1 || se.Attempts != 2 {
+					t.Fatalf("want ShardError{Shard:1, Attempts:2}, got %v", err)
+				}
+				if res.Output != "" {
+					t.Fatalf("fail-fast leaked partial output %q", res.Output)
+				}
+			},
+		},
+		{
+			name: "transient outage: one retry recovers the full answer",
+			cfg: Config{
+				Retries:  2,
+				Injector: onShardAttempt(1, 0, Fault{Fail: ErrShardUnavailable}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Partial || res.Retried != 1 {
+					t.Fatalf("want clean recovery with 1 retry, got %+v", res)
+				}
+				if res.Output != full.Output {
+					t.Fatalf("recovered output differs from the healthy run")
+				}
+			},
+		},
+		{
+			name: "corrupt reply, fail-fast: detected, no partial garbage",
+			cfg: Config{
+				Policy:   FailFast,
+				Injector: onShard(1, Fault{Corrupt: corrupt}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if !errors.Is(err, ErrCorruptReply) {
+					t.Fatalf("want ErrCorruptReply, got %v", err)
+				}
+				if res.Output != "" {
+					t.Fatalf("corrupt bytes leaked into output %q", res.Output)
+				}
+			},
+		},
+		{
+			name: "corrupt reply, retried: the clean retry wins byte-for-byte",
+			cfg: Config{
+				Retries:  1,
+				Injector: onShardAttempt(1, 0, Fault{Corrupt: corrupt}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Partial || res.Retried != 1 {
+					t.Fatalf("want clean recovery with 1 retry, got %+v", res)
+				}
+				if res.Output != full.Output {
+					t.Fatalf("recovered output differs from the healthy run")
+				}
+			},
+		},
+		{
+			name: "corrupt reply, partial: the shard is dropped, never merged",
+			cfg: Config{
+				Policy:   PartialResults,
+				Injector: onShard(1, Fault{Corrupt: corrupt}),
+			},
+			want: func(t *testing.T, res Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Partial || len(res.Failed) != 1 || res.Failed[0] != 1 {
+					t.Fatalf("want partial with shard 1 failed, got %+v", res)
+				}
+				if res.Output != without(1) {
+					t.Fatalf("degraded output %q, want %q", res.Output, without(1))
+				}
+				if strings.Contains(res.Output, "<corrupt/>") {
+					t.Fatalf("corrupt bytes leaked into output %q", res.Output)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			co, err := NewCoordinator(cat, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer co.Close()
+			res, qerr := co.Query(ctx, xmark.SystemD, chaosQID)
+			tc.want(t, res, qerr)
+		})
+	}
+
+	t.Run("cancellation mid-scatter: every goroutine exits", func(t *testing.T) {
+		started := make(chan struct{})
+		var once sync.Once
+		co, err := NewCoordinator(cat, Config{
+			Injector: FaultFunc(func(shard, attempt int) Fault {
+				once.Do(func() { close(started) })
+				return Fault{Hang: true}
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer co.Close()
+
+		// Baseline after the coordinator's worker pools are up, so the
+		// count isolates the scatter goroutines.
+		base := runtime.NumGoroutine()
+
+		qctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		done := make(chan error, 1)
+		go func() {
+			_, err := co.Query(qctx, xmark.SystemD, chaosQID)
+			done <- err
+		}()
+		<-started // the scatter is in flight, every shard hung
+		cancel()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		// Bounded wait for the scatter goroutines (and the query goroutine
+		// above) to unwind.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutines leaked after cancellation: %d > baseline %d",
+					runtime.NumGoroutine(), base)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+}

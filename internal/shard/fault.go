@@ -1,0 +1,42 @@
+package shard
+
+// Fault is the failure a FaultInjector injects into one shard sub-query
+// attempt. The zero value is healthy execution. It stands where a
+// network transport's failure modes would sit in a multi-process
+// deployment, which is exactly why it is a seam: chaos behavior becomes
+// deterministic and unit-testable instead of depending on real packet
+// loss or timing.
+type Fault struct {
+	// Fail aborts the attempt with this error before the shard runs —
+	// a dead or unreachable shard. Use ErrShardUnavailable (or wrap it)
+	// for the transient flavor the coordinator retries.
+	Fail error
+
+	// Hang blocks the attempt until its context is done — an infinitely
+	// slow shard. The attempt then fails with the context's error: the
+	// per-shard deadline when one is configured, otherwise the caller's
+	// cancellation. Determinism is the point: a hung shard *always*
+	// loses the race against the deadline, so slow-shard tests assert
+	// outcomes, never sleep-tuned timings.
+	Hang bool
+
+	// Corrupt transforms the shard's serialized reply after its
+	// shard-side checksum was taken — a torn or bit-flipped response.
+	// The coordinator's gather-side checksum verification detects the
+	// mismatch and classifies the attempt as a transient ErrCorruptReply.
+	Corrupt func(string) string
+}
+
+// FaultInjector decides the fault for each (shard, attempt) pair;
+// attempt is 0-based and counts retries. A nil injector means every
+// attempt is healthy. Implementations must be safe for concurrent use:
+// the coordinator calls Fault from one goroutine per shard.
+type FaultInjector interface {
+	Fault(shard, attempt int) Fault
+}
+
+// FaultFunc adapts a function to FaultInjector.
+type FaultFunc func(shard, attempt int) Fault
+
+// Fault implements FaultInjector.
+func (f FaultFunc) Fault(shard, attempt int) Fault { return f(shard, attempt) }

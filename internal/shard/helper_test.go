@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/xmark"
+)
+
+// Sharded catalogs are immutable after Load, so the tests share them:
+// one cache entry per (factor, shard count, system set).
+var (
+	catMu    sync.Mutex
+	catCache = map[string]*ShardedCatalog{}
+)
+
+func loadCatalog(t *testing.T, factor float64, nshards int, systems []xmark.System) *ShardedCatalog {
+	t.Helper()
+	key := fmt.Sprintf("%g/%d", factor, nshards)
+	for _, s := range systems {
+		key += "/" + string(s.ID)
+	}
+	catMu.Lock()
+	defer catMu.Unlock()
+	if cat, ok := catCache[key]; ok {
+		return cat
+	}
+	cat, err := Load(factor, nshards, systems)
+	if err != nil {
+		t.Fatalf("Load(%g, %d): %v", factor, nshards, err)
+	}
+	catCache[key] = cat
+	return cat
+}
+
+func sysD(t *testing.T) []xmark.System {
+	t.Helper()
+	s, err := xmark.SystemByID(xmark.SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []xmark.System{s}
+}

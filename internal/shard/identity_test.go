@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/service"
+	"repro/internal/xmark"
+)
+
+// TestShardedByteIdentical is the sharding correctness gate: all 20
+// benchmark queries on all 7 systems must serialize byte-identically
+// whether the document is unsharded or split across 1, 2, or 4 shards.
+// The reference comes from the global unsharded replica; the sharded
+// answers from the scatter-gather coordinator.
+func TestShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 20x7 sweep; skipped in -short mode")
+	}
+	ctx := context.Background()
+	const factor = 0.002
+	systems := xmark.Systems()
+
+	type cell struct {
+		sys xmark.SystemID
+		qid int
+	}
+	reference := map[cell]string{}
+
+	for _, nshards := range []int{1, 2, 4} {
+		cat := loadCatalog(t, factor, nshards, systems)
+		co, err := NewCoordinator(cat, Config{})
+		if err != nil {
+			t.Fatalf("%d shards: %v", nshards, err)
+		}
+		for _, s := range systems {
+			for qid := 1; qid <= 20; qid++ {
+				key := cell{s.ID, qid}
+				if _, ok := reference[key]; !ok {
+					resp, err := co.global.Execute(ctx, service.Request{System: s.ID, QueryID: qid})
+					if err != nil {
+						co.Close()
+						t.Fatalf("unsharded reference %s/Q%d: %v", s.ID, qid, err)
+					}
+					reference[key] = resp.Output
+				}
+				res, err := co.Query(ctx, s.ID, qid)
+				if err != nil {
+					co.Close()
+					t.Fatalf("%s/Q%d at %d shards: %v", s.ID, qid, nshards, err)
+				}
+				if res.Output != reference[key] {
+					co.Close()
+					t.Fatalf("%s/Q%d at %d shards: output differs from unsharded reference\n got: %q\nwant: %q",
+						s.ID, qid, nshards, res.Output, reference[key])
+				}
+				wantScatter := co.MergeMode(qid) != plan.ShardNone
+				if res.Scattered != wantScatter {
+					co.Close()
+					t.Fatalf("%s/Q%d at %d shards: scattered=%v, want %v",
+						s.ID, qid, nshards, res.Scattered, wantScatter)
+				}
+			}
+		}
+		co.Close()
+	}
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/service"
+)
+
+func reply(out string, lead, tail bool) shardReply {
+	return shardReply{resp: service.Response{Output: out, LeadAtomic: lead, TailAtomic: tail}}
+}
+
+func TestMergeConcatSeparators(t *testing.T) {
+	failed := shardReply{err: errors.New("down")}
+	cases := []struct {
+		name    string
+		replies []shardReply
+		want    string
+	}{
+		{"atomic then atomic gets a space",
+			[]shardReply{reply("1 2", true, true), reply("3", true, true)}, "1 2 3"},
+		{"node then node joins bare",
+			[]shardReply{reply("<a/>", false, false), reply("<b/>", false, false)}, "<a/><b/>"},
+		{"atomic then node joins bare",
+			[]shardReply{reply("1", true, true), reply("<b/>", false, false)}, "1<b/>"},
+		{"node then atomic joins bare",
+			[]shardReply{reply("<a/>", false, false), reply("2", true, true)}, "<a/>2"},
+		{"empty shard is invisible to the separator",
+			[]shardReply{reply("1", true, true), reply("", false, false), reply("2", true, true)}, "1 2"},
+		{"failed shard is skipped",
+			[]shardReply{reply("1", true, true), failed, reply("2", true, true)}, "1 2"},
+		{"all empty",
+			[]shardReply{reply("", false, false), reply("", false, false)}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mergeConcat(tc.replies); got != tc.want {
+				t.Fatalf("mergeConcat = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMergeSum(t *testing.T) {
+	t.Run("element-wise sums re-render", func(t *testing.T) {
+		got, err := mergeSum([]shardReply{reply("3 4", true, true), reply("5 6.5", true, true)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "8 10.5" {
+			t.Fatalf("mergeSum = %q, want %q", got, "8 10.5")
+		}
+	})
+	t.Run("integer results stay integer-formatted", func(t *testing.T) {
+		got, err := mergeSum([]shardReply{reply("2", true, true), reply("3", true, true)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "5" {
+			t.Fatalf("mergeSum = %q, want %q", got, "5")
+		}
+	})
+	t.Run("failed shard is skipped", func(t *testing.T) {
+		got, err := mergeSum([]shardReply{reply("3", true, true), {err: errors.New("down")}, reply("4", true, true)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "7" {
+			t.Fatalf("mergeSum = %q, want %q", got, "7")
+		}
+	})
+	t.Run("arity mismatch is an error", func(t *testing.T) {
+		_, err := mergeSum([]shardReply{reply("1 2", true, true), reply("3", true, true)})
+		if err == nil || !strings.Contains(err.Error(), "arity") {
+			t.Fatalf("want arity error, got %v", err)
+		}
+	})
+	t.Run("non-numeric value is an error", func(t *testing.T) {
+		_, err := mergeSum([]shardReply{reply("1", true, true), reply("x", true, true)})
+		if err == nil {
+			t.Fatal("want parse error, got nil")
+		}
+	})
+}
+
+// TestBenchmarkQueryModes pins the shardability classification of all 20
+// benchmark queries: the scan/reconstruction queries decompose with a
+// concat merge, the three aggregate queries with a sum merge, and the
+// join/order/constructor queries fall back to the global replica.
+func TestBenchmarkQueryModes(t *testing.T) {
+	cat := loadCatalog(t, 0.002, 3, sysD(t))
+	co, err := NewCoordinator(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	want := map[int]plan.ShardMerge{
+		1: plan.ShardConcat, 2: plan.ShardConcat, 3: plan.ShardConcat, 4: plan.ShardConcat,
+		5: plan.ShardSum, 6: plan.ShardSum, 7: plan.ShardSum,
+		8: plan.ShardNone, 9: plan.ShardNone, 10: plan.ShardNone, 11: plan.ShardNone, 12: plan.ShardNone,
+		13: plan.ShardConcat, 14: plan.ShardConcat, 15: plan.ShardConcat, 16: plan.ShardConcat,
+		17: plan.ShardConcat, 18: plan.ShardConcat,
+		19: plan.ShardNone, 20: plan.ShardNone,
+	}
+	for qid := 1; qid <= 20; qid++ {
+		if got := co.MergeMode(qid); got != want[qid] {
+			t.Errorf("Q%d classified %v, want %v", qid, got, want[qid])
+		}
+	}
+}

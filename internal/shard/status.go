@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardStatus describes one shard for the /shards endpoint.
+type ShardStatus struct {
+	Index       int `json:"index"`
+	Entities    int `json:"entities"`
+	DocBytes    int `json:"doc_bytes"`
+	TerritoryLo int `json:"territory_lo"`
+	TerritoryHi int `json:"territory_hi"`
+}
+
+// Status is the coordinator's live view: topology, robustness
+// configuration, per-benchmark-query merge modes, and the fault/retry
+// counters accumulated since start.
+type Status struct {
+	Shards        int               `json:"shards"`
+	Policy        string            `json:"policy"`
+	Retries       int               `json:"retries"`
+	ShardDeadline string            `json:"shard_deadline,omitempty"`
+	LoadMs        float64           `json:"load_ms"`
+	MergeModes    map[string]string `json:"merge_modes"`
+	Scattered     uint64            `json:"scattered"`
+	Fallbacks     uint64            `json:"fallbacks"`
+	Retried       uint64            `json:"retried"`
+	Deadlines     uint64            `json:"deadlines"`
+	Corrupted     uint64            `json:"corrupted"`
+	Failures      uint64            `json:"failures"`
+	PerShard      []ShardStatus     `json:"per_shard"`
+}
+
+// Status snapshots the coordinator.
+func (co *Coordinator) Status() Status {
+	st := Status{
+		Shards:     len(co.execs),
+		Policy:     co.cfg.Policy.String(),
+		Retries:    co.cfg.Retries,
+		LoadMs:     float64(co.cat.LoadTime) / float64(time.Millisecond),
+		MergeModes: make(map[string]string, len(co.modes)),
+		Scattered:  co.scattered.Load(),
+		Fallbacks:  co.fallbacks.Load(),
+		Retried:    co.retries.Load(),
+		Deadlines:  co.deadlines.Load(),
+		Corrupted:  co.corrupted.Load(),
+		Failures:   co.failures.Load(),
+	}
+	if co.cfg.ShardDeadline > 0 {
+		st.ShardDeadline = co.cfg.ShardDeadline.String()
+	}
+	for qid, mode := range co.modes {
+		st.MergeModes[fmt.Sprintf("Q%d", qid)] = mode.String()
+	}
+	for _, sh := range co.cat.Shards {
+		st.PerShard = append(st.PerShard, ShardStatus{
+			Index:       sh.Index,
+			Entities:    sh.Entities,
+			DocBytes:    sh.DocBytes,
+			TerritoryLo: int(sh.Territory.Lo),
+			TerritoryHi: int(sh.Territory.Hi),
+		})
+	}
+	return st
+}

@@ -2,7 +2,9 @@ package xmark
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/tree"
@@ -30,6 +32,9 @@ func MergeCollection(files map[string][]byte) ([]byte, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	if err := checkPartNumbering(names); err != nil {
+		return nil, err
+	}
 
 	// Parsed entity subtrees per section (and per region for items).
 	type entity struct {
@@ -102,6 +107,66 @@ func MergeCollection(files map[string][]byte) ([]byte, error) {
 	}
 	b.WriteString("</site>")
 	return []byte(b.String()), nil
+}
+
+// partName matches the file names the generator's split mode produces.
+var partName = regexp.MustCompile(`^part(\d+)\.xml$`)
+
+// checkPartNumbering validates generator-style part numbering: when every
+// file name matches partNNN.xml, the numbers must form one contiguous run
+// (a whole collection starts at 0; a document shard is a mid-sequence
+// slice of the split, so any start offset is legal). A gap means a region
+// file of the collection is missing, and a duplicate number (part1.xml
+// next to part00001.xml) means two files claim the same slot — either
+// would silently drop or reorder entities in the name-sorted merge, so
+// both are load errors that name the offending file. Collections with any
+// free-form name skip the check entirely: there, name order is the
+// caller's contract.
+func checkPartNumbering(names []string) error {
+	seqs := make(map[int]string, len(names))
+	lo := -1
+	for _, name := range names {
+		m := partName.FindStringSubmatch(name)
+		if m == nil {
+			return nil
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			// Digits overflow int only on absurd names; treat as free-form.
+			return nil
+		}
+		if prev, dup := seqs[n]; dup {
+			return fmt.Errorf("xmark: collection files %s and %s both claim part %d", prev, name, n)
+		}
+		seqs[n] = name
+		if lo < 0 || n < lo {
+			lo = n
+		}
+	}
+	for i := lo; i < lo+len(seqs); i++ {
+		if _, ok := seqs[i]; !ok {
+			return fmt.Errorf("xmark: collection is missing part %d (part%05d.xml)", i, i)
+		}
+	}
+	return nil
+}
+
+// EnvelopeTags returns the element names of the replicated document
+// envelope: the <site> root, its sections, and the region elements. A
+// split file (and therefore a document shard built from split files)
+// repeats exactly this skeleton around its entities, and entity subtrees
+// never reuse these names — the property the scatter-gather shardability
+// analysis (plan.ShardableQuery) is parameterized on.
+func EnvelopeTags() map[string]bool {
+	out := make(map[string]bool, 1+len(sectionOrder)+len(regionOrder))
+	out["site"] = true
+	for _, s := range sectionOrder {
+		out[s] = true
+	}
+	for _, r := range regionOrder {
+		out[r] = true
+	}
+	return out
 }
 
 func isRegion(tag string) bool {

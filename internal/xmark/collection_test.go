@@ -2,7 +2,9 @@ package xmark
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/xmlgen"
@@ -80,6 +82,61 @@ func TestCollectionQuerySemanticsNormative(t *testing.T) {
 			t.Fatalf("Q%d: collection result differs from one-document result", q.ID)
 		}
 	}
+}
+
+// TestMergeCollectionErrors pins the part-numbering validation: the
+// name-sorted merge must not silently tolerate a missing or duplicated
+// region file, and the error must name the offending file so an operator
+// can find it.
+func TestMergeCollectionErrors(t *testing.T) {
+	base := splitFiles(t, 0.002, 5)
+	if len(base) < 4 {
+		t.Fatalf("split produced only %d files; need more for the gap cases", len(base))
+	}
+
+	t.Run("missing part file", func(t *testing.T) {
+		files := map[string][]byte{}
+		for name, data := range base {
+			files[name] = data
+		}
+		delete(files, "part00002.xml")
+		_, err := MergeCollection(files)
+		if err == nil {
+			t.Fatal("collection with a missing part accepted")
+		}
+		if !strings.Contains(err.Error(), "part00002.xml") {
+			t.Fatalf("error does not name the missing file: %v", err)
+		}
+	})
+
+	t.Run("duplicate part number", func(t *testing.T) {
+		files := map[string][]byte{}
+		for name, data := range base {
+			files[name] = data
+		}
+		// part1.xml sorts differently from part00001.xml but claims the
+		// same slot: the merge would see the entities twice.
+		files["part1.xml"] = base["part00001.xml"]
+		_, err := MergeCollection(files)
+		if err == nil {
+			t.Fatal("collection with a duplicated part number accepted")
+		}
+		if !strings.Contains(err.Error(), "part00001.xml") || !strings.Contains(err.Error(), "part1.xml") {
+			t.Fatalf("error does not name both offending files: %v", err)
+		}
+	})
+
+	t.Run("free-form names skip the check", func(t *testing.T) {
+		files := map[string][]byte{}
+		i := 0
+		for _, data := range base {
+			files[fmt.Sprintf("chunk-%03d.xml", i)] = data
+			i++
+		}
+		if _, err := MergeCollection(files); err != nil {
+			t.Fatalf("free-form names rejected: %v", err)
+		}
+	})
 }
 
 func TestMergeCollectionRejectsGarbage(t *testing.T) {
