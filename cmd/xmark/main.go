@@ -18,6 +18,12 @@
 //	                             # intra-query parallelism speedup curve
 //	                             # (degrees 1,2,4,8 on the scan-heavy
 //	                             # queries), written to BENCH_parallel.json
+//	xmark -analyze -factor 0.01 -gate 5
+//	                             # EXPLAIN ANALYZE cost + operator-time
+//	                             # breakdown per query x system, written to
+//	                             # BENCH_analyze.json; -gate fails the run
+//	                             # when the analyze-off path regresses vs
+//	                             # the tuple baseline
 //	xmark -shardbench 8 -factor 0.1
 //	                             # sharded scatter-gather scaling (shard
 //	                             # counts 1,2,4,8; every cell byte-verified
@@ -53,6 +59,8 @@ func main() {
 	clients := flag.Int("clients", 0, "throughput mode: scale closed-loop clients 1,2,4,... up to N")
 	parallel := flag.Int("parallel", 0, "parallel mode: measure intra-query speedup at degrees 1,2,4,... up to N")
 	batchbench := flag.Bool("batchbench", false, "batch mode: tuple vs batch ns/op and allocs per query x system, written to BENCH_batch.json")
+	analyze := flag.Bool("analyze", false, "analyze mode: EXPLAIN ANALYZE cost and operator-time breakdown per query x system, written to BENCH_analyze.json")
+	gate := flag.Float64("gate", 0, "analyze mode: fail when analyze-off throughput regresses more than this percent vs the tuple baseline (0 = no gate)")
 	shardbench := flag.Int("shardbench", 0, "shard mode: scatter-gather scaling at shard counts 1,2,4,... up to N, written to BENCH_shard.json")
 	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
 	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
@@ -84,6 +92,14 @@ func main() {
 			dest = "BENCH_batch.json"
 		}
 		runBatchBench(*factor, *mix, *systems, dest)
+		return
+	}
+	if *analyze {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_analyze.json"
+		}
+		runAnalyzeBench(*factor, *mix, *systems, dest, *gate)
 		return
 	}
 	if *shardbench > 0 {
@@ -287,6 +303,50 @@ func runBatchBench(factor float64, mixSpec, systemsSpec, dest string) {
 	check(err)
 	check(os.WriteFile(dest, append(data, '\n'), 0o644))
 	fmt.Printf("\nwrote %s\n", dest)
+}
+
+// runAnalyzeBench drives the instrumentation-cost experiment: every
+// benchmark query (or an explicit -mix) on every system (or -systems) run
+// tuple-at-a-time, batch analyze-off and under EXPLAIN ANALYZE, all three
+// byte-verified identical, written to the BENCH_analyze.json artifact
+// with each cell's hottest-first operator-time breakdown. With -gate P
+// the run exits non-zero when the analyze-off mix total is more than P%
+// slower than the tuple baseline — the CI tripwire that keeps the
+// instrumentation hooks off the normal path.
+func runAnalyzeBench(factor float64, mixSpec, systemsSpec, dest string, gatePct float64) {
+	var queryIDs []int
+	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
+		var err error
+		queryIDs, err = parseMix(mixSpec)
+		check(err)
+	}
+	load := xmark.Systems()
+	if systemsSpec != "" {
+		load = nil
+		for _, r := range systemsSpec {
+			sys, err := xmark.SystemByID(xmark.SystemID(r))
+			check(err)
+			load = append(load, sys)
+		}
+	}
+
+	fmt.Printf("generating document at factor %g...\n", factor)
+	bench := xmark.NewBenchmark(factor)
+	fmt.Printf("document: %.1f MB; %d systems\n\n",
+		float64(len(bench.DocText))/1e6, len(load))
+	report, err := bench.RunAnalyzeBench(load, queryIDs, 3)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
+	if gatePct > 0 && report.OffVsTuplePct > gatePct {
+		fmt.Fprintf(os.Stderr, "xmark: analyze-off path is %.1f%% slower than the tuple baseline (gate %.1f%%)\n",
+			report.OffVsTuplePct, gatePct)
+		os.Exit(1)
+	}
 }
 
 // runShardBench drives the sharded scale-out experiment: the shardable

@@ -22,13 +22,22 @@
 // replica. -shard-retries, -shard-deadline and -shard-policy tune the
 // coordinator's robustness (see the /shards endpoint for live counters).
 //
+// Every /query response carries an X-Request-ID (echoing the caller's, or
+// freshly generated) and, when the query's compile surfaced diagnostics,
+// an X-Query-Warnings header. -log writes one structured access-log line
+// per request; /debug/slowlog keeps the -slowlog K slowest requests with
+// their span trees (queue wait, exec, per-shard attempts, gather morsels).
+//
 // Endpoints:
 //
 //	GET /query?system=D&q=8               benchmark query 8 on System D
 //	GET /query?system=A&q=count(//item)   ad-hoc query text
-//	GET /explain?system=D&q=8             optimized plan + fired rules
+//	GET /explain?system=D&q=8             JSON: optimized plan + warnings
+//	GET /analyze?system=D&q=8             EXPLAIN ANALYZE: plan + runtime counters
 //	GET /stats                            executor metrics as JSON
+//	GET /metrics                          Prometheus text format metrics
 //	GET /shards                           shard topology + fault counters
+//	GET /debug/slowlog                    top-K slowest requests + span trees
 //	GET /healthz                          readiness + catalog load status
 //
 // The server starts listening immediately and loads the catalog in the
@@ -45,14 +54,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/xmark"
@@ -68,11 +82,55 @@ type server struct {
 	start   time.Time
 	timeout time.Duration
 
+	// slow is the bounded top-K slow-query log behind /debug/slowlog;
+	// accessLog, when non-nil, gets one structured line per /query
+	// request (the -log flag).
+	slow      *obs.SlowLog
+	accessLog *log.Logger
+
 	mu      sync.RWMutex
 	cat     *service.Catalog
 	ex      *service.Executor
 	co      *shard.Coordinator
 	loadErr error
+}
+
+// routes builds the server's HTTP mux (factored out so tests can drive
+// the handlers through httptest without a listener).
+func (s *server) routes(pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/shards", s.handleShards)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if pprofOn {
+		// Profiling endpoints are opt-in: they expose runtime internals,
+		// so the default server surface stays queries-only. With the flag
+		// set, batch-vs-tuple CPU and heap profiles can be captured from
+		// the running service, e.g.
+		//   go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=10'
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// statusWriter records the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
 }
 
 // ready returns the catalog and executor once the load succeeded. Until
@@ -107,6 +165,8 @@ func main() {
 	shardDeadline := flag.Duration("shard-deadline", 0, "sharded mode: per-shard sub-query deadline (0 = none)")
 	shardPolicy := flag.String("shard-policy", "fail-fast", "sharded mode: degraded-mode policy, fail-fast | partial")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	accessLog := flag.Bool("log", false, "write one structured access-log line per /query request to stderr")
+	slowK := flag.Int("slowlog", 32, "slow-query log size: keep the K slowest requests for /debug/slowlog")
 	flag.Parse()
 
 	loaded, err := selectSystems(*systems)
@@ -120,27 +180,11 @@ func main() {
 		check(fmt.Errorf("unknown -shard-policy %q (want fail-fast or partial)", *shardPolicy))
 	}
 
-	s := &server{factor: *factor, start: time.Now(), timeout: *timeout}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/explain", s.handleExplain)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/shards", s.handleShards)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	if *pprofOn {
-		// Profiling endpoints are opt-in: they expose runtime internals,
-		// so the default server surface stays queries-only. With the flag
-		// set, batch-vs-tuple CPU and heap profiles can be captured from
-		// the running service, e.g.
-		//   go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=10'
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &server{factor: *factor, start: time.Now(), timeout: *timeout, slow: obs.NewSlowLog(*slowK)}
+	if *accessLog {
+		s.accessLog = log.New(os.Stderr, "xqserve: ", log.LstdFlags|log.LUTC)
 	}
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: s.routes(*pprofOn)}
 	go func() {
 		fmt.Printf("xqserve: listening on %s, loading catalog at factor %g...\n", *addr, *factor)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -290,22 +334,61 @@ func parseRequest(r *http.Request) (service.Request, error) {
 	return req, nil
 }
 
+// queryLabel names a request for logs and the slow-query log: "Q8" for a
+// benchmark query, the (truncated) text for an ad-hoc one.
+func queryLabel(req service.Request) string {
+	if req.QueryID != 0 {
+		return fmt.Sprintf("Q%d", req.QueryID)
+	}
+	if len(req.Text) > 60 {
+		return req.Text[:57] + "..."
+	}
+	return req.Text
+}
+
 // handleQuery serves one /query request. The request context follows the
-// client connection, so a dropped client cancels the query.
+// client connection, so a dropped client cancels the query. Every request
+// gets an ID (the caller's X-Request-ID or a fresh one), echoed back in
+// the response and threaded through the span tree: queue wait and exec on
+// the executor, per-shard attempts on the coordinator, morsels on the
+// engine's gather workers. Completed requests feed the slow-query log;
+// with -log set, each request leaves one structured access-log line.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	_, ex, ok := s.ready(w)
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw.Header().Set("X-Request-ID", reqID)
+	root := obs.StartSpan("request")
+	var (
+		req        service.Request
+		wait, exec time.Duration
+		shardNote  = "-"
+	)
+	if s.accessLog != nil {
+		defer func() {
+			s.accessLog.Printf("req=%s system=%s q=%q status=%d wait=%s exec=%s shard=%s",
+				reqID, req.System, queryLabel(req), sw.status, wait, exec, shardNote)
+		}()
+	}
+
+	cat, ex, ok := s.ready(sw)
 	if !ok {
 		return
 	}
-	req, err := parseRequest(r)
+	var err error
+	req, err = parseRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(sw, err.Error(), http.StatusBadRequest)
 		return
 	}
+	root.Set("system", string(req.System))
+	root.Set("query", queryLabel(req))
 
 	// The request context follows the client connection; the server-side
 	// deadline bounds how long a slow query may pin a worker slot.
-	ctx := r.Context()
+	ctx := obs.ContextWith(r.Context(), root)
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -325,27 +408,61 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		} else {
 			res, err = co.QueryText(ctx, req.System, req.Text)
 		}
-		if s.writeQueryError(w, r, ctx, err, start) {
+		if s.writeQueryError(sw, r, ctx, err, start) {
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Header().Set("X-Shard-Scattered", strconv.FormatBool(res.Scattered))
-		w.Header().Set("X-Shard-Merge", res.Merge.String())
+		exec = res.Elapsed
+		shardNote = fmt.Sprintf("scattered=%t,merge=%s", res.Scattered, res.Merge)
 		if res.Partial {
-			w.Header().Set("X-Shard-Partial", fmt.Sprint(res.Failed))
+			shardNote += fmt.Sprintf(",partial=%d", res.Failed)
 		}
-		fmt.Fprintln(w, res.Output)
+		sw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		sw.Header().Set("X-Shard-Scattered", strconv.FormatBool(res.Scattered))
+		sw.Header().Set("X-Shard-Merge", res.Merge.String())
+		if res.Partial {
+			sw.Header().Set("X-Shard-Partial", fmt.Sprint(res.Failed))
+		}
+		// The coordinator compiles on the global replica's catalog, so its
+		// compile-time diagnostics apply to every shard's identical plan.
+		if req.QueryID != 0 {
+			if prep, perr := cat.Prepared(req.System, req.QueryID); perr == nil && len(prep.Diagnostics) > 0 {
+				sw.Header().Set("X-Query-Warnings", strings.Join(prep.Diagnostics, "; "))
+			}
+		}
+		root.End()
+		s.observeSlow(reqID, req, sw.status, 0, exec, root)
+		fmt.Fprintln(sw, res.Output)
 		return
 	}
 
 	resp, err := ex.Execute(ctx, req)
-	if s.writeQueryError(w, r, ctx, err, start) {
+	if s.writeQueryError(sw, r, ctx, err, start) {
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Query-Wait", resp.Wait.String())
-	w.Header().Set("X-Query-Exec", resp.Exec.String())
-	fmt.Fprintln(w, resp.Output)
+	wait, exec = resp.Wait, resp.Exec
+	sw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	sw.Header().Set("X-Query-Wait", resp.Wait.String())
+	sw.Header().Set("X-Query-Exec", resp.Exec.String())
+	if len(resp.Warnings) > 0 {
+		sw.Header().Set("X-Query-Warnings", strings.Join(resp.Warnings, "; "))
+	}
+	root.End()
+	s.observeSlow(reqID, req, sw.status, wait, exec, root)
+	fmt.Fprintln(sw, resp.Output)
+}
+
+// observeSlow offers a completed request to the slow-query log.
+func (s *server) observeSlow(reqID string, req service.Request, status int, wait, exec time.Duration, root *obs.Span) {
+	s.slow.Observe(obs.SlowLogEntry{
+		RequestID: reqID,
+		System:    string(req.System),
+		Query:     queryLabel(req),
+		When:      time.Now().UTC(),
+		Status:    status,
+		WaitMs:    float64(wait) / float64(time.Millisecond),
+		ExecMs:    float64(exec) / float64(time.Millisecond),
+		Trace:     root.View(),
+	})
 }
 
 // writeQueryError maps an execution error to its HTTP answer, reporting
@@ -389,9 +506,19 @@ func (s *server) handleShards(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(co.Status())
 }
 
+// prepFor resolves a request to its compiled plan: the catalog's cached
+// Prepared for a benchmark query, a fresh compile for ad-hoc text.
+func prepFor(cat *service.Catalog, req service.Request) (*engine.Prepared, error) {
+	if req.QueryID != 0 {
+		return cat.Prepared(req.System, req.QueryID)
+	}
+	return cat.PrepareText(req.System, req.Text)
+}
+
 // handleExplain renders the optimized plan of a benchmark or ad-hoc query
-// on the chosen system: the plan tree, the rewrite rules that fired, and
-// the compile-time catalog probes. Nothing executes.
+// on the chosen system as JSON: the plan tree (the rewrite rules that
+// fired, the compile-time catalog probes) plus the compile-time warnings.
+// Nothing executes.
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	cat, _, ok := s.ready(w)
 	if !ok {
@@ -402,20 +529,92 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var text string
-	if req.QueryID != 0 {
-		text, err = cat.Explain(req.System, req.QueryID)
-	} else if prep, perr := cat.PrepareText(req.System, req.Text); perr != nil {
-		err = perr
-	} else {
-		text = prep.Explain()
+	prep, err := prepFor(cat, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		System   string   `json:"system"`
+		Query    string   `json:"query"`
+		Plan     string   `json:"plan"`
+		Warnings []string `json:"warnings,omitempty"`
+	}{string(req.System), queryLabel(req), prep.Explain(), prep.Diagnostics})
+}
+
+// handleAnalyze executes the query once with EXPLAIN ANALYZE
+// instrumentation and renders the annotated plan: per-operator rows,
+// next() calls, batches, selection survival, cumulative time, gather
+// fan-out and morsel skew. It runs on its own session outside the worker
+// pool — a diagnostic endpoint, not a serving path — and takes optional
+// degree= and batch= parameters to analyze a specific execution shape.
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	cat, _, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	prep, err := prepFor(cat, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess := engine.NewSession()
+	if d := r.URL.Query().Get("degree"); d != "" {
+		if sess.Degree, err = strconv.Atoi(d); err != nil {
+			http.Error(w, "bad degree= value", http.StatusBadRequest)
+			return
+		}
+	}
+	if b := r.URL.Query().Get("batch"); b != "" {
+		if sess.BatchSize, err = strconv.Atoi(b); err != nil {
+			http.Error(w, "bad batch= value", http.StatusBadRequest)
+			return
+		}
+	}
+	a, err := prep.ExplainAnalyze(io.Discard, sess)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, text)
+	fmt.Fprint(w, a.Report)
+}
+
+// handleMetrics renders the executor's counters and latency histograms —
+// plus the shard coordinator's robustness counters when sharded — in the
+// Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	_, ex, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ex.Metrics().WriteProm(w)
+	s.mu.RLock()
+	co := s.co
+	s.mu.RUnlock()
+	if co != nil {
+		co.WriteProm(w)
+	}
+}
+
+// handleSlowlog reports the top-K slowest requests with their span trees.
+// Served even while the catalog loads — the log is plain memory.
+func (s *server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Slowest []obs.SlowLogEntry `json:"slowest"`
+	}{s.slow.Top()})
 }
 
 // selectSystems parses a string of system letters into system values.

@@ -9,6 +9,7 @@
 //	xquery -factor 0.01 -f query.xq -time
 //	echo 'count(//item)' | xquery -               # query from stdin
 //	xquery -system B -n 20 -explain               # optimized plan, no execution
+//	xquery -system B -n 20 -analyze               # EXPLAIN ANALYZE: plan + runtime counters
 //	xquery -factor 0.1 -n 14 -degree 8 -time      # morsel-parallel scan
 //	xquery -system B -n 20 -batch 1 -time         # strict tuple-at-a-time baseline
 package main
@@ -19,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/xmark"
 	"repro/internal/xmlgen"
 )
@@ -31,6 +33,7 @@ func main() {
 	queryFileF := flag.String("f", "", "read the query from a file ('-' for stdin); alias of -q")
 	benchQuery := flag.Int("n", 0, "run benchmark query number 1-20 instead of an inline query")
 	explain := flag.Bool("explain", false, "print the optimized plan and fired rules instead of executing")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute once and print the plan annotated with per-operator runtime counters")
 	timing := flag.Bool("time", false, "print load, compile and execution times")
 	degree := flag.Int("degree", 1, "intra-query parallelism budget (1 = sequential; output is byte-identical at any degree)")
 	batch := flag.Int("batch", 0, "batch-at-a-time vector width (0 = engine default, 1 = tuple-at-a-time; output is byte-identical at any width)")
@@ -78,6 +81,25 @@ func main() {
 		check(err)
 		fmt.Printf("system %s (%s)\n", sys.ID, sys.Architecture)
 		fmt.Print(prep.Explain())
+		for _, d := range prep.Diagnostics {
+			fmt.Println("warning:", d)
+		}
+		return
+	}
+
+	if *analyze {
+		// EXPLAIN ANALYZE: run once with instrumentation, discard the
+		// serialized result (byte-identical to a plain run anyway), print
+		// the plan annotated with the measured per-operator counters.
+		prep, err := inst.Engine.Prepare(src)
+		check(err)
+		sess := engine.NewSession()
+		sess.Degree = *degree
+		sess.BatchSize = *batch
+		a, err := prep.ExplainAnalyze(io.Discard, sess)
+		check(err)
+		fmt.Printf("system %s (%s)\n", sys.ID, sys.Architecture)
+		fmt.Print(a.Report)
 		for _, d := range prep.Diagnostics {
 			fmt.Println("warning:", d)
 		}

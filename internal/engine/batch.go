@@ -307,6 +307,16 @@ func drainBatchCount(in batchIterator) int {
 // produces exactly the NodeIDs the item pipeline for n would, in the same
 // order.
 func (ev *evaluator) batchOf(n *plan.Node, env *bindings) batchIterator {
+	bi := ev.batchOfNode(n, env)
+	if bi != nil && ev.prof != nil {
+		if st := ev.prof.statsFor(n); st != nil {
+			return &profBatch{in: bi, st: st}
+		}
+	}
+	return bi
+}
+
+func (ev *evaluator) batchOfNode(n *plan.Node, env *bindings) batchIterator {
 	if ev.batchSize <= 1 {
 		return nil
 	}

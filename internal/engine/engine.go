@@ -157,7 +157,27 @@ func (p *Prepared) SerializeSession(w io.Writer, sess *Session) error {
 // reads the immutable plan through the Prepared and keeps all mutable
 // scratch in the Session, so concurrent executions of one Prepared never
 // share writable state.
-func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err error) {
+func (p *Prepared) execute(sess *Session, consume func(Iterator) error) error {
+	// The engine-level Analyze profile installs the EXPLAIN ANALYZE
+	// counter wrappers on every execution and leaves the report on the
+	// Session (LastAnalysis); ExplainAnalyze passes its own profile to
+	// instrument a single run on an unflagged engine.
+	if !p.engine.opts.Analyze {
+		return p.executeProfiled(sess, nil, consume)
+	}
+	if sess == nil {
+		sess = NewSession()
+	}
+	prof := newProfile()
+	err := p.executeProfiled(sess, prof, consume)
+	if err == nil {
+		a := prof.analysis(p.plan)
+		sess.LastAnalysis = &a
+	}
+	return err
+}
+
+func (p *Prepared) executeProfiled(sess *Session, prof *profile, consume func(Iterator) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(*evalError); ok {
@@ -177,6 +197,7 @@ func (p *Prepared) execute(sess *Session, consume func(Iterator) error) (err err
 		sess:      sess,
 		degree:    sess.Degree,
 		batchSize: resolveBatchSize(sess.BatchSize, p.engine.opts.BatchSize),
+		prof:      prof,
 	}
 	// Registered after the recover defer, so it runs first during panic
 	// unwinding: partition workers never outlive their execution, whether

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/nodestore"
 	"repro/internal/plan"
@@ -77,6 +78,12 @@ type evaluator struct {
 	// Options and the nodestore default; 1 or less runs strictly
 	// tuple-at-a-time.
 	batchSize int
+
+	// prof collects EXPLAIN ANALYZE counters when non-nil. The normal
+	// path keeps it nil and pays one pointer check per operator
+	// construction; partition workers never carry one (they report
+	// through their gather's per-morsel slots instead).
+	prof *profile
 }
 
 const maxRecursion = 2000
@@ -96,6 +103,23 @@ func (ev *evaluator) iter(n *plan.Node, env *bindings) Iterator {
 	ev.depth++
 	if ev.depth > maxRecursion {
 		errf("expression nesting too deep")
+	}
+	if ev.prof != nil {
+		if st := ev.prof.statsFor(n); st != nil {
+			start := time.Now()
+			it := ev.dispatch(n, env)
+			st.ns += int64(time.Since(start))
+			ev.depth--
+			// A vectorized operator surfacing through the item adapter is
+			// already counted by its batch wrapper; timing it twice here
+			// would double its inclusive time.
+			if f, ok := it.(*fromBatchIter); ok {
+				if _, ok := f.in.(*profBatch); ok {
+					return it
+				}
+			}
+			return &profIter{in: it, st: st}
+		}
 	}
 	it := ev.dispatch(n, env)
 	// No defer: an evaluation panic abandons the evaluator, so the counter
@@ -849,6 +873,16 @@ func (s *singleTupleIter) Next() (*bindings, bool) {
 // tuple iterators: the physical side of the FLWOR plan the optimizer
 // shaped (clause order, join strategies, residual selections, sorting).
 func (ev *evaluator) buildTuples(n *plan.Node, env *bindings) tupleIter {
+	t := ev.buildTuplesNode(n, env)
+	if ev.prof != nil && n.Op != plan.OpTupleSrc {
+		if st := ev.prof.statsFor(n); st != nil {
+			return &profTuple{in: t, st: st}
+		}
+	}
+	return t
+}
+
+func (ev *evaluator) buildTuplesNode(n *plan.Node, env *bindings) tupleIter {
 	switch n.Op {
 	case plan.OpTupleSrc:
 		return &singleTupleIter{tp: env}

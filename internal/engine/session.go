@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/tree"
 )
@@ -37,6 +38,19 @@ type Session struct {
 	// and any larger value runs the plan's vectorized prefixes at that
 	// width. Output is byte-identical at every width.
 	BatchSize int
+
+	// Trace, when non-nil, is the request span under which executions on
+	// this Session record their internal fan-out: each Gather adds a
+	// "gather" child with one timed "morsel i" span per partition worker.
+	// Nil (the default) records nothing. A service executor sets it per
+	// request and clears it afterwards, since Sessions outlive requests.
+	Trace *obs.Span
+
+	// LastAnalysis is the per-operator report of the most recent
+	// successful execution on an engine whose Options.Analyze flag is set
+	// (overwritten per execution, untouched on unflagged engines —
+	// Prepared.ExplainAnalyze returns its report directly instead).
+	LastAnalysis *Analysis
 
 	// stepFree, inlineFree and varFree recycle exhausted iterators (with
 	// their grown buffers): per-tuple paths in FLWOR return clauses

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeView(t *testing.T) {
+	root := StartSpan("request")
+	root.Set("system", "D")
+	exec := root.Child("exec")
+	exec.Add("morsel 0", 3*time.Millisecond)
+	exec.End()
+	root.End()
+
+	v := root.View()
+	if v.Name != "request" || len(v.Children) != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if len(v.Attrs) != 1 || v.Attrs[0].Key != "system" || v.Attrs[0].Value != "D" {
+		t.Fatalf("attrs = %+v", v.Attrs)
+	}
+	kid := v.Children[0]
+	if kid.Name != "exec" || len(kid.Children) != 1 {
+		t.Fatalf("exec view = %+v", kid)
+	}
+	if m := kid.Children[0]; m.Name != "morsel 0" || m.DurationMs != 3 {
+		t.Fatalf("morsel view = %+v", m)
+	}
+	if v.DurationMs < kid.DurationMs {
+		t.Fatalf("root %vms shorter than child %vms", v.DurationMs, kid.DurationMs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("span from empty context")
+	}
+	s := StartSpan("x")
+	if got := FromContext(ContextWith(context.Background(), s)); got != s {
+		t.Fatal("span did not round-trip through the context")
+	}
+}
+
+// TestSpanConcurrentAppend mirrors the real topology: scatter goroutines
+// and morsel workers annotate one parent concurrently while a slow-log
+// snapshot races View against them. Run under -race via the CI job's
+// Concurrent selection.
+func TestSpanConcurrentAppend(t *testing.T) {
+	root := StartSpan("request")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.Child(fmt.Sprintf("shard %d", i))
+			for j := 0; j < 50; j++ {
+				c.Set("k", "v")
+				c.Add("morsel", time.Microsecond)
+			}
+			c.End()
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		_ = root.View()
+	}
+	wg.Wait()
+	if got := len(root.View().Children); got != 8 {
+		t.Fatalf("children = %d, want 8", got)
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == "" || a == b {
+		t.Fatalf("ids %q, %q", a, b)
+	}
+}
+
+func TestSlowLogTopK(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 1; i <= 10; i++ {
+		l.Observe(SlowLogEntry{RequestID: fmt.Sprint(i), ExecMs: float64(i)})
+	}
+	top := l.Top()
+	if len(top) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(top))
+	}
+	for i, want := range []float64{10, 9, 8} {
+		if top[i].ExecMs != want {
+			t.Fatalf("top[%d] = %vms, want %v", i, top[i].ExecMs, want)
+		}
+	}
+	// A fast request must not evict anything.
+	l.Observe(SlowLogEntry{ExecMs: 0.5})
+	if got := l.Top(); len(got) != 3 || got[2].ExecMs != 8 {
+		t.Fatalf("fast request disturbed the log: %+v", got)
+	}
+}

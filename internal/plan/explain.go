@@ -14,16 +14,79 @@ import (
 // exactly where the plan diverges from naive evaluation — the per-system
 // differences the paper's Table 3 is about.
 func (p *Plan) Explain() string {
+	return p.ExplainAnnotated(nil)
+}
+
+// ExplainAnnotated renders the plan like Explain, appending annot(n) to
+// the primary line of every operator it names (an empty string appends
+// nothing). When annot is non-nil, subtrees that contain an annotated
+// operator below their root do not collapse to one source-form line —
+// EXPLAIN ANALYZE must show every operator that carries counters, even
+// in plans the optimizer left untouched. A nil annot reproduces Explain
+// byte for byte.
+func (p *Plan) ExplainAnnotated(annot func(*Node) string) string {
 	var b strings.Builder
 	for _, name := range p.FuncNames {
 		fp := p.Funcs[name]
 		fmt.Fprintf(&b, "Function %s($%s)\n", name, strings.Join(fp.Params, ", $"))
-		renderNode(&b, fp.Body, 1, "")
+		renderNode(&b, fp.Body, 1, "", annot)
 	}
-	renderNode(&b, p.Root, 0, "")
+	renderNode(&b, p.Root, 0, "", annot)
 	b.WriteString(rulesSummary(p.Fired))
 	fmt.Fprintf(&b, "meta probes: %d\n", p.Probes)
 	return b.String()
+}
+
+// annotatedBelow reports whether any node strictly below n carries an
+// annotation.
+func annotatedBelow(n *Node, annot func(*Node) string) bool {
+	found := false
+	walkNode(n, map[*Node]bool{}, func(c *Node) {
+		if c != n && annot(c) != "" {
+			found = true
+		}
+	})
+	return found
+}
+
+// NodeLabel names a node the way the EXPLAIN tree renders its primary
+// line, for flat per-operator breakdowns (xmark -analyze) that cannot
+// carry tree context.
+func NodeLabel(n *Node) string {
+	switch n.Op {
+	case OpPathScan:
+		return pathScanLabel(n)
+	case OpPartitionedScan:
+		return partScanLabel(n)
+	case OpNavigate:
+		if s, ok := stepsString(n.Steps); ok && s != "" {
+			return "Navigate " + s
+		}
+		return "Navigate"
+	case OpSelect:
+		if n.Vectorized {
+			return "BatchSelect"
+		}
+		return "Select"
+	case OpGather:
+		return fmt.Sprintf("Gather [degree <= %d]", n.Degree)
+	case OpFor, OpLet, OpNLJoin, OpHashJoin:
+		return fmt.Sprintf("%s $%s", n.Op, n.Var)
+	case OpCount:
+		switch n.CountMode {
+		case CountCatalogPath:
+			return "Count [catalog /" + strings.Join(n.Path, "/") + "]"
+		case CountCatalogDesc:
+			return "Count [catalog //" + n.CountTag + "]"
+		}
+		return "Count"
+	case OpCall:
+		return "Call " + n.Expr.(*xquery.Call).Name
+	case OpCtor:
+		return "Element <" + n.Expr.(*xquery.ElementCtor).Tag + ">"
+	default:
+		return n.Op.String()
+	}
 }
 
 // rulesSummary aggregates rule firings into "name x count" in first-seen
@@ -65,42 +128,48 @@ func line(b *strings.Builder, depth int, label, text string) {
 }
 
 // renderNode emits the tree rendering of n. Collapsible subtrees (no
-// optimizer decisions inside) render as one source-form line.
-func renderNode(b *strings.Builder, n *Node, depth int, label string) {
+// optimizer decisions inside) render as one source-form line, unless an
+// annotated operator hides below the collapse point.
+func renderNode(b *strings.Builder, n *Node, depth int, label string, annot func(*Node) string) {
 	if n == nil {
 		return
 	}
-	if s, ok := oneline(n); ok {
-		line(b, depth, label, s)
+	suffix := ""
+	if annot != nil {
+		suffix = annot(n)
+	}
+	if s, ok := oneline(n); ok && (annot == nil || !annotatedBelow(n, annot)) {
+		line(b, depth, label, s+suffix)
 		return
 	}
+	self := func(text string) { line(b, depth, label, text+suffix) }
 	kid := func(c *Node, lbl string) {
 		if c != nil && c.Op != OpTupleSrc {
-			renderNode(b, c, depth+1, lbl)
+			renderNode(b, c, depth+1, lbl, annot)
 		}
 	}
 	switch n.Op {
 	case OpSerialize:
-		line(b, depth, label, "Serialize")
+		self("Serialize")
 		kid(n.Input, "")
 	case OpProject:
-		line(b, depth, label, "Project")
+		self("Project")
 		kid(n.Input, "")
 		kid(n.Ret, "return: ")
 	case OpFor, OpLet:
-		line(b, depth, label, fmt.Sprintf("%s $%s", n.Op, n.Var))
+		self(fmt.Sprintf("%s $%s", n.Op, n.Var))
 		kid(n.Input, "")
 		kid(n.Seq, "seq: ")
 	case OpNLJoin, OpHashJoin:
-		line(b, depth, label, fmt.Sprintf("%s $%s on %s", n.Op, n.Var, xquery.UnparseExpr(n.Expr)))
+		self(fmt.Sprintf("%s $%s on %s", n.Op, n.Var, xquery.UnparseExpr(n.Expr)))
 		kid(n.Input, "")
 		kid(n.Seq, "seq: ")
 	case OpWhere:
 		if s, ok := oneline(n.Cond); ok {
-			line(b, depth, label, "Select "+s)
+			self("Select " + s)
 			kid(n.Input, "")
 		} else {
-			line(b, depth, label, "Select")
+			self("Select")
 			kid(n.Input, "")
 			kid(n.Cond, "cond: ")
 		}
@@ -119,10 +188,10 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 			keys = append(keys, s)
 		}
 		if simple {
-			line(b, depth, label, "OrderBy "+strings.Join(keys, ", "))
+			self("OrderBy " + strings.Join(keys, ", "))
 			kid(n.Input, "")
 		} else {
-			line(b, depth, label, "OrderBy")
+			self("OrderBy")
 			kid(n.Input, "")
 			for _, k := range n.Keys {
 				kid(k.Key, "key: ")
@@ -132,7 +201,7 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 		if len(n.Steps) == 0 {
 			// All steps were fused away; the navigation is the identity
 			// over its input.
-			renderNode(b, n.Input, depth, label)
+			renderNode(b, n.Input, depth, label, annot)
 			return
 		}
 		steps, sok := stepsString(n.Steps)
@@ -141,29 +210,29 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 		}
 		switch {
 		case n.Input.Op == OpRoot && sok:
-			line(b, depth, label, "Navigate "+steps)
+			self("Navigate " + steps)
 		case sok:
-			line(b, depth, label, "Navigate "+steps)
+			self("Navigate " + steps)
 			kid(n.Input, "in: ")
 		default:
-			line(b, depth, label, "Navigate")
+			self("Navigate")
 			kid(n.Input, "in: ")
 			for _, sp := range n.Steps {
 				indent(b, depth+1)
 				ss, _ := stepsString([]*StepPlan{sp})
 				b.WriteString("step: " + ss + "\n")
 				for _, pr := range sp.Preds {
-					renderNode(b, pr, depth+2, "pred: ")
+					renderNode(b, pr, depth+2, "pred: ", annot)
 				}
 			}
 		}
 	case OpPathScan:
-		line(b, depth, label, pathScanLabel(n))
+		self(pathScanLabel(n))
 	case OpGather:
-		line(b, depth, label, fmt.Sprintf("Gather [ordered, degree <= %d]", n.Degree))
+		self(fmt.Sprintf("Gather [ordered, degree <= %d]", n.Degree))
 		kid(n.Input, "")
 	case OpPartitionedScan:
-		line(b, depth, label, partScanLabel(n))
+		self(partScanLabel(n))
 	case OpSelect:
 		if n.Vectorized {
 			// A vectorized filter evaluates its predicates over whole
@@ -179,10 +248,10 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 				sels = append(sels, s)
 			}
 			if simple {
-				line(b, depth, label, "BatchSelect [sel="+strings.Join(sels, ", ")+"]")
+				self("BatchSelect [sel=" + strings.Join(sels, ", ") + "]")
 				kid(n.Input, "in: ")
 			} else {
-				line(b, depth, label, "BatchSelect")
+				self("BatchSelect")
 				kid(n.Input, "in: ")
 				for _, pr := range n.Preds {
 					kid(pr, "sel: ")
@@ -190,7 +259,7 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 			}
 			return
 		}
-		line(b, depth, label, "Select")
+		self("Select")
 		kid(n.Input, "in: ")
 		for _, pr := range n.Preds {
 			kid(pr, "pred: ")
@@ -198,17 +267,17 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 	case OpCount:
 		switch n.CountMode {
 		case CountCatalogPath:
-			line(b, depth, label, "Count [catalog /"+strings.Join(n.Path, "/")+"]")
+			self("Count [catalog /" + strings.Join(n.Path, "/") + "]")
 		case CountCatalogDesc:
-			line(b, depth, label, "Count [catalog //"+n.CountTag+"]")
+			self("Count [catalog //" + n.CountTag + "]")
 			kid(n.CountCtx, "ctx: ")
 		default:
-			line(b, depth, label, "Count")
+			self("Count")
 			kid(n.Kids[0], "")
 		}
 	case OpCtor:
 		c := n.Expr.(*xquery.ElementCtor)
-		line(b, depth, label, "Element <"+c.Tag+">")
+		self("Element <" + c.Tag + ">")
 		for i, a := range c.Attrs {
 			for _, part := range n.CtorAttrs[i] {
 				if part.Op == OpLiteral {
@@ -224,7 +293,7 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 			kid(part, "")
 		}
 	case OpIf:
-		line(b, depth, label, "If")
+		self("If")
 		kid(n.Kids[0], "cond: ")
 		kid(n.Kids[1], "then: ")
 		kid(n.Kids[2], "else: ")
@@ -234,30 +303,30 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string) {
 		if q.Every {
 			kind = "every"
 		}
-		line(b, depth, label, "Quantified "+kind+" $"+strings.Join(q.Vars, ", $"))
+		self("Quantified " + kind + " $" + strings.Join(q.Vars, ", $"))
 		for _, k := range n.Kids {
 			kid(k, "in: ")
 		}
 		kid(n.Cond, "satisfies: ")
 	case OpSequence:
-		line(b, depth, label, "Sequence")
+		self("Sequence")
 		for _, k := range n.Kids {
 			kid(k, "")
 		}
 	case OpBinary:
-		line(b, depth, label, "Op "+n.Expr.(*xquery.Binary).Op.String())
+		self("Op " + n.Expr.(*xquery.Binary).Op.String())
 		kid(n.Kids[0], "")
 		kid(n.Kids[1], "")
 	case OpUnary:
-		line(b, depth, label, "Neg")
+		self("Neg")
 		kid(n.Kids[0], "")
 	case OpCall:
-		line(b, depth, label, "Call "+n.Expr.(*xquery.Call).Name)
+		self("Call " + n.Expr.(*xquery.Call).Name)
 		for _, k := range n.Kids {
 			kid(k, "")
 		}
 	default:
-		line(b, depth, label, n.Op.String())
+		self(n.Op.String())
 	}
 }
 

@@ -65,6 +65,11 @@ type Options struct {
 	// engine); an execution may override the width — but not re-enable a
 	// disabled rule — through its Session.
 	BatchSize int
+	// Analyze installs per-operator runtime instrumentation (EXPLAIN
+	// ANALYZE counters: rows, next() calls, cumulative time, batch and
+	// gather statistics) on every execution. The wrappers exist only when
+	// this is set; the normal path pays nothing.
+	Analyze bool
 }
 
 // Op enumerates the logical operators of the plan IR.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/xmark"
 )
 
@@ -68,6 +69,11 @@ type Response struct {
 	// atomic and the next begins atomic.
 	LeadAtomic bool
 	TailAtomic bool
+	// Warnings are the query's compile-time path diagnostics
+	// (engine.Prepared.Diagnostics): provably empty path expressions the
+	// store's catalog could check, surfaced per response so HTTP callers
+	// see them as X-Query-Warnings.
+	Warnings []string
 }
 
 type taskResult struct {
@@ -252,13 +258,16 @@ func (e *Executor) worker() {
 			t.done <- taskResult{err: t.ctx.Err()}
 			continue
 		}
+		if sp := obs.FromContext(t.ctx); sp != nil {
+			sp.Add("queue-wait", wait)
+		}
 		e.metrics.inFlight.Add(1)
 		resp, err := e.run(t.ctx, sess, t.req)
 		e.metrics.inFlight.Add(-1)
 		resp.Wait = wait
 		switch {
 		case err == nil:
-			e.metrics.observe(wait, resp.Exec)
+			e.metrics.observe(t.req.System, t.req.QueryID, wait, resp.Exec)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			e.metrics.canceled.Add(1)
 		default:
@@ -301,11 +310,23 @@ func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (
 	if err != nil {
 		return resp, err
 	}
+	resp.Warnings = prep.Diagnostics
 	// Reserve the request's intra-query parallelism budget for this
 	// execution; the engine's Gather operators clamp it per plan.
 	degree := e.grantDegree()
 	defer e.releaseDegree(degree)
 	sess.Degree = degree
+	if sp := obs.FromContext(ctx); sp != nil {
+		es := sp.Child("exec")
+		es.Set("degree", fmt.Sprintf("%d", degree))
+		// The engine records gather/morsel spans under the exec span;
+		// cleared on the way out because worker Sessions outlive requests.
+		sess.Trace = es
+		defer func() {
+			sess.Trace = nil
+			es.End()
+		}()
+	}
 
 	start := time.Now()
 	var buf bytes.Buffer

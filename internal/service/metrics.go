@@ -1,8 +1,13 @@
 package service
 
 import (
+	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/xmark"
 )
 
 // latency histogram geometry: geometric buckets from 1µs growing by 25%
@@ -44,22 +49,56 @@ type Metrics struct {
 	latSum  atomic.Int64 // nanoseconds, completed requests only
 	waitSum atomic.Int64 // nanoseconds spent queued, completed requests
 	hist    [histBuckets + 1]atomic.Uint64
+	// waitHist is the queue-wait histogram (same geometry as hist), so
+	// admission-queue saturation shows up in quantiles before it becomes
+	// 503s — mean wait alone hides a bimodal queue.
+	waitHist [histBuckets + 1]atomic.Uint64
+
+	// perQuery holds one queryStats per (system, query) pair observed,
+	// keyed by prepKey (QueryID 0 aggregates all ad-hoc texts). sync.Map
+	// fits the access pattern exactly: each key is written once and then
+	// only read-modified through atomics.
+	perQuery sync.Map // prepKey -> *queryStats
+}
+
+// queryStats is one (system, query) pair's counters: completions, total
+// exec time, and a latency histogram of its own.
+type queryStats struct {
+	completed atomic.Uint64
+	latSum    atomic.Int64
+	hist      [histBuckets + 1]atomic.Uint64
 }
 
 // NewMetrics returns a Metrics with the uptime clock started.
 func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
 
-// observe records one completed request.
-func (m *Metrics) observe(wait, exec time.Duration) {
-	m.completed.Add(1)
-	m.latSum.Add(int64(exec))
-	m.waitSum.Add(int64(wait))
-	ns := float64(exec)
+// bucketOf returns the histogram bucket index of one duration.
+func bucketOf(d time.Duration) int {
+	ns := float64(d)
 	i := 0
 	for i < histBuckets && histBounds[i] < ns {
 		i++
 	}
-	m.hist[i].Add(1)
+	return i
+}
+
+// observe records one completed request for (sys, qid).
+func (m *Metrics) observe(sys xmark.SystemID, qid int, wait, exec time.Duration) {
+	m.completed.Add(1)
+	m.latSum.Add(int64(exec))
+	m.waitSum.Add(int64(wait))
+	m.hist[bucketOf(exec)].Add(1)
+	m.waitHist[bucketOf(wait)].Add(1)
+
+	key := prepKey{sys, qid}
+	v, ok := m.perQuery.Load(key)
+	if !ok {
+		v, _ = m.perQuery.LoadOrStore(key, &queryStats{})
+	}
+	qs := v.(*queryStats)
+	qs.completed.Add(1)
+	qs.latSum.Add(int64(exec))
+	qs.hist[bucketOf(exec)].Add(1)
 }
 
 // Snapshot is a point-in-time reading of the metrics, shaped for JSON.
@@ -79,6 +118,31 @@ type Snapshot struct {
 	P95Ms      float64 `json:"p95_ms"`
 	P99Ms      float64 `json:"p99_ms"`
 	MeanWaitMs float64 `json:"mean_wait_ms"`
+	// Queue-wait quantiles of completed requests, milliseconds.
+	WaitP50Ms float64 `json:"wait_p50_ms"`
+	WaitP95Ms float64 `json:"wait_p95_ms"`
+	WaitP99Ms float64 `json:"wait_p99_ms"`
+	// Queries is the per-system × per-query breakdown, sorted by system
+	// then query ID for a stable JSON rendering.
+	Queries []QuerySnapshot `json:"queries,omitempty"`
+}
+
+// QuerySnapshot is one (system, query) pair's readout.
+type QuerySnapshot struct {
+	System string `json:"system"`
+	// Query is "Qn" for benchmark queries, "adhoc" for QueryID 0.
+	Query     string  `json:"query"`
+	Completed uint64  `json:"completed"`
+	MeanMs    float64 `json:"mean_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+}
+
+// queryName renders a QueryID for metric labels.
+func queryName(qid int) string {
+	if qid == 0 {
+		return "adhoc"
+	}
+	return fmt.Sprintf("Q%d", qid)
 }
 
 // Snapshot returns the current counters and histogram quantiles.
@@ -113,6 +177,46 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.P95Ms = quantile(counts[:], total, 0.95)
 		s.P99Ms = quantile(counts[:], total, 0.99)
 	}
+	var waitCounts [histBuckets + 1]uint64
+	var waitTotal uint64
+	for i := range waitCounts {
+		waitCounts[i] = m.waitHist[i].Load()
+		waitTotal += waitCounts[i]
+	}
+	if waitTotal > 0 {
+		s.WaitP50Ms = quantile(waitCounts[:], waitTotal, 0.50)
+		s.WaitP95Ms = quantile(waitCounts[:], waitTotal, 0.95)
+		s.WaitP99Ms = quantile(waitCounts[:], waitTotal, 0.99)
+	}
+	m.perQuery.Range(func(k, v any) bool {
+		key := k.(prepKey)
+		qs := v.(*queryStats)
+		var qc [histBuckets + 1]uint64
+		var qt uint64
+		for i := range qc {
+			qc[i] = qs.hist[i].Load()
+			qt += qc[i]
+		}
+		q := QuerySnapshot{
+			System:    string(key.sys),
+			Query:     queryName(key.qid),
+			Completed: qs.completed.Load(),
+		}
+		if q.Completed > 0 {
+			q.MeanMs = float64(qs.latSum.Load()) / float64(q.Completed) / 1e6
+		}
+		if qt > 0 {
+			q.P95Ms = quantile(qc[:], qt, 0.95)
+		}
+		s.Queries = append(s.Queries, q)
+		return true
+	})
+	sort.Slice(s.Queries, func(i, j int) bool {
+		if s.Queries[i].System != s.Queries[j].System {
+			return s.Queries[i].System < s.Queries[j].System
+		}
+		return s.Queries[i].Query < s.Queries[j].Query
+	})
 	return s
 }
 

@@ -30,7 +30,7 @@ func TestMetricsEmptySnapshot(t *testing.T) {
 func TestMetricsSingleObservation(t *testing.T) {
 	m := NewMetrics()
 	exec := 1 * time.Millisecond
-	m.observe(100*time.Microsecond, exec)
+	m.observe("D", 8, 100*time.Microsecond, exec)
 	s := m.Snapshot()
 	if s.Completed != 1 {
 		t.Fatalf("completed = %d", s.Completed)
@@ -54,7 +54,7 @@ func TestMetricsSingleObservation(t *testing.T) {
 func TestMetricsQuantileOrder(t *testing.T) {
 	m := NewMetrics()
 	for i := 1; i <= 100; i++ {
-		m.observe(0, time.Duration(i)*time.Millisecond)
+		m.observe("D", 8, 0, time.Duration(i)*time.Millisecond)
 	}
 	s := m.Snapshot()
 	if !(s.P50Ms <= s.P95Ms && s.P95Ms <= s.P99Ms) {

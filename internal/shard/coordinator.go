@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/service"
 	"repro/internal/xmark"
@@ -215,9 +216,15 @@ type shardReply struct {
 
 func (co *Coordinator) run(ctx context.Context, req service.Request, mode plan.ShardMerge) (Result, error) {
 	start := time.Now()
+	sp := obs.FromContext(ctx)
 	if mode == plan.ShardNone {
 		// Non-decomposable query: the global unsharded replica serves it.
 		co.fallbacks.Add(1)
+		if sp != nil {
+			gsp := sp.Child("global-replica")
+			ctx = obs.ContextWith(ctx, gsp)
+			defer gsp.End()
+		}
 		resp, err := co.global.Execute(ctx, req)
 		if err != nil {
 			return Result{}, err
@@ -232,14 +239,35 @@ func (co *Coordinator) run(ctx context.Context, req service.Request, mode plan.S
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			replies[i] = co.subquery(ctx, i, req)
+			sctx := ctx
+			if sp != nil {
+				ssp := sp.Child(fmt.Sprintf("shard %d", i))
+				sctx = obs.ContextWith(ctx, ssp)
+				defer func() {
+					r := &replies[i]
+					ssp.Set("attempts", strconv.Itoa(r.attempts))
+					if r.err != nil {
+						ssp.Set("error", r.err.Error())
+					}
+					ssp.End()
+				}()
+			}
+			replies[i] = co.subquery(sctx, i, req)
 		}(i)
 	}
 	// Every scatter goroutine observes ctx through its attempt context,
 	// so this join returns promptly on cancellation — no goroutine
 	// outlives the query.
 	wg.Wait()
+	var msp *obs.Span
+	if sp != nil {
+		msp = sp.Child("merge")
+		msp.Set("mode", mode.String())
+	}
 	res, err := co.gather(ctx, mode, replies)
+	if msp != nil {
+		msp.End()
+	}
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -247,10 +275,29 @@ func (co *Coordinator) run(ctx context.Context, req service.Request, mode plan.S
 // subquery runs one shard's sub-query with per-attempt deadline and
 // fault injection, retrying transient failures up to cfg.Retries times.
 func (co *Coordinator) subquery(ctx context.Context, i int, req service.Request) shardReply {
+	sp := obs.FromContext(ctx)
 	var r shardReply
 	for attempt := 0; ; attempt++ {
 		r.attempts = attempt + 1
-		r.resp, r.err = co.attempt(ctx, i, attempt, req)
+		actx := ctx
+		var asp *obs.Span
+		if sp != nil {
+			asp = sp.Child(fmt.Sprintf("attempt %d", attempt))
+			if dl, ok := ctx.Deadline(); ok {
+				asp.Set("deadline_remaining", time.Until(dl).String())
+			}
+			if co.cfg.ShardDeadline > 0 {
+				asp.Set("shard_deadline", co.cfg.ShardDeadline.String())
+			}
+			actx = obs.ContextWith(ctx, asp)
+		}
+		r.resp, r.err = co.attempt(actx, i, attempt, req)
+		if asp != nil {
+			if r.err != nil {
+				asp.Set("error", r.err.Error())
+			}
+			asp.End()
+		}
 		if r.err == nil {
 			return r
 		}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"io"
 	"time"
 )
 
@@ -64,4 +65,23 @@ func (co *Coordinator) Status() Status {
 		})
 	}
 	return st
+}
+
+// WriteProm renders the coordinator's robustness counters in Prometheus
+// text format, for the /metrics endpoint of a sharded xqserve. Counter
+// reads race benignly with the scatter path's atomic increments.
+func (co *Coordinator) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP xq_shard_queries_total Coordinated queries by execution path.\n# TYPE xq_shard_queries_total counter\n")
+	fmt.Fprintf(w, "xq_shard_queries_total{path=\"scattered\"} %d\n", co.scattered.Load())
+	fmt.Fprintf(w, "xq_shard_queries_total{path=\"global-fallback\"} %d\n", co.fallbacks.Load())
+	fmt.Fprintf(w, "# HELP xq_shard_retries_total Transient per-shard attempt retries.\n# TYPE xq_shard_retries_total counter\n")
+	fmt.Fprintf(w, "xq_shard_retries_total %d\n", co.retries.Load())
+	fmt.Fprintf(w, "# HELP xq_shard_deadlines_total Per-shard attempts that hit the shard deadline.\n# TYPE xq_shard_deadlines_total counter\n")
+	fmt.Fprintf(w, "xq_shard_deadlines_total %d\n", co.deadlines.Load())
+	fmt.Fprintf(w, "# HELP xq_shard_corrupt_replies_total Shard replies discarded by the gather checksum.\n# TYPE xq_shard_corrupt_replies_total counter\n")
+	fmt.Fprintf(w, "xq_shard_corrupt_replies_total %d\n", co.corrupted.Load())
+	fmt.Fprintf(w, "# HELP xq_shard_failures_total Shards that failed a query after all retries (degraded merges under partial-results).\n# TYPE xq_shard_failures_total counter\n")
+	fmt.Fprintf(w, "xq_shard_failures_total %d\n", co.failures.Load())
+	fmt.Fprintf(w, "# HELP xq_shards Configured shard count.\n# TYPE xq_shards gauge\n")
+	fmt.Fprintf(w, "xq_shards %d\n", len(co.execs))
 }

@@ -1,0 +1,107 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestAnalyzeByteIdenticalAllQueries is the instrumentation-neutrality
+// net: EXPLAIN ANALYZE wraps every operator with counters, so for every
+// query on every system — sequential and fanned out, tuple-at-a-time and
+// at the default vector width — the instrumented run must serialize
+// exactly the bytes of the uninstrumented run, and must report at least
+// one operator with rows and time. Observing the pipeline may never
+// change it.
+func TestAnalyzeByteIdenticalAllQueries(t *testing.T) {
+	b := bench(t, 0.01)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		text := b.QueryText(q.ID)
+		for _, inst := range instances {
+			prep, err := inst.Engine.Prepare(text)
+			if err != nil {
+				t.Fatalf("Q%d system %s: %v", q.ID, inst.System.ID, err)
+			}
+			want := serializeWith(t, prep, 1, 1)
+			for _, degree := range []int{1, 8} {
+				for _, width := range []int{1, 0} {
+					sess := engine.NewSession()
+					sess.Degree = degree
+					sess.BatchSize = width
+					var out strings.Builder
+					a, err := prep.ExplainAnalyze(&out, sess)
+					if err != nil {
+						t.Fatalf("Q%d system %s degree %d width %d: %v",
+							q.ID, inst.System.ID, degree, width, err)
+					}
+					if out.String() != want {
+						t.Errorf("Q%d system %s degree %d width %d: analyze output differs (%d vs %d bytes)",
+							q.ID, inst.System.ID, degree, width, len(out.String()), len(want))
+					}
+					if len(a.Ops) == 0 {
+						t.Errorf("Q%d system %s degree %d width %d: no per-operator stats",
+							q.ID, inst.System.ID, degree, width)
+					}
+					if !strings.Contains(a.Report, "time=") {
+						t.Errorf("Q%d system %s degree %d width %d: report carries no timings:\n%s",
+							q.ID, inst.System.ID, degree, width, a.Report)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeOptionLeavesReportOnSession pins the engine-level flag: an
+// engine built with Options.Analyze instruments every execution and
+// leaves the report on the Session, without changing the output.
+func TestAnalyzeOptionLeavesReportOnSession(t *testing.T) {
+	b := bench(t, 0.002)
+	sys, err := SystemByID(SystemD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.Load(b.DocText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := inst.Engine.Prepare(b.QueryText(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serializeWith(t, prep, 1, 0)
+
+	opts := inst.Engine.Options()
+	opts.Analyze = true
+	flagged := engine.New(inst.Engine.Store(), opts)
+	fprep, err := flagged.Prepare(b.QueryText(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := engine.NewSession()
+	if sess.LastAnalysis != nil {
+		t.Fatal("fresh session already has an analysis")
+	}
+	got := serializeWith(t, fprep, 1, 0)
+	if got != want {
+		t.Errorf("Options.Analyze changed the output (%d vs %d bytes)", len(got), len(want))
+	}
+	if sess.LastAnalysis != nil {
+		t.Fatal("analysis leaked onto an unused session")
+	}
+	var sb strings.Builder
+	if err := fprep.SerializeSession(&sb, sess); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("flagged session run changed the output")
+	}
+	if sess.LastAnalysis == nil || len(sess.LastAnalysis.Ops) == 0 {
+		t.Fatal("flagged engine left no analysis on the session")
+	}
+}
