@@ -18,6 +18,11 @@
 //	                             # intra-query parallelism speedup curve
 //	                             # (degrees 1,2,4,8 on the scan-heavy
 //	                             # queries), written to BENCH_parallel.json
+//	xmark -vectorbench -factor 0.05
+//	                             # tuple vs columnar-batch joins over the
+//	                             # Q8-Q12 join family, byte-verified at
+//	                             # widths {1,default} x degrees {1,8},
+//	                             # written to BENCH_vector.json
 //	xmark -analyze -factor 0.01 -gate 5
 //	                             # EXPLAIN ANALYZE cost + operator-time
 //	                             # breakdown per query x system, written to
@@ -59,8 +64,9 @@ func main() {
 	clients := flag.Int("clients", 0, "throughput mode: scale closed-loop clients 1,2,4,... up to N")
 	parallel := flag.Int("parallel", 0, "parallel mode: measure intra-query speedup at degrees 1,2,4,... up to N")
 	batchbench := flag.Bool("batchbench", false, "batch mode: tuple vs batch ns/op and allocs per query x system, written to BENCH_batch.json")
+	vectorbench := flag.Bool("vectorbench", false, "vector mode: tuple vs columnar-batch joins (Q8-Q12) per query x system, byte-verified at widths {1,default} x degrees {1,8}, written to BENCH_vector.json")
 	analyze := flag.Bool("analyze", false, "analyze mode: EXPLAIN ANALYZE cost and operator-time breakdown per query x system, written to BENCH_analyze.json")
-	gate := flag.Float64("gate", 0, "analyze mode: fail when analyze-off throughput regresses more than this percent vs the tuple baseline (0 = no gate)")
+	gate := flag.Float64("gate", 0, "analyze mode: fail when per-cell analyze-off regressions vs the tuple baseline sum to more than this percent of the tuple total (0 = no gate); regression-only, so batch-join speedups cannot mask a leak")
 	shardbench := flag.Int("shardbench", 0, "shard mode: scatter-gather scaling at shard counts 1,2,4,... up to N, written to BENCH_shard.json")
 	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
 	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
@@ -92,6 +98,14 @@ func main() {
 			dest = "BENCH_batch.json"
 		}
 		runBatchBench(*factor, *mix, *systems, dest)
+		return
+	}
+	if *vectorbench {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_vector.json"
+		}
+		runVectorBench(*factor, *mix, *systems, dest)
 		return
 	}
 	if *analyze {
@@ -305,14 +319,51 @@ func runBatchBench(factor float64, mixSpec, systemsSpec, dest string) {
 	fmt.Printf("\nwrote %s\n", dest)
 }
 
+// runVectorBench drives the join-vectorization experiment: the Q8-Q12
+// join family (or an explicit -mix) serialized tuple-at-a-time and
+// columnar-batch, byte-verified identical at widths {1, default} x
+// degrees {1, 8}, written to the BENCH_vector.json artifact.
+func runVectorBench(factor float64, mixSpec, systemsSpec, dest string) {
+	queryIDs := xmark.JoinQueryIDs
+	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
+		var err error
+		queryIDs, err = parseMix(mixSpec)
+		check(err)
+	}
+	load := xmark.MassStorageSystems()
+	if systemsSpec != "" {
+		load = nil
+		for _, r := range systemsSpec {
+			sys, err := xmark.SystemByID(xmark.SystemID(r))
+			check(err)
+			load = append(load, sys)
+		}
+	}
+
+	fmt.Printf("generating document at factor %g...\n", factor)
+	bench := xmark.NewBenchmark(factor)
+	fmt.Printf("document: %.1f MB; queries %v; %d systems\n\n",
+		float64(len(bench.DocText))/1e6, queryIDs, len(load))
+	report, err := bench.RunVectorBench(load, queryIDs, 5)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
+}
+
 // runAnalyzeBench drives the instrumentation-cost experiment: every
 // benchmark query (or an explicit -mix) on every system (or -systems) run
 // tuple-at-a-time, batch analyze-off and under EXPLAIN ANALYZE, all three
 // byte-verified identical, written to the BENCH_analyze.json artifact
 // with each cell's hottest-first operator-time breakdown. With -gate P
-// the run exits non-zero when the analyze-off mix total is more than P%
-// slower than the tuple baseline — the CI tripwire that keeps the
-// instrumentation hooks off the normal path.
+// the run exits non-zero when the per-cell analyze-off regressions vs the
+// tuple baseline sum to more than P% of the tuple total — the CI tripwire
+// that keeps the instrumentation hooks off the normal path. The gate is
+// regression-only: the join family's batch speedups (Q8-Q12 run up to
+// ~20x faster at the default width) may not offset a leak elsewhere.
 func runAnalyzeBench(factor float64, mixSpec, systemsSpec, dest string, gatePct float64) {
 	var queryIDs []int
 	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
@@ -342,9 +393,9 @@ func runAnalyzeBench(factor float64, mixSpec, systemsSpec, dest string, gatePct 
 	check(err)
 	check(os.WriteFile(dest, append(data, '\n'), 0o644))
 	fmt.Printf("\nwrote %s\n", dest)
-	if gatePct > 0 && report.OffVsTuplePct > gatePct {
-		fmt.Fprintf(os.Stderr, "xmark: analyze-off path is %.1f%% slower than the tuple baseline (gate %.1f%%)\n",
-			report.OffVsTuplePct, gatePct)
+	if gatePct > 0 && report.OffRegressionPct > gatePct {
+		fmt.Fprintf(os.Stderr, "xmark: analyze-off cell regressions sum to %.1f%% of the tuple baseline (gate %.1f%%)\n",
+			report.OffRegressionPct, gatePct)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// joinTestDoc is a join-shaped document: person and auction extents big
+// enough to clear the vectorize gate (>= 32), buyer references with heavy
+// key duplication (several auctions per person, so matches straddle any
+// small batch width), persons with duplicate interest categories (the
+// existential build dedup), missing attributes, and an initial extent for
+// the theta joins.
+func joinTestDoc() []byte {
+	var b strings.Builder
+	b.WriteString(`<site><people>`)
+	for i := 0; i < 50; i++ {
+		b.WriteString(`<person id="p` + itoa(i) + `"`)
+		if i%5 != 3 {
+			b.WriteString(` income="` + itoa(i*700) + `"`)
+		}
+		b.WriteString(`><profile>`)
+		// Duplicate categories within one person: c0 appears twice for
+		// every fourth person, so the build side must dedup per item.
+		b.WriteString(`<interest category="c` + itoa(i%7) + `"/>`)
+		if i%4 == 0 {
+			b.WriteString(`<interest category="c` + itoa(i%7) + `"/>`)
+		}
+		b.WriteString(`</profile></person>`)
+	}
+	b.WriteString(`</people><closed_auctions>`)
+	for i := 0; i < 70; i++ {
+		// Buyer keys cycle over 10 persons: each matching person has 7
+		// auctions, far more than the tiny test batch widths.
+		b.WriteString(`<closed_auction><buyer person="p` + itoa(i%10) + `"/><price>` +
+			itoa(40+i) + `</price></closed_auction>`)
+	}
+	b.WriteString(`</closed_auctions><open_auctions>`)
+	for i := 0; i < 40; i++ {
+		b.WriteString(`<open_auction><initial>` + itoa(i) + `</initial></open_auction>`)
+	}
+	b.WriteString(`</open_auctions></site>`)
+	return []byte(b.String())
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// joinEngines builds one engine per store family the joins must agree on:
+// the dictionary-encoded mappings (whose batch joins key by int32 code)
+// and the DOM (whose batch joins keep generic string keys).
+func joinEngines(t *testing.T) map[string]*Engine {
+	t.Helper()
+	doc, err := tree.Parse(joinTestDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Engine{
+		"path": New(mapping.NewPath(doc),
+			Options{PathExtents: true, HashJoins: true, AttrIndexes: true}),
+		"edge": New(mapping.NewEdge(doc),
+			Options{HashJoins: true, AttrIndexes: true}),
+		"dom": New(nodestore.NewDOM("dom", doc, nodestore.DOMOptions{
+			Summary: true, TagExtents: true, AttrIndexes: true, FilteredScans: true}),
+			Options{PathExtents: true, HashJoins: true, AttrIndexes: true}),
+	}
+}
+
+// joinQueries are the join shapes of the Q8-Q12 family, plus the edge
+// cases: empty build side (a pushed filter rejecting every build row),
+// duplicate keys across batch boundaries, a multi-leaf probe path with
+// per-item duplicates, and the theta comparisons.
+var joinQueries = []string{
+	// Q8 shape: equality join on an attribute path, duplicate build keys.
+	`for $p in /site/people/person
+	 for $t in /site/closed_auctions/closed_auction
+	 where $t/buyer/@person = $p/@id
+	 return ($p/@id, $t/price/text())`,
+	// Let-wrapped count per person (the correlated-aggregate Q8 body).
+	`for $p in /site/people/person
+	 let $a := for $t in /site/closed_auctions/closed_auction
+	           where $t/buyer/@person = $p/@id return $t
+	 return count($a)`,
+	// Empty build side: the pushed filter rejects every auction, but the
+	// scan still clears the vectorize gate (filters don't enter the
+	// estimate), so the batch build runs over zero rows.
+	`for $p in /site/people/person
+	 for $t in /site/closed_auctions/closed_auction[price/text() > 999999]
+	 where $t/buyer/@person = $p/@id
+	 return $t`,
+	// Selection vector surviving through the probe: the build pipeline is
+	// scan -> pushed filter, and only the surviving rows may be indexed.
+	`for $p in /site/people/person
+	 for $t in /site/closed_auctions/closed_auction[price/text() >= 80]
+	 where $t/buyer/@person = $p/@id
+	 return $t/price/text()`,
+	// Multi-leaf probe path with per-person duplicate categories: the
+	// build must index each person once per distinct key (existential
+	// semantics), at every batch width.
+	`for $c in /site/people/person/profile/interest
+	 for $p in /site/people/person
+	 where $p/profile/interest/@category = $c/@category
+	 return $p/@id`,
+	// Theta join (Q11/Q12 shape): non-equality conjunct, memoized inner
+	// side, including persons with no income attribute.
+	`for $p in /site/people/person
+	 let $l := for $i in /site/open_auctions/open_auction/initial
+	           where $p/@income > (700 * exactly-one($i/text()))
+	           return $i
+	 return count($l)`,
+}
+
+// TestBatchJoinEquivalence pins byte-identical join output across batch
+// widths on every store family: width 1 runs the original tuple operators
+// (the baseline), every other width runs the batch build, the code-keyed
+// index (on the mappings) and the theta operator.
+func TestBatchJoinEquivalence(t *testing.T) {
+	for name, e := range joinEngines(t) {
+		for qi, src := range joinQueries {
+			prep, err := e.Prepare(src)
+			if err != nil {
+				t.Fatalf("%s q%d: %v", name, qi, err)
+			}
+			want := serializeWidth(t, prep, nil, 1)
+			for _, w := range batchWidths[1:] {
+				if got := serializeWidth(t, prep, nil, w); got != want {
+					t.Errorf("%s q%d: width %d differs from tuple mode (%d vs %d bytes)",
+						name, qi, w, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchJoinPlansFire asserts the equivalence sweep actually exercises
+// the vectorized operators: the eq joins plan as BatchHashJoin and the
+// theta join as BatchNestedLoopJoin on a mapping store.
+func TestBatchJoinPlansFire(t *testing.T) {
+	e := joinEngines(t)["path"]
+	for qi, src := range joinQueries {
+		prep, err := e.Prepare(src)
+		if err != nil {
+			t.Fatalf("q%d: %v", qi, err)
+		}
+		ex := prep.Explain()
+		if !strings.Contains(ex, "BatchHashJoin") && !strings.Contains(ex, "BatchNestedLoopJoin") {
+			t.Errorf("q%d: no vectorized join in plan:\n%s", qi, ex)
+		}
+	}
+}
+
+// TestBatchJoinEarlyTermination aborts join streams mid-probe on a reused
+// session — the memoized index survives the abandoned execution — and
+// checks the same session still computes complete, identical answers.
+func TestBatchJoinEarlyTermination(t *testing.T) {
+	e := joinEngines(t)["path"]
+	prep, err := e.Prepare(joinQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serializeWidth(t, prep, nil, 1)
+	sess := NewSession()
+	for i := 0; i < 5; i++ {
+		sess.BatchSize = 3
+		n := 0
+		if err := prep.StreamSession(sess, func(Item) bool { n++; return n < 3 }); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got := serializeWidth(t, prep, sess, 3); got != want {
+			t.Fatalf("run %d: post-abort join differs (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}
+
+// TestBatchJoinSessionCache pins the memoization contract: one execution
+// populates the session's join cache, a second execution on the same
+// session reuses the identical index object, and executions at different
+// widths still agree after a cache built at another width answers.
+func TestBatchJoinSessionCache(t *testing.T) {
+	e := joinEngines(t)["path"]
+	prep, err := e.Prepare(joinQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serializeWidth(t, prep, nil, 1)
+	sess := NewSession()
+	if got := serializeWidth(t, prep, sess, 64); got != want {
+		t.Fatalf("first run differs")
+	}
+	if len(sess.joinCache) == 0 {
+		t.Fatal("join cache empty after a hash-join execution")
+	}
+	var cached *joinIndex
+	for _, idx := range sess.joinCache {
+		cached = idx
+	}
+	if cached.byCode == nil {
+		t.Fatal("mapping-store batch join did not build a code-keyed index")
+	}
+	// A width-1 run on the same session consumes the cached code-keyed
+	// index through the tuple probe path (the dictionary translation).
+	if got := serializeWidth(t, prep, sess, 1); got != want {
+		t.Fatalf("tuple-mode run over cached code index differs")
+	}
+}
+
+// TestSessionResetReleasesJoinMemory pins the Reset contract: the join
+// and theta caches drop, and the dropped indexes (with their materialized
+// build sides) become collectible — observed via a finalizer.
+func TestSessionResetReleasesJoinMemory(t *testing.T) {
+	e := joinEngines(t)["path"]
+	sess := NewSession()
+	for _, src := range []string{joinQueries[0], joinQueries[5]} {
+		prep, err := e.Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := serializeWidth(t, prep, sess, 64); got == "" {
+			t.Fatal("join produced no output")
+		}
+	}
+	if len(sess.joinCache) == 0 || len(sess.thetaCache) == 0 {
+		t.Fatalf("caches not populated: join=%d theta=%d", len(sess.joinCache), len(sess.thetaCache))
+	}
+	freed := make(chan struct{})
+	for _, idx := range sess.joinCache {
+		runtime.SetFinalizer(idx, func(*joinIndex) { close(freed) })
+		break
+	}
+	sess.Reset()
+	if sess.joinCache != nil || sess.thetaCache != nil {
+		t.Fatal("Reset left join caches populated")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-freed:
+			return
+		case <-deadline:
+			t.Fatal("joinIndex not collected after Reset: memory is retained")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

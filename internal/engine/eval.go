@@ -35,6 +35,17 @@ func (b *bindings) lookup(name string) Seq {
 	return nil
 }
 
+// peek is lookup without the unbound-variable panic, for opportunistic
+// fast paths that fall back to full evaluation when the binding is absent.
+func (b *bindings) peek(name string) (Seq, bool) {
+	for e := b; e != nil; e = e.parent {
+		if e.name == name {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
 // focus is the dynamic context of predicate evaluation. It is held by
 // value in the evaluator so entering a predicate allocates nothing.
 type focus struct {
@@ -889,8 +900,21 @@ func (ev *evaluator) buildTuplesNode(n *plan.Node, env *bindings) tupleIter {
 	case plan.OpLet:
 		return &letTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), name: n.Var, seq: n.Seq}
 	case plan.OpFor:
+		// Vectorized bindings come straight off the sequence's NodeID
+		// batches; batch size 1 keeps the plain tuple expansion.
+		if n.Vectorized && ev.batchSize > 1 {
+			return &batchForTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), node: n}
+		}
 		return &forTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), name: n.Var, seq: n.Seq}
 	case plan.OpNLJoin:
+		// The vectorized theta join memoizes the inner side per session
+		// and hoists the outer comparison operand per tuple; conjuncts it
+		// cannot prove (and batch size 1) keep the for+where expansion.
+		if n.Vectorized && ev.batchSize > 1 {
+			if t := ev.newThetaJoinIter(ev.buildTuples(n.Input, env), n); t != nil {
+				return t
+			}
+		}
 		// The nested-loop join expands the clause and filters on the
 		// consumed conjunct right after the binding.
 		var t tupleIter = &forTupleIter{ev: ev, in: ev.buildTuples(n.Input, env), name: n.Var, seq: n.Seq}
@@ -1076,12 +1100,41 @@ func orderLess(a, b Item) bool {
 }
 
 // joinIndex is a memoized hash index over an independent for-sequence.
+// Exactly one of byKey/byCode is set: the generic build keys by the
+// atomized key's string form, the batch build over a dictionary-encoded
+// store keys by int32 code (code equality is string equality within one
+// store, so the two formats answer identically). A probe against a
+// code-keyed index translates its key through the store's dictionary — a
+// string the dictionary never interned equals no stored value.
 type joinIndex struct {
-	items Seq
-	byKey map[string][]int
+	items  Seq
+	byKey  map[string][]int
+	byCode map[int32][]int
+	coder  nodestore.AttrCoder
 	// probe is the key plan evaluated per item; identity-checked so a
 	// stale cache entry for a different plan never answers.
 	probe *plan.Node
+	// probeVar/probeTags/probeAttr describe the outer-side key when it is
+	// itself an attribute path over a single variable (probeFast): the
+	// probe then walks store primitives to a dictionary code and never
+	// materializes a key string or enters the evaluator.
+	probeVar  string
+	probeTags []string
+	probeAttr string
+	probeFast bool
+}
+
+// lookup returns the build positions matching one atomized probe key,
+// regardless of index format.
+func (idx *joinIndex) lookup(k Item) []int {
+	if idx.byCode != nil {
+		c, ok := idx.coder.CodeOf(itemString(k))
+		if !ok {
+			return nil
+		}
+		return idx.byCode[c]
+	}
+	return idx.byKey[itemString(k)]
 }
 
 // hashJoinTupleIter expands tuples with a for-clause using an equality
@@ -1111,21 +1164,28 @@ func (ev *evaluator) newHashJoinIter(in tupleIter, n *plan.Node) tupleIter {
 	}
 	idx := ev.sess.joinCache[n]
 	if idx == nil || idx.probe != n.Probe {
-		items := ev.eval(n.Seq, &bindings{})
-		idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: n.Probe}
-		for i, it := range items {
-			envI := (&bindings{}).bind(n.Var, Seq{it})
-			// An item whose key expression yields the same value twice
-			// (e.g. two interests in one category) must be indexed once:
-			// general comparison is existential, not multiplicative.
-			seen := map[string]bool{}
-			for _, k := range ev.atomizeSeq(ev.eval(n.Probe, envI)) {
-				ks := itemString(k)
-				if seen[ks] {
-					continue
+		if n.Vectorized && ev.batchSize > 1 {
+			// The planned batch build: items fill from NodeID vectors, and
+			// attribute-path keys over a dictionary-encoded store index by
+			// int32 code instead of key string.
+			idx = ev.newBatchJoinIndex(n)
+		} else {
+			items := ev.eval(n.Seq, &bindings{})
+			idx = &joinIndex{items: items, byKey: make(map[string][]int), probe: n.Probe}
+			for i, it := range items {
+				envI := (&bindings{}).bind(n.Var, Seq{it})
+				// An item whose key expression yields the same value twice
+				// (e.g. two interests in one category) must be indexed once:
+				// general comparison is existential, not multiplicative.
+				seen := map[string]bool{}
+				for _, k := range ev.atomizeSeq(ev.eval(n.Probe, envI)) {
+					ks := itemString(k)
+					if seen[ks] {
+						continue
+					}
+					seen[ks] = true
+					idx.byKey[ks] = append(idx.byKey[ks], i)
 				}
-				seen[ks] = true
-				idx.byKey[ks] = append(idx.byKey[ks], i)
 			}
 		}
 		ev.sess.joinCache[n] = idx
@@ -1154,9 +1214,14 @@ func (j *hashJoinTupleIter) Next() (*bindings, bool) {
 // returns matched item positions in index order.
 func (j *hashJoinTupleIter) tupleMatches(tp *bindings) []int {
 	ev := j.ev
+	if j.idx.probeFast {
+		if m, ok := j.fastMatches(tp); ok {
+			return m
+		}
+	}
 	keys := ev.atomizeSeq(ev.eval(j.node.Build, tp))
 	if len(keys) == 1 {
-		return j.idx.byKey[itemString(keys[0])]
+		return j.idx.lookup(keys[0])
 	}
 	// Multiple keys: existential semantics with per-tuple dedup. The seen
 	// set is allocated on first use — single-key probes never pay for it.
@@ -1168,7 +1233,7 @@ func (j *hashJoinTupleIter) tupleMatches(tp *bindings) []int {
 	}
 	var matches []int
 	for _, k := range keys {
-		for _, i := range j.idx.byKey[itemString(k)] {
+		for _, i := range j.idx.lookup(k) {
 			if !j.seen[i] {
 				j.seen[i] = true
 				matches = append(matches, i)

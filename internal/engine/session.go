@@ -65,10 +65,29 @@ type Session struct {
 	// joinCache memoizes hash-join indexes keyed by the join's plan node,
 	// so correlated inner FLWORs (Q10) build the index once per session.
 	joinCache map[*plan.Node]*joinIndex
+	// thetaCache memoizes the inner items and key values of planned
+	// non-equality joins (Q11/Q12), keyed like joinCache.
+	thetaCache map[*plan.Node]*thetaIndex
 }
 
 // NewSession returns an empty Session for one worker goroutine.
 func NewSession() *Session { return &Session{} }
+
+// Reset drops the session's memoized join state: the hash-join and
+// theta-join caches, whose entries retain materialized build sides (and,
+// through them, whole item sequences) for the life of the worker. A
+// service executor calls it between requests so one request's joins are
+// never pinned while the worker sits idle — the retention policy is "for
+// the duration of a request", not "for the life of the worker". The
+// iterator and batch-buffer free lists survive a Reset: they are
+// bounded, store-independent scratch whose warmth is the point of
+// keeping a Session at all.
+func (s *Session) Reset() {
+	s.joinCache = nil
+	s.thetaCache = nil
+	s.LastAnalysis = nil
+	s.Trace = nil
+}
 
 // getBatchBuf takes a recycled NodeID vector of at least n capacity from
 // the free list, or allocates a fresh one. The returned slice has length n.

@@ -14,7 +14,9 @@
 //
 // All three implement nodestore.Store over tables of package relational, so
 // the shared query engine runs on each and the cost differences the paper
-// reports emerge from the physical layouts.
+// reports emerge from the physical layouts. The tables are column-major
+// with dictionary-coded strings (relational.Dict), so navigation reads
+// typed vectors and pushed-down equality predicates compare int codes.
 package mapping
 
 import (
@@ -41,6 +43,16 @@ type Edge struct {
 	parentIdx *relational.HashIndex
 	tagIdx    *relational.HashIndex
 	valueIdx  *relational.HashIndex
+
+	// Column vectors of the one heap relation, bound once at load: every
+	// navigation loop compares against these contiguous arrays instead of
+	// materializing rows.
+	ids     []int64
+	parents []int64
+	ends    []int64
+	tags    []int64
+	kinds   []int64
+	values  []int32 // dictionary codes of the value column
 
 	syms     map[string]int32
 	symNames []string
@@ -111,6 +123,12 @@ func NewEdge(doc *tree.Doc) *Edge {
 	s.parentIdx = s.table.CreateIndex(eParent)
 	s.tagIdx = s.table.CreateIndex(eTag)
 	s.valueIdx = s.table.CreateIndex(eValue)
+	s.ids = s.table.IntCol(eID)
+	s.parents = s.table.IntCol(eParent)
+	s.ends = s.table.IntCol(eEnd)
+	s.tags = s.table.IntCol(eTag)
+	s.kinds = s.table.IntCol(eKind)
+	s.values = s.table.CodeCol(eValue)
 	return s
 }
 
@@ -133,13 +151,16 @@ func (s *Edge) sym(name string) int32 {
 
 // rowOf locates the heap row of node n via the id index: System A's
 // signature cost, paid on every navigation step.
-func (s *Edge) rowOf(n tree.NodeID) (relational.Row, bool) {
+func (s *Edge) rowOf(n tree.NodeID) (int, bool) {
 	rows := s.idIdx.LookupInt(int64(n))
 	if len(rows) == 0 {
-		return nil, false
+		return 0, false
 	}
-	return s.table.Row(int(rows[0])), true
+	return int(rows[0]), true
 }
+
+// value decodes the value cell of one heap row.
+func (s *Edge) value(row int) string { return s.table.Dict().Name(s.values[row]) }
 
 // Name implements nodestore.Store.
 func (s *Edge) Name() string { return "edge" }
@@ -150,7 +171,7 @@ func (s *Edge) Root() tree.NodeID { return s.root }
 // Kind implements nodestore.Store.
 func (s *Edge) Kind(n tree.NodeID) tree.Kind {
 	r, ok := s.rowOf(n)
-	if !ok || r[eKind].I == rowElement {
+	if !ok || s.kinds[r] == rowElement {
 		return tree.Element
 	}
 	return tree.Text
@@ -159,19 +180,19 @@ func (s *Edge) Kind(n tree.NodeID) tree.Kind {
 // Tag implements nodestore.Store.
 func (s *Edge) Tag(n tree.NodeID) string {
 	r, ok := s.rowOf(n)
-	if !ok || r[eTag].I < 0 {
+	if !ok || s.tags[r] < 0 {
 		return ""
 	}
-	return s.symNames[r[eTag].I]
+	return s.symNames[s.tags[r]]
 }
 
 // Text implements nodestore.Store.
 func (s *Edge) Text(n tree.NodeID) string {
 	r, ok := s.rowOf(n)
-	if !ok || r[eKind].I != rowText {
+	if !ok || s.kinds[r] != rowText {
 		return ""
 	}
-	return r[eValue].S
+	return s.value(r)
 }
 
 // Parent implements nodestore.Store.
@@ -180,15 +201,14 @@ func (s *Edge) Parent(n tree.NodeID) tree.NodeID {
 	if !ok {
 		return tree.Nil
 	}
-	return tree.NodeID(r[eParent].I)
+	return tree.NodeID(s.parents[r])
 }
 
 // Children implements nodestore.Store.
 func (s *Edge) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
 	for _, row := range s.parentIdx.LookupInt(int64(n)) {
-		r := s.table.Row(int(row))
-		if r[eKind].I != rowAttr {
-			buf = append(buf, tree.NodeID(r[eID].I))
+		if s.kinds[row] != rowAttr {
+			buf = append(buf, tree.NodeID(s.ids[row]))
 		}
 	}
 	return buf
@@ -201,9 +221,8 @@ func (s *Edge) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tre
 		return buf
 	}
 	for _, row := range s.parentIdx.LookupInt(int64(n)) {
-		r := s.table.Row(int(row))
-		if r[eKind].I == rowElement && int32(r[eTag].I) == sym {
-			buf = append(buf, tree.NodeID(r[eID].I))
+		if s.kinds[row] == rowElement && int32(s.tags[row]) == sym {
+			buf = append(buf, tree.NodeID(s.ids[row]))
 		}
 	}
 	return buf
@@ -216,21 +235,37 @@ func (s *Edge) Attr(n tree.NodeID, name string) (string, bool) {
 		return "", false
 	}
 	for _, row := range s.parentIdx.LookupInt(int64(n)) {
-		r := s.table.Row(int(row))
-		if r[eKind].I == rowAttr && int32(r[eTag].I) == sym {
-			return r[eValue].S, true
+		if s.kinds[row] == rowAttr && int32(s.tags[row]) == sym {
+			return s.value(int(row)), true
 		}
 	}
 	return "", false
 }
 
+// AttrCode implements nodestore.AttrCoder: the dictionary code of the
+// attribute's value, without decoding the string.
+func (s *Edge) AttrCode(n tree.NodeID, name string) (int32, bool) {
+	sym := s.sym("@" + name)
+	if sym < 0 {
+		return 0, false
+	}
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		if s.kinds[row] == rowAttr && int32(s.tags[row]) == sym {
+			return s.values[row], true
+		}
+	}
+	return 0, false
+}
+
+// CodeOf implements nodestore.AttrCoder.
+func (s *Edge) CodeOf(v string) (int32, bool) { return s.table.Dict().Code(v) }
+
 // Attrs implements nodestore.Store.
 func (s *Edge) Attrs(n tree.NodeID) []tree.Attr {
 	var out []tree.Attr
 	for _, row := range s.parentIdx.LookupInt(int64(n)) {
-		r := s.table.Row(int(row))
-		if r[eKind].I == rowAttr {
-			out = append(out, tree.Attr{Name: s.symNames[r[eTag].I][1:], Value: r[eValue].S})
+		if s.kinds[row] == rowAttr {
+			out = append(out, tree.Attr{Name: s.symNames[s.tags[row]][1:], Value: s.value(int(row))})
 		}
 	}
 	return out
@@ -244,19 +279,17 @@ func (s *Edge) StringValue(n tree.NodeID) string {
 		return ""
 	}
 	start := int(rows[0])
-	r := s.table.Row(start)
-	if r[eKind].I == rowText {
-		return r[eValue].S
+	if s.kinds[start] == rowText {
+		return s.value(start)
 	}
-	end := tree.NodeID(r[eEnd].I)
+	end := s.ends[start]
 	var out []byte
-	for i := start + 1; i < s.table.Len(); i++ {
-		rr := s.table.Row(i)
-		if rr[eKind].I != rowAttr && tree.NodeID(rr[eID].I) >= end {
+	for i := start + 1; i < len(s.ids); i++ {
+		if s.kinds[i] != rowAttr && s.ids[i] >= end {
 			break
 		}
-		if rr[eKind].I == rowText {
-			out = append(out, rr[eValue].S...)
+		if s.kinds[i] == rowText {
+			out = append(out, s.value(i)...)
 		}
 	}
 	return string(out)
@@ -268,7 +301,7 @@ func (s *Edge) SubtreeEnd(n tree.NodeID) tree.NodeID {
 	if !ok {
 		return n + 1
 	}
-	return tree.NodeID(r[eEnd].I)
+	return tree.NodeID(s.ends[r])
 }
 
 // TagExtent implements nodestore.Store: the tag index yields all elements
@@ -279,13 +312,30 @@ func (s *Edge) TagExtent(tag string, buf []tree.NodeID) ([]tree.NodeID, bool) {
 		return buf, true
 	}
 	for _, row := range s.tagIdx.LookupInt(int64(sym)) {
-		r := s.table.Row(int(row))
-		if r[eKind].I == rowElement {
-			buf = append(buf, tree.NodeID(r[eID].I))
+		if s.kinds[row] == rowElement {
+			buf = append(buf, tree.NodeID(s.ids[row]))
 		}
 	}
 	return buf, true
 }
+
+// TagCard implements nodestore.Cardinalities: element tag syms are never
+// shared with attribute ("@name") or text (-1) rows, so the posting-list
+// length IS the extent size — a pure metadata read.
+func (s *Edge) TagCard(tag string) (int, bool) {
+	sym := s.sym(tag)
+	if sym < 0 {
+		return 0, true
+	}
+	return len(s.tagIdx.LookupInt(int64(sym))), true
+}
+
+// PathCard implements nodestore.Cardinalities: the heap keeps no path
+// statistics.
+func (s *Edge) PathCard([]string) (int, bool) { return 0, false }
+
+// DictCard implements nodestore.Cardinalities.
+func (s *Edge) DictCard() (int, bool) { return s.table.Dict().Len(), true }
 
 // Descendants implements nodestore.Store: binary search of the tag extent
 // against the subtree range, the containment-join strategy of [26].
@@ -321,9 +371,8 @@ func (s *Edge) AttrLookup(name, value string) ([]tree.NodeID, bool) {
 	}
 	var out []tree.NodeID
 	for _, row := range s.valueIdx.LookupString(value) {
-		r := s.table.Row(int(row))
-		if r[eKind].I == rowAttr && int32(r[eTag].I) == sym {
-			out = append(out, tree.NodeID(r[eParent].I))
+		if s.kinds[row] == rowAttr && int32(s.tags[row]) == sym {
+			out = append(out, tree.NodeID(s.parents[row]))
 		}
 	}
 	return out, true
@@ -334,33 +383,57 @@ func (s *Edge) InlinedChildText(tree.NodeID, string) (string, bool, bool) {
 	return "", false, false
 }
 
-// rowIDCursor adapts a relational row iterator to a node cursor by
-// projecting one Node column: the bridge between the relational operators
-// and the engine's item pipeline.
-type rowIDCursor struct {
-	it  relational.Iterator
-	col int
+// edgePostingCursor streams the id column of a posting list, keeping rows
+// whose kind (and optionally tag) columns match — a select-project over
+// contiguous column vectors. wantTag < 0 accepts any tag; wantKind < 0
+// accepts everything but attribute rows; extra (optional) evaluates
+// pushed-down value predicates.
+type edgePostingCursor struct {
+	s        *Edge
+	rows     []int32
+	wantKind int64
+	wantTag  int64
+	extra    func(row int32) bool
 }
 
-func (c *rowIDCursor) Next() (tree.NodeID, bool) {
-	r, ok := c.it.Next()
-	if !ok {
-		return tree.Nil, false
-	}
-	return tree.NodeID(r[c.col].I), true
-}
-
-// NextBatch implements nodestore.BatchCursor: one relational pull loop
-// fills the vector, projecting the Node column as it goes.
-func (c *rowIDCursor) NextBatch(dst []tree.NodeID) int {
-	n := 0
-	for n < len(dst) {
-		r, ok := c.it.Next()
-		if !ok {
-			break
+func (c *edgePostingCursor) keep(row int32) bool {
+	if c.wantKind < 0 {
+		if c.s.kinds[row] == rowAttr {
+			return false
 		}
-		dst[n] = tree.NodeID(r[c.col].I)
-		n++
+	} else {
+		if c.s.kinds[row] != c.wantKind {
+			return false
+		}
+		if c.wantTag >= 0 && c.s.tags[row] != c.wantTag {
+			return false
+		}
+	}
+	return c.extra == nil || c.extra(row)
+}
+
+func (c *edgePostingCursor) Next() (tree.NodeID, bool) {
+	for len(c.rows) > 0 {
+		row := c.rows[0]
+		c.rows = c.rows[1:]
+		if c.keep(row) {
+			return tree.NodeID(c.s.ids[row]), true
+		}
+	}
+	return tree.Nil, false
+}
+
+// NextBatch implements nodestore.BatchCursor: one loop over the posting
+// list fills the vector, comparing the kind/tag columns in place.
+func (c *edgePostingCursor) NextBatch(dst []tree.NodeID) int {
+	n := 0
+	for len(c.rows) > 0 && n < len(dst) {
+		row := c.rows[0]
+		c.rows = c.rows[1:]
+		if c.keep(row) {
+			dst[n] = tree.NodeID(c.s.ids[row])
+			n++
+		}
 	}
 	return n
 }
@@ -369,10 +442,7 @@ func (c *rowIDCursor) NextBatch(dst []tree.NodeID) int {
 // select-project over the parent index posting list, skipping attribute
 // rows.
 func (s *Edge) ChildrenCursor(n tree.NodeID) nodestore.Cursor {
-	it := relational.Select(
-		relational.ScanRows(s.table, s.parentIdx.LookupInt(int64(n))),
-		func(r relational.Row) bool { return r[eKind].I != rowAttr })
-	return &rowIDCursor{it: it, col: eID}
+	return &edgePostingCursor{s: s, rows: s.parentIdx.LookupInt(int64(n)), wantKind: -1, wantTag: -1}
 }
 
 // ChildrenByTagCursor implements nodestore.CursorStore.
@@ -381,10 +451,7 @@ func (s *Edge) ChildrenByTagCursor(n tree.NodeID, tag string) nodestore.Cursor {
 	if sym < 0 {
 		return nodestore.EmptyCursor{}
 	}
-	it := relational.Select(
-		relational.ScanRows(s.table, s.parentIdx.LookupInt(int64(n))),
-		func(r relational.Row) bool { return r[eKind].I == rowElement && int32(r[eTag].I) == sym })
-	return &rowIDCursor{it: it, col: eID}
+	return &edgePostingCursor{s: s, rows: s.parentIdx.LookupInt(int64(n)), wantKind: rowElement, wantTag: int64(sym)}
 }
 
 // DescendantsCursor implements nodestore.CursorStore: the tag index posting
@@ -399,7 +466,7 @@ func (s *Edge) DescendantsCursor(n tree.NodeID, tag string) nodestore.Cursor {
 	lo, hi := n, s.SubtreeEnd(n)
 	rows := s.tagIdx.LookupInt(int64(sym))
 	i := sort.Search(len(rows), func(k int) bool {
-		return tree.NodeID(s.table.Value(int(rows[k]), eID).I) > lo
+		return tree.NodeID(s.ids[rows[k]]) > lo
 	})
 	return &edgeRangeCursor{s: s, rows: rows[i:], hi: hi}
 }
@@ -414,14 +481,14 @@ type edgeRangeCursor struct {
 
 func (c *edgeRangeCursor) Next() (tree.NodeID, bool) {
 	for len(c.rows) > 0 {
-		r := c.s.table.Row(int(c.rows[0]))
+		row := c.rows[0]
 		c.rows = c.rows[1:]
-		id := tree.NodeID(r[eID].I)
+		id := tree.NodeID(c.s.ids[row])
 		if id >= c.hi {
 			c.rows = nil
 			return tree.Nil, false
 		}
-		if r[eKind].I == rowElement {
+		if c.s.kinds[row] == rowElement {
 			return id, true
 		}
 	}
@@ -434,14 +501,14 @@ func (c *edgeRangeCursor) Next() (tree.NodeID, bool) {
 func (c *edgeRangeCursor) NextBatch(dst []tree.NodeID) int {
 	n := 0
 	for len(c.rows) > 0 && n < len(dst) {
-		r := c.s.table.Row(int(c.rows[0]))
+		row := c.rows[0]
 		c.rows = c.rows[1:]
-		id := tree.NodeID(r[eID].I)
+		id := tree.NodeID(c.s.ids[row])
 		if id >= c.hi {
 			c.rows = nil
 			break
 		}
-		if r[eKind].I == rowElement {
+		if c.s.kinds[row] == rowElement {
 			dst[n] = id
 			n++
 		}
@@ -454,64 +521,68 @@ func (c *edgeRangeCursor) NextBatch(dst []tree.NodeID) int {
 func (s *Edge) PathExtentCursor([]string) (nodestore.Cursor, bool) { return nil, false }
 
 // ChildrenByTagFilteredCursor implements nodestore.FilteredCursorStore:
-// pushed-down value predicates evaluate inside the relational select over
-// the parent posting list, so rows a predicate rejects never leave the
-// heap relation.
+// pushed-down value predicates evaluate inside the posting-list select, so
+// rows a predicate rejects never leave the heap relation. The predicates
+// are compiled against the dictionary once per cursor: equality filters
+// compare int codes against the value column and decode nothing.
 func (s *Edge) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
 	sym := s.sym(tag)
 	if sym < 0 {
 		return nodestore.EmptyCursor{}, true
 	}
-	it := relational.Select(
-		relational.ScanRows(s.table, s.parentIdx.LookupInt(int64(n))),
-		func(r relational.Row) bool {
-			if r[eKind].I != rowElement || int32(r[eTag].I) != sym {
-				return false
-			}
-			return s.matchFilters(tree.NodeID(r[eID].I), fs)
-		})
-	return &rowIDCursor{it: it, col: eID}, true
+	cfs := compileFilters(s.table.Dict(), fs)
+	return &edgePostingCursor{
+		s: s, rows: s.parentIdx.LookupInt(int64(n)),
+		wantKind: rowElement, wantTag: int64(sym),
+		extra: func(row int32) bool { return s.matchCoded(tree.NodeID(s.ids[row]), cfs) },
+	}, true
 }
 
-// matchFilters answers pushed-down predicates from the heap: attribute
-// filters probe the candidate's posting list for the attribute row, text
-// filters scan it for a matching text child, and a Child component hops
-// one more posting list to the named element children first.
-func (s *Edge) matchFilters(n tree.NodeID, fs []nodestore.ValueFilter) bool {
-	for _, f := range fs {
-		if !s.matchFilter(n, f) {
+// matchCoded answers compiled pushed-down predicates from the heap:
+// attribute filters probe the candidate's posting list for the attribute
+// row, text filters scan it for a matching text child, and a Child
+// component hops one more posting list to the named element children first.
+func (s *Edge) matchCoded(n tree.NodeID, cfs []codedFilter) bool {
+	for i := range cfs {
+		if !s.matchCodedOne(n, &cfs[i]) {
 			return false
 		}
 	}
 	return true
 }
 
-func (s *Edge) matchFilter(n tree.NodeID, f nodestore.ValueFilter) bool {
-	if f.Child != "" {
-		sym := s.sym(f.Child)
+func (s *Edge) matchCodedOne(n tree.NodeID, cf *codedFilter) bool {
+	if cf.f.Child != "" {
+		sym := s.sym(cf.f.Child)
 		if sym < 0 {
 			return false
 		}
 		for _, row := range s.parentIdx.LookupInt(int64(n)) {
-			r := s.table.Row(int(row))
-			if r[eKind].I == rowElement && int32(r[eTag].I) == sym &&
-				s.matchValueAt(tree.NodeID(r[eID].I), f) {
+			if s.kinds[row] == rowElement && int32(s.tags[row]) == sym &&
+				s.matchCodedValueAt(tree.NodeID(s.ids[row]), cf) {
 				return true
 			}
 		}
 		return false
 	}
-	return s.matchValueAt(n, f)
+	return s.matchCodedValueAt(n, cf)
 }
 
-func (s *Edge) matchValueAt(n tree.NodeID, f nodestore.ValueFilter) bool {
-	if f.Attr != "" {
-		v, ok := s.Attr(n, f.Attr)
-		return ok && f.Match(v)
+func (s *Edge) matchCodedValueAt(n tree.NodeID, cf *codedFilter) bool {
+	if cf.f.Attr != "" {
+		sym := s.sym("@" + cf.f.Attr)
+		if sym < 0 {
+			return false
+		}
+		for _, row := range s.parentIdx.LookupInt(int64(n)) {
+			if s.kinds[row] == rowAttr && int32(s.tags[row]) == sym {
+				return cf.matchCode(s.table.Dict(), s.values[row])
+			}
+		}
+		return false
 	}
 	for _, row := range s.parentIdx.LookupInt(int64(n)) {
-		r := s.table.Row(int(row))
-		if r[eKind].I == rowText && f.Match(r[eValue].S) {
+		if s.kinds[row] == rowText && cf.matchCode(s.table.Dict(), s.values[row]) {
 			return true
 		}
 	}
@@ -560,7 +631,7 @@ func (s *Edge) PathExtentFilteredPartitions([]string, []nodestore.ValueFilter, i
 func (s *Edge) Stats() nodestore.Stats {
 	return nodestore.Stats{
 		Name:      s.Name(),
-		SizeBytes: s.table.SizeBytes(),
+		SizeBytes: s.table.SizeBytes() + s.table.Dict().SizeBytes(),
 		Tables:    1,
 		Nodes:     s.nNodes,
 	}

@@ -1,0 +1,50 @@
+package mapping
+
+import (
+	"repro/internal/nodestore"
+	"repro/internal/relational"
+)
+
+// codedFilter is a pushed-down ValueFilter compiled against one store
+// dictionary: string equality and inequality become int code comparisons
+// against the table's contiguous code column, and only ordered or numeric
+// predicates (plus the survivors an equality admits) decode a string.
+//
+// The compilation is per cursor, so the dictionary probe for the literal
+// happens once per scan instead of once per row; a literal absent from the
+// dictionary equals no stored value, which short-circuits CmpEq to a
+// constant false and CmpNeq to a constant true without touching the
+// column at all.
+type codedFilter struct {
+	f       nodestore.ValueFilter
+	code    int32 // dictionary code of f.Value, when hasCode
+	hasCode bool
+	byCode  bool // CmpEq/CmpNeq on a plain string: compare codes only
+}
+
+// compileFilters compiles fs against the dictionary of the store the
+// cursor scans.
+func compileFilters(d *relational.Dict, fs []nodestore.ValueFilter) []codedFilter {
+	cfs := make([]codedFilter, len(fs))
+	for i, f := range fs {
+		cfs[i] = codedFilter{f: f}
+		if !f.Numeric && (f.Op == nodestore.CmpEq || f.Op == nodestore.CmpNeq) {
+			cfs[i].byCode = true
+			cfs[i].code, cfs[i].hasCode = d.Code(f.Value)
+		}
+	}
+	return cfs
+}
+
+// matchCode evaluates the filter against one dictionary code. Equality
+// never decodes; everything else falls back to the exact ValueFilter
+// semantics over the decoded string.
+func (cf *codedFilter) matchCode(d *relational.Dict, c int32) bool {
+	if cf.byCode {
+		if cf.f.Op == nodestore.CmpEq {
+			return cf.hasCode && c == cf.code
+		}
+		return !cf.hasCode || c != cf.code
+	}
+	return cf.f.Match(d.Name(c))
+}

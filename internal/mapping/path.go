@@ -54,10 +54,14 @@ type attrTable struct {
 }
 
 // Path is the fragmenting mapping (System B), and with inlining enabled the
-// DTD-derived mapping (System C).
+// DTD-derived mapping (System C). All fragments and attribute tables share
+// one store-wide dictionary, so a string value carries the same code in
+// every table of this store — which is what lets pushed-down equality
+// predicates and batch join keys compare codes across fragments.
 type Path struct {
 	name        string
 	inline      bool
+	dict        *relational.Dict
 	catalog     map[string]*pathTable
 	byTag       map[string][]*pathTable
 	attrsByName map[string][]*attrTable
@@ -84,6 +88,7 @@ func load(doc *tree.Doc, inline bool, name string) *Path {
 	s := &Path{
 		name:        name,
 		inline:      inline,
+		dict:        relational.NewDict(),
 		catalog:     make(map[string]*pathTable),
 		byTag:       make(map[string][]*pathTable),
 		attrsByName: make(map[string][]*attrTable),
@@ -135,10 +140,10 @@ func load(doc *tree.Doc, inline bool, name string) *Path {
 		for _, a := range doc.Attrs(n) {
 			at := pt.attrs[a.Name]
 			if at == nil {
-				at = &attrTable{table: relational.NewTable(path+"/@"+a.Name, relational.Schema{
+				at = &attrTable{table: relational.NewTableShared(path+"/@"+a.Name, relational.Schema{
 					{Name: "owner", T: relational.Node},
 					{Name: "value", T: relational.String},
-				})}
+				}, s.dict)}
 				at.ownerIdx = at.table.CreateIndex(0)
 				at.valueIdx = at.table.CreateIndex(1)
 				pt.attrs[a.Name] = at
@@ -185,7 +190,7 @@ func (s *Path) newPathTable(path, label string) *pathTable {
 			}
 		}
 	}
-	pt.table = relational.NewTable(path, sch)
+	pt.table = relational.NewTableShared(path, sch, s.dict)
 	pt.idIdx = pt.table.CreateIndex(pID)
 	pt.parentIdx = pt.table.CreateIndex(pParent)
 	pt.idx = len(s.entries)
@@ -215,14 +220,14 @@ func (s *Path) appendInlined(doc *tree.Doc, n tree.NodeID, pt *pathTable, row re
 
 func (s *Path) entryOf(n tree.NodeID) *pathTable { return s.entries[s.pathOf[n]] }
 
-// rowOf finds the row of node n inside its fragment.
-func (s *Path) rowOf(n tree.NodeID) (pt *pathTable, row relational.Row) {
+// rowOf finds the row index of node n inside its fragment.
+func (s *Path) rowOf(n tree.NodeID) (pt *pathTable, row int, ok bool) {
 	pt = s.entryOf(n)
 	ids := pt.idIdx.LookupInt(int64(n))
 	if len(ids) == 0 {
-		return pt, nil
+		return pt, 0, false
 	}
-	return pt, pt.table.Row(int(ids[0]))
+	return pt, int(ids[0]), true
 }
 
 // Name implements nodestore.Store.
@@ -249,20 +254,20 @@ func (s *Path) Tag(n tree.NodeID) string {
 
 // Text implements nodestore.Store.
 func (s *Path) Text(n tree.NodeID) string {
-	pt, row := s.rowOf(n)
-	if pt.tag != textLabel || row == nil {
+	pt, row, ok := s.rowOf(n)
+	if pt.tag != textLabel || !ok {
 		return ""
 	}
-	return row[pValue].S
+	return pt.table.Str(row, pValue)
 }
 
 // Parent implements nodestore.Store.
 func (s *Path) Parent(n tree.NodeID) tree.NodeID {
-	_, row := s.rowOf(n)
-	if row == nil {
+	pt, row, ok := s.rowOf(n)
+	if !ok {
 		return tree.Nil
 	}
-	return tree.NodeID(row[pParent].I)
+	return tree.NodeID(pt.table.Int(row, pParent))
 }
 
 // Children implements nodestore.Store: one probe per child fragment, then
@@ -277,8 +282,7 @@ func (s *Path) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
 	for _, c := range pt.children {
 		s.metaOps.Add(1)
 		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
-			r := c.table.Row(int(rid))
-			kids = append(kids, ordNode{r[pOrd].I, tree.NodeID(r[pID].I)})
+			kids = append(kids, ordNode{c.table.Int(int(rid), pOrd), tree.NodeID(c.table.Int(int(rid), pID))})
 		}
 	}
 	sort.Slice(kids, func(i, j int) bool { return kids[i].ord < kids[j].ord })
@@ -298,7 +302,7 @@ func (s *Path) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tre
 		}
 		s.metaOps.Add(1)
 		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
-			buf = append(buf, tree.NodeID(c.table.Value(int(rid), pID).I))
+			buf = append(buf, tree.NodeID(c.table.Int(int(rid), pID)))
 		}
 	}
 	return buf
@@ -315,8 +319,28 @@ func (s *Path) Attr(n tree.NodeID, name string) (string, bool) {
 	if len(rows) == 0 {
 		return "", false
 	}
-	return at.table.Value(int(rows[0]), 1).S, true
+	return at.table.Str(int(rows[0]), 1), true
 }
+
+// AttrCode implements nodestore.AttrCoder: the dictionary code of the
+// attribute's value straight from the fragment's attribute table, no
+// decode. Codes are store-wide (the shared dictionary), so they compare
+// across fragments.
+func (s *Path) AttrCode(n tree.NodeID, name string) (int32, bool) {
+	pt := s.entryOf(n)
+	at := pt.attrs[name]
+	if at == nil {
+		return 0, false
+	}
+	rows := at.ownerIdx.LookupInt(int64(n))
+	if len(rows) == 0 {
+		return 0, false
+	}
+	return at.table.Code(int(rows[0]), 1), true
+}
+
+// CodeOf implements nodestore.AttrCoder.
+func (s *Path) CodeOf(v string) (int32, bool) { return s.dict.Code(v) }
 
 // Attrs implements nodestore.Store.
 func (s *Path) Attrs(n tree.NodeID) []tree.Attr {
@@ -333,17 +357,17 @@ func (s *Path) Attrs(n tree.NodeID) []tree.Attr {
 // StringValue implements nodestore.Store: fragment-wise descent gathering
 // text rows, ordered by node id.
 func (s *Path) StringValue(n tree.NodeID) string {
-	pt, row := s.rowOf(n)
+	pt, row, ok := s.rowOf(n)
 	if pt.tag == textLabel {
-		if row == nil {
+		if !ok {
 			return ""
 		}
-		return row[pValue].S
+		return pt.table.Str(row, pValue)
 	}
-	if row == nil {
+	if !ok {
 		return ""
 	}
-	lo, hi := n, tree.NodeID(row[pEnd].I)
+	lo, hi := n, tree.NodeID(pt.table.Int(row, pEnd))
 	type idText struct {
 		id  tree.NodeID
 		txt string
@@ -354,7 +378,7 @@ func (s *Path) StringValue(n tree.NodeID) string {
 		if p.tag == textLabel {
 			i := sort.Search(len(p.ids), func(k int) bool { return p.ids[k] > lo })
 			for ; i < len(p.ids) && p.ids[i] < hi; i++ {
-				parts = append(parts, idText{p.ids[i], p.table.Value(i, pValue).S})
+				parts = append(parts, idText{p.ids[i], p.table.Str(i, pValue)})
 			}
 			return
 		}
@@ -373,11 +397,11 @@ func (s *Path) StringValue(n tree.NodeID) string {
 
 // SubtreeEnd implements nodestore.Store.
 func (s *Path) SubtreeEnd(n tree.NodeID) tree.NodeID {
-	_, row := s.rowOf(n)
-	if row == nil {
+	pt, row, ok := s.rowOf(n)
+	if !ok {
 		return n + 1
 	}
-	return tree.NodeID(row[pEnd].I)
+	return tree.NodeID(pt.table.Int(row, pEnd))
 }
 
 // TagExtent implements nodestore.Store: a catalog consultation per path
@@ -392,6 +416,49 @@ func (s *Path) TagExtent(tag string, buf []tree.NodeID) ([]tree.NodeID, bool) {
 	sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
 	return buf, true
 }
+
+// TagCard implements nodestore.Cardinalities: the clustered id columns
+// know their lengths — a catalog read, no extent materialization.
+func (s *Path) TagCard(tag string) (int, bool) {
+	n := 0
+	for _, pt := range s.byTag[tag] {
+		n += len(pt.ids)
+	}
+	return n, true
+}
+
+// PathCard implements nodestore.Cardinalities: a full path is one
+// fragment, whose clustered id column knows its length. Distinct from
+// CountPath, which stays unsupported: CountPath feeds the QUERY rewrite
+// (count() without the extent — System D's summary privilege), while
+// PathCard feeds the PLANNER's cost model, which any cataloged mapping
+// can answer about its own tables. The lookup must not allocate: the
+// planner's bigEnough gate probes it on every compile.
+func (s *Path) PathCard(path []string) (int, bool) {
+	pt := s.fragment(path)
+	if pt == nil {
+		return 0, true // path provably empty: the catalog is complete
+	}
+	return len(pt.ids), true
+}
+
+// fragment resolves a label path to its table without allocating: the
+// "/"-joined catalog key is assembled in a stack scratch buffer, and the
+// map index's string conversion is the non-allocating compiler pattern.
+func (s *Path) fragment(path []string) *pathTable {
+	var scratch [128]byte
+	key := scratch[:0]
+	for i, p := range path {
+		if i > 0 {
+			key = append(key, '/')
+		}
+		key = append(key, p...)
+	}
+	return s.catalog[string(key)]
+}
+
+// DictCard implements nodestore.Cardinalities.
+func (s *Path) DictCard() (int, bool) { return s.dict.Len(), true }
 
 // Descendants implements nodestore.Store: per-fragment clustered-index
 // range scans.
@@ -414,7 +481,7 @@ func (s *Path) Descendants(n tree.NodeID, tag string, buf []tree.NodeID) []tree.
 // mapping — a full path is one fragment scan.
 func (s *Path) PathExtent(path []string, buf []tree.NodeID) ([]tree.NodeID, bool) {
 	s.metaOps.Add(1)
-	pt := s.catalog[strings.Join(path, "/")]
+	pt := s.fragment(path)
 	if pt == nil {
 		return buf, true // path provably empty: the catalog is complete
 	}
@@ -432,7 +499,7 @@ func (s *Path) AttrLookup(name, value string) ([]tree.NodeID, bool) {
 	for _, at := range s.attrsByName[name] {
 		s.metaOps.Add(1)
 		for _, row := range at.valueIdx.LookupString(value) {
-			out = append(out, tree.NodeID(at.table.Value(int(row), 0).I))
+			out = append(out, tree.NodeID(at.table.Int(int(row), 0)))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -452,15 +519,49 @@ func (s *Path) InlinedChildText(n tree.NodeID, tag string) (string, bool, bool) 
 	if !s.inline {
 		return "", false, false
 	}
-	pt, row := s.rowOf(n)
-	cols, ok := pt.inlined[tag]
-	if !ok || row == nil {
+	pt, row, ok := s.rowOf(n)
+	cols, has := pt.inlined[tag]
+	if !has || !ok {
 		return "", false, false
 	}
-	if row[cols[1]].I == 0 {
+	if pt.table.Int(row, cols[1]) == 0 {
 		return "", false, true
 	}
-	return row[cols[0]].S, true, true
+	return pt.table.Str(row, cols[0]), true, true
+}
+
+// colIDCursor streams the id column of one fragment over a posting list,
+// optionally filtering rows — the typed-column replacement for scanning
+// materialized rows.
+type colIDCursor struct {
+	ids   []int64 // the fragment's contiguous id column
+	rows  []int32
+	match func(row int32) bool // optional
+}
+
+func (c *colIDCursor) Next() (tree.NodeID, bool) {
+	for len(c.rows) > 0 {
+		row := c.rows[0]
+		c.rows = c.rows[1:]
+		if c.match == nil || c.match(row) {
+			return tree.NodeID(c.ids[row]), true
+		}
+	}
+	return tree.Nil, false
+}
+
+// NextBatch implements nodestore.BatchCursor.
+func (c *colIDCursor) NextBatch(dst []tree.NodeID) int {
+	n := 0
+	for len(c.rows) > 0 && n < len(dst) {
+		row := c.rows[0]
+		c.rows = c.rows[1:]
+		if c.match == nil || c.match(row) {
+			dst[n] = tree.NodeID(c.ids[row])
+			n++
+		}
+	}
+	return n
 }
 
 // ChildrenCursor implements nodestore.CursorStore. Reconstructing the full
@@ -480,8 +581,7 @@ func (s *Path) ChildrenByTagCursor(n tree.NodeID, tag string) nodestore.Cursor {
 			continue
 		}
 		s.metaOps.Add(1)
-		it := relational.ScanRows(c.table, c.parentIdx.LookupInt(int64(n)))
-		return &rowIDCursor{it: it, col: pID}
+		return &colIDCursor{ids: c.table.IntCol(pID), rows: c.parentIdx.LookupInt(int64(n))}
 	}
 	return nodestore.EmptyCursor{}
 }
@@ -502,7 +602,7 @@ func (s *Path) DescendantsCursor(n tree.NodeID, tag string) nodestore.Cursor {
 // fragment, so its extent streams from the clustered id column in place.
 func (s *Path) PathExtentCursor(path []string) (nodestore.Cursor, bool) {
 	s.metaOps.Add(1)
-	pt := s.catalog[strings.Join(path, "/")]
+	pt := s.fragment(path)
 	if pt == nil {
 		return nodestore.EmptyCursor{}, true // path provably empty
 	}
@@ -512,7 +612,8 @@ func (s *Path) PathExtentCursor(path []string) (nodestore.Cursor, bool) {
 // ChildrenByTagFilteredCursor implements nodestore.FilteredCursorStore:
 // pushed-down predicates evaluate against the child fragment's own
 // attribute tables (and its #text child fragment) while the posting list
-// streams, so the engine never sees rejected rows.
+// streams, so the engine never sees rejected rows. The predicates compile
+// against the store dictionary once per cursor.
 func (s *Path) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
 	pt := s.entryOf(n)
 	for _, c := range pt.children {
@@ -521,35 +622,37 @@ func (s *Path) ChildrenByTagFilteredCursor(n tree.NodeID, tag string, fs []nodes
 		}
 		s.metaOps.Add(1)
 		frag := c
-		it := relational.Select(
-			relational.ScanRows(c.table, c.parentIdx.LookupInt(int64(n))),
-			func(r relational.Row) bool {
-				return s.fragMatch(frag, tree.NodeID(r[pID].I), fs)
-			})
-		return &rowIDCursor{it: it, col: pID}, true
+		cfs := compileFilters(s.dict, fs)
+		return &colIDCursor{
+			ids: c.table.IntCol(pID), rows: c.parentIdx.LookupInt(int64(n)),
+			match: func(row int32) bool {
+				return s.fragMatchCoded(frag, tree.NodeID(frag.table.Int(int(row), pID)), cfs)
+			},
+		}, true
 	}
 	return nodestore.EmptyCursor{}, true
 }
 
-// fragMatch evaluates pushed-down filters against one row of a fragment:
-// attribute filters probe the fragment's attribute table by owner, text
-// filters probe its #text child fragments, and a Child component descends
-// into the named child fragment first.
-func (s *Path) fragMatch(pt *pathTable, id tree.NodeID, fs []nodestore.ValueFilter) bool {
-	for _, f := range fs {
-		if f.Child == "" {
-			if !s.fragValueMatch(pt, id, f) {
+// fragMatchCoded evaluates compiled pushed-down filters against one row of
+// a fragment: attribute filters probe the fragment's attribute table by
+// owner, text filters probe its #text child fragments, and a Child
+// component descends into the named child fragment first.
+func (s *Path) fragMatchCoded(pt *pathTable, id tree.NodeID, cfs []codedFilter) bool {
+	for i := range cfs {
+		cf := &cfs[i]
+		if cf.f.Child == "" {
+			if !s.fragValueMatchCoded(pt, id, cf) {
 				return false
 			}
 			continue
 		}
 		matched := false
 		for _, c := range pt.children {
-			if c.tag != f.Child {
+			if c.tag != cf.f.Child {
 				continue
 			}
 			for _, rid := range c.parentIdx.LookupInt(int64(id)) {
-				if s.fragValueMatch(c, tree.NodeID(c.table.Value(int(rid), pID).I), f) {
+				if s.fragValueMatchCoded(c, tree.NodeID(c.table.Int(int(rid), pID)), cf) {
 					matched = true
 					break
 				}
@@ -562,19 +665,28 @@ func (s *Path) fragMatch(pt *pathTable, id tree.NodeID, fs []nodestore.ValueFilt
 	return true
 }
 
-// fragValueMatch applies the filter's value source (the fragment's
-// attribute table, or its #text child fragments) at one fragment row.
-func (s *Path) fragValueMatch(pt *pathTable, id tree.NodeID, f nodestore.ValueFilter) bool {
-	if f.Attr != "" {
-		v, ok := s.Attr(id, f.Attr)
-		return ok && f.Match(v)
+// fragValueMatchCoded applies the compiled filter's value source (the
+// fragment's attribute table, or its #text child fragments) at one
+// fragment row, comparing dictionary codes where equality suffices.
+func (s *Path) fragValueMatchCoded(pt *pathTable, id tree.NodeID, cf *codedFilter) bool {
+	if cf.f.Attr != "" {
+		at := pt.attrs[cf.f.Attr]
+		if at == nil {
+			return false
+		}
+		rows := at.ownerIdx.LookupInt(int64(id))
+		if len(rows) == 0 {
+			return false
+		}
+		return cf.matchCode(s.dict, at.table.Code(int(rows[0]), 1))
 	}
 	for _, c := range pt.children {
 		if c.tag != textLabel {
 			continue
 		}
+		codes := c.table.CodeCol(pValue)
 		for _, rid := range c.parentIdx.LookupInt(int64(id)) {
-			if f.Match(c.table.Value(int(rid), pValue).S) {
+			if cf.matchCode(s.dict, codes[rid]) {
 				return true
 			}
 		}
@@ -590,7 +702,7 @@ func (s *Path) fragValueMatch(pt *pathTable, id tree.NodeID, f nodestore.ValueFi
 // match plugged in, so it batches like every other filtered extent.
 func (s *Path) PathExtentFilteredCursor(path []string, fs []nodestore.ValueFilter) (nodestore.Cursor, bool) {
 	s.metaOps.Add(1)
-	pt := s.catalog[strings.Join(path, "/")]
+	pt := s.fragment(path)
 	if pt == nil {
 		return nodestore.EmptyCursor{}, true // path provably empty
 	}
@@ -598,10 +710,14 @@ func (s *Path) PathExtentFilteredCursor(path []string, fs []nodestore.ValueFilte
 }
 
 // filteredCursor scans one run of a fragment's clustered id column with
-// the pushed-down filters answered from the fragment's own tables.
+// the pushed-down filters answered from the fragment's own tables. The
+// filters compile once per cursor, so the selection vector fills by
+// comparing dictionary codes against the attribute tables' contiguous
+// value columns.
 func (s *Path) filteredCursor(pt *pathTable, ids []tree.NodeID, fs []nodestore.ValueFilter) nodestore.Cursor {
+	cfs := compileFilters(s.dict, fs)
 	return nodestore.NewMatchSliceCursor(ids, func(id tree.NodeID) bool {
-		return s.fragMatch(pt, id, fs)
+		return s.fragMatchCoded(pt, id, cfs)
 	})
 }
 
@@ -624,7 +740,7 @@ func (s *Path) TagExtentPartitions(tag string, k int) ([]nodestore.Cursor, bool)
 // clustered id column, sliced in place.
 func (s *Path) PathExtentPartitions(path []string, k int) ([]nodestore.Cursor, bool) {
 	s.metaOps.Add(1)
-	pt := s.catalog[strings.Join(path, "/")]
+	pt := s.fragment(path)
 	if pt == nil {
 		return nil, true // path provably empty: zero partitions
 	}
@@ -638,7 +754,7 @@ func (s *Path) PathExtentPartitions(path []string, k int) ([]nodestore.Cursor, b
 // PathExtentFilteredCursor.
 func (s *Path) PathExtentFilteredPartitions(path []string, fs []nodestore.ValueFilter, k int) ([]nodestore.Cursor, bool) {
 	s.metaOps.Add(1)
-	pt := s.catalog[strings.Join(path, "/")]
+	pt := s.fragment(path)
 	if pt == nil {
 		return nil, true // path provably empty: zero partitions
 	}
@@ -666,6 +782,6 @@ func (s *Path) Stats() nodestore.Stats {
 			tables++
 		}
 	}
-	size += int64(len(s.pathOf)) * 4
+	size += int64(len(s.pathOf))*4 + s.dict.SizeBytes()
 	return nodestore.Stats{Name: s.name, SizeBytes: size, Tables: tables, Nodes: s.nNodes}
 }

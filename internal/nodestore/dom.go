@@ -166,6 +166,31 @@ func (d *DOM) CountPath(path []string) (int, bool) {
 	return d.sum.Count(path...), true
 }
 
+// TagCard implements Cardinalities: the inverted element index or the
+// summary know extent sizes without materializing them.
+func (d *DOM) TagCard(tag string) (int, bool) {
+	if d.extents != nil {
+		return len(d.extents[tag]), true
+	}
+	if d.sum != nil {
+		return d.sum.CountDescendants(tag), true
+	}
+	return 0, false
+}
+
+// PathCard implements Cardinalities; only the summary keeps per-path
+// statistics.
+func (d *DOM) PathCard(path []string) (int, bool) {
+	if d.sum == nil {
+		return 0, false
+	}
+	return d.sum.Count(path...), true
+}
+
+// DictCard implements Cardinalities: main-memory stores keep raw strings,
+// no dictionary.
+func (d *DOM) DictCard() (int, bool) { return 0, false }
+
 // AttrLookup implements Store via the attribute value index.
 func (d *DOM) AttrLookup(name, value string) ([]tree.NodeID, bool) {
 	if d.attrIdx == nil {

@@ -70,8 +70,10 @@ func NodeLabel(n *Node) string {
 		return "Select"
 	case OpGather:
 		return fmt.Sprintf("Gather [degree <= %d]", n.Degree)
-	case OpFor, OpLet, OpNLJoin, OpHashJoin:
+	case OpFor, OpLet:
 		return fmt.Sprintf("%s $%s", n.Op, n.Var)
+	case OpNLJoin, OpHashJoin:
+		return fmt.Sprintf("%s $%s", joinName(n), n.Var)
 	case OpCount:
 		switch n.CountMode {
 		case CountCatalogPath:
@@ -161,7 +163,7 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string, annot func
 		kid(n.Input, "")
 		kid(n.Seq, "seq: ")
 	case OpNLJoin, OpHashJoin:
-		self(fmt.Sprintf("%s $%s on %s", n.Op, n.Var, xquery.UnparseExpr(n.Expr)))
+		self(joinLabel(n))
 		kid(n.Input, "")
 		kid(n.Seq, "seq: ")
 	case OpWhere:
@@ -328,6 +330,27 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string, annot func
 	default:
 		self(n.Op.String())
 	}
+}
+
+// joinName is the operator name a join renders under: joins the vectorize
+// rule marked render with a Batch prefix (BatchHashJoin, BatchNestedLoopJoin)
+// — the batch operator builds its index from NodeID vectors and probes
+// without per-tuple iterator chains, but emits byte-identical tuples.
+func joinName(n *Node) string {
+	if n.Vectorized {
+		return "Batch" + n.Op.String()
+	}
+	return n.Op.String()
+}
+
+// joinLabel renders a join with its condition and, when the catalog knows
+// it, the build-side cardinality the engine pre-sizes the index with.
+func joinLabel(n *Node) string {
+	s := fmt.Sprintf("%s $%s on %s", joinName(n), n.Var, xquery.UnparseExpr(n.Expr))
+	if n.Vectorized && n.BuildCard > 0 {
+		s += fmt.Sprintf(" [build=%d]", n.BuildCard)
+	}
+	return s
 }
 
 // pathScanLabel renders a PathScan with its pushed-down filters; scans the

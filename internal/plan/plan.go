@@ -300,11 +300,20 @@ type Node struct {
 
 	// Vectorized marks nodes the vectorize rule proved batchable: scans
 	// (OpPathScan, OpPartitionedScan) whose cursors fill NodeID vectors,
-	// and OpSelect nodes whose predicates are rank-independent so they
-	// evaluate over whole batches with a selection vector. The evaluator
-	// builds batch operators for marked nodes and falls back to the item
-	// iterators everywhere else.
+	// OpSelect nodes whose predicates are rank-independent so they
+	// evaluate over whole batches with a selection vector, OpFor clauses
+	// whose sequence batches (the binding loop consumes NodeID vectors
+	// directly), and joins (OpHashJoin, OpNLJoin) whose scanned side
+	// batches (the index builds from vectors and probes without
+	// per-tuple iterator chains). The evaluator builds batch operators
+	// for marked nodes and falls back to the item iterators everywhere
+	// else.
 	Vectorized bool
+	// BuildCard is the cardinality catalog's size estimate for a
+	// vectorized join's indexed (scanned) side; 0 when the catalog
+	// cannot answer. The engine pre-sizes the join index with it and
+	// EXPLAIN renders it as [build=N].
+	BuildCard int
 	// BatchSteps is the number of leading steps of an OpNavigate the
 	// batch pipeline may run vector-at-a-time (per-context child/text
 	// expansion into the output vector); the remaining steps run through

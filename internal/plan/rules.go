@@ -332,7 +332,7 @@ func ruleJoins(p *Plan, opts Options) {
 				continue
 			}
 			if !shadowed[cl.Var] && exprIndependent(cl.Seq.Expr) {
-				if ci := findJoinConjunct(wheres, used, cl.Var, bound, clauseVars, shadowed); ci >= 0 {
+				if ci := findJoinConjunct(wheres, used, cl.Var, bound, clauseVars, shadowed, true); ci >= 0 {
 					w := wheres[ci]
 					b := w.Expr.(*xquery.Binary)
 					probe, build := w.Cond.Kids[0], w.Cond.Kids[1]
@@ -349,6 +349,24 @@ func ruleJoins(p *Plan, opts Options) {
 						cl.Op = OpHashJoin
 						p.fire("hash-join", cl)
 					}
+				} else if ci := findJoinConjunct(wheres, used, cl.Var, bound, clauseVars, shadowed, false); ci >= 0 {
+					// Theta conjunct (Q11/Q12's income > 5000 * count shape):
+					// the comparison admits only a nested-loop join — there is
+					// no hash bucket for an inequality — but fusing the filter
+					// into the clause still lets the engine hoist the outer
+					// side's key once per tuple and memoize the inner scan.
+					w := wheres[ci]
+					b := w.Expr.(*xquery.Binary)
+					probe, build := w.Cond.Kids[0], w.Cond.Kids[1]
+					if vars := freeVars(b.Left); !(len(vars) == 1 && vars[cl.Var]) {
+						probe, build = build, probe
+					}
+					cl.Op = OpNLJoin
+					cl.Cond, cl.Probe, cl.Build = w.Cond, probe, build
+					cl.Expr = w.Expr
+					unlinkTupleOp(n, w)
+					used[ci] = true
+					p.fire("nested-loop-join", cl)
 				}
 			}
 			bound[cl.Var] = true
@@ -356,11 +374,14 @@ func ruleJoins(p *Plan, opts Options) {
 	})
 }
 
-// findJoinConjunct looks for an equality conjunct with one side depending
+// findJoinConjunct looks for a comparison conjunct with one side depending
 // only on the new for-variable and the other side evaluable from the
-// bindings available before this clause: the hash-joinable shape of
-// Q8/Q9/Q10. Conjuncts touching a shadowed variable never qualify.
-func findJoinConjunct(wheres []*Node, used []bool, newVar string, bound, clauseVars, shadowed map[string]bool) int {
+// bindings available before this clause. eqOnly restricts the search to
+// equality — the hash-joinable shape of Q8/Q9/Q10; with eqOnly false any
+// value comparison qualifies (Q11/Q12's theta shape), which still fuses
+// into a nested-loop join. Conjuncts touching a shadowed variable never
+// qualify.
+func findJoinConjunct(wheres []*Node, used []bool, newVar string, bound, clauseVars, shadowed map[string]bool, eqOnly bool) int {
 	// otherOK: the outer side must not touch the new variable and must not
 	// reference clause variables that are not bound yet.
 	otherOK := func(vars map[string]bool) bool {
@@ -379,18 +400,32 @@ func findJoinConjunct(wheres []*Node, used []bool, newVar string, bound, clauseV
 			continue
 		}
 		b, ok := w.Expr.(*xquery.Binary)
-		if !ok || b.Op != xquery.OpEq {
+		if !ok {
 			continue
+		}
+		if eqOnly {
+			if b.Op != xquery.OpEq {
+				continue
+			}
+		} else {
+			switch b.Op {
+			case xquery.OpEq, xquery.OpNeq, xquery.OpLt, xquery.OpLe, xquery.OpGt, xquery.OpGe:
+			default:
+				continue
+			}
 		}
 		lv := freeVars(b.Left)
 		rv := freeVars(b.Right)
 		if anyShadowed(lv, shadowed) || anyShadowed(rv, shadowed) {
 			continue
 		}
-		if len(lv) == 1 && lv[newVar] && otherOK(rv) {
+		// A theta conjunct must relate the new variable to OTHER bindings:
+		// a comparison against a constant is a filter, not a join, and is
+		// left for predicate pushdown.
+		if len(lv) == 1 && lv[newVar] && otherOK(rv) && (eqOnly || len(rv) > 0) {
 			return i
 		}
-		if len(rv) == 1 && rv[newVar] && otherOK(lv) {
+		if len(rv) == 1 && rv[newVar] && otherOK(lv) && (eqOnly || len(lv) > 0) {
 			return i
 		}
 	}

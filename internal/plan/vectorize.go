@@ -39,6 +39,10 @@ import (
 //     rank-independence analysis parallelize applies — because then the
 //     selection vector's per-id verdicts cannot depend on where a batch
 //     boundary falls.
+//   - OpFor bindings and join build sides: a for-clause (or the scanned
+//     side of a planned join) whose sequence batches binds straight off
+//     the NodeID vectors; the bindings produced are identical, in
+//     identical order.
 //
 // The rule composes under Gather: it marks the PartitionedScan leaf inside
 // a gathered sub-pipeline, so every morsel worker rips through its
@@ -154,27 +158,60 @@ func (vz *vectorizer) mark(n *Node) batchInfo {
 		vz.p.fire("vectorize", n)
 		// Filtering keeps a subset in order: non-nestedness survives.
 		return batchInfo{batched: true, nonNested: in.nonNested}
+	case OpFor:
+		// A for-clause whose sequence batches binds straight off the
+		// NodeID vectors — no per-item FromBatch adapter between the scan
+		// pipeline and the tuple stream. Purely an execution strategy:
+		// the bindings produced are identical, in identical order.
+		if vz.batched(n.Seq).batched {
+			n.Vectorized = true
+			vz.p.fire("vectorize-bind", n)
+		}
+		return batchInfo{}
+	case OpNLJoin, OpHashJoin:
+		// A join whose scanned (build) side batches materializes its
+		// index from NodeID vectors and probes without per-tuple iterator
+		// chains. The index contains exactly the items the tuple build
+		// loop would have produced, keyed identically (dictionary codes
+		// stand in for strings only within one store, where code equality
+		// IS string equality), so match sets and emission order are
+		// unchanged. BuildCard is the catalog's size estimate for the
+		// indexed side; the engine pre-sizes with it, EXPLAIN renders it.
+		if vz.batched(n.Seq).batched {
+			n.Vectorized = true
+			n.BuildCard = vz.scanCard(n.Seq)
+			vz.p.fire("vectorize-join", n)
+		}
+		return batchInfo{}
 	}
 	return batchInfo{}
 }
 
 // bigEnough probes the store for the scan's extent size — a catalog
 // consultation counted like every other compile-time metadata access —
-// and reports whether it clears the vectorization threshold. The probe is
-// metadata-only where the store can answer (CountPath), and otherwise
-// pulls at most minBatchExtent ids from the scan's own cursor — never the
-// whole extent, which at factor 0.1 would copy tens of thousands of ids
-// per ad-hoc compile just to compare a length against 32. Filters do not
-// enter the estimate: a filtered scan still reads the whole extent, which
-// is exactly the work that batches.
+// and reports whether it clears the vectorization threshold. The probe
+// consults the store's cardinality catalog first (Cardinalities: a pure
+// metadata read, zero allocations — see BenchmarkBigEnough), falls back
+// to CountPath, and only on catalog-less stores pulls at most
+// minBatchExtent ids from the scan's own cursor — never the whole extent,
+// which at factor 0.1 would copy tens of thousands of ids per ad-hoc
+// compile just to compare a length against 32. Filters do not enter the
+// estimate: a filtered scan still reads the whole extent, which is
+// exactly the work that batches.
 func (vz *vectorizer) bigEnough(n *Node) bool {
 	vz.p.Probes++
 	if n.Tag != "" {
+		if c, ok := nodestore.TagCardinality(vz.store, n.Tag); ok {
+			return c >= minBatchExtent
+		}
 		if parts, ok := nodestore.TagExtentPartitions(vz.store, n.Tag, 1); ok {
 			return len(parts) == 1 && cursorAtLeast(parts[0], minBatchExtent)
 		}
 		ext, ok := vz.store.TagExtent(n.Tag, nil)
 		return ok && len(ext) >= minBatchExtent
+	}
+	if c, ok := nodestore.PathCardinality(vz.store, n.Path); ok {
+		return c >= minBatchExtent
 	}
 	if c, ok := vz.store.CountPath(n.Path); ok {
 		return c >= minBatchExtent
@@ -183,6 +220,38 @@ func (vz *vectorizer) bigEnough(n *Node) bool {
 		return cursorAtLeast(cur, minBatchExtent)
 	}
 	return false
+}
+
+// scanCard returns the cardinality of a scan-shaped node from the
+// catalog, or 0 when unknown — the hash-join build-side estimate EXPLAIN
+// renders and the engine pre-sizes its index with. Not counted as a probe:
+// it re-reads the same statistics bigEnough already charged for.
+func (vz *vectorizer) scanCard(n *Node) int {
+	// Unwrap the pipeline down to its scan leaf: a zero-step Navigate is a
+	// cardinality-preserving adapter, and a Select only shrinks the run —
+	// the leaf's extent size stays a valid pre-sizing estimate.
+	for n != nil && (n.Op == OpSelect || (n.Op == OpNavigate && len(n.Steps) == 0)) {
+		n = n.Input
+	}
+	if n == nil {
+		return 0
+	}
+	switch n.Op {
+	case OpPathScan, OpPartitionedScan:
+		if n.Tag != "" {
+			if c, ok := nodestore.TagCardinality(vz.store, n.Tag); ok {
+				return c
+			}
+			return 0
+		}
+		if c, ok := nodestore.PathCardinality(vz.store, n.Path); ok {
+			return c
+		}
+		if c, ok := vz.store.CountPath(n.Path); ok {
+			return c
+		}
+	}
+	return 0
 }
 
 // cursorAtLeast reports whether the cursor yields at least k ids, pulling

@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/nodestore"
+	"repro/internal/tree"
+)
+
+// allocProbeStores builds one store per catalog flavor the bigEnough gate
+// must answer from without allocating: the DOM's tag-extent catalog, the
+// summary's path catalog, and the path mapping's fragment catalog (whose
+// "/"-joined key is assembled in a stack scratch buffer).
+func allocProbeStores(tb testing.TB) map[string]nodestore.Store {
+	doc, err := tree.Parse(allocProbeDoc())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]nodestore.Store{
+		"dom": nodestore.NewDOM("dom", doc, nodestore.DOMOptions{
+			Summary: true, TagExtents: true}),
+		"path": mapping.NewPath(doc),
+	}
+}
+
+func allocProbeDoc() []byte {
+	b := []byte(`<site><people>`)
+	for i := 0; i < 2*minBatchExtent; i++ {
+		b = append(b, `<person><name>n</name></person>`...)
+	}
+	return append(b, `</people></site>`...)
+}
+
+// probeNodes are the two scan shapes bigEnough is asked about: a tag
+// extent and an exact label path.
+func probeNodes() []*Node {
+	return []*Node{
+		{Op: OpPathScan, Tag: "person"},
+		{Op: OpPathScan, Path: []string{"site", "people", "person"}},
+	}
+}
+
+// TestBigEnoughZeroAlloc pins the satellite contract: the vectorize cost
+// gate is a metadata read. It must not materialize an extent — or allocate
+// at all — just to compare a cardinality against minBatchExtent, on either
+// the tag-extent route or the path-catalog route, positive or negative.
+func TestBigEnoughZeroAlloc(t *testing.T) {
+	for name, store := range allocProbeStores(t) {
+		vz := &vectorizer{p: &Plan{}, store: store}
+		nodes := append(probeNodes(),
+			// Misses exercise the "provably empty" catalog answers.
+			&Node{Op: OpPathScan, Tag: "nosuch"},
+			&Node{Op: OpPathScan, Path: []string{"site", "people", "nosuch"}},
+		)
+		for _, n := range nodes {
+			n := n
+			if avg := testing.AllocsPerRun(200, func() { vz.bigEnough(n) }); avg != 0 {
+				t.Errorf("%s: bigEnough(tag=%q path=%v) allocates %.1f per probe",
+					name, n.Tag, n.Path, avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() { vz.scanCard(n) }); avg != 0 {
+				t.Errorf("%s: scanCard(tag=%q path=%v) allocates %.1f per probe",
+					name, n.Tag, n.Path, avg)
+			}
+		}
+		// And the gate still answers correctly while doing so.
+		for _, n := range probeNodes() {
+			if !vz.bigEnough(n) {
+				t.Errorf("%s: bigEnough(tag=%q path=%v) = false over a %d-node extent",
+					name, n.Tag, n.Path, 2*minBatchExtent)
+			}
+		}
+	}
+}
+
+// BenchmarkBigEnough is the allocation benchmark the bigEnough doc comment
+// points at: run with -benchmem to see 0 allocs/op on cataloged stores.
+func BenchmarkBigEnough(b *testing.B) {
+	for name, store := range allocProbeStores(b) {
+		for _, n := range probeNodes() {
+			n := n
+			shape := "tag"
+			if n.Tag == "" {
+				shape = "path"
+			}
+			b.Run(name+"/"+shape, func(b *testing.B) {
+				vz := &vectorizer{p: &Plan{}, store: store}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					vz.bigEnough(n)
+				}
+			})
+		}
+	}
+}

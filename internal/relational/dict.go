@@ -1,0 +1,69 @@
+package relational
+
+// Dict is an order-of-insertion string dictionary: every distinct string
+// interned gets a dense int32 code, and code equality is equivalent to
+// string equality *within one dictionary*. Columnar tables store String
+// cells as codes, so equality predicates (Q1's @id probe, Q4's personrefs,
+// the pushdown ValueFilters) compare two ints against a contiguous code
+// column and decode only the survivors.
+//
+// The dictionary contract, which everything above this layer relies on:
+//
+//   - Codes are dense, stable and private to one dictionary. Two stores
+//     (two shards of a split document, two independently loaded systems)
+//     intern their values in different orders, so the SAME string can and
+//     will carry DIFFERENT codes in different dictionaries. Any comparison
+//     that crosses a dictionary boundary — the scatter-gather merge over
+//     shard territories, serialization, ordered (<, <=) or numeric
+//     predicates — must compare DECODED strings, never codes.
+//   - Interning happens at load time only. After a store is built the
+//     dictionary is read-only, which is what makes concurrent readers
+//     (partition workers, the service executor's sessions) safe without
+//     locks.
+type Dict struct {
+	codes map[string]int32
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int32)}
+}
+
+// Intern returns the code of s, assigning the next dense code on first
+// sight. Load-time only; not safe for concurrent use.
+func (d *Dict) Intern(s string) int32 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := int32(len(d.names))
+	d.codes[s] = c
+	d.names = append(d.names, s)
+	return c
+}
+
+// Code returns the code of s and whether s has ever been interned. A miss
+// means s equals no stored value — the short-circuit equality predicates
+// use before touching any row.
+func (d *Dict) Code(s string) (int32, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Name decodes a code. Codes come only from this dictionary's Intern/Code,
+// so the bounds check is the only validation needed.
+func (d *Dict) Name(c int32) string { return d.names[c] }
+
+// Len returns the number of distinct values — the dictionary cardinality
+// the planner's catalog reports.
+func (d *Dict) Len() int { return len(d.names) }
+
+// SizeBytes estimates the dictionary footprint: one string payload plus
+// map/slice headers per distinct value.
+func (d *Dict) SizeBytes() int64 {
+	var n int64
+	for _, s := range d.names {
+		n += int64(len(s)) + 16 /* map entry */ + 16 /* slice header */
+	}
+	return n
+}

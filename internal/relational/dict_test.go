@@ -1,0 +1,151 @@
+package relational
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// dictCorpus draws a Zipf-skewed sample from the generator's vocabulary —
+// the exact string population the mappings dictionarize at load time, with
+// the duplication profile real documents have.
+func dictCorpus(label string, n int) []string {
+	s := rng.New(0xd1c7).Derive(label)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words.Word(s)
+	}
+	return out
+}
+
+// TestDictRoundTripProperty pins the encode/decode contract over the words
+// corpus: Intern is idempotent, Name inverts it exactly, Code agrees with
+// Intern, codes are dense in insertion order, and Len counts distinct
+// values only.
+func TestDictRoundTripProperty(t *testing.T) {
+	corpus := dictCorpus("roundtrip", 20000)
+	d := NewDict()
+	distinct := make(map[string]int32)
+	for _, w := range corpus {
+		c := d.Intern(w)
+		if prev, seen := distinct[w]; seen {
+			if c != prev {
+				t.Fatalf("Intern(%q) unstable: %d then %d", w, prev, c)
+			}
+		} else {
+			// First sight: the next dense code.
+			if int(c) != len(distinct) {
+				t.Fatalf("Intern(%q) = %d, want dense %d", w, c, len(distinct))
+			}
+			distinct[w] = c
+		}
+		if got := d.Name(c); got != w {
+			t.Fatalf("Name(Intern(%q)) = %q", w, got)
+		}
+		if cc, ok := d.Code(w); !ok || cc != c {
+			t.Fatalf("Code(%q) = (%d,%v), Intern said %d", w, cc, ok, c)
+		}
+	}
+	if d.Len() != len(distinct) {
+		t.Fatalf("Len() = %d, distinct = %d", d.Len(), len(distinct))
+	}
+	if _, ok := d.Code("never-interned-value"); ok {
+		t.Fatal("Code hit on a value never interned")
+	}
+	// Every code decodes, and decoding is a bijection over [0, Len).
+	seen := make(map[string]bool, d.Len())
+	for c := int32(0); int(c) < d.Len(); c++ {
+		w := d.Name(c)
+		if seen[w] {
+			t.Fatalf("code %d decodes to duplicate value %q", c, w)
+		}
+		seen[w] = true
+		if cc, ok := d.Code(w); !ok || cc != c {
+			t.Fatalf("Code(Name(%d)) = (%d,%v)", c, cc, ok)
+		}
+	}
+}
+
+// TestDictCodesCrossShards pins the boundary half of the contract: two
+// dictionaries built over overlapping corpora in different insertion
+// orders (two shard territories of a split document) assign the SAME
+// string DIFFERENT codes, so any cross-shard comparison — the
+// scatter-gather merge above all — must compare decoded values, never
+// codes. The test demonstrates both failure and fix: code-ordered merge
+// output diverges between shardings, decoded-value merge is identical.
+func TestDictCodesCrossShards(t *testing.T) {
+	corpus := dictCorpus("shards", 4000)
+	// Two territories with overlapping vocabulary: even/odd interleave
+	// means most frequent words appear in both, interned at different
+	// moments, hence under different codes.
+	left, right := NewDict(), NewDict()
+	var leftCodes, rightCodes []int32
+	for i, w := range corpus {
+		if i%2 == 0 {
+			leftCodes = append(leftCodes, left.Intern(w))
+		} else {
+			rightCodes = append(rightCodes, right.Intern(w))
+		}
+	}
+
+	// Property: the same string carries different codes across shards for
+	// at least one shared value (insertion orders differ), so codes are
+	// provably not comparable across the boundary.
+	diverged := false
+	for c := int32(0); int(c) < left.Len(); c++ {
+		w := left.Name(c)
+		if rc, ok := right.Code(w); ok && rc != c {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("shard dictionaries agree on every shared code; corpus does not exercise the boundary")
+	}
+
+	// The merge, done wrong: ordering each shard's rows by code and
+	// comparing codes across shards. Done right: decode, compare strings.
+	// The right way must reproduce exactly the order a single unsharded
+	// dictionary-free sort produces.
+	want := make([]string, 0, len(corpus))
+	want = append(want, corpus...)
+	sort.Strings(want)
+
+	decoded := make([]string, 0, len(corpus))
+	for _, c := range leftCodes {
+		decoded = append(decoded, left.Name(c))
+	}
+	for _, c := range rightCodes {
+		decoded = append(decoded, right.Name(c))
+	}
+	sort.Strings(decoded)
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("decoded-value merge diverges from unsharded order at %d: %q vs %q",
+				i, decoded[i], want[i])
+		}
+	}
+
+	// And the wrong way really is wrong: there exist rows where the code
+	// comparison and the decoded comparison disagree about order — the
+	// witness that a code-comparing merge would corrupt results.
+	witness := false
+	for _, lc := range leftCodes {
+		for _, rc := range rightCodes {
+			codeLess := lc < rc
+			valLess := left.Name(lc) < right.Name(rc)
+			if codeLess != valLess {
+				witness = true
+				break
+			}
+		}
+		if witness {
+			break
+		}
+	}
+	if !witness {
+		t.Fatal("cross-shard code order happens to agree with value order everywhere; corpus too small to witness the hazard")
+	}
+}

@@ -19,15 +19,19 @@ type Iterator interface {
 func Scan(t *Table) Iterator { return &scanIter{t: t} }
 
 type scanIter struct {
-	t *Table
-	i int
+	t   *Table
+	i   int
+	buf Row
 }
 
 func (s *scanIter) Next() (Row, bool) {
 	if s.i >= s.t.Len() {
 		return nil, false
 	}
-	r := s.t.Row(s.i)
+	if s.buf == nil {
+		s.buf = make(Row, len(s.t.Schema))
+	}
+	r := s.t.ReadRow(s.i, s.buf)
 	s.i++
 	return r, true
 }
@@ -39,13 +43,17 @@ type rowsIter struct {
 	t   *Table
 	ids []int32
 	i   int
+	buf Row
 }
 
 func (s *rowsIter) Next() (Row, bool) {
 	if s.i >= len(s.ids) {
 		return nil, false
 	}
-	r := s.t.Row(int(s.ids[s.i]))
+	if s.buf == nil {
+		s.buf = make(Row, len(s.t.Schema))
+	}
+	r := s.t.ReadRow(int(s.ids[s.i]), s.buf)
 	s.i++
 	return r, true
 }

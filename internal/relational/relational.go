@@ -9,6 +9,13 @@
 // of the relational architectures (per-step joins, metadata access, wide
 // versus fragmented tables) emerges from real data structures rather than
 // being modeled.
+//
+// Storage is column-major: each column lives in its own typed vector
+// (int64 for Int/Node, float64 for Float, int32 dictionary codes for
+// String), so a value predicate streams one contiguous array instead of
+// striding over boxed row cells, and string equality is an integer code
+// comparison (see Dict). The Row/Value API materializes on demand and is
+// the cold path; hot paths read columns through the typed accessors.
 package relational
 
 import (
@@ -116,27 +123,52 @@ func (s Schema) Col(name string) int {
 // callers that retain rows must copy them.
 type Row []Value
 
-// Table is a row-oriented relation with optional hash indexes.
+// column is one typed vector. Exactly one payload slice is in use, per the
+// schema column's type: ints for Int/Node, floats for Float, codes
+// (dictionary codes) for String.
+type column struct {
+	ints   []int64
+	floats []float64
+	codes  []int32
+}
+
+// Table is a column-oriented relation with optional hash indexes. String
+// columns store dictionary codes; the dictionary may be private to the
+// table or shared across all tables of one store (NewTableShared), which
+// is what lets attribute values in different fragments compare by code.
 type Table struct {
 	Name   string
 	Schema Schema
 
-	data    []Value // flat storage, row-major
+	nrows   int
+	cols    []column
+	dict    *Dict
 	indexes map[int]*HashIndex
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty table with its own private dictionary.
 func NewTable(name string, schema Schema) *Table {
-	return &Table{Name: name, Schema: schema, indexes: make(map[int]*HashIndex)}
+	return NewTableShared(name, schema, NewDict())
 }
 
-// Len returns the row count.
-func (t *Table) Len() int {
-	if len(t.Schema) == 0 {
-		return 0
+// NewTableShared creates an empty table whose String columns intern into
+// the given shared dictionary, so codes compare across every table built
+// over the same dictionary (one dictionary per store).
+func NewTableShared(name string, schema Schema, dict *Dict) *Table {
+	return &Table{
+		Name:    name,
+		Schema:  schema,
+		cols:    make([]column, len(schema)),
+		dict:    dict,
+		indexes: make(map[int]*HashIndex),
 	}
-	return len(t.data) / len(t.Schema)
 }
+
+// Dict returns the table's string dictionary.
+func (t *Table) Dict() *Dict { return t.dict }
+
+// Len returns the row count.
+func (t *Table) Len() int { return t.nrows }
 
 // Append adds a row. It panics if the row width does not match the schema;
 // that is a programming error, not a data error.
@@ -144,35 +176,85 @@ func (t *Table) Append(row ...Value) int {
 	if len(row) != len(t.Schema) {
 		panic(fmt.Sprintf("relational: row width %d != schema width %d in %s", len(row), len(t.Schema), t.Name))
 	}
-	id := t.Len()
-	t.data = append(t.data, row...)
+	id := t.nrows
+	for c := range row {
+		switch t.Schema[c].T {
+		case Float:
+			t.cols[c].floats = append(t.cols[c].floats, row[c].F)
+		case String:
+			t.cols[c].codes = append(t.cols[c].codes, t.dict.Intern(row[c].S))
+		default:
+			t.cols[c].ints = append(t.cols[c].ints, row[c].I)
+		}
+	}
+	t.nrows++
 	for col, idx := range t.indexes {
-		idx.add(row[col], int32(id))
+		idx.add(t, col, int32(id))
 	}
 	return id
 }
 
-// Row returns row i. The returned slice aliases table storage; callers must
-// not modify it.
-func (t *Table) Row(i int) Row {
-	w := len(t.Schema)
-	return Row(t.data[i*w : (i+1)*w])
+// Int returns the int64 cell at row i of an Int or Node column.
+func (t *Table) Int(i, c int) int64 { return t.cols[c].ints[i] }
+
+// Float returns the float64 cell at row i of a Float column.
+func (t *Table) Float(i, c int) float64 { return t.cols[c].floats[i] }
+
+// Code returns the dictionary code at row i of a String column — the
+// representation equality predicates compare without decoding.
+func (t *Table) Code(i, c int) int32 { return t.cols[c].codes[i] }
+
+// Str decodes the string cell at row i of a String column.
+func (t *Table) Str(i, c int) string { return t.dict.Name(t.cols[c].codes[i]) }
+
+// IntCol returns the contiguous int64 vector of an Int or Node column.
+func (t *Table) IntCol(c int) []int64 { return t.cols[c].ints }
+
+// FloatCol returns the contiguous float64 vector of a Float column.
+func (t *Table) FloatCol(c int) []float64 { return t.cols[c].floats }
+
+// CodeCol returns the contiguous dictionary-code vector of a String column.
+func (t *Table) CodeCol(c int) []int32 { return t.cols[c].codes }
+
+// Value materializes the cell at row i, column c.
+func (t *Table) Value(i, c int) Value {
+	switch tt := t.Schema[c].T; tt {
+	case Float:
+		return Value{T: Float, F: t.cols[c].floats[i]}
+	case String:
+		return Value{T: String, S: t.dict.Name(t.cols[c].codes[i])}
+	default:
+		return Value{T: tt, I: t.cols[c].ints[i]}
+	}
 }
 
-// Value returns the cell at row i, column c.
-func (t *Table) Value(i, c int) Value { return t.data[i*len(t.Schema)+c] }
+// Row materializes row i into a fresh slice. This is the cold-path
+// compatibility API; iterators reuse a scratch row via ReadRow and hot
+// paths read typed columns directly.
+func (t *Table) Row(i int) Row {
+	return t.ReadRow(i, make(Row, len(t.Schema)))
+}
+
+// ReadRow materializes row i into buf (which must have schema width) and
+// returns it.
+func (t *Table) ReadRow(i int, buf Row) Row {
+	for c := range t.Schema {
+		buf[c] = t.Value(i, c)
+	}
+	return buf
+}
 
 // SizeBytes estimates the storage footprint of the table including its
-// indexes. The estimate counts value headers plus string payloads, which is
-// what the paper's "database size" column measures at the granularity we
-// can reproduce.
+// indexes: 8 bytes per numeric cell, 4 bytes per string cell (the
+// dictionary code). The shared dictionary's payload is NOT counted here —
+// it is counted once per store (Dict.SizeBytes), which is the point of
+// dictionary encoding in the paper's "database size" column.
 func (t *Table) SizeBytes() int64 {
 	var n int64
-	for _, v := range t.data {
-		n += 24 // Value header: type tag + widest payload
-		if v.T == String {
-			n += int64(len(v.S))
-		}
+	for c := range t.cols {
+		n += int64(len(t.cols[c].ints))*8 +
+			int64(len(t.cols[c].floats))*8 +
+			int64(len(t.cols[c].codes))*4
 	}
 	for _, idx := range t.indexes {
 		n += idx.sizeBytes()
@@ -185,9 +267,9 @@ func (t *Table) CreateIndex(col int) *HashIndex {
 	if idx, ok := t.indexes[col]; ok {
 		return idx
 	}
-	idx := newHashIndex(t.Schema[col].T)
-	for i, n := 0, t.Len(); i < n; i++ {
-		idx.add(t.Value(i, col), int32(i))
+	idx := newHashIndex(t.Schema[col].T, t.dict)
+	for i := 0; i < t.nrows; i++ {
+		idx.add(t, col, int32(i))
 	}
 	t.indexes[col] = idx
 	return idx
@@ -196,53 +278,71 @@ func (t *Table) CreateIndex(col int) *HashIndex {
 // Index returns the index on col, or nil.
 func (t *Table) Index(col int) *HashIndex { return t.indexes[col] }
 
-// HashIndex is an equality index from column value to row ids.
+// HashIndex is an equality index from column value to row ids. String
+// columns are indexed by dictionary code, so a string lookup is one
+// dictionary probe plus one int map access, and the index stores no
+// string payloads at all.
 type HashIndex struct {
-	t    Type
-	ints map[int64][]int32
-	strs map[string][]int32
+	t     Type
+	dict  *Dict
+	ints  map[int64][]int32
+	codes map[int32][]int32
 }
 
-func newHashIndex(t Type) *HashIndex {
-	idx := &HashIndex{t: t}
+func newHashIndex(t Type, dict *Dict) *HashIndex {
+	idx := &HashIndex{t: t, dict: dict}
 	if t == String {
-		idx.strs = make(map[string][]int32)
+		idx.codes = make(map[int32][]int32)
 	} else {
 		idx.ints = make(map[int64][]int32)
 	}
 	return idx
 }
 
-func (x *HashIndex) add(v Value, row int32) {
+func (x *HashIndex) add(t *Table, col int, row int32) {
 	switch x.t {
 	case String:
-		x.strs[v.S] = append(x.strs[v.S], row)
+		c := t.Code(int(row), col)
+		x.codes[c] = append(x.codes[c], row)
 	case Float:
 		panic("relational: hash index on float column")
 	default:
-		x.ints[v.I] = append(x.ints[v.I], row)
+		v := t.Int(int(row), col)
+		x.ints[v] = append(x.ints[v], row)
 	}
 }
 
 // LookupInt returns the row ids whose indexed column equals v.
 func (x *HashIndex) LookupInt(v int64) []int32 { return x.ints[v] }
 
-// LookupString returns the row ids whose indexed column equals v.
-func (x *HashIndex) LookupString(v string) []int32 { return x.strs[v] }
+// LookupString returns the row ids whose indexed column equals v. A value
+// absent from the dictionary equals no stored cell, so the lookup
+// short-circuits without hashing the string twice.
+func (x *HashIndex) LookupString(v string) []int32 {
+	c, ok := x.dict.Code(v)
+	if !ok {
+		return nil
+	}
+	return x.codes[c]
+}
+
+// LookupCode returns the row ids whose indexed column holds the given
+// dictionary code.
+func (x *HashIndex) LookupCode(c int32) []int32 { return x.codes[c] }
 
 // Lookup returns the row ids whose indexed column equals v.
 func (x *HashIndex) Lookup(v Value) []int32 {
 	if x.t == String {
-		return x.strs[v.S]
+		return x.LookupString(v.S)
 	}
 	return x.ints[v.I]
 }
 
 func (x *HashIndex) sizeBytes() int64 {
 	var n int64
-	if x.strs != nil {
-		for k, rows := range x.strs {
-			n += int64(len(k)) + 16 + int64(len(rows))*4
+	if x.codes != nil {
+		for _, rows := range x.codes {
+			n += 4 + 16 + int64(len(rows))*4
 		}
 		return n
 	}
@@ -273,13 +373,41 @@ func (t *Table) SortRowsBy(cols ...int) []int32 {
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		ra, rb := t.Row(int(ids[a])), t.Row(int(ids[b]))
-		for _, c := range cols {
-			if ra[c].Less(rb[c]) {
-				return true
+	less := func(a, b int32, c int) int {
+		switch t.Schema[c].T {
+		case Float:
+			av, bv := t.Float(int(a), c), t.Float(int(b), c)
+			switch {
+			case av < bv:
+				return -1
+			case bv < av:
+				return 1
 			}
-			if rb[c].Less(ra[c]) {
+		case String:
+			av, bv := t.Str(int(a), c), t.Str(int(b), c)
+			switch {
+			case av < bv:
+				return -1
+			case bv < av:
+				return 1
+			}
+		default:
+			av, bv := t.Int(int(a), c), t.Int(int(b), c)
+			switch {
+			case av < bv:
+				return -1
+			case bv < av:
+				return 1
+			}
+		}
+		return 0
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		for _, c := range cols {
+			switch less(ids[a], ids[b], c) {
+			case -1:
+				return true
+			case 1:
 				return false
 			}
 		}

@@ -245,8 +245,10 @@ func (e *Executor) Close() {
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	// The worker's Session lives as long as the worker: free-list buffers
-	// and join build sides stay warm across every query it executes. The
-	// executor's batch width rides on it into every execution.
+	// stay warm across every query it executes, and the executor's batch
+	// width rides on it into every execution. Memoized join build sides
+	// live only for the request that built them — Reset below drops them
+	// so an idle worker never pins one request's materialized indexes.
 	sess := engine.NewSession()
 	sess.BatchSize = e.batchSize
 	for t := range e.queue {
@@ -263,6 +265,7 @@ func (e *Executor) worker() {
 		}
 		e.metrics.inFlight.Add(1)
 		resp, err := e.run(t.ctx, sess, t.req)
+		sess.Reset()
 		e.metrics.inFlight.Add(-1)
 		resp.Wait = wait
 		switch {

@@ -13,7 +13,6 @@ package summary
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/tree"
 )
@@ -84,7 +83,7 @@ func (s *Summary) Paths() []*PathInfo { return s.sorted }
 
 // Lookup returns the extent of an exact label path from the root, or nil.
 func (s *Summary) Lookup(path ...string) []tree.NodeID {
-	pi := s.paths[strings.Join(path, "/")]
+	pi := s.find(path)
 	if pi == nil {
 		return nil
 	}
@@ -94,19 +93,35 @@ func (s *Summary) Lookup(path ...string) []tree.NodeID {
 // Exists reports whether the exact label path occurs in the document. Q7's
 // lesson: deciding this from the summary avoids any data access.
 func (s *Summary) Exists(path ...string) bool {
-	_, ok := s.paths[strings.Join(path, "/")]
-	return ok
+	return s.find(path) != nil
 }
 
 // Count returns the number of nodes on the exact label path without
 // touching the document: the summary answers the COUNT aggregations of Q6
 // and Q7 directly, as the paper notes for System D.
 func (s *Summary) Count(path ...string) int {
-	pi := s.paths[strings.Join(path, "/")]
+	pi := s.find(path)
 	if pi == nil {
 		return 0
 	}
 	return len(pi.Nodes)
+}
+
+// find resolves an exact label path without allocating: the "/"-joined map
+// key is assembled in a stack scratch buffer, and the map index's string
+// conversion is the non-allocating compiler pattern. The planner consults
+// the catalog on every compile (cardinality gates, existence checks), so
+// these reads must cost a map probe and nothing else.
+func (s *Summary) find(path []string) *PathInfo {
+	var scratch [128]byte
+	key := scratch[:0]
+	for i, p := range path {
+		if i > 0 {
+			key = append(key, '/')
+		}
+		key = append(key, p...)
+	}
+	return s.paths[string(key)]
 }
 
 // PathsEndingIn returns the paths whose last label is tag.
