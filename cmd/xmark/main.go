@@ -23,6 +23,12 @@
 //	                             # Q8-Q12 join family, byte-verified at
 //	                             # widths {1,default} x degrees {1,8},
 //	                             # written to BENCH_vector.json
+//	xmark -serbench -factor 0.05
+//	                             # tuple vs vectorized result serialization
+//	                             # over the output-heavy family (Q1, Q10,
+//	                             # Q13, Q14, Q19), byte-verified at widths
+//	                             # {1,default} x degrees {1,8}, written to
+//	                             # BENCH_serialize.json
 //	xmark -analyze -factor 0.01 -gate 5
 //	                             # EXPLAIN ANALYZE cost + operator-time
 //	                             # breakdown per query x system, written to
@@ -65,6 +71,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "parallel mode: measure intra-query speedup at degrees 1,2,4,... up to N")
 	batchbench := flag.Bool("batchbench", false, "batch mode: tuple vs batch ns/op and allocs per query x system, written to BENCH_batch.json")
 	vectorbench := flag.Bool("vectorbench", false, "vector mode: tuple vs columnar-batch joins (Q8-Q12) per query x system, byte-verified at widths {1,default} x degrees {1,8}, written to BENCH_vector.json")
+	serbench := flag.Bool("serbench", false, "serialize mode: tuple vs vectorized result serialization (Q1,Q10,Q13,Q14,Q19) per query x system, byte-verified at widths {1,default} x degrees {1,8}, written to BENCH_serialize.json")
 	analyze := flag.Bool("analyze", false, "analyze mode: EXPLAIN ANALYZE cost and operator-time breakdown per query x system, written to BENCH_analyze.json")
 	gate := flag.Float64("gate", 0, "analyze mode: fail when per-cell analyze-off regressions vs the tuple baseline sum to more than this percent of the tuple total (0 = no gate); regression-only, so batch-join speedups cannot mask a leak")
 	shardbench := flag.Int("shardbench", 0, "shard mode: scatter-gather scaling at shard counts 1,2,4,... up to N, written to BENCH_shard.json")
@@ -106,6 +113,14 @@ func main() {
 			dest = "BENCH_vector.json"
 		}
 		runVectorBench(*factor, *mix, *systems, dest)
+		return
+	}
+	if *serbench {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_serialize.json"
+		}
+		runSerializeBench(*factor, *mix, *systems, dest)
 		return
 	}
 	if *analyze {
@@ -345,6 +360,42 @@ func runVectorBench(factor float64, mixSpec, systemsSpec, dest string) {
 	fmt.Printf("document: %.1f MB; queries %v; %d systems\n\n",
 		float64(len(bench.DocText))/1e6, queryIDs, len(load))
 	report, err := bench.RunVectorBench(load, queryIDs, 5)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
+}
+
+// runSerializeBench drives the serialization experiment: the output-heavy
+// family (or an explicit -mix) drained through the tuple ItemWriter and
+// the vectorized batch writer, byte-verified identical at widths
+// {1, default} x degrees {1, 8}, written to the BENCH_serialize.json
+// artifact with per-cell MB/s emission rates.
+func runSerializeBench(factor float64, mixSpec, systemsSpec, dest string) {
+	queryIDs := xmark.SerializeQueryIDs
+	if !strings.EqualFold(strings.TrimSpace(mixSpec), "all") && strings.TrimSpace(mixSpec) != "" {
+		var err error
+		queryIDs, err = parseMix(mixSpec)
+		check(err)
+	}
+	load := xmark.MassStorageSystems()
+	if systemsSpec != "" {
+		load = nil
+		for _, r := range systemsSpec {
+			sys, err := xmark.SystemByID(xmark.SystemID(r))
+			check(err)
+			load = append(load, sys)
+		}
+	}
+
+	fmt.Printf("generating document at factor %g...\n", factor)
+	bench := xmark.NewBenchmark(factor)
+	fmt.Printf("document: %.1f MB; queries %v; %d systems\n\n",
+		float64(len(bench.DocText))/1e6, queryIDs, len(load))
+	report, err := bench.RunSerializeBench(load, queryIDs, 5)
 	check(err)
 	report.Render(os.Stdout)
 

@@ -75,9 +75,9 @@ func newProfile() *profile {
 // pass-through nodes, which would only double-count their child).
 func (pr *profile) statsFor(n *plan.Node) *opStats {
 	switch n.Op {
-	case plan.OpPathScan, plan.OpPartitionedScan, plan.OpNavigate,
-		plan.OpSelect, plan.OpProject, plan.OpGather, plan.OpCount,
-		plan.OpSequence, plan.OpCtor, plan.OpCall,
+	case plan.OpSerialize, plan.OpPathScan, plan.OpPartitionedScan,
+		plan.OpNavigate, plan.OpSelect, plan.OpProject, plan.OpGather,
+		plan.OpCount, plan.OpSequence, plan.OpCtor, plan.OpCall,
 		plan.OpFor, plan.OpLet, plan.OpWhere, plan.OpNLJoin,
 		plan.OpHashJoin, plan.OpOrderBy:
 		st := pr.ops[n]
@@ -299,8 +299,8 @@ func (pr *profile) analysis(pl *plan.Plan) Analysis {
 func (p *Prepared) ExplainAnalyze(w io.Writer, sess *Session) (Analysis, error) {
 	prof := newProfile()
 	start := time.Now()
-	err := p.executeProfiled(sess, prof, func(it Iterator) error {
-		return SerializeIter(w, p.engine.store, it)
+	err := p.executeProfiled(sess, prof, func(ev *evaluator, it Iterator) error {
+		return ev.serializeResult(w, p.plan.Root, it)
 	})
 	exec := time.Since(start)
 	if err != nil {

@@ -288,6 +288,140 @@ func (t *toBatchIter) nextBatch() []tree.NodeID {
 	return t.buf[:n]
 }
 
+// constructBatch assembles one marked constructor content part — a
+// navigation over a bound variable whose steps are all simple child/text
+// steps — vector-at-a-time: the binding's NodeIDs walk every step through
+// the store's bulk children probes directly, one tight loop per step over
+// session-recycled scratch vectors, with no iterator objects and no
+// per-item interface dispatch. Constructors sit at the leaves of FLWOR
+// returns, where each binding holds a handful of nodes; pipeline
+// machinery per part per tuple costs more than the navigation itself
+// there, which is why this path loops in place instead of building batch
+// operators. ok is false when the binding holds anything but stored
+// nodes; the caller then falls back to the item pipeline, which is safe
+// because bindings are materialized sequences (re-iteration never
+// re-evaluates).
+func (ev *evaluator) constructBatch(part *plan.Node, env *bindings, out []Item) ([]Item, bool) {
+	seq, bound := env.peek(part.Input.Var)
+	if !bound {
+		return out, false
+	}
+	sess := ev.sess
+	cur := sess.getBatchBuf(len(seq))
+	for i, it := range seq {
+		n, isNode := it.(NodeItem)
+		if !isNode {
+			sess.putBatchBuf(cur)
+			return out, false
+		}
+		cur[i] = n.ID
+	}
+	s := ev.store
+	txt, hasTxt := s.(nodestore.TextChildLister)
+	steps := part.Steps
+	// A final attribute step emits its values as string content directly —
+	// the tuple pipeline's contentItem turns attribute nodes into text.
+	var attrStep *plan.StepPlan
+	if n := len(steps); n > 0 && steps[n-1].Axis == xquery.AxisAttribute {
+		attrStep, steps = steps[n-1], steps[:n-1]
+	}
+	for si, sp := range steps {
+		next := sess.getBatchBuf(0)
+		switch {
+		case sp.Axis == xquery.AxisChild && sp.Name != "*":
+			if len(cur) == 1 && si < len(ev.ctorKids) {
+				next = ev.memoChildrenByTag(&ev.ctorKids[si], cur[0], sp.Name, next)
+			} else {
+				for _, id := range cur {
+					next = s.ChildrenByTag(id, sp.Name, next)
+				}
+			}
+		case sp.Axis == xquery.AxisChild:
+			for _, id := range cur {
+				base := len(next)
+				next = s.Children(id, next)
+				next = keepKind(s, next, base, tree.Element)
+			}
+		case sp.Axis == xquery.AxisText:
+			if hasTxt {
+				for _, id := range cur {
+					next = txt.TextChildren(id, next)
+				}
+			} else {
+				for _, id := range cur {
+					base := len(next)
+					next = s.Children(id, next)
+					next = keepKind(s, next, base, tree.Text)
+				}
+			}
+		default:
+			// ctorPartBatchable admits only child, text and (final)
+			// attribute axes.
+			sess.putBatchBuf(next)
+			sess.putBatchBuf(cur)
+			return out, false
+		}
+		sess.putBatchBuf(cur)
+		cur = next
+	}
+	if attrStep != nil {
+		naive := ev.opts.NaiveStrings
+		for _, id := range cur {
+			if v, ok := s.Attr(id, attrStep.Name); ok {
+				if naive {
+					v = string(append([]byte(nil), v...))
+				}
+				out = append(out, StrItem(v))
+			}
+		}
+	} else {
+		for _, id := range cur {
+			out = append(out, NodeItem{ID: id})
+		}
+	}
+	sess.putBatchBuf(cur)
+	return out, true
+}
+
+// kidSlot memoizes one (parent, tag) child probe. Constructor content
+// parts share prefixes ($t/profile/..., $t/address/...), so consecutive
+// parts repeat the same probe; the memo replays the stored answer
+// instead of returning to the store. A miss costs only the copy of the
+// probe's result (a handful of ids), so parents probed once — the
+// common case for non-repeating prefixes — pay nothing measurable.
+type kidSlot struct {
+	valid  bool
+	parent tree.NodeID
+	tag    string
+	ids    []tree.NodeID
+}
+
+// memoChildrenByTag appends the element children of parent carrying tag,
+// serving from the slot on a (parent, tag) hit and otherwise doing the
+// direct store probe and remembering its result.
+func (ev *evaluator) memoChildrenByTag(slot *kidSlot, parent tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {
+	if slot.valid && slot.parent == parent && slot.tag == tag {
+		return append(buf, slot.ids...)
+	}
+	base := len(buf)
+	buf = ev.store.ChildrenByTag(parent, tag, buf)
+	slot.valid, slot.parent, slot.tag = true, parent, tag
+	slot.ids = append(slot.ids[:0], buf[base:]...)
+	return buf
+}
+
+// keepKind compacts buf[base:] in place to the ids of one node kind.
+func keepKind(s nodestore.Store, buf []tree.NodeID, base int, k tree.Kind) []tree.NodeID {
+	w := base
+	for _, id := range buf[base:] {
+		if s.Kind(id) == k {
+			buf[w] = id
+			w++
+		}
+	}
+	return buf[:w]
+}
+
 // drainBatchCount exhausts a batch pipeline and returns the id count: the
 // vectorized count() drain — no items are ever boxed.
 func drainBatchCount(in batchIterator) int {

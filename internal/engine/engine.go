@@ -96,7 +96,7 @@ func (p *Prepared) Plan() *plan.Plan { return p.plan }
 
 // Run executes the prepared query and materializes the result sequence.
 func (p *Prepared) Run() (result Seq, err error) {
-	err = p.execute(nil, func(it Iterator) error {
+	err = p.execute(nil, func(_ *evaluator, it Iterator) error {
 		result = materialize(it)
 		return nil
 	})
@@ -121,7 +121,7 @@ func (p *Prepared) Stream(fn func(Item) bool) error {
 // Session must not be shared between goroutines. A nil sess behaves like
 // Stream.
 func (p *Prepared) StreamSession(sess *Session, fn func(Item) bool) error {
-	return p.execute(sess, func(it Iterator) error {
+	return p.execute(sess, func(_ *evaluator, it Iterator) error {
 		for {
 			v, ok := it.Next()
 			if !ok {
@@ -145,10 +145,13 @@ func (p *Prepared) Serialize(w io.Writer) error {
 // warm evaluation scratch, the Session carries the execution's intra-query
 // parallelism budget (Session.Degree): a degree above one lets the plan's
 // Gather operators fan partitioned scans out across workers, with output
-// guaranteed byte-identical to sequential execution.
+// guaranteed byte-identical to sequential execution. Plans whose root the
+// vectorize rule marked serialize through the batch writer (subtree-batch
+// emission into session-recycled buffers); output is byte-identical at
+// every batch size.
 func (p *Prepared) SerializeSession(w io.Writer, sess *Session) error {
-	return p.execute(sess, func(it Iterator) error {
-		return SerializeIter(w, p.engine.store, it)
+	return p.execute(sess, func(ev *evaluator, it Iterator) error {
+		return ev.serializeResult(w, p.plan.Root, it)
 	})
 }
 
@@ -157,7 +160,7 @@ func (p *Prepared) SerializeSession(w io.Writer, sess *Session) error {
 // reads the immutable plan through the Prepared and keeps all mutable
 // scratch in the Session, so concurrent executions of one Prepared never
 // share writable state.
-func (p *Prepared) execute(sess *Session, consume func(Iterator) error) error {
+func (p *Prepared) execute(sess *Session, consume func(*evaluator, Iterator) error) error {
 	// The engine-level Analyze profile installs the EXPLAIN ANALYZE
 	// counter wrappers on every execution and leaves the report on the
 	// Session (LastAnalysis); ExplainAnalyze passes its own profile to
@@ -177,7 +180,7 @@ func (p *Prepared) execute(sess *Session, consume func(Iterator) error) error {
 	return err
 }
 
-func (p *Prepared) executeProfiled(sess *Session, prof *profile, consume func(Iterator) error) (err error) {
+func (p *Prepared) executeProfiled(sess *Session, prof *profile, consume func(*evaluator, Iterator) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(*evalError); ok {
@@ -203,7 +206,7 @@ func (p *Prepared) executeProfiled(sess *Session, prof *profile, consume func(It
 	// unwinding: partition workers never outlive their execution, whether
 	// it finished, errored, or the consumer stopped pulling mid-stream.
 	defer ev.stopGathers()
-	return consume(ev.iter(p.plan.Root, &bindings{}))
+	return consume(ev, ev.iter(p.plan.Root, &bindings{}))
 }
 
 // resolveBatchSize picks one execution's vector width: the Session

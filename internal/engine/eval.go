@@ -90,6 +90,14 @@ type evaluator struct {
 	// tuple-at-a-time.
 	batchSize int
 
+	// ctorKids memoizes one (parent, tag) child probe per constructor step
+	// depth. Sibling content parts of the same constructor navigate the
+	// same bound node through shared prefixes ($p/profile/gender,
+	// $p/profile/age, ...), so each depth repeats the probe a neighboring
+	// part just made; the slot replays that probe's ids without returning
+	// to the store.
+	ctorKids [2]kidSlot
+
 	// prof collects EXPLAIN ANALYZE counters when non-nil. The normal
 	// path keeps it nil and pays one pointer check per operator
 	// construction; partition workers never carry one (they report
@@ -1473,6 +1481,14 @@ func (ev *evaluator) construct(n *plan.Node, env *bindings) *Constructed {
 		case part.Op == plan.OpCtor:
 			out.Children = append(out.Children, ev.construct(part, env))
 			continue
+		case part.Vectorized && ev.batchSize > 1:
+			// The vectorize rule marked this part: assemble its children
+			// vector-at-a-time from the binding's NodeID batches instead of
+			// one boxed item per Next dispatch.
+			if kids, ok := ev.constructBatch(part, env, out.Children); ok {
+				out.Children = kids
+				continue
+			}
 		}
 		it := ev.iter(part, env)
 		for {

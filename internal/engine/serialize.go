@@ -3,8 +3,10 @@ package engine
 import (
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/nodestore"
+	"repro/internal/plan"
 	"repro/internal/tree"
 )
 
@@ -34,6 +36,46 @@ func SerializeIter(w io.Writer, store nodestore.Store, in Iterator) error {
 	}
 }
 
+// serializeResult is the sink of Prepared executions that serialize: it
+// picks the serialization mode the planner chose for this run. Plans whose
+// root the vectorize rule marked (and whose batch size admits batching)
+// drain through the batch writer — append-only buffer, subtree-batch
+// emission, session-recycled buffers; everything else keeps the
+// item-at-a-time ItemWriter. Output is byte-identical either way. When the
+// execution carries an EXPLAIN ANALYZE profile, the write time lands in
+// the Serialize operator's own counter slot.
+func (ev *evaluator) serializeResult(w io.Writer, root *plan.Node, it Iterator) error {
+	var st *opStats
+	if ev.prof != nil {
+		st = ev.prof.statsFor(root)
+	}
+	if root.Vectorized && ev.batchSize > 1 {
+		bw := newBatchItemWriter(w, ev.store, ev.sess)
+		bw.st = st
+		for {
+			v, ok := it.Next()
+			if !ok {
+				return bw.Flush()
+			}
+			if err := bw.WriteItem(v); err != nil {
+				bw.release()
+				return err
+			}
+		}
+	}
+	iw := NewItemWriter(w, ev.store)
+	iw.st = st
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return iw.Err()
+		}
+		if err := iw.WriteItem(v); err != nil {
+			return err
+		}
+	}
+}
+
 // ItemWriter serializes a result sequence one item at a time, keeping the
 // adjacent-atomic separator state between calls so the concatenated output
 // is byte-identical to SerializeIter over the same items. It is the sink
@@ -46,6 +88,9 @@ type ItemWriter struct {
 	prevAtomic bool
 	wrote      bool
 	leadAtomic bool
+	// st, when non-nil, accumulates the time spent serializing into the
+	// Serialize operator's EXPLAIN ANALYZE counter slot.
+	st *opStats
 }
 
 // NewItemWriter returns an ItemWriter over w for results of store.
@@ -56,6 +101,10 @@ func NewItemWriter(w io.Writer, store nodestore.Store) *ItemWriter {
 // WriteItem serializes one result item. After a write error every further
 // call is a no-op returning the same error.
 func (iw *ItemWriter) WriteItem(it Item) error {
+	var start time.Time
+	if iw.st != nil {
+		start = time.Now()
+	}
 	sw, store := iw.sw, iw.store
 	switch v := it.(type) {
 	case StrItem, NumItem, BoolItem:
@@ -93,6 +142,9 @@ func (iw *ItemWriter) WriteItem(it Item) error {
 	if !iw.wrote {
 		iw.wrote, iw.leadAtomic = true, iw.prevAtomic
 	}
+	if iw.st != nil {
+		iw.st.ns += int64(time.Since(start))
+	}
 	return sw.err
 }
 
@@ -118,6 +170,197 @@ func SerializeString(store nodestore.Store, s Seq) string {
 	// strings.Builder writes never fail.
 	_ = Serialize(&b, store, s)
 	return b.String()
+}
+
+// SerializeItems serializes a materialized result sequence through one of
+// the two emission strategies: vectorized=false drains the tuple
+// ItemWriter (recursive per-node navigation, per-call escape), while
+// vectorized=true drains the batch writer (append-only buffer, interned
+// name bytes, subtree-batch emission, session-recycled buffers). The two
+// modes are byte-identical by contract; the function exists so benchmarks
+// and tests can compare the serialization stage in isolation from query
+// execution. sess supplies the batch writer's recycled buffers and may be
+// shared across calls; the tuple mode ignores it.
+func SerializeItems(w io.Writer, store nodestore.Store, sess *Session, items []Item, vectorized bool) error {
+	if vectorized {
+		bw := newBatchItemWriter(w, store, sess)
+		for _, it := range items {
+			if err := bw.WriteItem(it); err != nil {
+				bw.release()
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+	iw := NewItemWriter(w, store)
+	for _, it := range items {
+		if err := iw.WriteItem(it); err != nil {
+			return err
+		}
+	}
+	return iw.Err()
+}
+
+// batchFlushThreshold is the buffered byte count at which the batch writer
+// flushes to the underlying writer: large enough that flushes amortize to
+// nothing, small enough that a streaming consumer sees output in chunks.
+const batchFlushThreshold = 32 << 10
+
+// batchItemWriter is the vectorized serializer: an append-only []byte
+// writer with the exact separator semantics of ItemWriter. Stored nodes
+// emit whole subtrees through the store's subtree-batch capability
+// (nodestore.SubtreeAppender — one pre-order range walk, interned
+// tag/attribute bytes, escaping only on dirty spans) instead of the
+// recursive per-node navigation of serializeStored; the buffer recycles
+// through the Session so steady-state serialization allocates nothing.
+// Output is byte-identical to ItemWriter over the same items.
+type batchItemWriter struct {
+	w     io.Writer
+	store nodestore.Store
+	sess  *Session
+	// sub is the store's native subtree-batch capability, probed once per
+	// writer; nil falls back to the generic pre-order range walk.
+	sub        nodestore.SubtreeAppender
+	buf        []byte
+	err        error
+	prevAtomic bool
+	wrote      bool
+	leadAtomic bool
+	st         *opStats
+}
+
+func newBatchItemWriter(w io.Writer, store nodestore.Store, sess *Session) *batchItemWriter {
+	sub, _ := store.(nodestore.SubtreeAppender)
+	return &batchItemWriter{w: w, store: store, sess: sess, sub: sub, buf: sess.getSerBuf()}
+}
+
+// WriteItem appends one result item's serialization to the buffer,
+// flushing when the threshold is reached.
+func (bw *batchItemWriter) WriteItem(it Item) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	var start time.Time
+	if bw.st != nil {
+		start = time.Now()
+	}
+	switch v := it.(type) {
+	case StrItem, NumItem, BoolItem:
+		if bw.prevAtomic {
+			bw.buf = append(bw.buf, ' ')
+		}
+		bw.buf = tree.AppendEscapedText(bw.buf, itemString(it))
+		bw.prevAtomic = true
+	case AttrItem:
+		if bw.prevAtomic {
+			bw.buf = append(bw.buf, ' ')
+		}
+		bw.buf = tree.AppendEscapedText(bw.buf, v.Value)
+		bw.prevAtomic = true
+	case NodeItem:
+		if bw.store.Kind(v.ID) == tree.Text {
+			if bw.prevAtomic {
+				bw.buf = append(bw.buf, ' ')
+			}
+			bw.buf = tree.AppendEscapedText(bw.buf, bw.store.Text(v.ID))
+			bw.prevAtomic = true
+			break
+		}
+		bw.appendStored(v.ID)
+		bw.prevAtomic = false
+	case DocItem:
+		bw.appendStored(bw.store.Root())
+		bw.prevAtomic = false
+	case *Constructed:
+		bw.appendConstructed(v)
+		bw.prevAtomic = false
+	}
+	if !bw.wrote {
+		bw.wrote, bw.leadAtomic = true, bw.prevAtomic
+	}
+	if bw.st != nil {
+		bw.st.ns += int64(time.Since(start))
+	}
+	if len(bw.buf) >= batchFlushThreshold {
+		bw.flushBuf()
+	}
+	return bw.err
+}
+
+// appendStored emits a stored node's whole subtree as one batch.
+func (bw *batchItemWriter) appendStored(n tree.NodeID) {
+	if bw.sub != nil {
+		bw.buf = bw.sub.AppendSubtree(bw.buf, n)
+		return
+	}
+	bw.buf = nodestore.AppendSubtreeRange(bw.buf, bw.store, n)
+}
+
+func (bw *batchItemWriter) appendConstructed(c *Constructed) {
+	bw.buf = append(bw.buf, '<')
+	bw.buf = append(bw.buf, c.Tag...)
+	for _, a := range c.Attrs {
+		bw.buf = append(bw.buf, ' ')
+		bw.buf = append(bw.buf, a.Name...)
+		bw.buf = append(bw.buf, '=', '"')
+		bw.buf = tree.AppendEscapedAttr(bw.buf, a.Value)
+		bw.buf = append(bw.buf, '"')
+	}
+	if len(c.Children) == 0 {
+		bw.buf = append(bw.buf, '/', '>')
+		return
+	}
+	bw.buf = append(bw.buf, '>')
+	for _, ch := range c.Children {
+		switch v := ch.(type) {
+		case StrItem:
+			bw.buf = tree.AppendEscapedText(bw.buf, string(v))
+		case NumItem, BoolItem:
+			bw.buf = tree.AppendEscapedText(bw.buf, itemString(v))
+		case AttrItem:
+			bw.buf = tree.AppendEscapedText(bw.buf, v.Value)
+		case NodeItem:
+			// Single text nodes — the dominant constructed-content shape
+			// (Q10's field values, Q19's location text) — skip the
+			// subtree-batch machinery: a range walk buys nothing for a
+			// one-node subtree, and its setup (subtree-end probe, walk
+			// state) costs more than the one text fetch it wraps.
+			if bw.store.Kind(v.ID) == tree.Text {
+				bw.buf = tree.AppendEscapedText(bw.buf, bw.store.Text(v.ID))
+				break
+			}
+			bw.appendStored(v.ID)
+		case *Constructed:
+			bw.appendConstructed(v)
+		}
+	}
+	bw.buf = append(bw.buf, '<', '/')
+	bw.buf = append(bw.buf, c.Tag...)
+	bw.buf = append(bw.buf, '>')
+}
+
+// flushBuf writes the buffered bytes and rewinds the buffer.
+func (bw *batchItemWriter) flushBuf() {
+	if bw.err != nil || len(bw.buf) == 0 {
+		return
+	}
+	_, bw.err = bw.w.Write(bw.buf)
+	bw.buf = bw.buf[:0]
+}
+
+// Flush writes any remaining buffered bytes and returns the buffer to the
+// session's free list.
+func (bw *batchItemWriter) Flush() error {
+	bw.flushBuf()
+	bw.release()
+	return bw.err
+}
+
+// release hands the buffer back to the session without flushing: the error
+// path's cleanup.
+func (bw *batchItemWriter) release() {
+	bw.sess.putSerBuf(bw.buf)
+	bw.buf = nil
 }
 
 type errWriter struct {
@@ -195,18 +438,19 @@ func serializeConstructed(w *errWriter, store nodestore.Store, c *Constructed) {
 	w.str(">")
 }
 
+// escapeText returns s with text-content escaping applied. Clean strings
+// (no escapable byte) return as-is with zero allocations; dirty strings
+// escape through the span escaper — no per-call Replacer construction.
 func escapeText(s string) string {
-	if !strings.ContainsAny(s, "&<>") {
+	if !tree.HasTextSpecials(s) {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	return string(tree.AppendEscapedText(nil, s))
 }
 
 func escapeAttr(s string) string {
-	if !strings.ContainsAny(s, `&<>"`) {
+	if !tree.HasAttrSpecials(s) {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return string(tree.AppendEscapedAttr(nil, s))
 }

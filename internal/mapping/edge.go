@@ -21,6 +21,7 @@ package mapping
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/nodestore"
 	"repro/internal/relational"
@@ -58,6 +59,13 @@ type Edge struct {
 	symNames []string
 	nNodes   int
 	root     tree.NodeID
+
+	// Per-symbol byte renderings built once at load: openTags[sym] is
+	// "<tag", closeTags[sym] "</tag>", attrPre[sym] ` name="` for "@name"
+	// symbols. The subtree writer emits names as single slice copies.
+	openTags  [][]byte
+	closeTags [][]byte
+	attrPre   [][]byte
 }
 
 // Columns of the edge table.
@@ -129,7 +137,26 @@ func NewEdge(doc *tree.Doc) *Edge {
 	s.tags = s.table.IntCol(eTag)
 	s.kinds = s.table.IntCol(eKind)
 	s.values = s.table.CodeCol(eValue)
+	s.renderSymTables()
 	return s
+}
+
+// renderSymTables pre-renders every symbol's serialized spelling so the
+// subtree writer appends interned bytes instead of rebuilding tag markup
+// per node. Element and attribute symbols share one namespace but never
+// collide: attribute symbols carry the "@" prefix.
+func (s *Edge) renderSymTables() {
+	s.openTags = make([][]byte, len(s.symNames))
+	s.closeTags = make([][]byte, len(s.symNames))
+	s.attrPre = make([][]byte, len(s.symNames))
+	for sym, name := range s.symNames {
+		if strings.HasPrefix(name, "@") {
+			s.attrPre[sym] = []byte(` ` + name[1:] + `="`)
+			continue
+		}
+		s.openTags[sym] = []byte("<" + name)
+		s.closeTags[sym] = []byte("</" + name + ">")
+	}
 }
 
 func (s *Edge) intern(name string) int32 {
@@ -208,6 +235,17 @@ func (s *Edge) Parent(n tree.NodeID) tree.NodeID {
 func (s *Edge) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
 	for _, row := range s.parentIdx.LookupInt(int64(n)) {
 		if s.kinds[row] != rowAttr {
+			buf = append(buf, tree.NodeID(s.ids[row]))
+		}
+	}
+	return buf
+}
+
+// TextChildren implements nodestore.TextChildLister: the same single
+// parent-index probe as Children, keeping only text rows.
+func (s *Edge) TextChildren(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	for _, row := range s.parentIdx.LookupInt(int64(n)) {
+		if s.kinds[row] == rowText {
 			buf = append(buf, tree.NodeID(s.ids[row]))
 		}
 	}

@@ -292,6 +292,24 @@ func (s *Path) Children(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
 	return buf
 }
 
+// TextChildren implements nodestore.TextChildLister: one probe of the
+// entry's #text child fragment. A single parent's text rows sit in
+// document order within that fragment, so unlike Children there is no
+// cross-fragment ordinal merge to pay.
+func (s *Path) TextChildren(n tree.NodeID, buf []tree.NodeID) []tree.NodeID {
+	pt := s.entryOf(n)
+	for _, c := range pt.children {
+		if c.tag != textLabel {
+			continue
+		}
+		s.metaOps.Add(1)
+		for _, rid := range c.parentIdx.LookupInt(int64(n)) {
+			buf = append(buf, tree.NodeID(c.table.Int(int(rid), pID)))
+		}
+	}
+	return buf
+}
+
 // ChildrenByTag implements nodestore.Store: a single-fragment probe, the
 // fragmentation win for targeted access.
 func (s *Path) ChildrenByTag(n tree.NodeID, tag string, buf []tree.NodeID) []tree.NodeID {

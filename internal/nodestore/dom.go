@@ -69,6 +69,13 @@ func NewDOM(name string, doc *tree.Doc, opts DOMOptions) *DOM {
 // Doc exposes the underlying tree for serialization fast paths in tests.
 func (d *DOM) Doc() *tree.Doc { return d.doc }
 
+// AppendSubtree implements SubtreeAppender: the arena's pre-order range
+// walk with pre-rendered tag tables, the tightest subtree emission any
+// store can offer.
+func (d *DOM) AppendSubtree(dst []byte, n tree.NodeID) []byte {
+	return d.doc.AppendSubtree(dst, n)
+}
+
 // Name implements Store.
 func (d *DOM) Name() string { return d.name }
 

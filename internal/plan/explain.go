@@ -85,10 +85,26 @@ func NodeLabel(n *Node) string {
 	case OpCall:
 		return "Call " + n.Expr.(*xquery.Call).Name
 	case OpCtor:
-		return "Element <" + n.Expr.(*xquery.ElementCtor).Tag + ">"
+		return ctorLabel(n)
+	case OpSerialize:
+		if n.Vectorized {
+			return "BatchSerialize"
+		}
+		return "Serialize"
 	default:
 		return n.Op.String()
 	}
+}
+
+// ctorLabel renders a constructor: ones the vectorize rule marked render
+// as BatchConstruct — marked content parts assemble their children
+// vector-at-a-time, but the element built is byte-identical.
+func ctorLabel(n *Node) string {
+	tag := n.Expr.(*xquery.ElementCtor).Tag
+	if n.Vectorized {
+		return "BatchConstruct <" + tag + ">"
+	}
+	return "Element <" + tag + ">"
 }
 
 // rulesSummary aggregates rule firings into "name x count" in first-seen
@@ -152,7 +168,13 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string, annot func
 	}
 	switch n.Op {
 	case OpSerialize:
-		self("Serialize")
+		if n.Vectorized {
+			// The batch serializer: append-only buffer, subtree-batch
+			// emission through the store's range walk.
+			self("BatchSerialize")
+		} else {
+			self("Serialize")
+		}
 		kid(n.Input, "")
 	case OpProject:
 		self("Project")
@@ -279,7 +301,7 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string, annot func
 		}
 	case OpCtor:
 		c := n.Expr.(*xquery.ElementCtor)
-		self("Element <" + c.Tag + ">")
+		self(ctorLabel(n))
 		for i, a := range c.Attrs {
 			for _, part := range n.CtorAttrs[i] {
 				if part.Op == OpLiteral {

@@ -61,6 +61,17 @@ func ruleVectorize(p *Plan, opts Options, store nodestore.Store) {
 	}
 	vz := &vectorizer{p: p, store: store}
 	p.walk(func(n *Node) { vz.batched(n) })
+	// The serialization sink always batches when batching is on: the root
+	// drains into an append-only buffer and emits stored subtrees through
+	// the store's subtree-batch capability instead of recursive per-node
+	// navigation. Unlike the scan/join/bind marks it needs no extent
+	// gate — the batch writer has no per-tuple setup, it simply replaces
+	// the emission strategy. Like every mark, purely an execution
+	// strategy — output is byte-identical at every batch size.
+	if p.Root != nil && p.Root.Op == OpSerialize {
+		p.Root.Vectorized = true
+		p.fire("vectorize-serialize", p.Root)
+	}
 }
 
 // minBatchExtent is the smallest scan extent worth vectorizing.
@@ -168,6 +179,29 @@ func (vz *vectorizer) mark(n *Node) batchInfo {
 			vz.p.fire("vectorize-bind", n)
 		}
 		return batchInfo{}
+	case OpCtor:
+		// A constructor content part that navigates a bound variable
+		// through purely mechanical steps (predicate-free, filter-free
+		// child/text — no descendant, no fused strategies) assembles its
+		// children vector-at-a-time: the binding's NodeID vector feeds the
+		// batch step operators and whole result batches append as children,
+		// instead of rebuilding the child slice item by item per tuple
+		// (Q10/Q13-shaped FLWOR returns). The admitted steps are strictly
+		// per-context with no cross-context reordering, so the children
+		// produced are identical, in identical order.
+		marked := false
+		for _, part := range n.Content {
+			if ctorPartBatchable(part) {
+				part.Vectorized = true
+				part.BatchSteps = len(part.Steps)
+				marked = true
+			}
+		}
+		if marked {
+			n.Vectorized = true
+			vz.p.fire("vectorize-construct", n)
+		}
+		return batchInfo{}
 	case OpNLJoin, OpHashJoin:
 		// A join whose scanned (build) side batches materializes its
 		// index from NodeID vectors and probes without per-tuple iterator
@@ -185,6 +219,32 @@ func (vz *vectorizer) mark(n *Node) batchInfo {
 		return batchInfo{}
 	}
 	return batchInfo{}
+}
+
+// ctorPartBatchable reports whether one constructor content part is a
+// navigation over a bound variable whose every step the batch operators
+// can run: child (named or wildcard) and text() steps with no engine
+// predicates, no pushed filters and no fused strategies, plus optionally
+// one final named attribute step — in element content an attribute node
+// contributes exactly its string value, which the batch constructor emits
+// directly. Descendant steps are excluded — the variable's node run
+// carries no non-nestedness proof.
+func ctorPartBatchable(part *Node) bool {
+	if part.Op != OpNavigate || part.Input == nil || part.Input.Op != OpVar || len(part.Steps) == 0 {
+		return false
+	}
+	for i, sp := range part.Steps {
+		if sp.Strategy != StepNavigate || len(sp.Preds) > 0 || len(sp.Filters) > 0 {
+			return false
+		}
+		if sp.Axis == xquery.AxisAttribute && sp.Name != "*" && i == len(part.Steps)-1 {
+			continue
+		}
+		if sp.Axis != xquery.AxisChild && sp.Axis != xquery.AxisText {
+			return false
+		}
+	}
+	return true
 }
 
 // bigEnough probes the store for the scan's extent size — a catalog

@@ -54,6 +54,13 @@ func (d *Dict) Code(s string) (int32, bool) {
 // so the bounds check is the only validation needed.
 func (d *Dict) Name(c int32) string { return d.names[c] }
 
+// AppendName appends the decoded value of c to dst and returns the
+// extended buffer: the serializer's code → interned-bytes emission path,
+// which renders a dictionary-coded value without materializing a string.
+func (d *Dict) AppendName(dst []byte, c int32) []byte {
+	return append(dst, d.names[c]...)
+}
+
 // Len returns the number of distinct values — the dictionary cardinality
 // the planner's catalog reports.
 func (d *Dict) Len() int { return len(d.names) }

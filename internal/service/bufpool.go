@@ -1,0 +1,67 @@
+package service
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// bufRetainCap is the capacity below which a returned buffer is always
+// pooled, whatever the size hint says: small buffers cost nothing to
+// keep and dropping them would make the pool useless for workloads of
+// tiny responses.
+const bufRetainCap = 64 << 10
+
+// bufPool recycles per-request output buffers across the worker pool.
+// Every response was previously accumulated in a stack-local
+// bytes.Buffer that grew from nothing and died with the request, so a
+// busy server re-paid the doubling-growth allocations of a typical
+// response on every single request. The pool keeps those grown buffers
+// alive between requests and sizes fresh ones by a running hint of
+// recent response byte counts, so a miss allocates the steady-state
+// capacity in one step instead of log2(size) doublings.
+type bufPool struct {
+	pool sync.Pool
+	// hint is an exponentially-weighted moving average of recent response
+	// sizes in bytes (weight 1/8). It is read and updated without a CAS
+	// loop — a lost update just delays the average by one response, which
+	// is harmless for a sizing heuristic.
+	hint atomic.Int64
+	// metrics receives the hit/miss counters (set by NewExecutor).
+	metrics *Metrics
+}
+
+// get returns a reset buffer, recycled when the pool has one, otherwise
+// freshly allocated at the current size hint.
+func (p *bufPool) get() *bytes.Buffer {
+	if b, _ := p.pool.Get().(*bytes.Buffer); b != nil {
+		p.metrics.bufHits.Add(1)
+		b.Reset()
+		return b
+	}
+	p.metrics.bufMisses.Add(1)
+	b := new(bytes.Buffer)
+	if h := p.hint.Load(); h > 0 {
+		b.Grow(int(h))
+	}
+	return b
+}
+
+// put folds the response size the buffer just carried into the hint and
+// returns the buffer to the pool. Buffers that ballooned past several
+// times the running hint are dropped instead, so one huge response
+// cannot pin its high-water-mark capacity behind every future request.
+func (p *bufPool) put(b *bytes.Buffer) {
+	sz := int64(b.Len())
+	h := p.hint.Load()
+	if h == 0 {
+		h = sz
+	} else {
+		h += (sz - h) / 8
+	}
+	p.hint.Store(h)
+	if b.Cap() > bufRetainCap && int64(b.Cap()) > 4*h {
+		return
+	}
+	p.pool.Put(b)
+}

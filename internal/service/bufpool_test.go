@@ -1,0 +1,73 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestBufPoolRecyclesAcrossRequests drives a sequence of requests through
+// a single worker and checks the output-buffer pool actually recycles:
+// after the first request every subsequent one should find the previous
+// buffer in the pool, and the hit/miss split must surface in Snapshot.
+func TestBufPoolRecyclesAcrossRequests(t *testing.T) {
+	c := testCat(t)
+	ex := NewExecutor(c, Config{Workers: 1, QueueDepth: 8})
+	defer ex.Close()
+	const reqs = 10
+	for i := 0; i < reqs; i++ {
+		if _, err := ex.Execute(context.Background(), Request{System: "C", QueryID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := ex.Metrics().Snapshot()
+	if s.BufPoolHits+s.BufPoolMisses != reqs {
+		t.Fatalf("pool outcomes = %d hits + %d misses, want %d total",
+			s.BufPoolHits, s.BufPoolMisses, reqs)
+	}
+	// A single sequential worker returns its buffer before the next
+	// request begins, so nearly every request after the first should hit
+	// (sync.Pool may shed an entry across a GC cycle, hence "nearly").
+	if s.BufPoolHits < reqs/2 {
+		t.Errorf("hits = %d of %d, want at least half", s.BufPoolHits, reqs)
+	}
+	if want := float64(s.BufPoolHits) / reqs; s.BufPoolHitRate != want {
+		t.Errorf("hit rate = %g, want %g", s.BufPoolHitRate, want)
+	}
+}
+
+// TestBufPoolDropsBallooned checks the retention guard: a buffer that
+// grew far past the running size hint is not pooled again.
+func TestBufPoolDropsBallooned(t *testing.T) {
+	p := &bufPool{metrics: NewMetrics()}
+	// Establish a small hint.
+	for i := 0; i < 8; i++ {
+		b := p.get()
+		b.WriteString("small response")
+		p.put(b)
+	}
+	big := p.get()
+	big.Write(make([]byte, 1<<20))
+	p.put(big)
+	// The ballooned buffer must have been dropped: the next get either
+	// misses or serves a buffer of modest capacity.
+	if b := p.get(); b.Cap() >= 1<<20 {
+		t.Fatalf("pool served the ballooned %d-byte buffer; want it dropped", b.Cap())
+	}
+}
+
+// TestBufPoolSizesByHint checks that a miss pre-grows the fresh buffer to
+// the running response-size average instead of starting from zero.
+func TestBufPoolSizesByHint(t *testing.T) {
+	p := &bufPool{metrics: NewMetrics()}
+	payload := bytes.Repeat([]byte("x"), 4096)
+	b := p.get()
+	b.Write(payload)
+	p.put(b)
+	p.get() // drain the pooled buffer
+	fresh := p.get()
+	if fresh.Cap() < 512 {
+		t.Fatalf("fresh buffer capacity = %d, want pre-grown toward the %d-byte hint",
+			fresh.Cap(), len(payload))
+	}
+}

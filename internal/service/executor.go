@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -103,6 +102,11 @@ type Executor struct {
 	parallel  int
 	batchSize int
 
+	// bufs recycles per-request output buffers across workers, sized by
+	// recent response byte counts; hit rate is exported via /stats and
+	// /metrics.
+	bufs bufPool
+
 	// degMu guards the pool's outstanding reservations (degGranted).
 	degMu      sync.Mutex
 	degGranted int
@@ -134,6 +138,7 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 		parallel:  parallel,
 		batchSize: cfg.BatchSize,
 	}
+	e.bufs.metrics = e.metrics
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -332,8 +337,9 @@ func (e *Executor) run(ctx context.Context, sess *engine.Session, req Request) (
 	}
 
 	start := time.Now()
-	var buf bytes.Buffer
-	iw := engine.NewItemWriter(&buf, inst.Engine.Store())
+	buf := e.bufs.get()
+	defer e.bufs.put(buf)
+	iw := engine.NewItemWriter(buf, inst.Engine.Store())
 	n := 0
 	canceled := false
 	err = prep.StreamSession(sess, func(it engine.Item) bool {

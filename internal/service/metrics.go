@@ -46,6 +46,12 @@ type Metrics struct {
 	queueDepth atomic.Int64
 	inFlight   atomic.Int64
 
+	// bufHits/bufMisses count output-buffer pool outcomes: a hit reuses a
+	// buffer grown by an earlier response, a miss allocates one at the
+	// pool's size hint.
+	bufHits   atomic.Uint64
+	bufMisses atomic.Uint64
+
 	latSum  atomic.Int64 // nanoseconds, completed requests only
 	waitSum atomic.Int64 // nanoseconds spent queued, completed requests
 	hist    [histBuckets + 1]atomic.Uint64
@@ -112,6 +118,10 @@ type Snapshot struct {
 	QPS        float64 `json:"qps"`
 	QueueDepth int64   `json:"queue_depth"`
 	InFlight   int64   `json:"in_flight"`
+
+	BufPoolHits    uint64  `json:"buf_pool_hits"`
+	BufPoolMisses  uint64  `json:"buf_pool_misses"`
+	BufPoolHitRate float64 `json:"buf_pool_hit_rate"`
 	// Latency of completed requests, milliseconds.
 	MeanMs     float64 `json:"mean_ms"`
 	P50Ms      float64 `json:"p50_ms"`
@@ -155,6 +165,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		Canceled:   m.canceled.Load(),
 		QueueDepth: m.queueDepth.Load(),
 		InFlight:   m.inFlight.Load(),
+	}
+	s.BufPoolHits = m.bufHits.Load()
+	s.BufPoolMisses = m.bufMisses.Load()
+	if n := s.BufPoolHits + s.BufPoolMisses; n > 0 {
+		s.BufPoolHitRate = float64(s.BufPoolHits) / float64(n)
 	}
 	if s.UptimeSec > 0 {
 		s.QPS = float64(s.Completed) / s.UptimeSec

@@ -27,6 +27,10 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP xq_in_flight Requests currently executing.\n# TYPE xq_in_flight gauge\n")
 	fmt.Fprintf(w, "xq_in_flight %d\n", m.inFlight.Load())
 
+	fmt.Fprintf(w, "# HELP xq_buf_pool_total Output-buffer pool lookups by outcome.\n# TYPE xq_buf_pool_total counter\n")
+	fmt.Fprintf(w, "xq_buf_pool_total{outcome=\"hit\"} %d\n", m.bufHits.Load())
+	fmt.Fprintf(w, "xq_buf_pool_total{outcome=\"miss\"} %d\n", m.bufMisses.Load())
+
 	writePromHist(w, "xq_exec_seconds", "Execution time of completed requests.",
 		&m.hist, m.latSum.Load())
 	writePromHist(w, "xq_queue_wait_seconds", "Admission-queue wait of completed requests.",

@@ -1,0 +1,78 @@
+package tree
+
+import "strings"
+
+// The serializer's escaping contract: text content escapes `&`, `<`, `>`;
+// attribute values additionally escape `"` (values are always emitted in
+// double quotes). The append-based escapers below are the hot path shared
+// by every serializer in the repository — they write into a caller-owned
+// buffer and allocate nothing beyond that buffer's growth, so a clean
+// string (the overwhelmingly common case in the XMark corpus) costs one
+// scan plus one copy.
+
+// HasTextSpecials reports whether s contains a byte that text-content
+// escaping rewrites. Chained IndexByte scans beat strings.ContainsAny
+// here: ContainsAny builds a fresh ASCII set on every call, while each
+// IndexByte pass is a vectorized scan with no setup — and clean strings,
+// the common case, must always pay the full scans either way.
+func HasTextSpecials(s string) bool {
+	return strings.IndexByte(s, '&') >= 0 ||
+		strings.IndexByte(s, '<') >= 0 ||
+		strings.IndexByte(s, '>') >= 0
+}
+
+// HasAttrSpecials reports whether s contains a byte that attribute-value
+// escaping rewrites (the text specials plus `"`).
+func HasAttrSpecials(s string) bool {
+	return HasTextSpecials(s) || strings.IndexByte(s, '"') >= 0
+}
+
+// AppendEscapedText appends s to dst with text-content escaping and
+// returns the extended buffer. Clean strings take the no-escape fast
+// path: vectorized special-byte scans, one verbatim copy. Dirty strings
+// copy verbatim spans between escapes, so only the rare escapable byte
+// pays for an entity.
+func AppendEscapedText(dst []byte, s string) []byte {
+	if !HasTextSpecials(s) {
+		return append(dst, s...)
+	}
+	return appendEscaped(dst, s, false)
+}
+
+// AppendEscapedAttr appends s to dst with attribute-value escaping
+// (text escapes plus `"`) and returns the extended buffer.
+func AppendEscapedAttr(dst []byte, s string) []byte {
+	if !HasAttrSpecials(s) {
+		return append(dst, s...)
+	}
+	return appendEscaped(dst, s, true)
+}
+
+// appendEscaped is the slow path: copy the verbatim span up to each
+// escapable byte, then its entity. Escapable bytes are all ASCII, so the
+// byte loop never splits a UTF-8 sequence.
+func appendEscaped(dst []byte, s string, attr bool) []byte {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var ent string
+		switch s[i] {
+		case '&':
+			ent = "&amp;"
+		case '<':
+			ent = "&lt;"
+		case '>':
+			ent = "&gt;"
+		case '"':
+			if !attr {
+				continue
+			}
+			ent = "&quot;"
+		default:
+			continue
+		}
+		dst = append(dst, s[last:i]...)
+		dst = append(dst, ent...)
+		last = i + 1
+	}
+	return append(dst, s[last:]...)
+}

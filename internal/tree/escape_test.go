@@ -1,0 +1,124 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// naiveEscapeText is the reference escaper the fast path must match on
+// arbitrary input: the allocate-per-call Replacer the serializer used
+// before the span escaper landed.
+func naiveEscapeText(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace(s)
+}
+
+func naiveEscapeAttr(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;").Replace(s)
+}
+
+func FuzzEscapeText(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain text", "a & b < c > d", "&&&", "<>", "&amp;",
+		"unicode é世界", "trailing&", "&leading", "\"quotes\" pass",
+		"\x00\xff invalid utf8 \xc3\x28",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := string(AppendEscapedText(nil, s))
+		want := naiveEscapeText(s)
+		if got != want {
+			t.Errorf("AppendEscapedText(%q) = %q, want %q", s, got, want)
+		}
+	})
+}
+
+func FuzzEscapeAttr(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", `with "quotes" & <tags>`, `"""`, "mixed > \" < &",
+		"unicode é世界", "\xf0\x28\x8c\x28 invalid",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := string(AppendEscapedAttr(nil, s))
+		want := naiveEscapeAttr(s)
+		if got != want {
+			t.Errorf("AppendEscapedAttr(%q) = %q, want %q", s, got, want)
+		}
+	})
+}
+
+// TestEscapeCleanZeroAlloc pins the serializer fast-path contract: a
+// clean string appended into a buffer with room costs zero allocations.
+func TestEscapeCleanZeroAlloc(t *testing.T) {
+	clean := strings.Repeat("the quick brown fox ", 8)
+	dst := make([]byte, 0, 4096)
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = AppendEscapedText(dst[:0], clean)
+	}); avg != 0 {
+		t.Errorf("AppendEscapedText on clean text allocates %.1f per call", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = AppendEscapedAttr(dst[:0], clean)
+	}); avg != 0 {
+		t.Errorf("AppendEscapedAttr on clean text allocates %.1f per call", avg)
+	}
+}
+
+// BenchmarkEscapeText shows the clean-text fast path at 0 allocs/op
+// (run with -benchmem) against the dirty path's span escaping.
+func BenchmarkEscapeText(b *testing.B) {
+	clean := strings.Repeat("plain auction description words ", 8)
+	dirty := strings.Repeat("a & b < c > d ", 16)
+	dst := make([]byte, 0, 4096)
+	b.Run("clean", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = AppendEscapedText(dst[:0], clean)
+		}
+	})
+	b.Run("dirty", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = AppendEscapedText(dst[:0], dirty)
+		}
+	})
+}
+
+// TestAppendSubtreeMatchesRecursive pins the zero-copy subtree writer
+// against the recursive child-by-child serialization it replaced.
+func TestAppendSubtreeMatchesRecursive(t *testing.T) {
+	doc, err := Parse([]byte(`<site><a x="1" y="q&amp;a"><b>text &amp; more</b><c/><d>` +
+		`<e f="deep &quot;quoted&quot;">x &lt; y</e></d></a><empty/><t>tail</t></site>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recursive func(n NodeID, sb *strings.Builder)
+	recursive = func(n NodeID, sb *strings.Builder) {
+		if doc.Kind(n) == Text {
+			sb.WriteString(naiveEscapeText(doc.Text(n)))
+			return
+		}
+		sb.WriteString("<" + doc.Tag(n))
+		for _, a := range doc.Attrs(n) {
+			sb.WriteString(" " + a.Name + `="` + naiveEscapeAttr(a.Value) + `"`)
+		}
+		if doc.FirstChild(n) == Nil {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteString(">")
+		for c := doc.FirstChild(n); c != Nil; c = doc.NextSibling(c) {
+			recursive(c, sb)
+		}
+		sb.WriteString("</" + doc.Tag(n) + ">")
+	}
+	for n := NodeID(0); n < NodeID(doc.Len()); n++ {
+		var sb strings.Builder
+		recursive(n, &sb)
+		if got := string(doc.AppendSubtree(nil, n)); got != sb.String() {
+			t.Errorf("node %d: AppendSubtree = %q, want %q", n, got, sb.String())
+		}
+	}
+}

@@ -7,73 +7,32 @@ import (
 
 // Serialize writes the subtree rooted at n as XML to w. It is the
 // reconstruction primitive of query Q13: regenerating original document
-// fragments from the broken-down representation.
+// fragments from the broken-down representation. The write is one
+// AppendSubtree walk followed by a single w.Write.
 func (d *Doc) Serialize(w io.Writer, n NodeID) error {
-	sw := &stickyWriter{w: w}
-	d.serialize(sw, n)
-	return sw.err
+	_, err := w.Write(d.AppendSubtree(nil, n))
+	return err
 }
 
 // SerializeString returns the subtree rooted at n as an XML string.
 func (d *Doc) SerializeString(n NodeID) string {
-	var b strings.Builder
-	// strings.Builder writes cannot fail.
-	_ = d.Serialize(&b, n)
-	return b.String()
+	return string(d.AppendSubtree(nil, n))
 }
 
-type stickyWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (s *stickyWriter) str(v string) {
-	if s.err != nil {
-		return
-	}
-	_, s.err = io.WriteString(s.w, v)
-}
-
-func (d *Doc) serialize(w *stickyWriter, n NodeID) {
-	if d.kinds[n] == Text {
-		w.str(escapeText(d.texts[n]))
-		return
-	}
-	tag := d.Tag(n)
-	w.str("<")
-	w.str(tag)
-	for _, a := range d.Attrs(n) {
-		w.str(" ")
-		w.str(a.Name)
-		w.str(`="`)
-		w.str(escapeAttr(a.Value))
-		w.str(`"`)
-	}
-	if d.first[n] == Nil {
-		w.str("/>")
-		return
-	}
-	w.str(">")
-	for c := d.first[n]; c != Nil; c = d.next[c] {
-		d.serialize(w, c)
-	}
-	w.str("</")
-	w.str(tag)
-	w.str(">")
-}
-
+// escapeText returns s with text-content escaping applied. Clean strings
+// (no escapable byte) are returned verbatim with zero allocations; dirty
+// strings build the escaped copy through the append-based span escaper.
 func escapeText(s string) string {
 	if !strings.ContainsAny(s, "&<>") {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	return string(appendEscaped(nil, s, false))
 }
 
+// escapeAttr is escapeText plus `"` escaping for double-quoted values.
 func escapeAttr(s string) string {
 	if !strings.ContainsAny(s, `&<>"`) {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return string(appendEscaped(nil, s, true))
 }

@@ -54,6 +54,12 @@ type Doc struct {
 
 	tagNames []string
 	tagIDs   map[string]int32
+
+	// openTags/closeTags are the per-symbol pre-rendered "<tag" and
+	// "</tag>" byte slices the subtree writer emits from; built once when
+	// the Builder finalizes (the tag dictionary is sealed after Doc()).
+	openTags  [][]byte
+	closeTags [][]byte
 }
 
 // Parse builds a Doc from the XML document in data. Whitespace-only
@@ -179,6 +185,7 @@ func (b *Builder) Doc() (*Doc, error) {
 	if b.d.kinds[0] != Element || b.d.end[0] != NodeID(len(b.d.kinds)) {
 		return nil, fmt.Errorf("tree: document must have a single element root")
 	}
+	b.d.renderTagTables()
 	return b.d, nil
 }
 

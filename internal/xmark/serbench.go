@@ -1,0 +1,316 @@
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/nodestore"
+)
+
+// SerializeQueryIDs are the serialization-bench family: Q1 (tiny scalar
+// output, the floor where batching cannot help), Q10 and Q13 (element
+// construction over large FLWOR returns — the reconstruction-dominated
+// queries the vectorized constructor and subtree writer target), Q14
+// (full-text scan returning whole subtrees) and Q19 (ordered full-table
+// reconstruction, the largest output of the twenty).
+var SerializeQueryIDs = []int{1, 10, 13, 14, 19}
+
+// serializeOutputFamily marks the output-dominated subset — the queries
+// whose runtime is mostly result construction and serialization, where
+// the ≥1.5x acceptance bar applies.
+var serializeOutputFamily = map[int]bool{10: true, 13: true, 19: true}
+
+// SerializePoint is one cell of the serialization experiment: the same
+// materialized result drained through the tuple-at-a-time ItemWriter and
+// through the vectorized batch writer. Before anything is timed the cell
+// is byte-verified twice over — the full engine output at widths
+// {1, default} x degrees {1, 8} against the tuple sequential reference,
+// and then both writer drains against that same reference.
+type SerializePoint struct {
+	System  SystemID `json:"system"`
+	QueryID int      `json:"query"`
+	// TupleNs and BatchNs are the best serialization-stage wall times:
+	// the query executes once, and the materialized result is then
+	// emitted through each writer. Execution cost is excluded by
+	// construction, so the cell compares exactly the stage this family
+	// exercises (the end-to-end comparison lives in BENCH_vector.json).
+	TupleNs int64 `json:"tuple_ns_op"`
+	BatchNs int64 `json:"batch_ns_op"`
+	// TupleAllocs and BatchAllocs are the heap allocation counts of the
+	// best runs, from runtime.MemStats deltas.
+	TupleAllocs uint64 `json:"tuple_allocs"`
+	BatchAllocs uint64 `json:"batch_allocs"`
+	// Speedup is tuple time over batch time (1.0 = no change).
+	Speedup float64 `json:"speedup"`
+	// TupleMBps and BatchMBps are emission rates derived from OutBytes:
+	// how many megabytes of serialized result each mode produces per
+	// second of wall time.
+	TupleMBps float64 `json:"tuple_mb_s"`
+	BatchMBps float64 `json:"batch_mb_s"`
+	// SerVectorized reports whether the plan carries a vectorize-serialize
+	// firing (a BatchSerialize root, usually alongside BatchConstruct
+	// content marks); false marks honest tuple baselines.
+	SerVectorized bool `json:"ser_vectorized"`
+	OutBytes      int  `json:"out_bytes"`
+}
+
+// SerializeReport is the BENCH_serialize.json artifact: tuple vs
+// vectorized serialization ns/op, allocs and MB/s over the
+// serialization family, per query x system.
+type SerializeReport struct {
+	Factor        float64          `json:"factor"`
+	GoMaxProcs    int              `json:"gomaxprocs"`
+	BatchSize     int              `json:"batch_size"`
+	VerifyDegrees []int            `json:"verify_degrees"`
+	QueryIDs      []int            `json:"queries"`
+	Systems       []SystemID       `json:"systems"`
+	Points        []SerializePoint `json:"points"`
+	// FamilySpeedup is the per-system geometric mean over the whole
+	// family; OutputFamilySpeedup restricts it to the output-dominated
+	// queries (Q10, Q13, Q19) where the acceptance bar applies.
+	FamilySpeedup       map[SystemID]float64 `json:"family_speedup"`
+	OutputFamilySpeedup map[SystemID]float64 `json:"output_family_speedup"`
+}
+
+// summarize fills the per-system geomeans from the measured points.
+func (r *SerializeReport) summarize() {
+	r.FamilySpeedup = make(map[SystemID]float64)
+	r.OutputFamilySpeedup = make(map[SystemID]float64)
+	type acc struct {
+		logSum float64
+		n      int
+	}
+	all, out := map[SystemID]*acc{}, map[SystemID]*acc{}
+	add := func(m map[SystemID]*acc, sys SystemID, v float64) {
+		a := m[sys]
+		if a == nil {
+			a = &acc{}
+			m[sys] = a
+		}
+		a.logSum += math.Log(v)
+		a.n++
+	}
+	for _, p := range r.Points {
+		if p.Speedup <= 0 {
+			continue
+		}
+		add(all, p.System, p.Speedup)
+		if serializeOutputFamily[p.QueryID] {
+			add(out, p.System, p.Speedup)
+		}
+	}
+	for sys, a := range all {
+		r.FamilySpeedup[sys] = math.Exp(a.logSum / float64(a.n))
+	}
+	for sys, a := range out {
+		r.OutputFamilySpeedup[sys] = math.Exp(a.logSum / float64(a.n))
+	}
+}
+
+// RunSerializeBench measures tuple-at-a-time vs vectorized result
+// serialization: each query is prepared once per system, its output is
+// byte-verified identical at widths {1, default} x degrees {1, 8}
+// against the tuple sequential reference, the result is materialized
+// once, both writers' drains are byte-verified against the same
+// reference, and then the two emission strategies are timed interleaved
+// best-of-reps over the materialized items. Timing the emission stage in
+// isolation is the point of this artifact: it compares the serializers
+// themselves, free of execution noise that neither writer can influence
+// (Q19's order-by sort, Q10's join) — the end-to-end effect of the same
+// marks is what BENCH_vector.json reports.
+func (b *Benchmark) RunSerializeBench(systems []System, queryIDs []int, reps int) (*SerializeReport, error) {
+	if len(queryIDs) == 0 {
+		queryIDs = SerializeQueryIDs
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	report := &SerializeReport{
+		Factor:        b.Factor,
+		GoMaxProcs:    maxProcs(),
+		BatchSize:     nodestore.DefaultBatchSize,
+		VerifyDegrees: vectorVerifyDegrees,
+		QueryIDs:      queryIDs,
+	}
+	for _, s := range systems {
+		report.Systems = append(report.Systems, s.ID)
+	}
+	instances, err := b.LoadAll(systems)
+	if err != nil {
+		return nil, err
+	}
+	for _, inst := range instances {
+		for _, qid := range queryIDs {
+			prep, err := inst.Engine.Prepare(b.QueryText(qid))
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d: %w", inst.System.ID, qid, err)
+			}
+			pt := SerializePoint{System: inst.System.ID, QueryID: qid}
+			for _, r := range prep.Plan().Fired {
+				if r == "vectorize-serialize" {
+					pt.SerVectorized = true
+				}
+			}
+			// The verification matrix: every width x degree cell must be
+			// byte-identical to the tuple sequential reference.
+			ref, err := serializeVector(prep, 1, 1)
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d tuple: %w", inst.System.ID, qid, err)
+			}
+			pt.OutBytes = len(ref)
+			for _, width := range []int{1, 0} {
+				for _, degree := range vectorVerifyDegrees {
+					got, err := serializeVector(prep, width, degree)
+					if err != nil {
+						return nil, fmt.Errorf("system %s Q%d width=%d degree=%d: %w",
+							inst.System.ID, qid, width, degree, err)
+					}
+					if got != ref {
+						return nil, fmt.Errorf(
+							"system %s Q%d: width=%d degree=%d output differs from tuple (%d vs %d bytes)",
+							inst.System.ID, qid, width, degree, len(got), len(ref))
+					}
+				}
+			}
+			// Materialize once (tuple execution: plain heap items), then
+			// byte-verify each writer's drain before timing it.
+			items, err := materializeResult(prep)
+			if err != nil {
+				return nil, fmt.Errorf("system %s Q%d materialize: %w", inst.System.ID, qid, err)
+			}
+			store := inst.Engine.Store()
+			sess := engine.NewSession()
+			for _, vectorized := range []bool{false, true} {
+				var sb strings.Builder
+				if err := engine.SerializeItems(&sb, store, sess, items, vectorized); err != nil {
+					return nil, fmt.Errorf("system %s Q%d writer(vectorized=%v): %w",
+						inst.System.ID, qid, vectorized, err)
+				}
+				if sb.String() != ref {
+					return nil, fmt.Errorf(
+						"system %s Q%d: writer(vectorized=%v) output differs from tuple reference (%d vs %d bytes)",
+						inst.System.ID, qid, vectorized, sb.Len(), len(ref))
+				}
+			}
+			if err := timeSerializeCell(store, sess, items, reps, &pt); err != nil {
+				return nil, err
+			}
+			if pt.BatchNs > 0 {
+				pt.Speedup = float64(pt.TupleNs) / float64(pt.BatchNs)
+			}
+			pt.TupleMBps = mbps(pt.OutBytes, pt.TupleNs)
+			pt.BatchMBps = mbps(pt.OutBytes, pt.BatchNs)
+			report.Points = append(report.Points, pt)
+		}
+	}
+	report.summarize()
+	return report, nil
+}
+
+// mbps converts an output size and wall time to megabytes per second.
+func mbps(outBytes int, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(outBytes) * 1000 / float64(ns)
+}
+
+// materializeResult executes prep tuple-at-a-time on a fresh Session and
+// collects the result items. Tuple execution produces plain heap values
+// (NodeIDs, atomics, constructed trees), so the slice stays valid for any
+// number of serialization passes afterwards; batch execution is already
+// proven byte-identical by the width x degree verification matrix.
+func materializeResult(prep *engine.Prepared) ([]engine.Item, error) {
+	sess := engine.NewSession()
+	sess.BatchSize = 1
+	var items []engine.Item
+	err := prep.StreamSession(sess, func(it engine.Item) bool {
+		items = append(items, it)
+		return true
+	})
+	return items, err
+}
+
+// timeSerializeCell measures one cell's emission stage in both modes,
+// interleaving a tuple-writer drain and a batch-writer drain per
+// repetition so clock drift and GC cycles land on both alike. Both modes
+// drain the same materialized items into io.Discard through the shared
+// session (whose recycled buffers reach steady state on the first batch
+// rep, exactly like a warm service worker). Cells whose plan never fires
+// vectorize-serialize never take the batch path in production, so only
+// tuple mode is timed.
+func timeSerializeCell(store nodestore.Store, sess *engine.Session, items []engine.Item, reps int, pt *SerializePoint) error {
+	const (
+		minWindow = 250 * time.Millisecond
+		maxReps   = 4000
+	)
+	runtime.GC()
+	var total time.Duration
+	for r := 0; r < reps || (total < minWindow && r < maxReps); r++ {
+		dTuple, aTuple, err := timeSerializeOnce(store, sess, items, false)
+		if err != nil {
+			return err
+		}
+		total += dTuple
+		if r == 0 || dTuple.Nanoseconds() < pt.TupleNs {
+			pt.TupleNs, pt.TupleAllocs = dTuple.Nanoseconds(), aTuple
+		}
+		if pt.SerVectorized {
+			dBatch, aBatch, err := timeSerializeOnce(store, sess, items, true)
+			if err != nil {
+				return err
+			}
+			total += dBatch
+			if r == 0 || dBatch.Nanoseconds() < pt.BatchNs {
+				pt.BatchNs, pt.BatchAllocs = dBatch.Nanoseconds(), aBatch
+			}
+		}
+	}
+	if !pt.SerVectorized {
+		pt.BatchNs, pt.BatchAllocs = pt.TupleNs, pt.TupleAllocs
+	}
+	return nil
+}
+
+// timeSerializeOnce drains items through one writer mode and returns the
+// wall time and heap allocation count of the drain.
+func timeSerializeOnce(store nodestore.Store, sess *engine.Session, items []engine.Item, vectorized bool) (time.Duration, uint64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
+	start := time.Now()
+	if err := engine.SerializeItems(io.Discard, store, sess, items, vectorized); err != nil {
+		return 0, 0, err
+	}
+	d := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return d, ms.Mallocs - before, nil
+}
+
+// Render prints the serialization table.
+func (r *SerializeReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Vectorized vs tuple serialization (factor %g, batch size %d, verified at widths {1,default} x degrees %v)\n",
+		r.Factor, r.BatchSize, r.VerifyDegrees)
+	fmt.Fprintf(w, "%-8s %6s %12s %12s %8s %10s %10s %10s %s\n",
+		"system", "query", "tuple ns/op", "batch ns/op", "speedup", "tuple MB/s", "batch MB/s", "out bytes", "plan")
+	for _, p := range r.Points {
+		plan := "tuple-only"
+		if p.SerVectorized {
+			plan = "batch-serialize"
+		}
+		fmt.Fprintf(w, "%-8s %6s %12d %12d %7.2fx %10.1f %10.1f %10d %s\n",
+			p.System, fmt.Sprintf("Q%d", p.QueryID), p.TupleNs, p.BatchNs, p.Speedup,
+			p.TupleMBps, p.BatchMBps, p.OutBytes, plan)
+	}
+	for _, sys := range r.Systems {
+		if g, ok := r.FamilySpeedup[sys]; ok {
+			fmt.Fprintf(w, "%-8s family geomean %6.2fx   output-family (Q10,Q13,Q19) %6.2fx\n",
+				sys, g, r.OutputFamilySpeedup[sys])
+		}
+	}
+}

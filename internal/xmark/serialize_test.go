@@ -1,0 +1,40 @@
+package xmark
+
+import (
+	"testing"
+)
+
+// TestSerializeByteIdenticalAllQueries is the vectorized serializer's
+// regression net: for every one of the twenty queries on every system
+// architecture, the batch writer (subtree-batch emission into
+// session-recycled buffers) must serialize exactly the bytes of strict
+// tuple-at-a-time serialization — at width 1 and the default width,
+// sequentially and under morsel parallelism at degree 8, where shard-style
+// merge seams and batch boundaries land in different places. It rides the
+// CI race job (-run 'Serialize|...') so the serializer's buffer recycling
+// is race-checked alongside the gather workers.
+func TestSerializeByteIdenticalAllQueries(t *testing.T) {
+	b := bench(t, 0.01)
+	instances, err := b.LoadAll(Systems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		text := b.QueryText(q.ID)
+		for _, inst := range instances {
+			prep, err := inst.Engine.Prepare(text)
+			if err != nil {
+				t.Fatalf("Q%d system %s: %v", q.ID, inst.System.ID, err)
+			}
+			want := serializeWith(t, prep, 1, 1)
+			for _, degree := range []int{1, 8} {
+				for _, width := range []int{1, 0} {
+					if got := serializeWith(t, prep, degree, width); got != want {
+						t.Errorf("Q%d system %s degree %d width %d: output differs from tuple mode (%d vs %d bytes)",
+							q.ID, inst.System.ID, degree, width, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}

@@ -46,7 +46,15 @@ type VectorPoint struct {
 	// BindVectorized reports a vectorize-bind firing (batch for-clause
 	// binding) — fires together with or independently of the joins.
 	BindVectorized bool `json:"bind_vectorized"`
-	OutBytes       int  `json:"out_bytes"`
+	// SerVectorized reports a vectorize-serialize firing: the root drains
+	// through the batch writer (and any vectorize-construct marks batch
+	// the element constructors feeding it).
+	SerVectorized bool `json:"ser_vectorized"`
+	OutBytes      int  `json:"out_bytes"`
+	// TupleMBps and BatchMBps are emission rates derived from OutBytes:
+	// megabytes of serialized result per second of wall time.
+	TupleMBps float64 `json:"tuple_mb_s"`
+	BatchMBps float64 `json:"batch_mb_s"`
 }
 
 // VectorReport is the BENCH_vector.json artifact: tuple vs columnar-batch
@@ -120,6 +128,8 @@ func (b *Benchmark) RunVectorBench(systems []System, queryIDs []int, reps int) (
 					pt.JoinVectorized = true
 				case "vectorize-bind":
 					pt.BindVectorized = true
+				case "vectorize-serialize":
+					pt.SerVectorized = true
 				}
 			}
 			// The verification matrix: every width x degree cell must be
@@ -149,6 +159,8 @@ func (b *Benchmark) RunVectorBench(systems []System, queryIDs []int, reps int) (
 			if pt.BatchNs > 0 {
 				pt.Speedup = float64(pt.TupleNs) / float64(pt.BatchNs)
 			}
+			pt.TupleMBps = mbps(pt.OutBytes, pt.TupleNs)
+			pt.BatchMBps = mbps(pt.OutBytes, pt.BatchNs)
 			report.Points = append(report.Points, pt)
 		}
 	}
@@ -180,7 +192,7 @@ func timeVectorCell(prep *engine.Prepared, reps int, pt *VectorPoint) error {
 		minWindow = 250 * time.Millisecond
 		maxReps   = 4000
 	)
-	vectorized := pt.JoinVectorized || pt.BindVectorized
+	vectorized := pt.JoinVectorized || pt.BindVectorized || pt.SerVectorized
 	runtime.GC()
 	gcEach := false
 	var total time.Duration
@@ -221,21 +233,26 @@ func timeVectorCell(prep *engine.Prepared, reps int, pt *VectorPoint) error {
 func (r *VectorReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "Columnar-batch vs tuple joins (factor %g, batch size %d, verified at widths {1,default} x degrees %v)\n",
 		r.Factor, r.BatchSize, r.VerifyDegrees)
-	fmt.Fprintf(w, "%-8s %6s %12s %12s %8s %12s %12s %s\n",
-		"system", "query", "tuple ns/op", "batch ns/op", "speedup", "tuple allocs", "batch allocs", "plan")
+	fmt.Fprintf(w, "%-8s %6s %12s %12s %8s %10s %10s %12s %12s %s\n",
+		"system", "query", "tuple ns/op", "batch ns/op", "speedup", "tuple MB/s", "batch MB/s", "tuple allocs", "batch allocs", "plan")
 	for _, p := range r.Points {
-		plan := "tuple-only"
-		switch {
-		case p.JoinVectorized && p.BindVectorized:
-			plan = "join+bind"
-		case p.JoinVectorized:
-			plan = "join"
-		case p.BindVectorized:
-			plan = "bind"
+		var marks []string
+		if p.JoinVectorized {
+			marks = append(marks, "join")
 		}
-		fmt.Fprintf(w, "%-8s %6s %12d %12d %7.2fx %12d %12d %s\n",
+		if p.BindVectorized {
+			marks = append(marks, "bind")
+		}
+		if p.SerVectorized {
+			marks = append(marks, "ser")
+		}
+		plan := "tuple-only"
+		if len(marks) > 0 {
+			plan = strings.Join(marks, "+")
+		}
+		fmt.Fprintf(w, "%-8s %6s %12d %12d %7.2fx %10.1f %10.1f %12d %12d %s\n",
 			p.System, fmt.Sprintf("Q%d", p.QueryID), p.TupleNs, p.BatchNs, p.Speedup,
-			p.TupleAllocs, p.BatchAllocs, plan)
+			p.TupleMBps, p.BatchMBps, p.TupleAllocs, p.BatchAllocs, plan)
 	}
 	for _, sys := range r.Systems {
 		if g, ok := r.FamilySpeedup[sys]; ok {
