@@ -40,6 +40,13 @@
 //	                             # counts 1,2,4,8; every cell byte-verified
 //	                             # against the unsharded reference), written
 //	                             # to BENCH_shard.json
+//	xmark -ftbench -factor 0.1
+//	                             # inverted text index vs scan over the
+//	                             # keyword workload (Q14 across term
+//	                             # selectivities plus the hybrid Q21-Q23),
+//	                             # every cell byte-verified at widths
+//	                             # {1,default} x degrees {1,8}, written to
+//	                             # BENCH_fulltext.json
 package main
 
 import (
@@ -75,6 +82,8 @@ func main() {
 	analyze := flag.Bool("analyze", false, "analyze mode: EXPLAIN ANALYZE cost and operator-time breakdown per query x system, written to BENCH_analyze.json")
 	gate := flag.Float64("gate", 0, "analyze mode: fail when per-cell analyze-off regressions vs the tuple baseline sum to more than this percent of the tuple total (0 = no gate); regression-only, so batch-join speedups cannot mask a leak")
 	shardbench := flag.Int("shardbench", 0, "shard mode: scatter-gather scaling at shard counts 1,2,4,... up to N, written to BENCH_shard.json")
+	ftbench := flag.Bool("ftbench", false, "fulltext mode: inverted text index vs scan over the keyword workload (Q14 across selectivities plus Q21-Q23), written to BENCH_fulltext.json")
+	ftfactors := flag.String("ftfactors", "", "fulltext mode: comma list of document factors (empty = the -factor value)")
 	duration := flag.Duration("duration", 2*time.Second, "throughput mode: measurement window per cell")
 	mix := flag.String("mix", "all", "throughput mode: query mix, e.g. all | Q1..Q20 | Q1,Q8,Q10")
 	systems := flag.String("systems", "", "throughput mode: systems to drive, e.g. DEF (empty = all seven)")
@@ -137,6 +146,14 @@ func main() {
 			dest = "BENCH_shard.json"
 		}
 		runShardBench(*factor, *shardbench, *mix, *systems, dest)
+		return
+	}
+	if *ftbench {
+		dest := *out
+		if !outSet {
+			dest = "BENCH_fulltext.json"
+		}
+		runFulltextBench(*factor, *ftfactors, *systems, dest)
 		return
 	}
 	if *all {
@@ -478,6 +495,45 @@ func runShardBench(factor float64, maxShards int, mixSpec, systemsSpec, dest str
 	fmt.Printf("shard scaling at factor %g: shard counts %v; queries %v; systems %s\n\n",
 		factor, shard.ShardSteps(maxShards), queryIDs, systemsSpec)
 	report, err := shard.RunShardBench(factor, maxShards, load, queryIDs, 3)
+	check(err)
+	report.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(dest, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", dest)
+}
+
+// runFulltextBench drives the full-text experiment: the keyword workload
+// (Q14 across the term-selectivity axis plus the hybrid keyword+structure
+// queries Q21-Q23) executed through the scan plan and the inverted-index
+// plan over the same loaded stores, every cell byte-verified at widths
+// {1, default} x degrees {1, 8} against the scan reference, written to
+// the BENCH_fulltext.json artifact with per-system index build cost and
+// resident size.
+func runFulltextBench(factor float64, factorsSpec, systemsSpec, dest string) {
+	factors := []float64{factor}
+	if strings.TrimSpace(factorsSpec) != "" {
+		factors = nil
+		for _, part := range strings.Split(factorsSpec, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			check(err)
+			factors = append(factors, f)
+		}
+	}
+	load := xmark.Systems()
+	if systemsSpec != "" {
+		load = nil
+		for _, r := range systemsSpec {
+			sys, err := xmark.SystemByID(xmark.SystemID(r))
+			check(err)
+			load = append(load, sys)
+		}
+	}
+
+	fmt.Printf("fulltext: factors %v; queries %v; %d systems\n\n",
+		factors, xmark.FulltextQueryIDs, len(load))
+	report, err := xmark.RunFulltextBench(factors, load, 3)
 	check(err)
 	report.Render(os.Stdout)
 

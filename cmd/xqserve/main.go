@@ -267,7 +267,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Shards    int      `json:"shards,omitempty"`
 		Systems   []string `json:"systems,omitempty"`
 		LoadMs    float64  `json:"load_ms,omitempty"`
-		Error     string   `json:"error,omitempty"`
+		// TextIndexes reports per-system inverted text index status: built
+		// or scan-only, and the resident bytes the index costs.
+		TextIndexes []service.TextIndexStatus `json:"text_indexes,omitempty"`
+		Error       string                    `json:"error,omitempty"`
 	}
 	h := health{Factor: s.factor, UptimeSec: time.Since(s.start).Seconds()}
 	if co != nil {
@@ -288,6 +291,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			h.Systems = append(h.Systems, string(sys.ID))
 		}
 		h.LoadMs = float64(cat.LoadTime) / 1e6
+		h.TextIndexes = cat.TextIndexes()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -305,13 +309,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(struct {
-		Workers   int              `json:"workers"`
-		QueueCap  int              `json:"queue_cap"`
-		Parallel  int              `json:"parallel"`
-		BatchSize int              `json:"batch_size"`
-		Factor    float64          `json:"factor"`
-		Snapshot  service.Snapshot `json:"snapshot"`
-	}{ex.Workers(), ex.QueueCap(), ex.Parallel(), ex.BatchSize(), cat.Factor, ex.Metrics().Snapshot()})
+		Workers     int                       `json:"workers"`
+		QueueCap    int                       `json:"queue_cap"`
+		Parallel    int                       `json:"parallel"`
+		BatchSize   int                       `json:"batch_size"`
+		Factor      float64                   `json:"factor"`
+		TextIndexes []service.TextIndexStatus `json:"text_indexes"`
+		Snapshot    service.Snapshot          `json:"snapshot"`
+	}{ex.Workers(), ex.QueueCap(), ex.Parallel(), ex.BatchSize(), cat.Factor, cat.TextIndexes(), ex.Metrics().Snapshot()})
 }
 
 // parseRequest extracts the system and query (number or ad-hoc text) of a

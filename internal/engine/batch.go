@@ -489,6 +489,19 @@ func (ev *evaluator) batchOfNode(n *plan.Node, env *bindings) batchIterator {
 			return nil
 		}
 		return ev.newBatchSelect(in, n.Preds, env)
+	case plan.OpIndexProbe:
+		// The probe batches whenever its input does: membership compaction
+		// is just another selection vector. A declined probe passes the
+		// input pipeline through untouched.
+		in := ev.batchOf(n.Input, env)
+		if in == nil {
+			return nil
+		}
+		ids, ok := nodestore.TextCandidates(ev.store, n.Tag, n.FT)
+		if !ok {
+			return in
+		}
+		return &batchFTIter{in: in, ids: ids}
 	}
 	return nil
 }

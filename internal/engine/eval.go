@@ -180,6 +180,8 @@ func (ev *evaluator) dispatch(n *plan.Node, env *bindings) Iterator {
 		return &nodeCursorIter{cur: ev.pathScanCursor(n)}
 	case plan.OpGather:
 		return ev.iterGather(n, env)
+	case plan.OpIndexProbe:
+		return ev.iterIndexProbe(n, env)
 	case plan.OpNavigate:
 		// A batched prefix (scan plus leading per-context steps) runs
 		// vector-at-a-time; the leftover steps consume it as items.
@@ -357,9 +359,12 @@ func (ev *evaluator) newStepIter(in Iterator, sp *plan.StepPlan, env *bindings) 
 		// executions of different Prepared queries, and a stale evaluator
 		// would navigate the previous query's store with its funcs.
 		d.ev, d.in, d.st, d.env = ev, in, sp, env
+		d.ft, d.ftOn = ev.stepFT(sp)
 		return d
 	}
-	return &stepIter{ev: ev, in: in, st: sp, env: env}
+	d := &stepIter{ev: ev, in: in, st: sp, env: env}
+	d.ft, d.ftOn = ev.stepFT(sp)
+	return d
 }
 
 // release returns an exhausted stepIter to the evaluator's free list.
@@ -369,6 +374,7 @@ func (d *stepIter) release() {
 	d.in, d.st, d.env = nil, nil, nil
 	d.pending, d.inner = nil, nil
 	d.bi, d.bn = 0, 0
+	d.ft, d.ftOn = nil, false
 	d.ev.sess.stepFree = append(d.ev.sess.stepFree, d)
 }
 
@@ -389,6 +395,12 @@ type stepIter struct {
 	bi, bn  int
 	pending Item     // single candidate of an attribute step
 	inner   Iterator // generic fallback for document/constructed contexts
+
+	// ft is the full-text candidate set of the step's FT probes (ftOn set
+	// when the store answered): candidates intersect before the predicates
+	// run, so non-candidates never pay the contains() evaluation.
+	ft   []tree.NodeID
+	ftOn bool
 }
 
 func (d *stepIter) Next() (Item, bool) {
@@ -469,6 +481,12 @@ func (d *stepIter) expand(ctx Item) {
 		}
 		return
 	}
+	if d.ftOn {
+		// The probed predicates reject every non-candidate, and the step's
+		// predicates are all boolean-shaped (the rule's gate), so dropping
+		// non-candidates first changes no outcome.
+		d.bn = ftKeep(d.buf[:d.bn], d.ft)
+	}
 	if len(st.Preds) > 0 {
 		d.bn = ev.filterIDs(d.buf[:d.bn], st.Preds, d.env)
 	}
@@ -539,13 +557,19 @@ func (ev *evaluator) applyPredicates(items Seq, preds []*plan.Node, env *binding
 // covered by an earlier subtree, and otherwise it falls back to
 // materializing the output and restoring document order with a sort.
 func (ev *evaluator) descendantStepIter(in Iterator, sp *plan.StepPlan, env *bindings) Iterator {
+	ft, ftOn := ev.stepFT(sp)
 	ctx := materialize(in)
 	if len(ctx) == 1 || (len(sp.Preds) == 0 && sortedNodeRun(ctx)) {
-		return &descStreamIter{ev: ev, ctx: ctx, st: sp, env: env, skip: len(ctx) > 1}
+		return &descStreamIter{ev: ev, ctx: ctx, st: sp, env: env,
+			skip: len(ctx) > 1, ft: ft, ftOn: ftOn}
 	}
 	var out Seq
 	for _, it := range ctx {
-		out = append(out, materialize(ev.filterCandidates(ev.candidates(it, sp), sp.Preds, env))...)
+		cand := ev.candidates(it, sp)
+		if ftOn {
+			cand = &ftFilterIter{in: cand, ids: ft}
+		}
+		out = append(out, materialize(ev.filterCandidates(cand, sp.Preds, env))...)
 	}
 	return dedupNodes(out).Iter()
 }
@@ -564,6 +588,8 @@ type descStreamIter struct {
 	cur    Iterator
 	maxEnd tree.NodeID
 	skip   bool
+	ft     []tree.NodeID
+	ftOn   bool
 }
 
 func (d *descStreamIter) Next() (Item, bool) {
@@ -588,7 +614,11 @@ func (d *descStreamIter) Next() (Item, bool) {
 				d.maxEnd = end
 			}
 		}
-		d.cur = d.ev.filterCandidates(d.ev.candidates(it, d.st), d.st.Preds, d.env)
+		cand := d.ev.candidates(it, d.st)
+		if d.ftOn {
+			cand = &ftFilterIter{in: cand, ids: d.ft}
+		}
+		d.cur = d.ev.filterCandidates(cand, d.st.Preds, d.env)
 	}
 }
 

@@ -57,6 +57,12 @@ func (ev *evaluator) iterCall(n *plan.Node, env *bindings) Iterator {
 		ev.argc(c, 2)
 		hay := ev.strArg(n.Kids[0], env)
 		needle := ev.strArg(n.Kids[1], env)
+		if len(needle) == 1 {
+			// Single-byte needles scan with IndexByte — the same fast path
+			// the serializer's escape scan uses — instead of the generic
+			// substring search setup.
+			return one(BoolItem(strings.IndexByte(hay, needle[0]) >= 0))
+		}
 		return one(BoolItem(strings.Contains(hay, needle)))
 	case "starts-with":
 		ev.argc(c, 2)

@@ -39,6 +39,7 @@ const (
 // edge(id, parent, end, tag, kind, value) plus hash indexes on id, parent
 // and tag. Attributes are rows too, with synthetic ids.
 type Edge struct {
+	nodestore.TextIndexHolder
 	table     *relational.Table
 	idIdx     *relational.HashIndex
 	parentIdx *relational.HashIndex

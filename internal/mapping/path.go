@@ -59,6 +59,7 @@ type attrTable struct {
 // every table of this store — which is what lets pushed-down equality
 // predicates and batch join keys compare codes across fragments.
 type Path struct {
+	nodestore.TextIndexHolder
 	name        string
 	inline      bool
 	dict        *relational.Dict

@@ -26,6 +26,7 @@ type DOMOptions struct {
 
 // DOM is a main-memory store over the parsed document tree.
 type DOM struct {
+	TextIndexHolder
 	name     string
 	doc      *tree.Doc
 	sum      *summary.Summary

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/nodestore"
 	"repro/internal/xquery"
 )
 
@@ -58,6 +59,8 @@ func NodeLabel(n *Node) string {
 		return pathScanLabel(n)
 	case OpPartitionedScan:
 		return partScanLabel(n)
+	case OpIndexProbe:
+		return indexProbeLabel(n)
 	case OpNavigate:
 		if s, ok := stepsString(n.Steps); ok && s != "" {
 			return "Navigate " + s
@@ -257,6 +260,9 @@ func renderNode(b *strings.Builder, n *Node, depth int, label string, annot func
 		kid(n.Input, "")
 	case OpPartitionedScan:
 		self(partScanLabel(n))
+	case OpIndexProbe:
+		self(indexProbeLabel(n))
+		kid(n.Input, "")
 	case OpSelect:
 		if n.Vectorized {
 			// A vectorized filter evaluates its predicates over whole
@@ -414,6 +420,26 @@ func partScanLabel(n *Node) string {
 	return s
 }
 
+// indexProbeLabel renders an IndexProbe with its probed extent and the
+// contains() conditions it pre-filters for.
+func indexProbeLabel(n *Node) string {
+	parts := make([]string, len(n.FT))
+	for i, fp := range n.FT {
+		parts[i] = ftProbeString(fp)
+	}
+	return "IndexProbe //" + n.Tag + " [" + strings.Join(parts, ", ") + "]"
+}
+
+// ftProbeString renders one full-text probe: the haystack chain below the
+// probed element ("." for the whole subtree) and the literal needle.
+func ftProbeString(p nodestore.TextProbe) string {
+	hay := "."
+	if len(p.Sub) > 0 {
+		hay = strings.Join(p.Sub, "/")
+	}
+	return fmt.Sprintf("%s contains %q", hay, p.Needle)
+}
+
 // subtreePlain reports whether no optimizer decision is visible anywhere
 // in the subtree, so it can collapse to its source form.
 func subtreePlain(n *Node) bool {
@@ -426,7 +452,8 @@ func subtreePlain(n *Node) bool {
 		}
 		seen[n] = true
 		switch n.Op {
-		case OpPathScan, OpNLJoin, OpHashJoin, OpGather, OpPartitionedScan:
+		case OpPathScan, OpNLJoin, OpHashJoin, OpGather, OpPartitionedScan,
+			OpIndexProbe:
 			plain = false
 			return
 		case OpCount:
@@ -440,7 +467,7 @@ func subtreePlain(n *Node) bool {
 			return
 		}
 		for _, sp := range n.Steps {
-			if sp.Strategy != StepNavigate || len(sp.Filters) > 0 {
+			if sp.Strategy != StepNavigate || len(sp.Filters) > 0 || len(sp.FT) > 0 {
 				plain = false
 				return
 			}
@@ -550,6 +577,9 @@ func stepsString(steps []*StepPlan) (string, bool) {
 		}
 		for _, f := range sp.Filters {
 			b.WriteString("[push: " + f.String() + "]")
+		}
+		for _, fp := range sp.FT {
+			b.WriteString("[ft: " + ftProbeString(fp) + "]")
 		}
 		if sp.Strategy == StepAttrIndex {
 			// The retained predicate is the index condition already shown.

@@ -57,6 +57,12 @@ type Options struct {
 	// actual degree of one execution is the session's parallelism budget
 	// clamped to it.
 	MaxDegree int
+	// FulltextIndex lets the fulltext-pushdown rule rewrite contains()
+	// selections into inverted-index candidate probes when the store
+	// carries a nodestore.TextSearcher with an attached index. Probed
+	// candidates only pre-filter; the original predicate always
+	// re-verifies, so the option changes plans, never results.
+	FulltextIndex bool
 	// BatchSize selects the vector width of batch-at-a-time execution:
 	// the vectorize rule marks batchable scan→step→select prefixes and
 	// the evaluator runs them over NodeID vectors of this many ids.
@@ -104,6 +110,13 @@ const (
 	// concatenation, which is the NodeID merge because partition ranges
 	// are totally ordered in document order.
 	OpGather
+	// OpIndexProbe narrows its Input sequence to the full-text index's
+	// candidate set for the FT probes over Tag elements: a membership
+	// pre-filter, never an answer — the predicates that produced the
+	// probes remain downstream and re-verify every candidate. When the
+	// store declines the probe at run time the operator passes its input
+	// through unchanged.
+	OpIndexProbe
 
 	// OpTupleSrc is the single initial FLWOR tuple.
 	OpTupleSrc
@@ -146,8 +159,9 @@ var opNames = map[Op]string{
 	OpSerialize: "Serialize", OpPathScan: "PathScan", OpNavigate: "Navigate",
 	OpSelect: "Select", OpProject: "Project",
 	OpPartitionedScan: "PartitionedScan", OpGather: "Gather",
-	OpTupleSrc: "TupleSrc",
-	OpFor:      "For", OpLet: "Let", OpNLJoin: "NestedLoopJoin",
+	OpIndexProbe: "IndexProbe",
+	OpTupleSrc:   "TupleSrc",
+	OpFor:        "For", OpLet: "Let", OpNLJoin: "NestedLoopJoin",
 	OpHashJoin: "HashJoin", OpWhere: "Select", OpOrderBy: "OrderBy",
 	OpCount: "Count", OpLiteral: "Literal", OpVar: "Var",
 	OpContext: "Context", OpRoot: "Root", OpQuantified: "Quantified",
@@ -208,6 +222,11 @@ type StepPlan struct {
 	// cannot filter (constructed elements, the document node).
 	Filters []nodestore.ValueFilter
 	Pushed  []*Node
+	// FT are full-text index probes covering a leading prefix of Preds:
+	// the step's candidate set intersects with the index answer before
+	// the predicates run. The probed predicates stay in Preds and
+	// re-verify every survivor.
+	FT []nodestore.TextProbe
 }
 
 // AllPreds returns the step's full predicate list in source order — the
@@ -252,6 +271,9 @@ type Node struct {
 	// Filters restrict an OpPathScan or OpPartitionedScan to rows
 	// satisfying pushed-down predicates.
 	Filters []nodestore.ValueFilter
+	// FT are the full-text probes of OpIndexProbe (Tag names the probed
+	// element extent).
+	FT []nodestore.TextProbe
 	// Degree is the maximum parallel degree of OpGather (the system
 	// profile's MaxDegree at plan time); Scan aliases the
 	// OpPartitionedScan leaf inside its Input subtree.

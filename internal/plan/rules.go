@@ -28,6 +28,7 @@ func (p *Plan) Optimize(opts Options, store nodestore.Store) {
 	ruleOrderByElim(p)
 	ruleParallelize(p, opts, store)
 	ruleVectorize(p, opts, store)
+	ruleFulltext(p, opts, store)
 }
 
 // stepPrefix returns the longest leading run of predicate-free named child

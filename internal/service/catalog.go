@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/nodestore"
 	"repro/internal/xmark"
 	"repro/internal/xmlgen"
 )
@@ -147,6 +148,40 @@ func LoadDoc(docText []byte, card xmlgen.Cardinalities, factor float64, systems 
 
 // Systems returns the loaded system architectures in load order.
 func (c *Catalog) Systems() []xmark.System { return c.systems }
+
+// TextIndexStatus is one loaded system's inverted text index accounting,
+// surfaced by the service's health and stats endpoints. Built is false
+// for the architectures that run without the index (the plain-traversal
+// and embedded systems) — they serve every keyword query by scan.
+type TextIndexStatus struct {
+	System   xmark.SystemID `json:"system"`
+	Built    bool           `json:"built"`
+	Terms    int            `json:"terms,omitempty"`
+	Postings int            `json:"postings,omitempty"`
+	Bytes    int64          `json:"bytes,omitempty"`
+	BuildMs  float64        `json:"build_ms,omitempty"`
+}
+
+// TextIndexes reports the full-text index status of every loaded system,
+// in catalog order.
+func (c *Catalog) TextIndexes() []TextIndexStatus {
+	out := make([]TextIndexStatus, 0, len(c.systems))
+	for _, sys := range c.systems {
+		st := TextIndexStatus{System: sys.ID}
+		inst := c.instances[sys.ID]
+		if ts, ok := inst.Engine.Store().(nodestore.TextSearcher); ok {
+			if info, built := ts.TextIndexInfo(); built {
+				st.Built = true
+				st.Terms = info.Terms
+				st.Postings = info.Postings
+				st.Bytes = info.Bytes
+				st.BuildMs = float64(info.BuildTime) / 1e6
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
 
 // Instance returns the loaded instance of the system.
 func (c *Catalog) Instance(sys xmark.SystemID) (*xmark.Instance, error) {

@@ -1,0 +1,340 @@
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/nodestore"
+	"repro/internal/words"
+)
+
+// FulltextQueryIDs are the keyword-workload family: Q14 (the paper's
+// full-text query, whose needle the selectivity axis varies) and the
+// hybrid keyword+structure extensions Q21-Q23.
+var FulltextQueryIDs = []int{14, 21, 22, 23}
+
+// FulltextNeedle is one point on the term-selectivity axis. Rank < 0
+// keeps the query's own needle (Q14's "gold"); otherwise the needle is
+// the generator's vocabulary word at that Zipf rank — rank 0 is the most
+// frequent word, so low ranks select many items (the index's worst case,
+// large candidate sets) and high ranks select few (its best case).
+// Generated spellings never appear in source, only their ranks.
+type FulltextNeedle struct {
+	Label string `json:"label"`
+	Rank  int    `json:"rank"`
+}
+
+// FulltextNeedles is the default selectivity axis.
+var FulltextNeedles = []FulltextNeedle{
+	{Label: "gold", Rank: -1},
+	{Label: "frequent", Rank: 2},
+	{Label: "mid", Rank: 257},
+	{Label: "rare", Rank: 4099},
+}
+
+// Word resolves the needle's concrete spelling.
+func (n FulltextNeedle) Word() string {
+	if n.Rank < 0 {
+		return "gold"
+	}
+	return words.WordAt(n.Rank)
+}
+
+// FulltextPoint is one cell of the full-text experiment: the same query
+// text prepared twice over the same loaded store — once on the system's
+// production engine (inverted index available to the planner) and once
+// on an engine with the fulltext-pushdown rule gated off (the scan
+// baseline). The indexed side is byte-verified against the scan
+// reference at widths {1, default} x degrees {1, 8} before anything is
+// timed.
+type FulltextPoint struct {
+	Factor  float64  `json:"factor"`
+	System  SystemID `json:"system"`
+	QueryID int      `json:"query"`
+	Needle  string   `json:"needle"`
+	// ScanNs and IndexNs are the best end-to-end wall times (execute +
+	// serialize, degree 0, default width) of the two plans.
+	ScanNs  int64 `json:"scan_ns_op"`
+	IndexNs int64 `json:"index_ns_op"`
+	// Speedup is scan time over index time (1.0 = no change).
+	Speedup float64 `json:"speedup"`
+	// Pushdown reports whether the indexed plan carries a
+	// fulltext-pushdown firing; false marks honest scan baselines (the
+	// systems without an attached index, and shapes the rule declines).
+	Pushdown bool `json:"pushdown"`
+	OutBytes int  `json:"out_bytes"`
+}
+
+// FulltextIndexStat is one system's inverted-index accounting at one
+// factor: vocabulary and postings sizes, resident bytes, and the build
+// time the load pays for them.
+type FulltextIndexStat struct {
+	Factor   float64  `json:"factor"`
+	System   SystemID `json:"system"`
+	Terms    int      `json:"terms"`
+	Postings int      `json:"postings"`
+	Bytes    int64    `json:"bytes"`
+	BuildNs  int64    `json:"build_ns"`
+	// LoadNs is the system's whole bulkload (parse + store + index), for
+	// judging the build cost in context.
+	LoadNs int64 `json:"load_ns"`
+}
+
+// FulltextReport is the BENCH_fulltext.json artifact: scan vs inverted
+// index over the keyword workload, per factor x system x query x needle,
+// plus per-system index build cost and resident size.
+type FulltextReport struct {
+	Factors       []float64           `json:"factors"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	BatchSize     int                 `json:"batch_size"`
+	VerifyDegrees []int               `json:"verify_degrees"`
+	QueryIDs      []int               `json:"queries"`
+	Needles       []FulltextNeedle    `json:"needles"`
+	Systems       []SystemID          `json:"systems"`
+	Indexes       []FulltextIndexStat `json:"indexes"`
+	Points        []FulltextPoint     `json:"points"`
+	// FamilySpeedup is the per-system geometric mean over every pushdown
+	// cell; Q14Speedup restricts it to the Q14 cells at the largest
+	// factor, the headline the acceptance bar applies to.
+	FamilySpeedup map[SystemID]float64 `json:"family_speedup"`
+	Q14Speedup    map[SystemID]float64 `json:"q14_speedup"`
+}
+
+// summarize fills the per-system geomeans from the measured points.
+func (r *FulltextReport) summarize() {
+	r.FamilySpeedup = make(map[SystemID]float64)
+	r.Q14Speedup = make(map[SystemID]float64)
+	maxFactor := 0.0
+	for _, f := range r.Factors {
+		if f > maxFactor {
+			maxFactor = f
+		}
+	}
+	type acc struct {
+		logSum float64
+		n      int
+	}
+	fam, q14 := map[SystemID]*acc{}, map[SystemID]*acc{}
+	add := func(m map[SystemID]*acc, sys SystemID, v float64) {
+		a := m[sys]
+		if a == nil {
+			a = &acc{}
+			m[sys] = a
+		}
+		a.logSum += math.Log(v)
+		a.n++
+	}
+	for _, p := range r.Points {
+		if !p.Pushdown || p.Speedup <= 0 {
+			continue
+		}
+		add(fam, p.System, p.Speedup)
+		if p.QueryID == 14 && p.Factor == maxFactor {
+			add(q14, p.System, p.Speedup)
+		}
+	}
+	for sys, a := range fam {
+		r.FamilySpeedup[sys] = math.Exp(a.logSum / float64(a.n))
+	}
+	for sys, a := range q14 {
+		r.Q14Speedup[sys] = math.Exp(a.logSum / float64(a.n))
+	}
+}
+
+// ftQueryText adapts the query to the needle: Q14's own literal is
+// replaced by the needle's word, hybrids with other needles likewise.
+// Rank -1 leaves the text untouched.
+func ftQueryText(b *Benchmark, qid int, n FulltextNeedle) string {
+	text := b.QueryText(qid)
+	if n.Rank >= 0 {
+		text = strings.ReplaceAll(text, `"gold"`, `"`+n.Word()+`"`)
+	}
+	return text
+}
+
+// RunFulltextBench measures scan vs inverted-index execution of the
+// keyword workload across document factors and term selectivities. Per
+// factor every system is bulkloaded once (index included); the scan
+// baseline is a second engine over the same store with the
+// fulltext-pushdown rule gated off, so both plans read identical data
+// and differ only in the rewrite under test. Q14 runs across the whole
+// needle axis; the hybrid queries run with their own needles. Every cell
+// is byte-verified — the indexed plan at widths {1, default} x degrees
+// {1, 8} against the scan sequential reference — before the two plans
+// are timed interleaved best-of-reps.
+func RunFulltextBench(factors []float64, systems []System, reps int) (*FulltextReport, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.1}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	report := &FulltextReport{
+		Factors:       factors,
+		GoMaxProcs:    maxProcs(),
+		BatchSize:     nodestore.DefaultBatchSize,
+		VerifyDegrees: vectorVerifyDegrees,
+		QueryIDs:      FulltextQueryIDs,
+		Needles:       FulltextNeedles,
+	}
+	for _, s := range systems {
+		report.Systems = append(report.Systems, s.ID)
+	}
+	for _, factor := range factors {
+		b := NewBenchmark(factor)
+		instances, err := b.LoadAll(systems)
+		if err != nil {
+			return nil, err
+		}
+		for _, inst := range instances {
+			store := inst.Engine.Store()
+			if ts, ok := store.(nodestore.TextSearcher); ok {
+				if info, built := ts.TextIndexInfo(); built {
+					report.Indexes = append(report.Indexes, FulltextIndexStat{
+						Factor:   factor,
+						System:   inst.System.ID,
+						Terms:    info.Terms,
+						Postings: info.Postings,
+						Bytes:    info.Bytes,
+						BuildNs:  info.BuildTime.Nanoseconds(),
+						LoadNs:   inst.LoadTime.Nanoseconds(),
+					})
+				}
+			}
+			scanOpts := inst.System.opts
+			scanOpts.FulltextIndex = false
+			scanEng := engine.New(store, scanOpts)
+			for _, qid := range FulltextQueryIDs {
+				needles := FulltextNeedles
+				if qid != 14 {
+					// Hybrids keep their own needles; the selectivity
+					// axis belongs to Q14.
+					needles = FulltextNeedles[:1]
+				}
+				for _, n := range needles {
+					text := ftQueryText(b, qid, n)
+					iPrep, err := inst.Engine.Prepare(text)
+					if err != nil {
+						return nil, fmt.Errorf("system %s Q%d (%s): %w", inst.System.ID, qid, n.Label, err)
+					}
+					sPrep, err := scanEng.Prepare(text)
+					if err != nil {
+						return nil, fmt.Errorf("system %s Q%d (%s) scan: %w", inst.System.ID, qid, n.Label, err)
+					}
+					pt := FulltextPoint{Factor: factor, System: inst.System.ID, QueryID: qid, Needle: n.Label}
+					for _, r := range iPrep.Plan().Fired {
+						if r == "fulltext-pushdown" {
+							pt.Pushdown = true
+						}
+					}
+					// Byte-identity: every indexed width x degree cell
+					// against the scan sequential reference.
+					ref, err := serializeVector(sPrep, 1, 1)
+					if err != nil {
+						return nil, fmt.Errorf("system %s Q%d (%s) scan: %w", inst.System.ID, qid, n.Label, err)
+					}
+					pt.OutBytes = len(ref)
+					for _, width := range []int{1, 0} {
+						for _, degree := range vectorVerifyDegrees {
+							got, err := serializeVector(iPrep, width, degree)
+							if err != nil {
+								return nil, fmt.Errorf("system %s Q%d (%s) width=%d degree=%d: %w",
+									inst.System.ID, qid, n.Label, width, degree, err)
+							}
+							if got != ref {
+								return nil, fmt.Errorf(
+									"system %s Q%d (%s): indexed width=%d degree=%d output differs from scan (%d vs %d bytes)",
+									inst.System.ID, qid, n.Label, width, degree, len(got), len(ref))
+							}
+						}
+					}
+					if err := timeFulltextCell(sPrep, iPrep, reps, &pt); err != nil {
+						return nil, err
+					}
+					if pt.IndexNs > 0 {
+						pt.Speedup = float64(pt.ScanNs) / float64(pt.IndexNs)
+					}
+					report.Points = append(report.Points, pt)
+				}
+			}
+		}
+	}
+	report.summarize()
+	return report, nil
+}
+
+// timeFulltextCell measures one cell's two plans, interleaving a scan
+// run and an indexed run per repetition so clock drift and GC cycles
+// land on both alike. Cells where the rule declined run the identical
+// plan on both engines, so only the scan side is timed.
+func timeFulltextCell(sPrep, iPrep *engine.Prepared, reps int, pt *FulltextPoint) error {
+	const (
+		minWindow = 250 * time.Millisecond
+		maxReps   = 4000
+	)
+	runtime.GC()
+	var total time.Duration
+	for r := 0; r < reps || (total < minWindow && r < maxReps); r++ {
+		dScan, _, err := timeOnce(sPrep, 0)
+		if err != nil {
+			return err
+		}
+		total += dScan
+		if r == 0 || dScan.Nanoseconds() < pt.ScanNs {
+			pt.ScanNs = dScan.Nanoseconds()
+		}
+		if pt.Pushdown {
+			dIdx, _, err := timeOnce(iPrep, 0)
+			if err != nil {
+				return err
+			}
+			total += dIdx
+			if r == 0 || dIdx.Nanoseconds() < pt.IndexNs {
+				pt.IndexNs = dIdx.Nanoseconds()
+			}
+		}
+	}
+	if !pt.Pushdown {
+		pt.IndexNs = pt.ScanNs
+	}
+	return nil
+}
+
+// Render prints the full-text tables.
+func (r *FulltextReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Inverted text index vs scan (factors %v, verified at widths {1,default} x degrees %v)\n",
+		r.Factors, r.VerifyDegrees)
+	fmt.Fprintf(w, "%-8s %-8s %6s %-10s %12s %12s %8s %10s %s\n",
+		"factor", "system", "query", "needle", "scan ns/op", "index ns/op", "speedup", "out bytes", "plan")
+	for _, p := range r.Points {
+		plan := "scan"
+		if p.Pushdown {
+			plan = "index-probe"
+		}
+		fmt.Fprintf(w, "%-8g %-8s %6s %-10s %12d %12d %7.2fx %10d %s\n",
+			p.Factor, p.System, fmt.Sprintf("Q%d", p.QueryID), p.Needle,
+			p.ScanNs, p.IndexNs, p.Speedup, p.OutBytes, plan)
+	}
+	fmt.Fprintf(w, "\nIndex build cost and resident size\n")
+	fmt.Fprintf(w, "%-8s %-8s %10s %12s %12s %12s %12s\n",
+		"factor", "system", "terms", "postings", "bytes", "build ms", "load ms")
+	for _, ix := range r.Indexes {
+		fmt.Fprintf(w, "%-8g %-8s %10d %12d %12d %12.2f %12.2f\n",
+			ix.Factor, ix.System, ix.Terms, ix.Postings, ix.Bytes,
+			float64(ix.BuildNs)/1e6, float64(ix.LoadNs)/1e6)
+	}
+	for _, sys := range r.Systems {
+		if g, ok := r.FamilySpeedup[sys]; ok {
+			fmt.Fprintf(w, "%-8s family geomean %6.2fx", sys, g)
+			if q, ok := r.Q14Speedup[sys]; ok {
+				fmt.Fprintf(w, "   Q14 at factor max %6.2fx", q)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

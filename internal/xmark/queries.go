@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/words"
 	"repro/internal/xmlgen"
 )
 
@@ -38,14 +39,55 @@ func (q QuerySpec) Text(c xmlgen.Cardinalities) string {
 		s = strings.ReplaceAll(s, "%PERSON_A%", fmt.Sprintf("person%d", a))
 		s = strings.ReplaceAll(s, "%PERSON_B%", fmt.Sprintf("person%d", b))
 	}
+	if strings.Contains(s, "%FT_WORD%") {
+		// A frequent vocabulary word, resolved through the generator's
+		// deterministic word synthesis — generated spellings never appear
+		// in source, only their ranks.
+		s = strings.ReplaceAll(s, "%FT_WORD%", words.WordAt(2))
+	}
 	return s
 }
 
 // Queries returns all twenty benchmark queries in order.
 func Queries() []QuerySpec { return querySpecs }
 
-// Query returns the query with the given 1-based ID.
-func Query(id int) QuerySpec { return querySpecs[id-1] }
+// Query returns the query with the given 1-based ID: 1-20 are the paper's
+// queries, 21+ the hybrid keyword+structure extensions.
+func Query(id int) QuerySpec {
+	if id > len(querySpecs) {
+		return hybridSpecs[id-len(querySpecs)-1]
+	}
+	return querySpecs[id-1]
+}
+
+// HybridQueries returns the keyword+structure extension queries (IDs
+// 21+): the Q14 full-text concept crossed with structural navigation,
+// the workload the inverted text index accelerates. Every one is a
+// plain XQuery the scan path answers identically — the index changes
+// plans, never bytes.
+func HybridQueries() []QuerySpec { return hybridSpecs }
+
+var hybridSpecs = []QuerySpec{
+	{
+		ID: 21, Concept: "Hybrid Full Text",
+		Description: "Return the names of items whose description mentions 'gold', as a pure path query.",
+		text:        `//item[contains(description, "gold")]/name`,
+	},
+	{
+		ID: 22, Concept: "Hybrid Full Text",
+		Description: "Return the names of items whose description contains both 'gold' and a frequent vocabulary word (postings intersection).",
+		text: `for $i in /site//item
+where contains(string(exactly-one($i/description)), "gold") and contains(string(exactly-one($i/description)), "%FT_WORD%")
+return $i/name/text()`,
+	},
+	{
+		ID: 23, Concept: "Hybrid Full Text",
+		Description: "Return the senders of mails in item mailboxes whose body mentions 'gold' (keyword under a structural chain).",
+		text: `for $m in /site/regions//item/mailbox/mail
+where contains(string(exactly-one($m/text)), "gold")
+return $m/from/text()`,
+	},
+}
 
 var querySpecs = []QuerySpec{
 	{

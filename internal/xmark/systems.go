@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fulltext"
 	"repro/internal/mapping"
 	"repro/internal/nodestore"
 	"repro/internal/tree"
@@ -64,21 +65,21 @@ var systems = []System{
 		Architecture: "relational, all XML data on one big heap relation (edge mapping [20])",
 		MassStorage:  true,
 		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewEdge(doc) },
-		opts:         engine.Options{HashJoins: true, AttrIndexes: true, MaxDegree: 8},
+		opts:         engine.Options{HashJoins: true, AttrIndexes: true, FulltextIndex: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemB,
 		Architecture: "relational, highly fragmenting mapping (one relation per label path)",
 		MassStorage:  true,
 		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewPath(doc) },
-		opts:         engine.Options{PathExtents: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8},
+		opts:         engine.Options{PathExtents: true, HashJoins: true, AttrIndexes: true, FulltextIndex: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemC,
 		Architecture: "relational, DTD-derived schema with inlined #PCDATA children [23]",
 		MassStorage:  true,
 		build:        func(doc *tree.Doc) nodestore.Store { return mapping.NewInline(doc) },
-		opts:         engine.Options{PathExtents: true, HashJoins: true, Inlining: true, AttrIndexes: true, MaxDegree: 8},
+		opts:         engine.Options{PathExtents: true, HashJoins: true, Inlining: true, AttrIndexes: true, FulltextIndex: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemD,
@@ -87,7 +88,7 @@ var systems = []System{
 		build: func(doc *tree.Doc) nodestore.Store {
 			return nodestore.NewDOM("dom+summary", doc, nodestore.DOMOptions{Summary: true, TagExtents: true, AttrIndexes: true, FilteredScans: true})
 		},
-		opts: engine.Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true, MaxDegree: 8},
+		opts: engine.Options{PathExtents: true, CountShortcut: true, HashJoins: true, AttrIndexes: true, FulltextIndex: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemE,
@@ -96,7 +97,7 @@ var systems = []System{
 		build: func(doc *tree.Doc) nodestore.Store {
 			return nodestore.NewDOM("dom+extents", doc, nodestore.DOMOptions{TagExtents: true, AttrIndexes: true})
 		},
-		opts: engine.Options{HashJoins: true, AttrIndexes: true, MaxDegree: 8},
+		opts: engine.Options{HashJoins: true, AttrIndexes: true, FulltextIndex: true, MaxDegree: 8},
 	},
 	{
 		ID:           SystemF,
@@ -144,6 +145,14 @@ func (s System) Load(docText []byte) (*Instance, error) {
 		return nil, err
 	}
 	store := s.build(doc)
+	if s.opts.FulltextIndex {
+		// The second slow phase of a load: the inverted text index. Built
+		// here — before the store is published — it rides along wherever
+		// the store goes (the service catalog, every shard's territory).
+		if at, ok := store.(nodestore.TextIndexAttacher); ok {
+			at.AttachTextIndex(fulltext.Build(store))
+		}
+	}
 	inst := &Instance{
 		System:   s,
 		Engine:   engine.New(store, s.opts),
